@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures
+(DESIGN.md's per-experiment index E1-E18), prints the same rows/series the
+paper reports, asserts the reproduction-target *shape*, and records the
+rendered table under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Timing is captured with pytest-benchmark; expensive experiments run once
+(``pedantic`` with one round) and cache their results at module scope so
+shape assertions do not re-run them.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a rendered table/series for the experiment record."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    from repro.profiles.defaults import default_profiles
+
+    return default_profiles()
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,38 @@
+"""E6: Figure 2f — importance of Lemur's components.
+
+Reproduction targets (§5.3): No Profiling generally has lower marginal
+throughput than Lemur and goes infeasible at higher δ; No Core Allocation
+only satisfies SLOs at δ = 0.5.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure2f_ablations
+
+DELTAS = (0.5, 1.0, 1.5, 2.0)
+
+
+def test_figure2f(benchmark, profiles):
+    sweep = run_once(
+        benchmark, lambda: figure2f_ablations(deltas=DELTAS)
+    )
+    record_result("fig2f", sweep.print_table())
+
+    lemur = sweep.for_scheme("Lemur")
+    no_prof = sweep.for_scheme("No Profiling")
+    no_core = sweep.for_scheme("No Core Alloc")
+
+    # No Core Allocation: only the lowest δ survives.
+    assert no_core[0].delta == 0.5 and no_core[0].feasible
+    assert not any(r.feasible for r in no_core if r.delta > 0.5)
+
+    # No Profiling never beats Lemur; dies earlier.
+    assert sweep.feasibility_fraction("No Profiling") <= \
+        sweep.feasibility_fraction("Lemur")
+    for lem, flat in zip(lemur, no_prof):
+        if flat.feasible:
+            assert lem.feasible
+            assert lem.marginal_mbps >= flat.marginal_mbps - 1e-6
+
+    # Lemur itself holds on longest.
+    assert sweep.feasibility_fraction("Lemur") >= 0.75

@@ -1,0 +1,32 @@
+"""E7: Figure 3a — Lemur across one vs two 8-core servers.
+
+Reproduction targets (§5.3): at δ = 0.5 the single server achieves roughly
+half (or less) of the 2-server aggregate; at δ = 1.5 the single-server
+case is infeasible (Chain 3's Dedup->ACL->Limiter needs Dedup replicated
+plus a dedicated Limiter core) while two servers remain feasible.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import figure3a_multiserver
+
+DELTAS = (0.5, 1.0, 1.5)
+
+
+def test_figure3a(benchmark, profiles):
+    result = run_once(
+        benchmark,
+        lambda: figure3a_multiserver(deltas=DELTAS, profiles=profiles),
+    )
+    record_result("fig3a", result.print_table())
+
+    one_low = result.aggregate(1, 0.5)
+    two_low = result.aggregate(2, 0.5)
+    assert one_low is not None and two_low is not None
+    # "the single server gets less than half the aggregate throughput of
+    # the 2-server experiment" — we allow a small tolerance on 'half'.
+    assert one_low <= 0.6 * two_low
+
+    # at δ=1.5: one server infeasible, two servers feasible
+    assert result.aggregate(1, 1.5) is None
+    assert result.aggregate(2, 1.5) is not None

@@ -1,0 +1,47 @@
+"""E10: Table 4 — profiled NF costs over 500 runs, NUMA same vs diff.
+
+Reproduction targets: the published mean/min/max cycle costs for Encrypt,
+Dedup, ACL(1024) and NAT(12000) are reproduced within a few percent, the
+NUMA-different placement is consistently costlier, and the worst case
+stays within 6.5% of the mean (the stability that §5.2 credits for the
+accuracy of throughput predictions).
+"""
+
+import pytest
+
+from conftest import record_result, run_once
+
+from repro.experiments.figures import table4_rows
+from repro.profiles.profiler import Profiler
+
+#: Table 4, verbatim: (nf, params, numa) -> (mean, min, max)
+PAPER_ROWS = {
+    ("Encrypt", "same"): (8593, 8405, 8777),
+    ("Encrypt", "diff"): (8950, 8755, 9123),
+    ("Dedup", "same"): (30182, 29202, 30867),
+    ("Dedup", "diff"): (31188, 29969, 33185),
+    ("ACL", "same"): (3841, 3801, 4008),
+    ("ACL", "diff"): (4020, 3943, 4091),
+    ("NAT", "same"): (463, 459, 477),
+    ("NAT", "diff"): (496, 491, 507),
+}
+
+
+def test_table4(benchmark, profiles):
+    rows = run_once(benchmark, lambda: Profiler().table4(runs=500))
+    record_result("table4", "\n".join(table4_rows(runs=500)))
+
+    for stats in rows:
+        paper_mean, paper_min, paper_max = PAPER_ROWS[
+            (stats.nf_class, stats.numa)
+        ]
+        assert stats.mean == pytest.approx(paper_mean, rel=0.05)
+        assert stats.max <= paper_max * 1.01
+        assert stats.min >= paper_min * 0.90
+        # stability: worst case within 6.5% of the average
+        assert stats.worst_case_over_mean < 0.065
+
+    # NUMA-diff rows are costlier than their NUMA-same siblings.
+    by_key = {(s.nf_class, s.numa): s for s in rows}
+    for nf in ("Encrypt", "Dedup", "ACL", "NAT"):
+        assert by_key[(nf, "diff")].mean > by_key[(nf, "same")].mean

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Enterprise border gateway: branching chains and generated artifacts.
+
+Shows the DSL's conditional branching (the paper's
+``ACL -> [{'vlan_tag': 0x1, Encryption}] -> Forward`` example), SmartNIC
+offload of ChaCha, and dumps every artifact family the meta-compiler
+emits: the unified P4 program, standalone extended-P4 NF sources, the BESS
+script, and the eBPF dispatcher C.
+
+Run: ``python examples/enterprise_gateway.py``
+"""
+
+from repro import (
+    MetaCompiler,
+    Placer,
+    SLO,
+    chains_from_spec,
+    default_testbed,
+    gbps,
+)
+
+SPEC = """
+$ACL_RULES = [{'src_ip': '192.0.2.0/24', 'drop': True}, \
+              {'dst_ip': '10.0.0.0/8', 'drop': False}]
+acl0 = ACL(rules=$ACL_RULES)
+
+# Traffic tagged VLAN 0x1 (site-to-site) gets encrypted; the rest passes.
+chain border: acl0 -> [{'vlan_tag': 0x1, Encrypt}] -> IPv4Fwd
+
+# Bulk file sync offloads ChaCha to the SmartNIC when available.
+chain filesync: BPF -> FastEncrypt -> IPv4Fwd
+"""
+
+
+def main() -> None:
+    topology = default_testbed(with_smartnic=True)
+    placer = Placer(topology=topology)
+    chains = chains_from_spec(SPEC, slos=[
+        SLO(t_min=gbps(1), t_max=gbps(40)),
+        SLO(t_min=gbps(5), t_max=gbps(40)),
+    ])
+
+    placement = placer.place(chains)
+    print(placement.describe())
+    print()
+
+    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
+    artifacts = meta.compile_placement(placement)
+
+    print("== service paths (NSH SPI/SI assignment) ==")
+    for path in artifacts.service_paths:
+        hops = " | ".join(
+            f"{hop.device}[si={hop.entry_si}]" for hop in path.hops
+        )
+        print(f"  spi={path.spi} ({path.chain_name}, "
+              f"{path.fraction:.0%} of traffic): {hops}")
+    print()
+
+    if artifacts.p4:
+        print(f"== unified P4 program: {artifacts.p4.total_lines} lines, "
+              f"{artifacts.p4.compile_result.stage_count} stages ==")
+        print("\n".join(artifacts.p4.program_text.splitlines()[:12]))
+        print("    ...")
+        some_nf = next(iter(artifacts.p4.nf_sources))
+        print(f"== standalone extended-P4 source for {some_nf} ==")
+        print(artifacts.p4.nf_sources[some_nf])
+
+    for server, script in artifacts.bess.items():
+        print(f"== generated BESS script for {server} ==")
+        print(script.render())
+
+    for nic, (program, _specs) in artifacts.ebpf.items():
+        print(f"== eBPF program for {nic}: {program.instructions} "
+              f"instructions, {program.stack_bytes} B stack, "
+              f"{program.unrolled_loops} loops unrolled ==")
+        print("\n".join(program.sections[0].source.splitlines()[:10]))
+
+    print()
+    print(artifacts.stats.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Extensions tour: fair burst sharing, Metron steering, failover reserve.
+
+Three future-work items from the paper, implemented and demonstrated:
+
+1. **Max-min fair rates** (§2 footnote 2). Under NIC contention the
+   paper's marginal objective is indifferent to *which* chain gets the
+   burst headroom; the fair objective equalizes marginal rates.
+2. **Metron-style core steering** (§3.2/§4.2). The ToR tags packets to
+   cores, freeing the demux core and its per-packet LB cycles.
+3. **Proactive failover reserve** (§7). Hold cores back so a SmartNIC
+   failure can be absorbed without SLO loss.
+
+Run: ``python examples/fair_sharing_and_failover.py``
+"""
+
+from repro import Placer, PlacerConfig, SLO, chains_from_spec, gbps
+from repro.core.lp import solve_rates
+from repro.hw.topology import default_testbed
+
+SPEC = """
+# Two bursty customers share the 40G server link; per-flow stats only.
+chain gold:   ACL -> Monitor -> IPv4Fwd
+chain silver: BPF -> Monitor -> IPv4Fwd
+"""
+
+SLOS = [
+    SLO(t_min=gbps(4), t_max=gbps(100)),
+    SLO(t_min=gbps(1), t_max=gbps(100)),
+]
+
+
+def show_rates(label, rates, chains):
+    print(f"  {label}:")
+    for chain in chains:
+        rate = rates[chain.name]
+        marginal = rate - chain.slo.t_min
+        print(f"    {chain.name:<8} rate {rate / 1000:6.2f} G "
+              f"(marginal {marginal / 1000:6.2f} G)")
+
+
+def main() -> None:
+    chains = chains_from_spec(SPEC, slos=SLOS)
+    placer = Placer()
+    placement = placer.place(chains)
+    print("== burst-headroom policy under NIC contention ==")
+    marginal = solve_rates(placement.chains, placer.topology,
+                           objective="marginal")
+    fair = solve_rates(placement.chains, placer.topology,
+                       objective="max_min")
+    show_rates("revenue-maximal (paper's objective)", marginal.rates, chains)
+    show_rates("max-min fair (footnote 2)", fair.rates, chains)
+    print()
+
+    print("== Metron-style core steering (CPU-bound canonical chains) ==")
+    from repro.experiments.chains import chains_with_delta
+
+    canon = chains_with_delta([1, 2, 3], delta=1.0)
+    plain = Placer(topology=default_testbed()).place(canon)
+    metron = Placer(topology=default_testbed(metron_steering=True)) \
+        .place(canon)
+    print(f"  demux-core rack : marginal {plain.objective_mbps / 1000:.2f} G")
+    print(f"  metron steering : marginal {metron.objective_mbps / 1000:.2f} G"
+          f"  (demux core freed, LB cycles gone)")
+    print()
+
+    print("== proactive failover reserve (§7) ==")
+    nic_topo = default_testbed(with_smartnic=True)
+    nic_placer = Placer(topology=nic_topo)
+    crypto = chains_from_spec(
+        "chain sync: BPF -> FastEncrypt -> IPv4Fwd",
+        slos=[SLO(t_min=gbps(2), t_max=gbps(39))],
+    )
+    reserved = nic_placer.place_with_reserve(crypto, reserve_cores=4)
+    used = reserved.total_cores().get("server0", 0)
+    print(f"  with 4 cores reserved: feasible={reserved.feasible}; "
+          f"ChaCha rides the SmartNIC, server cores used: {used} "
+          f"(reserve untouched)")
+    degraded = nic_placer.replan_after_failure(crypto, "agilio0")
+    print(f"  after SmartNIC failure: feasible={degraded.feasible}, "
+          f"ChaCha falls back to "
+          f"{degraded.total_cores().get('server0', 0)} server cores, "
+          f"rate {degraded.rates['sync'] / 1000:.2f} G "
+          f"(SLO t_min {crypto[0].slo.t_min / 1000:.1f} G still met)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim: lets `python setup.py develop` work in offline
+environments whose pip lacks the `wheel` package for PEP 517 editable
+installs. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Lemur reproduction: SLO-meeting cross-platform NFV (CoNEXT 2020).
+
+Quickstart::
+
+    from repro import Placer, chains_from_spec, SLO, gbps
+
+    chains = chains_from_spec(
+        "chain c1: ACL -> Encrypt -> IPv4Fwd",
+        slos=[SLO(t_min=gbps(1), t_max=gbps(10))],
+    )
+    placement = Placer().place(chains)
+    print(placement.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.chain.graph import NFChain, NFGraph, chains_from_spec
+from repro.chain.parser import parse_spec
+from repro.chain.slo import SLO, SLOUseCase
+from repro.chain.vocabulary import Vocabulary, default_vocabulary
+from repro.core.placement import Placement
+from repro.core.placer import Placer, PlacerConfig, available_strategies
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology, default_testbed, multi_server_testbed
+from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.sim.testbed import TestbedSimulator
+from repro.units import gbps, mbps, us
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NFChain",
+    "NFGraph",
+    "chains_from_spec",
+    "parse_spec",
+    "SLO",
+    "SLOUseCase",
+    "Vocabulary",
+    "default_vocabulary",
+    "Placement",
+    "Placer",
+    "PlacerConfig",
+    "available_strategies",
+    "Platform",
+    "Topology",
+    "default_testbed",
+    "multi_server_testbed",
+    "MetaCompiler",
+    "CompiledArtifacts",
+    "ProfileDatabase",
+    "default_profiles",
+    "TestbedSimulator",
+    "gbps",
+    "mbps",
+    "us",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""BESS-like software dataplane simulator.
+
+Stands in for the paper's DPDK/BESS servers. Two layers:
+
+* **functional** — every NF is a real packet-processing module
+  (:mod:`repro.bess.modules`): ACLs drop, NATs rewrite, Dedup eliminates
+  redundancy, so generated routing can be validated end-to-end on packets;
+* **performance** — per-packet cycle accounting plus a hierarchical
+  per-core scheduler tree (:mod:`repro.bess.scheduler`) feed the
+  cycle-budget throughput simulation (:mod:`repro.bess.perfsim`).
+"""
+
+from repro.bess.module import Module, Pipeline, PacketBatch
+from repro.bess.modules import make_nf_module, MODULE_CLASSES
+from repro.bess.nsh_modules import (
+    NSHDecap,
+    NSHEncap,
+    PortInc,
+    PortOut,
+    SubgroupDemux,
+)
+from repro.bess.scheduler import (
+    LeafTask,
+    RateLimitNode,
+    RoundRobinNode,
+    SchedulerTree,
+)
+from repro.bess.perfsim import ServerPerfModel, SubgroupLoad
+from repro.bess.runner import ServerRunner, SubgroupReport
+
+__all__ = [
+    "Module",
+    "Pipeline",
+    "PacketBatch",
+    "make_nf_module",
+    "MODULE_CLASSES",
+    "PortInc",
+    "PortOut",
+    "NSHDecap",
+    "NSHEncap",
+    "SubgroupDemux",
+    "SchedulerTree",
+    "RoundRobinNode",
+    "RateLimitNode",
+    "LeafTask",
+    "ServerPerfModel",
+    "SubgroupLoad",
+    "ServerRunner",
+    "SubgroupReport",
+]

@@ -1,0 +1,189 @@
+"""Module framework: the BESS dataflow abstraction.
+
+Modules process packets and emit them on output gates; gates connect to
+downstream modules' input gates. A :class:`Pipeline` owns the module graph
+and pushes packets through it (run-to-completion, as BESS does within one
+core's schedule slot).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import DataplaneError
+from repro.net.packet import Packet
+from repro.profiles.defaults import NFProfile, ProfileDatabase
+
+
+@dataclass
+class PacketBatch:
+    """A batch of packets (BESS processes packets in batches)."""
+
+    packets: List[Packet] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self):
+        return iter(self.packets)
+
+
+class Module:
+    """Base dataflow module.
+
+    Subclasses implement :meth:`process`, returning ``(ogate, packet)``
+    pairs (an empty list drops the packet). Cycle accounting happens in
+    :meth:`account`: each processed packet is charged the module's profiled
+    cost, sampled within the profile's variance band so run-to-run wobble
+    matches Table 4.
+    """
+
+    nf_class: Optional[str] = None
+
+    def __init__(
+        self,
+        name: str,
+        params: Optional[dict] = None,
+        database: Optional[ProfileDatabase] = None,
+        numa_same: bool = False,
+        seed: object = 0,
+    ):
+        self.name = name
+        self.params = params or {}
+        self.database = database
+        self.numa_same = numa_same
+        self._rng = random.Random(f"{seed}/{name}")
+        self._ogates: Dict[int, Tuple["Module", int]] = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.dropped_packets = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, downstream: "Module", ogate: int = 0, igate: int = 0
+                ) -> "Module":
+        """Wire an output gate to a downstream module; returns downstream
+        so calls chain like a BESS script (a -> b -> c)."""
+        if ogate in self._ogates:
+            raise DataplaneError(
+                f"{self.name}: output gate {ogate} already connected"
+            )
+        self._ogates[ogate] = (downstream, igate)
+        return downstream
+
+    def downstream(self, ogate: int = 0) -> Optional["Module"]:
+        entry = self._ogates.get(ogate)
+        return entry[0] if entry else None
+
+    # -- processing -----------------------------------------------------------
+
+    def process(self, packet: Packet) -> List[Tuple[int, Packet]]:
+        """Transform one packet; default is a pass-through on gate 0."""
+        return [(0, packet)]
+
+    def account(self, packet: Packet, scale: float = 1.0) -> None:
+        """Charge this module's per-packet cycle cost to the packet."""
+        if self.database is None or self.nf_class is None:
+            return
+        profile = self.database.get(self.nf_class)
+        worst = profile.cost(self.params, numa_same=self.numa_same)
+        mean = worst / (1.0 + profile.variance)
+        sampled = self._rng.uniform(mean * (1 - profile.variance), worst)
+        packet.metadata.cycles_consumed += int(sampled * scale)
+
+    def receive(self, packet: Packet) -> List[Tuple[int, Packet]]:
+        """Bookkeeping wrapper around :meth:`process`."""
+        self.rx_packets += 1
+        self.account(packet)
+        outputs = self.process(packet)
+        live = [
+            (gate, pkt) for gate, pkt in outputs if not pkt.metadata.drop_flag
+        ]
+        self.dropped_packets += len(outputs) - len(live)
+        if not outputs:
+            self.dropped_packets += 1
+        self.tx_packets += len(live)
+        return live
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Pipeline:
+    """A module graph with named entry points.
+
+    ``push()`` run-to-completion-processes a packet from an entry module
+    and returns the packets that exited the graph (reached a module whose
+    output gate is unconnected), along with the exit module.
+    """
+
+    def __init__(self, name: str = "pipeline"):
+        self.name = name
+        self.modules: Dict[str, Module] = {}
+        self.entries: Dict[str, Module] = {}
+
+    def add(self, module: Module, entry: bool = False) -> Module:
+        if module.name in self.modules:
+            raise DataplaneError(f"duplicate module name {module.name!r}")
+        self.modules[module.name] = module
+        if entry:
+            self.entries[module.name] = module
+        return module
+
+    def module(self, name: str) -> Module:
+        module = self.modules.get(name)
+        if module is None:
+            raise DataplaneError(f"no module named {name!r} in {self.name}")
+        return module
+
+    def push(
+        self, packet: Packet, entry: Optional[str] = None
+    ) -> List[Tuple[Module, Packet]]:
+        """Process a packet to completion; returns (exit module, packet)."""
+        if entry is None:
+            if len(self.entries) != 1:
+                raise DataplaneError(
+                    f"{self.name}: specify an entry (have "
+                    f"{sorted(self.entries)})"
+                )
+            start = next(iter(self.entries.values()))
+        else:
+            start = self.module(entry)
+        exits: List[Tuple[Module, Packet]] = []
+        work: List[Tuple[Module, Packet]] = [(start, packet)]
+        hops = 0
+        max_hops = 10_000
+        while work:
+            module, pkt = work.pop()
+            hops += 1
+            if hops > max_hops:
+                raise DataplaneError(
+                    f"{self.name}: packet exceeded {max_hops} hops (loop?)"
+                )
+            for gate, out in module.receive(pkt):
+                nxt = module.downstream(gate)
+                if nxt is None:
+                    exits.append((module, out))
+                else:
+                    work.append((nxt, out))
+        return exits
+
+    def push_batch(
+        self, batch: Iterable[Packet], entry: Optional[str] = None
+    ) -> List[Tuple[Module, Packet]]:
+        out: List[Tuple[Module, Packet]] = []
+        for packet in batch:
+            out.extend(self.push(packet, entry))
+        return out
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            name: {
+                "rx": m.rx_packets,
+                "tx": m.tx_packets,
+                "dropped": m.dropped_packets,
+            }
+            for name, m in self.modules.items()
+        }

@@ -1,0 +1,80 @@
+"""Functional NF module library (the C++ BESS modules of Table 3).
+
+Every NF actually transforms packets, so tests and the testbed simulator
+can validate generated routing end-to-end. Modules are grouped by family:
+filtering (ACL/BPF/UrlFilter), crypto (Encrypt/Decrypt/FastEncrypt),
+rewrite (Tunnel/Detunnel/IPv4Fwd/NAT/LB), and stateful accounting
+(Monitor/Limiter/Dedup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.bess.module import Module
+from repro.bess.modules.filtering import ACLModule, BPFModule, UrlFilterModule
+from repro.bess.modules.crypto import (
+    DecryptModule,
+    EncryptModule,
+    FastEncryptModule,
+)
+from repro.bess.modules.rewrite import (
+    DetunnelModule,
+    IPv4FwdModule,
+    LBModule,
+    NATModule,
+    TunnelModule,
+)
+from repro.bess.modules.state import (
+    DedupModule,
+    LimiterModule,
+    MonitorModule,
+)
+from repro.exceptions import DataplaneError
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+
+MODULE_CLASSES: Dict[str, Type[Module]] = {
+    "ACL": ACLModule,
+    "BPF": BPFModule,
+    "UrlFilter": UrlFilterModule,
+    "Encrypt": EncryptModule,
+    "Decrypt": DecryptModule,
+    "FastEncrypt": FastEncryptModule,
+    "Tunnel": TunnelModule,
+    "Detunnel": DetunnelModule,
+    "IPv4Fwd": IPv4FwdModule,
+    "NAT": NATModule,
+    "LB": LBModule,
+    "Monitor": MonitorModule,
+    "Limiter": LimiterModule,
+    "Dedup": DedupModule,
+}
+
+
+def make_nf_module(
+    nf_class: str,
+    params: Optional[dict] = None,
+    name: Optional[str] = None,
+    database: Optional[ProfileDatabase] = None,
+    numa_same: bool = False,
+    seed: object = 0,
+) -> Module:
+    """Instantiate a functional NF module by Table 3 class name."""
+    cls = MODULE_CLASSES.get(nf_class)
+    if cls is None:
+        raise DataplaneError(
+            f"no software implementation for NF {nf_class!r} "
+            f"(library: {sorted(MODULE_CLASSES)})"
+        )
+    return cls(
+        name=name or nf_class.lower(),
+        params=params,
+        database=database or default_profiles(),
+        numa_same=numa_same,
+        seed=seed,
+    )
+
+
+__all__ = ["MODULE_CLASSES", "make_nf_module"] + [
+    cls.__name__ for cls in MODULE_CLASSES.values()
+]

@@ -1,0 +1,92 @@
+"""Payload-crypto NFs: Encrypt/Decrypt (AES-CBC class) and FastEncrypt
+(ChaCha class).
+
+Real AES is unnecessary for the reproduction (and its Python cost would be
+wildly unrepresentative); what the evaluation needs is an *invertible,
+key-dependent payload transformation* whose cycle cost comes from the
+profile database. We use a SHA-256-based counter-mode keystream: correct
+round-tripping (Encrypt→Decrypt == identity) is testable, payload bytes
+genuinely change, and packet length is preserved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.bess.module import Module
+from repro.net.packet import Packet
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Deterministic counter-mode keystream from SHA-256."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _packet_nonce(packet: Packet) -> bytes:
+    """Per-flow nonce derived from the 5-tuple (stable across enc/dec)."""
+    five = packet.five_tuple()
+    return repr(five).encode()
+
+
+class _XCryptBase(Module):
+    """Shared XOR-keystream machinery."""
+
+    default_key = b"lemur-aes-cbc-128"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        key = self.params.get("key", self.default_key)
+        self.key = key.encode() if isinstance(key, str) else bytes(key)
+
+    def _xcrypt(self, packet: Packet) -> None:
+        payload = packet.payload
+        if not payload:
+            return
+        stream = _keystream(self.key, _packet_nonce(packet), len(payload))
+        packet.payload = bytes(a ^ b for a, b in zip(payload, stream))
+
+
+class EncryptModule(_XCryptBase):
+    """128-bit AES-CBC stand-in (Table 3)."""
+
+    nf_class = "Encrypt"
+
+    def process(self, packet: Packet):
+        self._xcrypt(packet)
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class DecryptModule(_XCryptBase):
+    """Inverse of :class:`EncryptModule` (same keystream XOR)."""
+
+    nf_class = "Decrypt"
+
+    def process(self, packet: Packet):
+        self._xcrypt(packet)
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class FastEncryptModule(_XCryptBase):
+    """128-bit ChaCha stand-in (Table 3 "Fast Enc.").
+
+    Functionally identical keystream XOR under a different default key; its
+    profile (and the SmartNIC offload, §5.3) is what distinguishes it.
+    """
+
+    nf_class = "FastEncrypt"
+    default_key = b"lemur-chacha-20!"
+
+    def process(self, packet: Packet):
+        self._xcrypt(packet)
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]

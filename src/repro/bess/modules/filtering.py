@@ -1,0 +1,158 @@
+"""Filtering NFs: ACL, BPF match, URL filter."""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import List, Optional, Tuple
+
+from repro.bess.module import Module
+from repro.net.packet import Packet
+
+
+class ACLModule(Module):
+    """ACL on src/dst fields (Table 3).
+
+    ``rules`` is an ordered list of dicts with optional ``src_ip``/
+    ``dst_ip`` prefixes, ``src_port``/``dst_port``/``proto`` exact values,
+    and a ``drop`` verdict. First match wins; the default action is
+    configurable via ``default_drop`` (False, i.e. permit, by default —
+    matching the paper's example rule which *permits* 10.0.0.0/8).
+    """
+
+    nf_class = "ACL"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        raw_rules = self.params.get("rules", [])
+        if isinstance(raw_rules, int):
+            raw_rules = []  # size-only spec (placement experiments)
+        self.default_drop = bool(self.params.get("default_drop", False))
+        self._rules: List[Tuple[Optional[ipaddress.IPv4Network],
+                                Optional[ipaddress.IPv4Network],
+                                Optional[int], Optional[int], Optional[int],
+                                bool]] = []
+        for rule in raw_rules:
+            self._rules.append((
+                ipaddress.ip_network(rule["src_ip"], strict=False)
+                if rule.get("src_ip") else None,
+                ipaddress.ip_network(rule["dst_ip"], strict=False)
+                if rule.get("dst_ip") else None,
+                rule.get("src_port"),
+                rule.get("dst_port"),
+                rule.get("proto"),
+                bool(rule.get("drop", False)),
+            ))
+
+    def process(self, packet: Packet):
+        five = packet.five_tuple()
+        if five is None:
+            packet.metadata.drop_flag = True
+            return []
+        src, dst, sport, dport, proto = five
+        verdict = self.default_drop
+        for s_net, d_net, s_port, d_port, r_proto, drop in self._rules:
+            if s_net and ipaddress.ip_address(src) not in s_net:
+                continue
+            if d_net and ipaddress.ip_address(dst) not in d_net:
+                continue
+            if s_port is not None and sport != s_port:
+                continue
+            if d_port is not None and dport != d_port:
+                continue
+            if r_proto is not None and proto != r_proto:
+                continue
+            verdict = drop
+            break
+        if verdict:
+            packet.metadata.drop_flag = True
+            return []
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class BPFModule(Module):
+    """Flexible BPF-style classifier (Table 3 "Match").
+
+    ``filters`` is a list of condition dicts (same fields as ACL rules plus
+    ``vlan_tag``); the index of the first matching filter becomes the
+    packet's traffic class (stored in metadata and used by generated
+    branch-steering code). Unmatched packets get class -1 and still pass.
+    """
+
+    nf_class = "BPF"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        filters = self.params.get("filters", [])
+        if isinstance(filters, int):
+            filters = []
+        self._filters = list(filters)
+
+    def _matches(self, packet: Packet, cond: dict) -> bool:
+        five = packet.five_tuple()
+        if "vlan_tag" in cond:
+            vlan = packet.vlan
+            if vlan is None or vlan.vid != cond["vlan_tag"]:
+                return False
+        if five is None:
+            return not any(
+                k in cond for k in
+                ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+            )
+        src, dst, sport, dport, proto = five
+        if "src_ip" in cond:
+            if ipaddress.ip_address(src) not in ipaddress.ip_network(
+                cond["src_ip"], strict=False
+            ):
+                return False
+        if "dst_ip" in cond:
+            if ipaddress.ip_address(dst) not in ipaddress.ip_network(
+                cond["dst_ip"], strict=False
+            ):
+                return False
+        if cond.get("src_port") is not None and sport != cond["src_port"]:
+            return False
+        if cond.get("dst_port") is not None and dport != cond["dst_port"]:
+            return False
+        if cond.get("proto") is not None and proto != cond["proto"]:
+            return False
+        return True
+
+    def process(self, packet: Packet):
+        traffic_class = -1
+        for index, cond in enumerate(self._filters):
+            if self._matches(packet, cond):
+                traffic_class = index
+                break
+        packet.metadata.fields["traffic_class"] = traffic_class
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class UrlFilterModule(Module):
+    """HTML/URL payload filter (Table 3).
+
+    Drops packets whose payload contains any blocked pattern. Patterns
+    come from ``params['patterns']`` (strings or bytes); default blocks
+    the literal ``"blocked.example"``.
+    """
+
+    nf_class = "UrlFilter"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        patterns = self.params.get("patterns", ["blocked.example"])
+        self._patterns = [
+            p.encode() if isinstance(p, str) else bytes(p) for p in patterns
+        ]
+        self.matches = 0
+
+    def process(self, packet: Packet):
+        payload = packet.payload
+        for pattern in self._patterns:
+            if pattern and pattern in payload:
+                self.matches += 1
+                packet.metadata.drop_flag = True
+                return []
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]

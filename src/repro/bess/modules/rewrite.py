@@ -1,0 +1,185 @@
+"""Header-rewrite NFs: Tunnel, Detunnel, IPv4Fwd, NAT, LB."""
+
+from __future__ import annotations
+
+import ipaddress
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.bess.module import Module
+from repro.exceptions import DataplaneError
+from repro.net.packet import Packet
+
+
+class TunnelModule(Module):
+    """Push a VLAN tag (Table 3). ``vid`` parameter, default 100."""
+
+    nf_class = "Tunnel"
+
+    def process(self, packet: Packet):
+        vid = int(self.params.get("vid", 100))
+        packet.push_vlan(vid)
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class DetunnelModule(Module):
+    """Pop the VLAN tag (no-op when untagged)."""
+
+    nf_class = "Detunnel"
+
+    def process(self, packet: Packet):
+        packet.pop_vlan()
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+
+class IPv4FwdModule(Module):
+    """Longest-prefix-match IPv4 forwarding.
+
+    ``routes``: list of ``{'prefix': '10.0.0.0/8', 'port': 3, 'dst_mac':
+    ...}``. Sets the egress port in metadata and rewrites the destination
+    MAC. Packets with no route are dropped (no default route unless one is
+    configured as 0.0.0.0/0).
+    """
+
+    nf_class = "IPv4Fwd"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        routes = self.params.get("routes", [
+            {"prefix": "0.0.0.0/0", "port": 1},
+        ])
+        if isinstance(routes, int):
+            routes = [{"prefix": "0.0.0.0/0", "port": 1}]
+        parsed = []
+        for route in routes:
+            network = ipaddress.ip_network(route["prefix"], strict=False)
+            parsed.append(
+                (network, int(route["port"]), route.get("dst_mac"))
+            )
+        # longest prefix first
+        parsed.sort(key=lambda item: -item[0].prefixlen)
+        self._routes = parsed
+
+    def process(self, packet: Packet):
+        ipv4 = packet.ipv4
+        if ipv4 is None:
+            packet.metadata.drop_flag = True
+            return []
+        address = ipaddress.ip_address(ipv4.dst)
+        for network, port, dst_mac in self._routes:
+            if address in network:
+                packet.metadata.egress_port = port
+                if dst_mac and packet.eth is not None:
+                    packet.eth.dst = dst_mac
+                    packet.commit()
+                packet.metadata.processed_by.append(self.name)
+                return [(0, packet)]
+        packet.metadata.drop_flag = True
+        return []
+
+
+class NATModule(Module):
+    """Carrier-grade NAT (Table 3) — stateful, non-replicable.
+
+    Source NAT: maps (src_ip, src_port, proto) to (nat_ip, allocated
+    port). The port pool wraps within ``entries`` allocations; exhaustion
+    drops new flows (carrier-grade behaviour under SYN floods).
+    """
+
+    nf_class = "NAT"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.nat_ip = str(self.params.get("nat_ip", "192.0.2.1"))
+        self.max_entries = int(self.params.get("entries", 12000))
+        self._table: Dict[Tuple[str, int, int], int] = {}
+        self._reverse: Dict[int, Tuple[str, int, int]] = {}
+        self._next_port = 1024
+
+    def process(self, packet: Packet):
+        five = packet.five_tuple()
+        ipv4 = packet.ipv4
+        l4 = packet.tcp or packet.udp
+        if five is None or ipv4 is None or l4 is None:
+            packet.metadata.drop_flag = True
+            return []
+        key = (ipv4.src, l4.src_port, ipv4.proto)
+        port = self._table.get(key)
+        if port is None:
+            if len(self._table) >= self.max_entries:
+                self.dropped_packets += 1
+                packet.metadata.drop_flag = True
+                return []
+            port = self._allocate_port()
+            if port is None:
+                packet.metadata.drop_flag = True
+                return []
+            self._table[key] = port
+            self._reverse[port] = key
+        ipv4.src = self.nat_ip
+        l4.src_port = port
+        packet.commit()
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+    def _allocate_port(self) -> Optional[int]:
+        for _ in range(65535 - 1024):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port > 65535:
+                self._next_port = 1024
+            if port not in self._reverse:
+                return port
+        return None
+
+    def translate_back(self, nat_port: int) -> Optional[Tuple[str, int, int]]:
+        """Reverse lookup for return traffic (used by tests)."""
+        return self._reverse.get(nat_port)
+
+    @property
+    def active_entries(self) -> int:
+        return len(self._table)
+
+
+class LBModule(Module):
+    """Layer-4 load balancer (Table 3) — stateful flow-to-backend pinning.
+
+    ``backends``: list of destination IPs. A flow hashes to a backend on
+    first sight and sticks to it (consistent per-flow mapping), mirroring
+    an L4 VIP load balancer.
+    """
+
+    nf_class = "LB"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        backends = self.params.get("backends", ["10.10.0.1", "10.10.0.2"])
+        if isinstance(backends, int):
+            backends = [f"10.10.0.{i + 1}" for i in range(backends)]
+        if not backends:
+            raise DataplaneError(f"{self.name}: LB needs at least one backend")
+        self.backends: List[str] = [str(b) for b in backends]
+        self._flow_map: Dict[tuple, str] = {}
+
+    def process(self, packet: Packet):
+        five = packet.five_tuple()
+        ipv4 = packet.ipv4
+        if five is None or ipv4 is None:
+            packet.metadata.drop_flag = True
+            return []
+        backend = self._flow_map.get(five)
+        if backend is None:
+            # stable across processes (unlike built-in str hashing)
+            digest = zlib.crc32(repr(five).encode())
+            backend = self.backends[digest % len(self.backends)]
+            self._flow_map[five] = backend
+        ipv4.dst = backend
+        packet.commit()
+        packet.metadata.processed_by.append(self.name)
+        return [(0, packet)]
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flow_map)

@@ -1,0 +1,179 @@
+"""Hierarchical per-core scheduler tree (§A.1.3).
+
+BESS "separates the module graph from the scheduler tree, which is a
+per-core tree of logical (interior nodes) or physical (leaf nodes)
+schedulable entities akin to Linux tc". Interior nodes implement policies
+(round-robin, rate limiting); leaves are run-to-completion subgroup tasks.
+The meta-compiler's code generator builds one tree per allocated core and
+uses rate-limit nodes to enforce t_max (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import DataplaneError
+
+
+@dataclass
+class LeafTask:
+    """A schedulable leaf: one subgroup instance's work queue.
+
+    ``work_fn`` processes one batch and returns the cycles it consumed
+    (0 = no pending work).
+    """
+
+    name: str
+    work_fn: Callable[[], int]
+    cycles_used: int = 0
+    runs: int = 0
+
+    def run(self) -> int:
+        cycles = self.work_fn()
+        if cycles > 0:
+            self.cycles_used += cycles
+            self.runs += 1
+        return cycles
+
+
+class SchedulerNode:
+    """Base interior node."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.children: List[object] = []
+
+    def add(self, child) -> "SchedulerNode":
+        self.children.append(child)
+        return self
+
+    def next_task(self) -> Optional[LeafTask]:
+        raise NotImplementedError
+
+
+class RoundRobinNode(SchedulerNode):
+    """Fair rotation over children (BESS's default root policy)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._cursor = 0
+
+    def next_task(self) -> Optional[LeafTask]:
+        if not self.children:
+            return None
+        for _ in range(len(self.children)):
+            child = self.children[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self.children)
+            task = child if isinstance(child, LeafTask) else child.next_task()
+            if task is not None:
+                return task
+        return None
+
+
+class RateLimitNode(SchedulerNode):
+    """Token-bucket gate over a subtree — enforces t_max (§4.2).
+
+    Tokens are bits; :meth:`advance` refills with simulated time. When the
+    bucket is empty the subtree is skipped that round.
+    """
+
+    def __init__(self, name: str, rate_mbps: float,
+                 burst_bits: float = 8e6):
+        super().__init__(name)
+        if rate_mbps <= 0:
+            raise DataplaneError(f"{name}: rate must be positive")
+        self.rate_mbps = rate_mbps
+        self.burst_bits = burst_bits
+        self._tokens = burst_bits
+        self._inner = RoundRobinNode(f"{name}.rr")
+
+    def add(self, child) -> "RateLimitNode":
+        self._inner.add(child)
+        self.children = self._inner.children
+        return self
+
+    def advance(self, dt_us: float) -> None:
+        self._tokens = min(
+            self.burst_bits, self._tokens + dt_us * self.rate_mbps
+        )
+
+    def consume(self, bits: float) -> bool:
+        if self._tokens >= bits:
+            self._tokens -= bits
+            return True
+        return False
+
+    def debit(self, bits: float) -> None:
+        """Post-hoc charge for work already done (batch granularity means
+        the bucket may briefly go negative; refills pay the debt)."""
+        self._tokens -= bits
+
+    def next_task(self) -> Optional[LeafTask]:
+        if self._tokens <= 0:
+            return None
+        return self._inner.next_task()
+
+
+@dataclass
+class CoreSchedule:
+    """One core's tree + cycle budget accounting."""
+
+    core_id: int
+    root: SchedulerNode
+    freq_hz: float = 1.7e9
+    cycles_spent: int = 0
+
+    def run_quantum(self, max_cycles: int) -> int:
+        """Run tasks until the cycle budget for this quantum is exhausted
+        or no task has pending work. Returns cycles actually spent."""
+        spent = 0
+        idle_rounds = 0
+        while spent < max_cycles and idle_rounds < 2:
+            task = self.root.next_task()
+            if task is None:
+                break
+            used = task.run()
+            if used == 0:
+                idle_rounds += 1
+                continue
+            idle_rounds = 0
+            spent += used
+        self.cycles_spent += spent
+        return spent
+
+
+class SchedulerTree:
+    """All cores of one server: core id -> schedule."""
+
+    def __init__(self, freq_hz: float = 1.7e9):
+        self.freq_hz = freq_hz
+        self.cores: Dict[int, CoreSchedule] = {}
+
+    def core(self, core_id: int) -> CoreSchedule:
+        if core_id not in self.cores:
+            self.cores[core_id] = CoreSchedule(
+                core_id=core_id,
+                root=RoundRobinNode(f"core{core_id}.root"),
+                freq_hz=self.freq_hz,
+            )
+        return self.cores[core_id]
+
+    def assign(self, core_id: int, leaf: LeafTask,
+               rate_limit_mbps: Optional[float] = None) -> None:
+        """Attach a subgroup task to a core, optionally under a limiter."""
+        core = self.core(core_id)
+        if rate_limit_mbps is not None:
+            limiter = RateLimitNode(f"{leaf.name}.limit", rate_limit_mbps)
+            limiter.add(leaf)
+            core.root.add(limiter)
+        else:
+            core.root.add(leaf)
+
+    def utilization(self, duration_s: float) -> Dict[int, float]:
+        """Fraction of each core's cycle budget spent over a window."""
+        budget = self.freq_hz * duration_s
+        return {
+            cid: min(1.0, core.cycles_spent / budget)
+            for cid, core in self.cores.items()
+        }

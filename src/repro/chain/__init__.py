@@ -1,0 +1,57 @@
+"""NF chain specification language and graph IR (§2 of the paper).
+
+Operators describe NF chains in a BESS-inspired dataflow DSL; this package
+lexes/parses that DSL into an AST, validates NF names against the (extensible)
+vocabulary of Table 3, and lowers the AST into the *NF-graph* intermediate
+representation the Placer and meta-compiler consume (§4).
+"""
+
+from repro.chain.vocabulary import (
+    NFInfo,
+    Vocabulary,
+    default_vocabulary,
+)
+from repro.chain.slo import SLO, SLOUseCase, classify_slo
+from repro.chain.ast import (
+    BranchSpec,
+    ChainSpecAST,
+    NFInvocation,
+    PipelineSpec,
+)
+from repro.chain.lexer import Lexer, Token, TokenType
+from repro.chain.parser import parse_spec
+from repro.chain.graph import (
+    LinearChain,
+    NFChain,
+    NFEdge,
+    NFGraph,
+    NFNode,
+    chains_from_spec,
+)
+from repro.chain.render import render_chain, render_graph, render_spec
+
+__all__ = [
+    "NFInfo",
+    "Vocabulary",
+    "default_vocabulary",
+    "SLO",
+    "SLOUseCase",
+    "classify_slo",
+    "ChainSpecAST",
+    "NFInvocation",
+    "BranchSpec",
+    "PipelineSpec",
+    "Lexer",
+    "Token",
+    "TokenType",
+    "parse_spec",
+    "NFGraph",
+    "NFNode",
+    "NFEdge",
+    "LinearChain",
+    "NFChain",
+    "chains_from_spec",
+    "render_chain",
+    "render_graph",
+    "render_spec",
+]

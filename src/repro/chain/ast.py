@@ -1,0 +1,89 @@
+"""AST for the NF-chain specification DSL (§2).
+
+The surface language is BESS-inspired dataflow::
+
+    # instance declarations with parameters (optional)
+    acl0 = ACL(rules=[{'dst_ip': '10.0.0.0/8', 'drop': False}])
+
+    # macro definitions (§A.1.1)
+    $RULES = [{'dst_ip': '10.0.0.0/8', 'drop': False}]
+
+    # pipelines: arrows chain NFs; [...] is a conditional branch block
+    acl0 -> Encrypt -> IPv4Fwd
+    ACL -> [{'vlan_tag': 0x1}: Encrypt, default: Monitor] -> IPv4Fwd
+
+Parsing produces a :class:`ChainSpecAST`; :mod:`repro.chain.graph` lowers it
+into the NF-graph IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class NFInvocation:
+    """One NF use: class name, optional instance name, parameters."""
+
+    nf_class: str
+    instance_name: Optional[str] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def display_name(self) -> str:
+        return self.instance_name or self.nf_class
+
+
+@dataclass
+class BranchArm:
+    """One arm of a branch block: a match condition and a sub-pipeline.
+
+    ``condition`` is a dict of field constraints ({'vlan_tag': 1}); the
+    ``default`` arm has ``condition is None``. ``weight`` is the operator's
+    estimate of the traffic fraction taking this arm (§3.2: operators
+    estimate splits from historical measurements).
+    """
+
+    pipeline: "PipelineSpec"
+    condition: Optional[Dict[str, object]] = None
+    weight: Optional[float] = None
+
+
+@dataclass
+class BranchSpec:
+    """A branch block ``[cond1: pipe1, cond2: pipe2, default: pipe3]``."""
+
+    arms: List[BranchArm] = field(default_factory=list)
+
+
+#: Items a pipeline is made of.
+PipelineItem = Union[NFInvocation, BranchSpec]
+
+
+@dataclass
+class PipelineSpec:
+    """A linear sequence of NFs and branch blocks."""
+
+    items: List[PipelineItem] = field(default_factory=list)
+
+    def nf_names(self) -> List[str]:
+        """Flat list of every NF class used (recursing into branches)."""
+        names: List[str] = []
+        for item in self.items:
+            if isinstance(item, NFInvocation):
+                names.append(item.nf_class)
+            else:
+                for arm in item.arms:
+                    names.extend(arm.pipeline.nf_names())
+        return names
+
+
+@dataclass
+class ChainSpecAST:
+    """A full parsed spec file: instance decls, macros, named pipelines."""
+
+    instances: Dict[str, NFInvocation] = field(default_factory=dict)
+    macros: Dict[str, object] = field(default_factory=dict)
+    pipelines: List[PipelineSpec] = field(default_factory=list)
+    pipeline_names: List[Optional[str]] = field(default_factory=list)

@@ -1,0 +1,203 @@
+"""Hand-written lexer for the chain-spec DSL.
+
+The paper used ANTLR (120 lines of grammar) to parse NF chain specifications;
+this is a dependency-free replacement. Tokens carry line/column for error
+reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import SpecSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    ARROW = "->"
+    ASSIGN = "="
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COLON = ":"
+    COMMA = ","
+    AT = "@"
+    DOLLAR = "$"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+_SINGLE_CHAR = {
+    "=": TokenType.ASSIGN,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+    "@": TokenType.AT,
+    "$": TokenType.DOLLAR,
+}
+
+
+class Lexer:
+    """Tokenizes a chain-spec string.
+
+    Newlines are significant (statement separators) except inside brackets,
+    where they are swallowed — matching the DSL's BESS-script heritage.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self._bracket_depth = 0
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            token = self._next_token()
+            if token is None:
+                continue
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos:self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def _next_token(self) -> Optional[Token]:
+        # skip spaces/tabs and comments; backslash-newline continues a line
+        while True:
+            ch = self._peek()
+            if ch in (" ", "\t", "\r"):
+                self._advance()
+            elif ch == "#":
+                while self._peek() not in ("", "\n"):
+                    self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            else:
+                break
+
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch == "":
+            return Token(TokenType.EOF, None, line, column)
+
+        if ch == "\n":
+            self._advance()
+            if self._bracket_depth > 0:
+                return None  # newlines inside brackets are insignificant
+            return Token(TokenType.NEWLINE, "\n", line, column)
+
+        if ch == "-" and self._peek(1) == ">":
+            self._advance(2)
+            return Token(TokenType.ARROW, "->", line, column)
+
+        if ch in "'\"":
+            return self._string(ch, line, column)
+
+        if ch.isdigit() or (ch == "-" and self._peek(1).isdigit()):
+            return self._number(line, column)
+
+        if ch.isalpha() or ch == "_":
+            return self._ident(line, column)
+
+        if ch in _SINGLE_CHAR:
+            token_type = _SINGLE_CHAR[ch]
+            if token_type in (TokenType.LPAREN, TokenType.LBRACKET, TokenType.LBRACE):
+                self._bracket_depth += 1
+            elif token_type in (TokenType.RPAREN, TokenType.RBRACKET, TokenType.RBRACE):
+                self._bracket_depth = max(0, self._bracket_depth - 1)
+            self._advance()
+            return Token(token_type, ch, line, column)
+
+        raise SpecSyntaxError(f"unexpected character {ch!r}", line, column)
+
+    def _string(self, quote: str, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise SpecSyntaxError("unterminated string literal", line, column)
+            if ch == "\n":
+                raise SpecSyntaxError("newline in string literal", line, column)
+            if ch == "\\":
+                escape = self._peek(1)
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                if escape in mapping:
+                    chars.append(mapping[escape])
+                    self._advance(2)
+                    continue
+                raise SpecSyntaxError(f"bad escape \\{escape}", self.line, self.column)
+            if ch == quote:
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars), line, column)
+            chars.append(self._advance())
+
+    def _number(self, line: int, column: int) -> Token:
+        chars: List[str] = []
+        if self._peek() == "-":
+            chars.append(self._advance())
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            chars.append(self._advance(2))
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                chars.append(self._advance())
+            try:
+                return Token(TokenType.NUMBER, int("".join(chars), 16), line, column)
+            except ValueError:
+                raise SpecSyntaxError(f"bad hex literal {''.join(chars)!r}", line, column)
+        seen_dot = False
+        while self._peek().isdigit() or (self._peek() == "." and not seen_dot):
+            if self._peek() == ".":
+                if not self._peek(1).isdigit():
+                    break  # trailing dot belongs to something else
+                seen_dot = True
+            chars.append(self._advance())
+        text = "".join(chars)
+        value: object = float(text) if seen_dot else int(text)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _ident(self, line: int, column: int) -> Token:
+        chars: List[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        return Token(TokenType.IDENT, "".join(chars), line, column)

@@ -1,0 +1,335 @@
+"""Recursive-descent parser for the chain-spec DSL (§2, §A.1.1).
+
+Grammar (informal)::
+
+    spec        := statement (NEWLINE statement)*
+    statement   := macro_def | instance_def | pipeline
+    macro_def   := '$' IDENT '=' literal
+    instance_def:= IDENT '=' IDENT '(' kwargs? ')'
+    pipeline    := ('chain' IDENT ':')? element ('->' element)*
+    element     := nf | branch
+    nf          := IDENT ('(' kwargs? ')')?
+    branch      := '[' arm (',' arm)* ']'
+    arm         := 'default' ':' armbody
+                 | dict ':' armbody
+                 | dict_with_nf          # paper-style {'vlan_tag':1, Encrypt}
+                 | armbody               # unconditional arm
+    armbody     := ('pass' | element ('->' element)*) ('@' NUMBER)?
+    literal     := STRING | NUMBER | 'True' | 'False' | 'None'
+                 | dict | list | '$' IDENT
+
+Instance definitions mirror BESS's module-instance naming (§A.1.1: "users can
+define an 'ACL0' instance that uses ACL module class"); macros support
+argument reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.ast import (
+    BranchArm,
+    BranchSpec,
+    ChainSpecAST,
+    NFInvocation,
+    PipelineSpec,
+)
+from repro.chain.lexer import Lexer, Token, TokenType
+from repro.exceptions import SpecSyntaxError
+
+
+def parse_spec(text: str) -> ChainSpecAST:
+    """Parse a chain-spec string into an AST."""
+    return _Parser(Lexer(text).tokens()).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+        self.ast = ChainSpecAST()
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise SpecSyntaxError(
+                f"expected {token_type.value!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._peek().type is TokenType.NEWLINE:
+            self._advance()
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> ChainSpecAST:
+        self._skip_newlines()
+        while self._peek().type is not TokenType.EOF:
+            self._statement()
+            self._skip_newlines()
+        return self.ast
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.type is TokenType.DOLLAR:
+            self._macro_def()
+            return
+        if (
+            token.type is TokenType.IDENT
+            and token.value == "chain"
+            and self._peek(1).type is TokenType.IDENT
+            and self._peek(2).type is TokenType.COLON
+        ):
+            self._advance()  # 'chain'
+            name = str(self._advance().value)
+            self._advance()  # ':'
+            pipeline = self._pipeline()
+            self.ast.pipelines.append(pipeline)
+            self.ast.pipeline_names.append(name)
+            return
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).type is TokenType.ASSIGN
+        ):
+            self._instance_def()
+            return
+        pipeline = self._pipeline()
+        self.ast.pipelines.append(pipeline)
+        self.ast.pipeline_names.append(None)
+
+    def _macro_def(self) -> None:
+        self._expect(TokenType.DOLLAR)
+        name = str(self._expect(TokenType.IDENT).value)
+        self._expect(TokenType.ASSIGN)
+        self.ast.macros[name] = self._literal()
+
+    def _instance_def(self) -> None:
+        instance = str(self._expect(TokenType.IDENT).value)
+        self._expect(TokenType.ASSIGN)
+        nf_class_token = self._expect(TokenType.IDENT)
+        params: Dict[str, object] = {}
+        if self._peek().type is TokenType.LPAREN:
+            params = self._kwargs()
+        if instance in self.ast.instances:
+            raise SpecSyntaxError(
+                f"duplicate instance name {instance!r}",
+                nf_class_token.line,
+                nf_class_token.column,
+            )
+        self.ast.instances[instance] = NFInvocation(
+            nf_class=str(nf_class_token.value),
+            instance_name=instance,
+            params=params,
+        )
+
+    def _pipeline(self) -> PipelineSpec:
+        pipeline = PipelineSpec()
+        pipeline.items.append(self._element())
+        while self._peek().type is TokenType.ARROW:
+            self._advance()
+            pipeline.items.append(self._element())
+        return pipeline
+
+    def _element(self):
+        token = self._peek()
+        if token.type is TokenType.LBRACKET:
+            return self._branch()
+        if token.type is TokenType.IDENT:
+            return self._nf_invocation()
+        raise SpecSyntaxError(
+            f"expected an NF or branch block, found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    def _nf_invocation(self) -> NFInvocation:
+        name_token = self._expect(TokenType.IDENT)
+        name = str(name_token.value)
+        params: Dict[str, object] = {}
+        if self._peek().type is TokenType.LPAREN:
+            params = self._kwargs()
+        declared = self.ast.instances.get(name)
+        if declared is not None:
+            if params:
+                raise SpecSyntaxError(
+                    f"instance {name!r} cannot take parameters at use site",
+                    name_token.line,
+                    name_token.column,
+                )
+            return NFInvocation(
+                nf_class=declared.nf_class,
+                instance_name=name,
+                params=dict(declared.params),
+            )
+        return NFInvocation(nf_class=name, params=params)
+
+    def _branch(self) -> BranchSpec:
+        self._expect(TokenType.LBRACKET)
+        branch = BranchSpec()
+        while True:
+            branch.arms.append(self._arm())
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RBRACKET)
+        if not branch.arms:
+            token = self._peek()
+            raise SpecSyntaxError("empty branch block", token.line, token.column)
+        # Paper semantics: `ACL -> [{'vlan_tag': 0x1, Encrypt}] -> Fwd`
+        # encrypts matching packets; everything else skips straight to Fwd.
+        # A branch whose arms are all conditional gets an implicit
+        # passthrough default arm.
+        if all(arm.condition is not None for arm in branch.arms):
+            branch.arms.append(BranchArm(pipeline=PipelineSpec(), condition=None))
+        return branch
+
+    def _arm(self) -> BranchArm:
+        token = self._peek()
+        condition: Optional[Dict[str, object]] = None
+        if token.type is TokenType.IDENT and token.value == "default":
+            self._advance()
+            self._expect(TokenType.COLON)
+        elif token.type is TokenType.LBRACE:
+            condition, paper_style_nf = self._condition_dict()
+            if paper_style_nf is not None:
+                # paper style: [{'vlan_tag': 0x1, Encryption}]
+                pipeline = PipelineSpec(items=[paper_style_nf])
+                return BranchArm(pipeline=pipeline, condition=condition)
+            self._expect(TokenType.COLON)
+        pipeline, weight = self._arm_body()
+        return BranchArm(pipeline=pipeline, condition=condition, weight=weight)
+
+    def _arm_body(self) -> Tuple[PipelineSpec, Optional[float]]:
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value == "pass":
+            self._advance()
+            pipeline = PipelineSpec()  # passthrough arm
+        else:
+            pipeline = PipelineSpec(items=[self._element()])
+            while self._peek().type is TokenType.ARROW:
+                self._advance()
+                pipeline.items.append(self._element())
+        weight: Optional[float] = None
+        if self._peek().type is TokenType.AT:
+            self._advance()
+            weight_token = self._expect(TokenType.NUMBER)
+            weight = float(weight_token.value)
+            if not 0.0 < weight <= 1.0:
+                raise SpecSyntaxError(
+                    f"arm weight must be in (0, 1], got {weight}",
+                    weight_token.line,
+                    weight_token.column,
+                )
+        return pipeline, weight
+
+    def _condition_dict(self):
+        """Parse ``{...}``; returns (dict, trailing_nf_or_None).
+
+        Supports the paper's shorthand where the NF to run rides inside the
+        dict: ``{'vlan_tag': 0x1, Encryption}``.
+        """
+        self._expect(TokenType.LBRACE)
+        condition: Dict[str, object] = {}
+        trailing_nf: Optional[NFInvocation] = None
+        while self._peek().type is not TokenType.RBRACE:
+            token = self._peek()
+            if token.type is TokenType.IDENT:
+                # paper-style trailing NF name inside the dict
+                trailing_nf = self._nf_invocation()
+                break
+            key_token = self._expect(TokenType.STRING)
+            self._expect(TokenType.COLON)
+            condition[str(key_token.value)] = self._literal()
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RBRACE)
+        return condition, trailing_nf
+
+    def _kwargs(self) -> Dict[str, object]:
+        self._expect(TokenType.LPAREN)
+        params: Dict[str, object] = {}
+        while self._peek().type is not TokenType.RPAREN:
+            key = str(self._expect(TokenType.IDENT).value)
+            self._expect(TokenType.ASSIGN)
+            params[key] = self._literal()
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RPAREN)
+        return params
+
+    def _literal(self):
+        token = self._peek()
+        if token.type is TokenType.STRING or token.type is TokenType.NUMBER:
+            return self._advance().value
+        if token.type is TokenType.IDENT:
+            keyword_map = {"True": True, "False": False, "None": None}
+            if token.value in keyword_map:
+                self._advance()
+                return keyword_map[str(token.value)]
+            raise SpecSyntaxError(
+                f"unexpected identifier {token.value!r} in literal",
+                token.line,
+                token.column,
+            )
+        if token.type is TokenType.DOLLAR:
+            self._advance()
+            name_token = self._expect(TokenType.IDENT)
+            name = str(name_token.value)
+            if name not in self.ast.macros:
+                raise SpecSyntaxError(
+                    f"undefined macro ${name}", name_token.line, name_token.column
+                )
+            return self.ast.macros[name]
+        if token.type is TokenType.LBRACKET:
+            return self._list_literal()
+        if token.type is TokenType.LBRACE:
+            return self._dict_literal()
+        raise SpecSyntaxError(
+            f"expected a literal, found {token.value!r}", token.line, token.column
+        )
+
+    def _list_literal(self) -> List[object]:
+        self._expect(TokenType.LBRACKET)
+        items: List[object] = []
+        while self._peek().type is not TokenType.RBRACKET:
+            items.append(self._literal())
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RBRACKET)
+        return items
+
+    def _dict_literal(self) -> Dict[str, object]:
+        self._expect(TokenType.LBRACE)
+        out: Dict[str, object] = {}
+        while self._peek().type is not TokenType.RBRACE:
+            key = str(self._expect(TokenType.STRING).value)
+            self._expect(TokenType.COLON)
+            out[key] = self._literal()
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            break
+        self._expect(TokenType.RBRACE)
+        return out

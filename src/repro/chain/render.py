@@ -1,0 +1,123 @@
+"""Render an NF graph back into spec-DSL text.
+
+The inverse of :func:`repro.chain.parser.parse_spec` +
+:meth:`NFGraph.from_pipeline` (up to branch-arm ordering): useful for
+tooling (the CLI's ``show`` command) and for round-trip property tests of
+the front-end.
+
+Only graphs the DSL can express render: a linear backbone whose branch
+blocks rejoin before the next backbone element (exactly what lowering
+produces). Arbitrary hand-built DAGs may raise :class:`GraphError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.chain.graph import NFChain, NFGraph, NFNode
+from repro.exceptions import GraphError
+
+
+def render_chain(chain: NFChain) -> str:
+    """Render one chain as a ``chain <name>: ...`` statement."""
+    return f"chain {chain.name}: {render_graph(chain.graph)}"
+
+
+def render_spec(chains: List[NFChain]) -> str:
+    """Render several chains as a complete spec document."""
+    return "\n".join(render_chain(chain) for chain in chains) + "\n"
+
+
+def render_graph(graph: NFGraph) -> str:
+    """Render the pipeline expression of a graph."""
+    (entry,) = graph.entry_nodes()
+    pieces: List[str] = []
+    current: Optional[str] = entry
+    while current is not None:
+        pieces.append(_render_node(graph.nodes[current]))
+        succs = graph.successors(current)
+        if not succs:
+            break
+        if len(succs) == 1:
+            current = succs[0]
+            continue
+        merge, arm_exprs = _render_branch(graph, current)
+        pieces.append("[" + ", ".join(arm_exprs) + "]")
+        current = merge
+    return " -> ".join(pieces)
+
+
+def _render_node(node: NFNode) -> str:
+    if not node.params:
+        return node.nf_class
+    args = ", ".join(
+        f"{key}={_render_literal(value)}"
+        for key, value in sorted(node.params.items())
+    )
+    return f"{node.nf_class}({args})"
+
+
+def _render_literal(value) -> str:
+    if isinstance(value, bool) or value is None:
+        return repr(value)
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, list):
+        return "[" + ", ".join(_render_literal(v) for v in value) + "]"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"'{k}': {_render_literal(v)}" for k, v in value.items()
+        )
+        return "{" + inner + "}"
+    raise GraphError(f"cannot render literal {value!r}")
+
+
+def _render_branch(graph: NFGraph, branch_node: str):
+    """Render the arms out of ``branch_node``; returns (merge node, arms).
+
+    The merge node is the unique node where all arms reconverge (or None
+    when the arms run to the chain's exits).
+    """
+    arms = []
+    merge_candidates: List[Optional[str]] = []
+    for edge in graph.out_edges(branch_node):
+        nodes, merge = _walk_arm(graph, edge.dst)
+        expr_parts = [_render_node(graph.nodes[nid]) for nid in nodes]
+        expr = " -> ".join(expr_parts) if expr_parts else "pass"
+        if edge.condition:
+            cond = ", ".join(
+                f"'{k}': {_render_literal(v)}"
+                for k, v in sorted(edge.condition.items())
+            )
+            expr = "{" + cond + "}: " + expr
+        elif not nodes:
+            expr = "default: pass"
+        if edge.fraction not in (1.0,) and not edge.condition:
+            expr += f" @ {round(edge.fraction, 6)}"
+        arms.append(expr)
+        merge_candidates.append(merge)
+    merges = {m for m in merge_candidates}
+    if len(merges) != 1:
+        raise GraphError(
+            f"branch at {branch_node} does not reconverge at one merge "
+            f"node: {merges}"
+        )
+    return merges.pop(), arms
+
+
+def _walk_arm(graph: NFGraph, start: str):
+    """Follow an arm until the merge node (>1 predecessors) or the exit."""
+    nodes: List[str] = []
+    current = start
+    while True:
+        if len(graph.predecessors(current)) > 1:
+            return nodes, current  # the merge node itself
+        nodes.append(current)
+        succs = graph.successors(current)
+        if not succs:
+            return nodes, None
+        if len(succs) > 1:
+            raise GraphError("nested branches are not renderable yet")
+        current = succs[0]

@@ -1,0 +1,116 @@
+"""SLO model (§2, Table 1).
+
+For each traffic aggregate the operator specifies a minimum throughput
+``t_min``, a maximum throughput ``t_max`` (burst cap), and a maximum delay
+``d_max``. Pricing is fixed for ``t_min`` and usage-based above it, which is
+why the Placer maximizes aggregate *marginal* throughput (rate above t_min).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import gbps
+
+#: Stand-in for "unbounded" rates/delays (Table 1's infinity column).
+UNBOUNDED = math.inf
+
+
+class SLOUseCase(enum.Enum):
+    """Table 1's operator use cases."""
+
+    BULK = "bulk"
+    METERED_BULK = "metered bulk"
+    VIRTUAL_PIPE = "virtual pipe"
+    ELASTIC_PIPE = "elastic pipe"
+    INFINITE_PIPE = "infinite pipe"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """An SLO: min rate, burst cap, delay bound (all per traffic aggregate).
+
+    Rates in Mbps, delay in microseconds. ``t_max`` and ``d_max`` default to
+    unbounded.
+    """
+
+    t_min: float = 0.0
+    t_max: float = UNBOUNDED
+    d_max: float = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        if self.t_min < 0:
+            raise ValueError(f"t_min must be non-negative, got {self.t_min}")
+        if self.t_max < self.t_min:
+            raise ValueError(
+                f"t_max ({self.t_max}) must be >= t_min ({self.t_min})"
+            )
+        if self.d_max <= 0:
+            raise ValueError(f"d_max must be positive, got {self.d_max}")
+
+    @property
+    def use_case(self) -> SLOUseCase:
+        return classify_slo(self)
+
+    def with_tmin(self, t_min: float) -> "SLO":
+        """Copy with a new minimum rate (used by the δ sweep)."""
+        return SLO(t_min=t_min, t_max=max(self.t_max, t_min), d_max=self.d_max)
+
+    def marginal(self, achieved_mbps: float) -> float:
+        """Marginal throughput of an achieved rate under this SLO."""
+        return max(0.0, achieved_mbps - self.t_min)
+
+    def satisfied_by(self, rate_mbps: float, delay_us: Optional[float] = None) -> bool:
+        """Does an (estimated rate, delay) pair satisfy this SLO?"""
+        if rate_mbps + 1e-9 < self.t_min:
+            return False
+        if delay_us is not None and self.d_max is not UNBOUNDED:
+            if delay_us > self.d_max + 1e-12:
+                return False
+        return True
+
+
+def classify_slo(slo: SLO) -> SLOUseCase:
+    """Map an SLO to Table 1's use-case vocabulary.
+
+    >>> classify_slo(SLO(t_min=0, t_max=UNBOUNDED)) is SLOUseCase.BULK
+    True
+    >>> classify_slo(SLO(t_min=gbps(1), t_max=gbps(1))) is SLOUseCase.VIRTUAL_PIPE
+    True
+    """
+    bounded_max = slo.t_max is not UNBOUNDED and not math.isinf(slo.t_max)
+    if slo.t_min == 0:
+        return SLOUseCase.METERED_BULK if bounded_max else SLOUseCase.BULK
+    if not bounded_max:
+        return SLOUseCase.INFINITE_PIPE
+    if slo.t_max == slo.t_min:
+        return SLOUseCase.VIRTUAL_PIPE
+    return SLOUseCase.ELASTIC_PIPE
+
+
+def bulk() -> SLO:
+    """Best effort (Table 1)."""
+    return SLO()
+
+
+def metered_bulk(alpha_mbps: float) -> SLO:
+    """Best effort capped at alpha."""
+    return SLO(t_min=0.0, t_max=alpha_mbps)
+
+
+def virtual_pipe(alpha_mbps: float) -> SLO:
+    """Exactly alpha guaranteed."""
+    return SLO(t_min=alpha_mbps, t_max=alpha_mbps)
+
+
+def elastic_pipe(alpha_mbps: float, beta_mbps: float) -> SLO:
+    """At least alpha, bursts up to beta."""
+    return SLO(t_min=alpha_mbps, t_max=beta_mbps)
+
+
+def infinite_pipe(alpha_mbps: float) -> SLO:
+    """At least alpha, unbounded bursts."""
+    return SLO(t_min=alpha_mbps)

@@ -1,0 +1,148 @@
+"""The NF vocabulary: Table 3 of the paper.
+
+Each NF in a chain spec must come from a predefined but extensible vocabulary.
+The vocabulary records, per NF, which platforms have implementations (C++ on
+BESS servers, P4 on the PISA switch, eBPF on the SmartNIC, OpenFlow), whether
+the NF is stateful, and whether it may be replicated across cores. The two
+bold NFs in Table 3 — NAT and Limiter — cannot be replicated.
+
+``IPv4Fwd`` is artificially limited to P4-only for evaluation parity with the
+paper (Table 3 caption); use :meth:`Vocabulary.unrestricted` to lift that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from repro.exceptions import VocabularyError
+from repro.hw.platform import Platform
+
+
+@dataclass(frozen=True)
+class NFInfo:
+    """Static facts about one NF class.
+
+    ``platforms`` lists where implementations exist; ``stateful`` NFs keep
+    per-flow state; ``replicable`` is False for NFs that cannot be scaled
+    across cores (§3.2 never replicates subgroups containing them);
+    ``egress_ratio`` < 1 models NFs whose output rate is below input rate
+    (Dedup, §5.2 'data-dependent NFs').
+    """
+
+    name: str
+    spec: str
+    platforms: FrozenSet[Platform]
+    stateful: bool = False
+    replicable: bool = True
+    egress_ratio: float = 1.0
+    aliases: FrozenSet[str] = frozenset()
+
+    def available_on(self, platform: Platform) -> bool:
+        return platform in self.platforms
+
+
+def _nf(
+    name: str,
+    spec: str,
+    platforms: Iterable[Platform],
+    stateful: bool = False,
+    replicable: bool = True,
+    egress_ratio: float = 1.0,
+    aliases: Iterable[str] = (),
+) -> NFInfo:
+    return NFInfo(
+        name=name,
+        spec=spec,
+        platforms=frozenset(platforms),
+        stateful=stateful,
+        replicable=replicable,
+        egress_ratio=egress_ratio,
+        aliases=frozenset(aliases),
+    )
+
+
+_SERVER = Platform.SERVER
+_PISA = Platform.PISA
+_NIC = Platform.SMARTNIC
+_OF = Platform.OPENFLOW
+
+#: Table 3, row by row. Placement-choice dots map to the platform sets.
+_TABLE3 = [
+    _nf("Encrypt", "128-bit AES-CBC", [_SERVER], stateful=False,
+        aliases=["Encryption"]),
+    _nf("Decrypt", "128-bit AES-CBC", [_SERVER], stateful=False,
+        aliases=["Decryption"]),
+    _nf("FastEncrypt", "128-bit ChaCha", [_SERVER, _NIC],
+        aliases=["FastEnc", "ChaCha"]),
+    _nf("Dedup", "Network RE (EndRE)", [_SERVER], stateful=True,
+        egress_ratio=1.0),
+    _nf("Tunnel", "Push VLAN tag", [_SERVER, _PISA, _NIC, _OF]),
+    _nf("Detunnel", "Pop VLAN tag", [_SERVER, _PISA, _NIC, _OF]),
+    # Artificially P4-only for evaluation (Table 3 caption).
+    _nf("IPv4Fwd", "IP address match", [_PISA], aliases=["Forward", "IPFwd"]),
+    _nf("Limiter", "Token bucket", [_SERVER], stateful=True, replicable=False,
+        aliases=["RateLimiter"]),
+    _nf("UrlFilter", "HTML filter", [_SERVER], stateful=True,
+        aliases=["URLFilter"]),
+    _nf("Monitor", "Per-flow statistics", [_SERVER, _OF], stateful=True),
+    _nf("NAT", "Carrier-grade NAT", [_SERVER, _PISA], stateful=True,
+        replicable=False),
+    _nf("LB", "Layer-4 load balance", [_SERVER, _PISA, _NIC], stateful=True,
+        aliases=["LoadBalancer"]),
+    _nf("BPF", "Flexible BPF match", [_SERVER, _PISA, _NIC],
+        aliases=["Match"]),
+    _nf("ACL", "ACL on src/dst fields", [_SERVER, _PISA, _NIC, _OF]),
+]
+
+
+class Vocabulary:
+    """An extensible registry of NF classes.
+
+    >>> vocab = default_vocabulary()
+    >>> vocab.lookup("ACL").available_on(Platform.PISA)
+    True
+    """
+
+    def __init__(self, nfs: Optional[Iterable[NFInfo]] = None):
+        self._by_name: Dict[str, NFInfo] = {}
+        for info in nfs or []:
+            self.register(info)
+
+    def register(self, info: NFInfo) -> None:
+        """Add (or override) an NF class, including its aliases."""
+        self._by_name[info.name] = info
+        for alias in info.aliases:
+            self._by_name[alias] = info
+
+    def lookup(self, name: str) -> NFInfo:
+        """Resolve an NF name or alias; raises :class:`VocabularyError`."""
+        info = self._by_name.get(name)
+        if info is None:
+            known = ", ".join(sorted({i.name for i in self._by_name.values()}))
+            raise VocabularyError(f"unknown NF {name!r}; vocabulary: {known}")
+        return info
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> list:
+        """Canonical NF names (aliases excluded), sorted."""
+        return sorted({info.name for info in self._by_name.values()})
+
+    def unrestricted(self) -> "Vocabulary":
+        """A copy with the artificial IPv4Fwd P4-only restriction lifted."""
+        vocab = Vocabulary(
+            {info for info in self._by_name.values()}
+        )
+        full = replace(
+            vocab.lookup("IPv4Fwd"),
+            platforms=frozenset([_SERVER, _PISA, _NIC, _OF]),
+        )
+        vocab.register(full)
+        return vocab
+
+
+def default_vocabulary() -> Vocabulary:
+    """The paper's Table 3 vocabulary."""
+    return Vocabulary(_TABLE3)

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro`` / ``lemur-repro``.
+
+Subcommands mirror an operator's workflow:
+
+* ``place``   — place a spec file's chains and print the placement;
+* ``compile`` — place + meta-compile, dumping chosen artifacts;
+* ``trace``   — run packets through the deployed rack and show NF trails;
+* ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
+* ``profile`` — print the Table 4 profiling statistics.
+
+Example::
+
+    python -m repro place examples/specs/pop.lemur --tmin 2 1 --tmax 40 40
+    python -m repro compile examples/specs/pop.lemur --dump p4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.placer import Placer, PlacerConfig, available_strategies
+from repro.exceptions import ReproError
+from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.metacompiler.compiler import MetaCompiler
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lemur reproduction: place and compile NF chains "
+                    "across heterogeneous hardware.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_topology_args(p):
+        p.add_argument("--smartnic", action="store_true",
+                       help="attach the 40G eBPF SmartNIC")
+        p.add_argument("--openflow", action="store_true",
+                       help="use an OpenFlow ToR instead of the PISA switch")
+        p.add_argument("--servers", type=int, default=0,
+                       help="use N eight-core servers (default: the "
+                            "paper's one 2x8-core server)")
+        p.add_argument("--metron", action="store_true",
+                       help="enable Metron-style ToR core steering")
+
+    def add_spec_args(p):
+        p.add_argument("spec", help="chain spec file ('-' for stdin)")
+        p.add_argument("--tmin", type=float, nargs="*", default=[],
+                       help="per-chain minimum rate (Gbps)")
+        p.add_argument("--tmax", type=float, nargs="*", default=[],
+                       help="per-chain burst cap (Gbps)")
+        p.add_argument("--dmax", type=float, nargs="*", default=[],
+                       help="per-chain delay bound (µs)")
+        p.add_argument("--strategy", default="lemur",
+                       choices=available_strategies())
+        p.add_argument("--fair", action="store_true",
+                       help="split burst headroom max-min fairly instead "
+                            "of maximizing aggregate marginal throughput")
+
+    place_cmd = sub.add_parser("place", help="place chains, print result")
+    add_spec_args(place_cmd)
+    add_topology_args(place_cmd)
+    place_cmd.add_argument("--reserve", type=int, default=0,
+                           help="hold back N cores per server for failover")
+
+    compile_cmd = sub.add_parser("compile",
+                                 help="place + generate platform code")
+    add_spec_args(compile_cmd)
+    add_topology_args(compile_cmd)
+    compile_cmd.add_argument(
+        "--dump", choices=["p4", "bess", "ebpf", "openflow", "paths", "none"],
+        default="none", help="artifact family to print in full",
+    )
+    compile_cmd.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write all generated artifacts into DIR",
+    )
+
+    trace_cmd = sub.add_parser("trace",
+                               help="execute packets through the rack")
+    add_spec_args(trace_cmd)
+    add_topology_args(trace_cmd)
+    trace_cmd.add_argument("--packets", type=int, default=16)
+
+    sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
+    sweep_cmd.add_argument("chains", type=int, nargs="+",
+                           help="canonical chain indices, e.g. 1 2 3")
+    sweep_cmd.add_argument("--deltas", type=float, nargs="*",
+                           default=[0.5, 1.0, 1.5, 2.0])
+    sweep_cmd.add_argument("--no-measure", action="store_true")
+
+    profile_cmd = sub.add_parser("profile",
+                                 help="print Table 4 profiling statistics")
+    profile_cmd.add_argument("--runs", type=int, default=500)
+    return parser
+
+
+def _topology(args):
+    if args.servers and args.servers > 0:
+        return multi_server_testbed(args.servers)
+    return default_testbed(
+        with_smartnic=args.smartnic,
+        with_openflow=args.openflow,
+        metron_steering=args.metron,
+    )
+
+
+def _read_spec(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _slos(args, n_chains: int) -> List[SLO]:
+    slos = []
+    for index in range(n_chains):
+        t_min = gbps(args.tmin[index]) if index < len(args.tmin) else 0.0
+        t_max = gbps(args.tmax[index]) if index < len(args.tmax) \
+            else float("inf")
+        d_max = args.dmax[index] if index < len(args.dmax) else float("inf")
+        slos.append(SLO(t_min=t_min, t_max=t_max, d_max=d_max))
+    return slos
+
+
+def _load_chains(args):
+    text = _read_spec(args.spec)
+    chains = chains_from_spec(text)
+    slos = _slos(args, len(chains))
+    return [chain.with_slo(slo) for chain, slo in zip(chains, slos)]
+
+
+def cmd_place(args) -> int:
+    chains = _load_chains(args)
+    placer = Placer(
+        topology=_topology(args), profiles=default_profiles(),
+        config=PlacerConfig(
+            strategy=args.strategy,
+            rate_objective="max_min" if args.fair else "marginal",
+        ),
+    )
+    if args.reserve:
+        placement, seconds = (
+            placer.place_with_reserve(chains, reserve_cores=args.reserve),
+            None,
+        )
+    else:
+        placement, seconds = placer.place_timed(chains)
+    if seconds is not None:
+        print(f"placed in {seconds * 1000:.1f} ms")
+    print(placement.describe())
+    return 0 if placement.feasible else 2
+
+
+def cmd_compile(args) -> int:
+    chains = _load_chains(args)
+    topology = _topology(args)
+    placer = Placer(
+        topology=topology, profiles=default_profiles(),
+        config=PlacerConfig(
+            strategy=args.strategy,
+            rate_objective="max_min" if args.fair else "marginal",
+        ),
+    )
+    placement = placer.place(chains)
+    if not placement.feasible:
+        print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
+        return 2
+    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
+    artifacts = meta.compile_placement(placement)
+    print(artifacts.stats.report())
+    if getattr(args, "out", None):
+        written = artifacts.write_to(args.out)
+        print(f"wrote {len(written)} artifact file(s) under {args.out}")
+    if args.dump == "p4" and artifacts.p4:
+        print(artifacts.p4.program_text)
+    elif args.dump == "bess":
+        for server, script in artifacts.bess.items():
+            print(f"# ==== {server} ====")
+            print(script.render())
+    elif args.dump == "ebpf":
+        for nic, (program, _specs) in artifacts.ebpf.items():
+            print(f"// ==== {nic} ({program.instructions} insns) ====")
+            print(program.source)
+    elif args.dump == "openflow":
+        print(artifacts.openflow_text)
+    elif args.dump == "paths":
+        for path in artifacts.service_paths:
+            hops = " | ".join(
+                f"{h.device}[si={h.entry_si}]" for h in path.hops
+            )
+            print(f"spi={path.spi} ({path.chain_name}, "
+                  f"{path.fraction:.0%}): {hops}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.sim.runtime import DeployedRack
+
+    chains = _load_chains(args)
+    topology = _topology(args)
+    placer = Placer(topology=topology, profiles=default_profiles(),
+                    config=PlacerConfig(strategy=args.strategy))
+    placement = placer.place(chains)
+    if not placement.feasible:
+        print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
+        return 2
+    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
+    artifacts = meta.compile_placement(placement)
+    rack = DeployedRack(topology, artifacts, placer.profiles)
+    traces = rack.trace_chains(placement, packets_per_chain=args.packets)
+    for name, trace in traces.items():
+        print(f"{name}: {trace.delivered}/{trace.injected} delivered; "
+              f"trail: {' -> '.join(trace.nf_trail)}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.runner import run_delta_sweep
+    from repro.experiments.schemes import SCHEMES
+
+    schemes = {k: v for k, v in SCHEMES.items() if k != "Optimal"}
+    sweep = run_delta_sweep(
+        args.chains, deltas=tuple(args.deltas), schemes=schemes,
+        measure=not args.no_measure,
+    )
+    print(sweep.print_table())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.experiments.figures import table4_rows
+
+    print("\n".join(table4_rows(runs=args.runs)))
+    return 0
+
+
+_COMMANDS = {
+    "place": cmd_place,
+    "compile": cmd_compile,
+    "trace": cmd_trace,
+    "sweep": cmd_sweep,
+    "profile": cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        return 0  # output piped into a closed reader (e.g. `| head`)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Lemur component ablations (§5.3, Figure 2f).
+
+* **No Profiling** — every NF is assumed to cost the same cycles, so the
+  Placer cannot distinguish expensive from cheap NFs; cores are wasted on
+  cheap subgroups and the variant goes infeasible at high δ.
+* **No Core Allocation** — no subgroup ever receives an extra core, so
+  SLOs are only satisfiable while one core per subgroup suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.chain.graph import NFChain
+from repro.core.heuristic import heuristic_place
+from repro.core.pipeline import rescore_placement
+from repro.core.placement import Placement
+from repro.hw.topology import Topology
+from repro.profiles.defaults import ProfileDatabase
+from repro.units import DEFAULT_PACKET_BITS
+
+
+def no_profiling_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+    uniform_cycles: float = 5000.0,
+) -> Placement:
+    """Lemur's heuristic driven by a flat profile database.
+
+    Placement and core-allocation *decisions* use uniform costs; the
+    decided configuration is then re-scored with the true profiles (as the
+    real testbed would), so reported rates and feasibility reflect what
+    the variant actually achieves.
+    """
+    flat = profiles.uniform(uniform_cycles)
+    decided = heuristic_place(
+        chains, topology, flat, packet_bits,
+        strategy_name="no-profiling",
+    )
+    if not decided.feasible:
+        return decided
+    return rescore_placement(
+        decided, chains, topology, profiles, packet_bits,
+        strategy="no-profiling",
+    )
+
+
+def no_core_allocation_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    """Lemur's heuristic with subgroup scaling disabled (1 core each)."""
+    return heuristic_place(
+        chains, topology, profiles, packet_bits,
+        core_policy="none", strategy_name="no-core-allocation",
+    )

@@ -1,0 +1,128 @@
+"""Alternative placement strategies the paper compares against (§5.1).
+
+* **HW Preferred** — as many NFs as possible on the PISA switch
+  (preferential hardware use, SilkRoad-style); spare cores spread evenly
+  across chains.
+* **SW Preferred** — every NF with a software implementation on commodity
+  servers (kernel-bypass NFV, NetBricks-style); hardware only where no
+  software version exists.
+* **Minimum Bounce** — minimize switch↔server traversals (Kernighan-Lin
+  partitioning à la E2); unwilling to add a bounce even when offloading an
+  intermediate NF to P4 would free server cores.
+* **Greedy** — HW Preferred's placement, but profile-driven core
+  allocation: meet every chain's minimum rate first, then saturate chains
+  to t_max sequentially by index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.graph import NFChain
+from repro.core.patterns import (
+    enumerate_patterns,
+    preferred_assignment,
+)
+from repro.core.pipeline import build_placement
+from repro.core.placement import NodeAssignment, Placement
+from repro.core.rates import _count_excursions
+from repro.exceptions import PlacementError
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+from repro.profiles.defaults import ProfileDatabase
+from repro.units import DEFAULT_PACKET_BITS
+
+
+def hw_preferred_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    """Hardware-first placement with even core distribution."""
+    assignments = [
+        preferred_assignment(chain, topology, prefer="hw") for chain in chains
+    ]
+    return build_placement(
+        chains, assignments, topology, profiles, packet_bits,
+        core_policy="even", strategy="hw-preferred",
+    )
+
+
+def sw_preferred_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    """Software-first placement (servers wherever a C++ NF exists)."""
+    assignments = [
+        preferred_assignment(chain, topology, prefer="sw") for chain in chains
+    ]
+    return build_placement(
+        chains, assignments, topology, profiles, packet_bits,
+        core_policy="lemur", strategy="sw-preferred",
+    )
+
+
+def greedy_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    """HW-preferred pattern + SLO-aware sequential core allocation (§5.1).
+
+    Greedy "uses hardware when possible and attempts to meet the minimum
+    SLO using differential core allocation" but "starts with a HW Preferred
+    placement instead of a full exploration", so it can run out of cores
+    where Lemur would re-place NFs.
+    """
+    assignments = [
+        preferred_assignment(chain, topology, prefer="hw") for chain in chains
+    ]
+    return build_placement(
+        chains, assignments, topology, profiles, packet_bits,
+        core_policy="by_index", strategy="greedy",
+    )
+
+
+def min_bounce_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+    pattern_limit: int = 50_000,
+) -> Placement:
+    """Bounce-minimizing placement (E2-style partitioning).
+
+    Per chain, the pattern with the fewest switch↔server excursions wins;
+    ties prefer more hardware NFs (the partitioner still offloads chain
+    endpoints when free). Core allocation then follows Lemur's policy so
+    the comparison isolates the placement decision.
+    """
+    assignments: List[Dict[str, NodeAssignment]] = []
+    for chain in chains:
+        best: Optional[Tuple[int, int, Dict[str, NodeAssignment]]] = None
+        for pattern in enumerate_patterns(chain, topology, limit=pattern_limit):
+            excursions = max(
+                (
+                    _count_excursions(lc.node_ids, pattern)
+                    for lc in chain.graph.linearize()
+                ),
+                default=0,
+            )
+            hw_count = sum(
+                1 for a in pattern.values()
+                if a.platform in (Platform.PISA, Platform.OPENFLOW)
+            )
+            key = (excursions, -hw_count)
+            if best is None or key < (best[0], best[1]):
+                best = (excursions, -hw_count, pattern)
+        if best is None:
+            raise PlacementError(f"no pattern for chain {chain.name}")
+        assignments.append(best[2])
+    return build_placement(
+        chains, assignments, topology, profiles, packet_bits,
+        core_policy="lemur", strategy="min-bounce",
+    )

@@ -1,0 +1,181 @@
+"""Brute-force ("Optimal") placement (§3.2).
+
+The paper's brute force (a) enumerates placement patterns, (b) searches core
+allocations per pattern, (c) maximizes marginal throughput per (pattern,
+allocation) with the LP, and finally walks placements in decreasing
+objective order, invoking the PISA compiler until one fits the stage budget.
+
+The pattern cross-product explodes combinatorially (the paper's 4-chain run
+took ~4 hours); we bound the search with per-chain deduplication, optional
+per-chain top-K trimming, and a global combination budget — and always seed
+the candidate set with the heuristic's own patterns so the reported
+"Optimal" never falls below Lemur's heuristic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.graph import NFChain
+from repro.core.heuristic import heuristic_place
+from repro.core.patterns import enumerate_patterns, pattern_signature
+from repro.core.pipeline import build_placement, verify_switch_fit
+from repro.core.placement import NodeAssignment, Placement
+from repro.exceptions import PlacementError
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+from repro.p4c.compiler import PISACompiler
+from repro.profiles.defaults import ProfileDatabase
+from repro.units import DEFAULT_PACKET_BITS
+
+Assignment = Dict[str, NodeAssignment]
+
+
+def brute_force_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+    per_chain_limit: Optional[int] = 80,
+    max_combinations: int = 30_000,
+    core_policy: str = "lemur",
+) -> Placement:
+    """Ranked enumeration over pattern combinations; first stage-fit wins."""
+    chains = list(chains)
+    compiler = (
+        PISACompiler(topology.switch)  # type: ignore[arg-type]
+        if topology.switch.platform is Platform.PISA else None
+    )
+
+    per_chain: List[List[Assignment]] = []
+    for chain in chains:
+        patterns = _chain_patterns(chain, topology, per_chain_limit, profiles)
+        per_chain.append(patterns)
+
+    # Seed with the heuristic's choice so Optimal ⊇ Lemur's search space.
+    heuristic = heuristic_place(chains, topology, profiles, packet_bits)
+    if heuristic.feasible:
+        for i, cp in enumerate(heuristic.chains):
+            sig = pattern_signature(cp.assignment)
+            existing = [
+                j for j, p in enumerate(per_chain[i])
+                if pattern_signature(p) == sig
+            ]
+            for j in existing:
+                per_chain[i].pop(j)
+            # prepend so budget trimming never drops the heuristic's choice
+            per_chain[i].insert(0, dict(cp.assignment))
+
+    total = 1
+    for patterns in per_chain:
+        total *= max(1, len(patterns))
+    if total > max_combinations:
+        per_chain = _trim_to_budget(per_chain, max_combinations)
+
+    evaluated: List[Tuple[float, Placement]] = []
+    for combo in itertools.product(*per_chain):
+        placement = build_placement(
+            chains, list(combo), topology, profiles, packet_bits,
+            core_policy=core_policy, compiler=compiler,
+            check_stages=False, strategy="optimal",
+        )
+        if placement.feasible:
+            evaluated.append((placement.objective_mbps, placement))
+
+    if not evaluated:
+        fallback = heuristic
+        fallback.strategy = "optimal"
+        if not fallback.feasible:
+            fallback.infeasible_reason = (
+                fallback.infeasible_reason
+                or "no pattern combination satisfies the SLOs"
+            )
+        return fallback
+
+    # Decreasing objective; first placement whose switch pipeline compiles
+    # within the stage budget is the answer (§3.2 "Putting it all together").
+    evaluated.sort(key=lambda item: -item[0])
+    for _objective, placement in evaluated:
+        reason = verify_switch_fit(placement.chains, topology, compiler)
+        if reason is None:
+            return placement
+    best = evaluated[0][1]
+    best.feasible = False
+    best.infeasible_reason = "no high-objective placement fits the switch"
+    return best
+
+
+def _chain_patterns(
+    chain: NFChain,
+    topology: Topology,
+    per_chain_limit: Optional[int],
+    profiles: ProfileDatabase,
+) -> List[Assignment]:
+    """Deduplicated (optionally trimmed) pattern list for one chain."""
+    seen = set()
+    patterns: List[Assignment] = []
+    try:
+        iterator = enumerate_patterns(chain, topology, limit=500_000)
+        for pattern in iterator:
+            sig = pattern_signature(pattern)
+            if sig in seen:
+                continue
+            seen.add(sig)
+            patterns.append(pattern)
+    except PlacementError:
+        # space too large: fall back to a small curated set
+        from repro.core.patterns import preferred_assignment
+
+        patterns = [
+            preferred_assignment(chain, topology, prefer="hw"),
+            preferred_assignment(chain, topology, prefer="sw"),
+        ]
+    if per_chain_limit is not None and len(patterns) > per_chain_limit:
+        patterns.sort(key=lambda p: _pattern_rank(chain, p, profiles))
+        patterns = patterns[:per_chain_limit]
+    return patterns
+
+
+def _pattern_rank(chain: NFChain, pattern: Assignment,
+                  profiles: ProfileDatabase) -> Tuple[float, int]:
+    """Rank patterns: least server cycle load first, then fewer bounces.
+
+    Lower server load means higher single-core throughput, the dominant
+    term in the objective; this keeps the trimmed set near the frontier.
+    """
+    fractions = chain.graph.node_fractions()
+    server_cycles = 0.0
+    for nid, assign in pattern.items():
+        if assign.platform is Platform.SERVER:
+            node = chain.graph.nodes[nid]
+            server_cycles += fractions[nid] * profiles.server_cycles(
+                node.nf_class, node.params
+            )
+    from repro.core.rates import _count_excursions
+
+    bounces = max(
+        (_count_excursions(lc.node_ids, pattern)
+         for lc in chain.graph.linearize()),
+        default=0,
+    )
+    return (server_cycles, bounces)
+
+
+def _trim_to_budget(
+    per_chain: List[List[Assignment]], max_combinations: int
+) -> List[List[Assignment]]:
+    """Shrink the largest per-chain lists until the product fits the budget."""
+    per_chain = [list(p) for p in per_chain]
+    while True:
+        total = 1
+        for patterns in per_chain:
+            total *= max(1, len(patterns))
+        if total <= max_combinations:
+            return per_chain
+        largest = max(range(len(per_chain)), key=lambda i: len(per_chain[i]))
+        if len(per_chain[largest]) <= 1:
+            return per_chain
+        per_chain[largest] = per_chain[largest][
+            : max(1, len(per_chain[largest]) * 3 // 4)
+        ]

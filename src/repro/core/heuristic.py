@@ -1,0 +1,254 @@
+"""Lemur's fast placement heuristic (§3.2 "A Fast, Scalable Heuristic").
+
+Three steps:
+
+1. **Check stage constraints.** Greedily place every NF with a hardware
+   implementation on the PISA switch; while the unified pipeline exceeds
+   the stage budget, move the *lowest cycle-cost* switch NF to the server
+   (a cheap NF is easiest to absorb in software while hardware line-rate is
+   preserved for expensive ones). The result is the *baseline placement*;
+   later steps only ever remove NFs from the switch, so the stage
+   constraint stays satisfied.
+
+2. **Coalesce sub-groups.** Offloading an intermediate switch NF can fuse
+   the server subgroups around it, freeing cores. Three placements emerge:
+   the baseline, an *aggressive* one (strict + aggressive rules) and a
+   *conservative* one (strict + conservative rules).
+
+3. **Maximize marginal throughputs.** For each candidate, allocate cores,
+   solve the link-constrained LP, and keep the feasible placement with the
+   highest aggregate marginal throughput.
+
+When chains carry delay SLOs, a bounce-minimizing variant is added to the
+candidate set, letting the heuristic trade throughput for latency (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.graph import NFChain
+from repro.core.patterns import node_options, preferred_assignment
+from repro.core.pipeline import build_placement
+from repro.core.placement import NodeAssignment, Placement
+from repro.core.rates import estimate_chain_rate
+from repro.core.subgroups import (
+    apply_coalesce,
+    evaluate_coalesce,
+    find_coalesce_candidates,
+    form_subgroups,
+)
+from repro.exceptions import P4CompileError
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+from repro.p4c.compiler import PISACompiler
+from repro.profiles.defaults import ProfileDatabase
+from repro.units import DEFAULT_PACKET_BITS
+
+Assignments = List[Dict[str, NodeAssignment]]
+
+
+def heuristic_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+    core_policy: str = "lemur",
+    strategy_name: str = "lemur",
+) -> Placement:
+    """Run the full three-step heuristic and return the best placement."""
+    chains = list(chains)
+    compiler = _compiler_for(topology)
+
+    baseline = _stage_constrained_baseline(
+        chains, topology, profiles, compiler
+    )
+    candidates: List[Tuple[str, Assignments]] = [("baseline", baseline)]
+    candidates.append((
+        "aggressive",
+        _coalesce_all(chains, baseline, topology, profiles, packet_bits,
+                      rules=("strict", "aggressive")),
+    ))
+    candidates.append((
+        "conservative",
+        _coalesce_all(chains, baseline, topology, profiles, packet_bits,
+                      rules=("strict", "conservative")),
+    ))
+    if any(cp.slo.d_max != float("inf") for cp in chains):
+        candidates.append((
+            "min-bounce-variant",
+            _bounce_reducing_variant(chains, baseline, topology, profiles),
+        ))
+
+    best: Optional[Placement] = None
+    for label, assignments in candidates:
+        placement = build_placement(
+            chains, assignments, topology, profiles, packet_bits,
+            core_policy=core_policy, compiler=compiler,
+            strategy=strategy_name,
+        )
+        if placement.feasible and (
+            best is None or placement.objective_mbps > best.objective_mbps + 1e-9
+        ):
+            best = placement
+        elif best is None:
+            best = placement  # keep an infeasible one for its reason
+    assert best is not None
+    return best
+
+
+# -- step 1 -------------------------------------------------------------------
+
+def _stage_constrained_baseline(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    compiler: Optional[PISACompiler],
+) -> Assignments:
+    """Greedy hardware placement, then evict cheap NFs until stages fit."""
+    assignments: Assignments = [
+        preferred_assignment(chain, topology, prefer="hw") for chain in chains
+    ]
+    if compiler is None:
+        return assignments
+
+    while True:
+        pairs = [
+            (chain.graph,
+             {nid for nid, a in assignment.items()
+              if a.platform is Platform.PISA})
+            for chain, assignment in zip(chains, assignments)
+        ]
+        try:
+            if compiler.compile(pairs).fits:
+                return assignments
+        except P4CompileError:
+            pass  # parser conflict etc.: keep evicting
+
+        evicted = _evict_cheapest_switch_nf(
+            chains, assignments, topology, profiles
+        )
+        if not evicted:
+            # nothing left to move: return the all-soft placement; the
+            # stage check downstream will report the (now unlikely) misfit
+            return assignments
+
+
+def _evict_cheapest_switch_nf(
+    chains: Sequence[NFChain],
+    assignments: Assignments,
+    topology: Topology,
+    profiles: ProfileDatabase,
+) -> bool:
+    """Move the lowest server-cycle-cost switch NF to a software option."""
+    best: Optional[Tuple[float, int, str, NodeAssignment]] = None
+    for index, (chain, assignment) in enumerate(zip(chains, assignments)):
+        for nid, assign in assignment.items():
+            if assign.platform is not Platform.PISA:
+                continue
+            node = chain.graph.nodes[nid]
+            fallback = _software_option(chain, nid, topology)
+            if fallback is None:
+                continue
+            cost = profiles.server_cycles(node.nf_class, node.params)
+            if best is None or cost < best[0]:
+                best = (cost, index, nid, fallback)
+    if best is None:
+        return False
+    _cost, index, nid, fallback = best
+    assignments[index][nid] = fallback
+    return True
+
+
+def _software_option(
+    chain: NFChain, node_id: str, topology: Topology
+) -> Optional[NodeAssignment]:
+    for option in node_options(chain, node_id, topology):
+        if option.platform in (Platform.SERVER, Platform.SMARTNIC):
+            return option
+    return None
+
+
+# -- step 2 -------------------------------------------------------------------
+
+def _coalesce_all(
+    chains: Sequence[NFChain],
+    baseline: Assignments,
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int,
+    rules: Tuple[str, ...],
+) -> Assignments:
+    """Apply the coalescing rules per chain until fixpoint."""
+    out: Assignments = []
+    freq_hz = topology.servers[0].freq_hz if topology.servers else 1.7e9
+    for chain, assignment in zip(chains, baseline):
+        assignment = dict(assignment)
+        changed = True
+        while changed:
+            changed = False
+            subgroups = form_subgroups(chain, assignment, profiles)
+            from repro.core.rates import analyze_chain  # local to avoid cycle
+            cp = analyze_chain(chain, assignment, subgroups, topology,
+                               profiles, packet_bits)
+            bottleneck = cp.estimated_rate
+            for candidate in find_coalesce_candidates(chain, assignment,
+                                                      subgroups):
+                if any(
+                    evaluate_coalesce(
+                        chain, candidate, subgroups, profiles, freq_hz,
+                        packet_bits, rule, bottleneck,
+                    )
+                    for rule in rules
+                ):
+                    assignment, subgroups = apply_coalesce(
+                        chain, candidate, assignment, profiles
+                    )
+                    changed = True
+                    break
+        out.append(assignment)
+    return out
+
+
+# -- latency-driven variant ----------------------------------------------------
+
+def _bounce_reducing_variant(
+    chains: Sequence[NFChain],
+    baseline: Assignments,
+    topology: Topology,
+    profiles: ProfileDatabase,
+) -> Assignments:
+    """Fold switch NFs into the server until each path has one bounce.
+
+    Used when delay SLOs are present: fewer switch↔server excursions
+    directly reduce chain latency at the cost of server cycles (§5.3:
+    "Lemur is forced to reduce the number of bounces"). Along every
+    linearized path, all movable switch NFs strictly between the path's
+    first and last server NF move to the server; NFs with no software
+    implementation (e.g. IPv4Fwd) stay put.
+    """
+    out: Assignments = []
+    for chain, assignment in zip(chains, baseline):
+        assignment = dict(assignment)
+        for linear in chain.graph.linearize():
+            server_positions = [
+                index for index, nid in enumerate(linear.node_ids)
+                if assignment[nid].platform is Platform.SERVER
+            ]
+            if len(server_positions) < 2:
+                continue
+            first, last = server_positions[0], server_positions[-1]
+            for nid in linear.node_ids[first + 1:last]:
+                if assignment[nid].platform is not Platform.PISA:
+                    continue
+                fallback = _software_option(chain, nid, topology)
+                if fallback is not None and fallback.platform is Platform.SERVER:
+                    assignment[nid] = fallback
+        out.append(assignment)
+    return out
+
+
+def _compiler_for(topology: Topology) -> Optional[PISACompiler]:
+    if topology.switch.platform is Platform.PISA:
+        return PISACompiler(topology.switch)  # type: ignore[arg-type]
+    return None

@@ -1,0 +1,257 @@
+"""Rate-assignment LP (§3.2 "Finding Maximum Marginal Throughput").
+
+Given per-chain estimated rates and per-server NIC traversal
+multiplicities, assign each chain a rate r_i maximizing aggregate marginal
+throughput Σ(r_i − t_min_i) subject to:
+
+* t_min_i ≤ r_i ≤ min(t_max_i, estimated_i, ToR port rate);
+* for every server NIC and direction: Σ_i visits_{i,S} · r_i ≤ capacity_S
+  — each switch↔server bounce of chain i consumes NIC bandwidth once per
+  direction, which is how the LP accounts for the cost of bounces.
+
+Solved with scipy's HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.placement import ChainPlacement
+from repro.hw.topology import Topology
+
+
+@dataclass
+class RateSolution:
+    """LP outcome: per-chain rates + aggregate marginal objective."""
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    feasible: bool = False
+    objective_mbps: float = 0.0
+    reason: Optional[str] = None
+
+
+def solve_rates(
+    placements: Sequence[ChainPlacement],
+    topology: Topology,
+    objective: str = "marginal",
+) -> RateSolution:
+    """Assign per-chain rates.
+
+    ``objective`` selects the allocation policy:
+
+    * ``marginal`` (default, the paper's) — maximize Σ(r_i − t_min_i);
+    * ``max_min`` — lexicographic max-min fairness on marginal rates
+      (footnote 2 of the paper leaves fair allocation to future work;
+      this implements it via iterative LP water-filling).
+    """
+    if objective == "max_min":
+        return solve_rates_max_min(placements, topology)
+    if objective != "marginal":
+        raise ValueError(f"unknown rate objective {objective!r}")
+    if not placements:
+        return RateSolution(feasible=True)
+
+    n = len(placements)
+    lower = np.zeros(n)
+    upper = np.zeros(n)
+    port_rate = getattr(topology.switch, "port_rate_mbps", math.inf)
+
+    for i, cp in enumerate(placements):
+        slo = cp.chain.slo
+        lower[i] = slo.t_min
+        cap = min(cp.estimated_rate, port_rate)
+        if not math.isinf(slo.t_max):
+            cap = min(cap, slo.t_max)
+        upper[i] = cap
+        if upper[i] + 1e-9 < lower[i]:
+            return RateSolution(
+                feasible=False,
+                reason=(
+                    f"chain {cp.name}: estimated rate "
+                    f"{cp.estimated_rate:.0f} Mbps < t_min {slo.t_min:.0f} Mbps"
+                ),
+            )
+
+    # NIC capacity rows: one per (server, NIC). Traffic enters and exits a
+    # server the same number of times, so one row covers both directions.
+    rows: List[np.ndarray] = []
+    caps: List[float] = []
+    for server in topology.servers:
+        if server.name in topology.failed_devices:
+            continue
+        coeffs = np.array(
+            [cp.server_visits.get(server.name, 0.0) for cp in placements]
+        )
+        if coeffs.any():
+            rows.append(coeffs)
+            caps.append(server.primary_nic().rate_mbps)
+
+    a_ub = np.vstack(rows) if rows else None
+    b_ub = np.array(caps) if rows else None
+
+    result = linprog(
+        c=-np.ones(n),  # maximize Σ r_i  (t_min offsets are constant)
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=list(zip(lower, upper)),
+        method="highs",
+    )
+    if not result.success:
+        return RateSolution(
+            feasible=False,
+            reason=f"rate LP infeasible: {result.message}",
+        )
+
+    rates = {cp.name: float(r) for cp, r in zip(placements, result.x)}
+    objective = sum(
+        rates[cp.name] - cp.chain.slo.t_min for cp in placements
+    )
+    return RateSolution(rates=rates, feasible=True, objective_mbps=objective)
+
+
+def solve_rates_max_min(
+    placements: Sequence[ChainPlacement],
+    topology: Topology,
+) -> RateSolution:
+    """Lexicographic max-min fair marginal-rate assignment.
+
+    Two-stage LP: first maximize the smallest achievable marginal rate t*
+    (r_i ≥ t_min_i + t for every chain whose caps allow it), then maximize
+    aggregate throughput subject to that fairness floor. Fairness costs
+    aggregate throughput relative to the ``marginal`` objective but
+    prevents one cheap chain from absorbing all burst headroom (§2
+    footnote 2).
+    """
+    if not placements:
+        return RateSolution(feasible=True)
+
+    n = len(placements)
+    port_rate = getattr(topology.switch, "port_rate_mbps", math.inf)
+    lower = np.array([cp.chain.slo.t_min for cp in placements])
+    upper = np.zeros(n)
+    for i, cp in enumerate(placements):
+        cap = min(cp.estimated_rate, port_rate)
+        if not math.isinf(cp.chain.slo.t_max):
+            cap = min(cap, cp.chain.slo.t_max)
+        upper[i] = cap
+        if cap + 1e-9 < lower[i]:
+            return RateSolution(
+                feasible=False,
+                reason=(
+                    f"chain {cp.name}: estimated rate {cap:.0f} Mbps "
+                    f"< t_min {lower[i]:.0f} Mbps"
+                ),
+            )
+
+    rows: List[np.ndarray] = []
+    caps: List[float] = []
+    for server in topology.servers:
+        if server.name in topology.failed_devices:
+            continue
+        coeffs = np.array(
+            [cp.server_visits.get(server.name, 0.0) for cp in placements]
+        )
+        if coeffs.any():
+            rows.append(coeffs)
+            caps.append(server.primary_nic().rate_mbps)
+
+    # Progressive filling: raise a common marginal floor t over the
+    # chains that still have cap headroom; chains whose headroom is
+    # exhausted saturate at their cap and drop out of the floor, so a
+    # tightly-capped chain (e.g. a virtual pipe with zero burst headroom)
+    # never drags the others down.
+    headroom = upper - lower
+    saturated = set()
+    floor = np.array(lower, dtype=float)
+    for _round in range(n):
+        active = [i for i in range(n) if i not in saturated]
+        if not active:
+            break
+        c = np.zeros(n + 1)
+        c[-1] = -1.0
+        a_ub_rows: List[np.ndarray] = []
+        b_ub: List[float] = []
+        for coeffs, cap in zip(rows, caps):
+            row = np.zeros(n + 1)
+            row[:n] = coeffs
+            a_ub_rows.append(row)
+            b_ub.append(cap)
+        for i in active:
+            row = np.zeros(n + 1)
+            row[i] = -1.0
+            row[-1] = 1.0
+            a_ub_rows.append(row)
+            b_ub.append(-lower[i])
+        bounds = []
+        for i in range(n):
+            if i in saturated:
+                # keep the fairness level it already earned; it may rise
+                # to its cap but must not be squeezed below its floor
+                bounds.append((floor[i], upper[i]))
+            else:
+                bounds.append((lower[i], upper[i]))
+        bounds.append((0.0, None))
+        stage1 = linprog(
+            c=c,
+            A_ub=np.vstack(a_ub_rows),
+            b_ub=np.array(b_ub),
+            bounds=bounds,
+            method="highs",
+        )
+        if not stage1.success:
+            return RateSolution(
+                feasible=False,
+                reason=f"max-min LP infeasible: {stage1.message}",
+            )
+        t_star = stage1.x[-1]
+        for i in active:
+            floor[i] = lower[i] + min(t_star, headroom[i])
+        newly_saturated = {
+            i for i in active if headroom[i] <= t_star + 1e-7
+        }
+        if not newly_saturated:
+            break
+        saturated |= newly_saturated
+
+    # Final stage: maximize aggregate throughput above the fairness floor.
+    stage2 = linprog(
+        c=-np.ones(n),
+        A_ub=np.vstack(rows) if rows else None,
+        b_ub=np.array(caps) if rows else None,
+        bounds=list(zip(floor, upper)),
+        method="highs",
+    )
+    if not stage2.success:
+        return RateSolution(
+            feasible=False,
+            reason=f"max-min LP stage 2 infeasible: {stage2.message}",
+        )
+    rates = {
+        cp.name: float(r) for cp, r in zip(placements, stage2.x)
+    }
+    objective = sum(
+        rates[cp.name] - cp.chain.slo.t_min for cp in placements
+    )
+    return RateSolution(rates=rates, feasible=True,
+                        objective_mbps=objective)
+
+
+def nic_headroom(
+    placements: Sequence[ChainPlacement],
+    rates: Dict[str, float],
+    topology: Topology,
+) -> Dict[str, float]:
+    """Remaining NIC capacity per server at the assigned rates (reporting)."""
+    headroom: Dict[str, float] = {}
+    for server in topology.servers:
+        load = sum(
+            cp.server_visits.get(server.name, 0.0) * rates.get(cp.name, 0.0)
+            for cp in placements
+        )
+        headroom[server.name] = server.primary_nic().rate_mbps - load
+    return headroom

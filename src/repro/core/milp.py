@@ -1,0 +1,352 @@
+"""MILP placement formulation (§3.2 "Brute-force Placement" discussion).
+
+The paper notes that "a MILP formulation can address a scalable
+run-to-completion formulation while meeting SLO requirements and
+link-capacity constraints, but off-the-shelf solvers cannot determine if a
+set of NF chains respects hardware constraints, since that requires
+actually invoking the hardware-specific compiler"; modelling the PISA
+switch conservatively "would have resulted in stranded resources".
+
+This module implements that formulation for linear chains over one PISA
+switch + one server, solved with SciPy's HiGHS MILP backend:
+
+* binaries ``x[c,i,p]`` place node *i* of chain *c* on platform *p*;
+* binaries ``z[c,i,j]`` mark maximal server runs (run-to-completion
+  subgroups) — an AND over the member placements and the two boundary
+  conditions;
+* integer cores ``k[c,i,j]`` scale active segments (non-replicable
+  segments are pinned to one core);
+* continuous rates ``r[c]`` with ``r ≤ (f/cycles_{ij}) · k + M(1−z)``;
+* linearized segment flows ``y[c,i,j]`` charge the server NIC once per
+  switch↔server bounce;
+* a **conservative** switch budget: per-NF stage estimates must sum within
+  the stage count — the stranded-resource model the paper contrasts with
+  compiler-checked placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.chain.graph import NFChain
+from repro.core.placement import (
+    ChainPlacement,
+    NodeAssignment,
+    Placement,
+)
+from repro.exceptions import PlacementError
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+from repro.profiles.defaults import (
+    NSH_ENCAP_DECAP_CYCLES,
+    ProfileDatabase,
+)
+from repro.units import DEFAULT_PACKET_BITS
+
+#: Conservative per-NF stage estimates (table layers + margin; cf. [14]).
+_STAGE_ESTIMATE: Dict[str, int] = {
+    "ACL": 1, "IPv4Fwd": 1, "Tunnel": 1, "Detunnel": 1,
+    "NAT": 1, "LB": 2, "BPF": 1,
+}
+#: steering + NSH encap + decap overhead under the conservative model
+_STAGE_OVERHEAD = 3
+
+_BIG_M_RATE = 1e6  # Mbps, safely above any link rate
+
+
+@dataclass
+class _Var:
+    index: int
+    integral: bool
+    lower: float
+    upper: float
+
+
+class _VarTable:
+    def __init__(self) -> None:
+        self.vars: List[_Var] = []
+        self.names: Dict[str, int] = {}
+
+    def add(self, name: str, integral: bool, lower: float, upper: float
+            ) -> int:
+        if name in self.names:
+            raise PlacementError(f"duplicate MILP variable {name}")
+        index = len(self.vars)
+        self.vars.append(_Var(index, integral, lower, upper))
+        self.names[name] = index
+        return index
+
+    def __getitem__(self, name: str) -> int:
+        return self.names[name]
+
+    def __len__(self) -> int:
+        return len(self.vars)
+
+
+def milp_place(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    """Solve the MILP and convert the solution into a Placement.
+
+    Restricted to linear chains (the open-sourced MILP has the same
+    scope); branched chains raise :class:`PlacementError`.
+    """
+    chains = list(chains)
+    for chain in chains:
+        if chain.graph.branch_nodes() or chain.graph.merge_nodes():
+            raise PlacementError(
+                f"MILP formulation handles linear chains only; "
+                f"{chain.name} branches"
+            )
+    if len(topology.servers) != 1:
+        raise PlacementError("MILP formulation targets one server")
+    if topology.switch.platform is not Platform.PISA:
+        raise PlacementError("MILP formulation targets a PISA ToR")
+
+    server = topology.servers[0]
+    switch = topology.switch
+    freq = server.freq_hz
+    rate_per_cycle = freq * packet_bits / 1e6  # Mbps·cycles
+
+    table = _VarTable()
+    rows: List[Tuple[Dict[int, float], float, float]] = []  # (coeffs, lo, hi)
+
+    chain_nodes: List[List[str]] = []
+    chain_opts: List[List[List[Platform]]] = []
+    segments: List[List[Tuple[int, int]]] = []
+
+    for c, chain in enumerate(chains):
+        order = chain.graph.topological_order()
+        chain_nodes.append(order)
+        opts: List[List[Platform]] = []
+        for nid in order:
+            node = chain.graph.nodes[nid]
+            allowed = []
+            if node.info.available_on(Platform.PISA):
+                allowed.append(Platform.PISA)
+            if node.info.available_on(Platform.SERVER):
+                allowed.append(Platform.SERVER)
+            if not allowed:
+                raise PlacementError(
+                    f"{node.nf_class} has neither P4 nor server "
+                    f"implementation"
+                )
+            opts.append(allowed)
+        chain_opts.append(opts)
+
+        # placement binaries + one-platform-per-node rows
+        for i, nid in enumerate(order):
+            coeffs: Dict[int, float] = {}
+            for platform in opts[i]:
+                index = table.add(f"x[{c},{i},{platform.value}]",
+                                  True, 0.0, 1.0)
+                coeffs[index] = 1.0
+            rows.append((coeffs, 1.0, 1.0))
+
+        # rate variable
+        slo = chain.slo
+        upper = min(
+            slo.t_max,
+            getattr(switch, "port_rate_mbps", math.inf),
+        )
+        if math.isinf(upper):
+            upper = _BIG_M_RATE
+        table.add(f"r[{c}]", False, slo.t_min, upper)
+
+        # candidate segments [i..j] where all nodes can sit on the server
+        segs: List[Tuple[int, int]] = []
+        n = len(order)
+        for i in range(n):
+            if Platform.SERVER not in opts[i]:
+                continue
+            for j in range(i, n):
+                if Platform.SERVER not in opts[j]:
+                    break
+                segs.append((i, j))
+        segments.append(segs)
+        for (i, j) in segs:
+            z = table.add(f"z[{c},{i},{j}]", True, 0.0, 1.0)
+            replicable = all(
+                chain.graph.nodes[order[k]].info.replicable
+                for k in range(i, j + 1)
+            )
+            max_cores = server.allocatable_cores if replicable else 1
+            k_var = table.add(f"k[{c},{i},{j}]", True, 0.0, max_cores)
+            y_var = table.add(f"y[{c},{i},{j}]", False, 0.0, _BIG_M_RATE)
+
+            # z is the AND of member placements and boundary conditions
+            and_terms: List[Tuple[int, float, float]] = []
+            for k in range(i, j + 1):
+                xk = table[f"x[{c},{k},{Platform.SERVER.value}]"]
+                rows.append(({z: 1.0, xk: -1.0}, -math.inf, 0.0))
+                and_terms.append((xk, 1.0, 0.0))
+            boundary_count = 0
+            if i > 0 and Platform.SERVER in chain_opts[c][i - 1]:
+                xb = table[f"x[{c},{i - 1},{Platform.SERVER.value}]"]
+                rows.append(({z: 1.0, xb: 1.0}, -math.inf, 1.0))
+                and_terms.append((xb, -1.0, 1.0))
+                boundary_count += 1
+            if j < n - 1 and Platform.SERVER in chain_opts[c][j + 1]:
+                xa = table[f"x[{c},{j + 1},{Platform.SERVER.value}]"]
+                rows.append(({z: 1.0, xa: 1.0}, -math.inf, 1.0))
+                and_terms.append((xa, -1.0, 1.0))
+                boundary_count += 1
+            # z >= sum(terms) - (count - 1)
+            coeffs = {z: 1.0}
+            constant = 0.0
+            for var, sign, offset in and_terms:
+                coeffs[var] = coeffs.get(var, 0.0) - sign
+                constant += offset
+            rows.append((coeffs, -(len(and_terms) - 1) + constant, math.inf))
+
+            # cores active iff the segment is active
+            rows.append(({k_var: 1.0, z: -1.0}, 0.0, math.inf))
+            rows.append(({k_var: 1.0, z: -float(max_cores)},
+                         -math.inf, 0.0))
+
+            # rate cap: r <= rate_per_cycle / cycles * k + M (1 - z)
+            cycles = float(NSH_ENCAP_DECAP_CYCLES)
+            for kk in range(i, j + 1):
+                node = chain.graph.nodes[order[kk]]
+                cycles += profiles.server_cycles(node.nf_class, node.params)
+            r = table[f"r[{c}]"]
+            per_core = rate_per_cycle / cycles
+            rows.append((
+                {r: 1.0, k_var: -per_core, z: _BIG_M_RATE},
+                -math.inf, _BIG_M_RATE,
+            ))
+
+            # linearized segment flow y = r·z for the NIC constraint
+            rows.append(({y_var: 1.0, r: -1.0}, -math.inf, 0.0))
+            rows.append(({y_var: 1.0, z: -_BIG_M_RATE}, -math.inf, 0.0))
+            rows.append((
+                {y_var: 1.0, r: -1.0, z: -_BIG_M_RATE},
+                -_BIG_M_RATE, math.inf,
+            ))
+
+    # shared resources -------------------------------------------------------
+    core_coeffs: Dict[int, float] = {}
+    nic_coeffs: Dict[int, float] = {}
+    stage_coeffs: Dict[int, float] = {}
+    for c, chain in enumerate(chains):
+        order = chain_nodes[c]
+        for (i, j) in segments[c]:
+            core_coeffs[table[f"k[{c},{i},{j}]"]] = 1.0
+            nic_coeffs[table[f"y[{c},{i},{j}]"]] = 1.0
+        for i, nid in enumerate(order):
+            node = chain.graph.nodes[nid]
+            if Platform.PISA in chain_opts[c][i]:
+                estimate = _STAGE_ESTIMATE.get(node.nf_class, 1)
+                stage_coeffs[
+                    table[f"x[{c},{i},{Platform.PISA.value}]"]
+                ] = float(estimate)
+    rows.append((core_coeffs, 0.0, float(server.allocatable_cores)))
+    rows.append((nic_coeffs, 0.0, server.primary_nic().rate_mbps))
+    if stage_coeffs:
+        rows.append((
+            stage_coeffs, 0.0,
+            float(switch.num_stages - _STAGE_OVERHEAD),
+        ))
+
+    # objective: maximize sum of rates (t_min offsets constant)
+    objective = np.zeros(len(table))
+    for c in range(len(chains)):
+        objective[table[f"r[{c}]"]] = -1.0
+
+    a_rows = np.zeros((len(rows), len(table)))
+    lo = np.zeros(len(rows))
+    hi = np.zeros(len(rows))
+    for row_index, (coeffs, row_lo, row_hi) in enumerate(rows):
+        for var, coeff in coeffs.items():
+            a_rows[row_index, var] = coeff
+        lo[row_index] = row_lo
+        hi[row_index] = row_hi
+
+    result = milp(
+        c=objective,
+        constraints=LinearConstraint(a_rows, lo, hi),
+        integrality=np.array(
+            [1 if v.integral else 0 for v in table.vars]
+        ),
+        bounds=Bounds(
+            np.array([v.lower for v in table.vars]),
+            np.array([v.upper for v in table.vars]),
+        ),
+    )
+
+    if not result.success:
+        return Placement(
+            chains=[],
+            feasible=False,
+            infeasible_reason=f"MILP infeasible: {result.message}",
+            strategy="milp",
+        )
+    return _solution_to_placement(
+        chains, topology, profiles, packet_bits, table, result.x,
+        chain_nodes, segments,
+    )
+
+
+def _solution_to_placement(
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int,
+    table: _VarTable,
+    solution: np.ndarray,
+    chain_nodes: List[List[str]],
+    segments: List[List[Tuple[int, int]]],
+) -> Placement:
+    """Decode MILP variables into the library's Placement structures."""
+    from repro.core.rates import analyze_chain
+    from repro.core.subgroups import form_subgroups
+
+    server = topology.servers[0]
+    switch = topology.switch
+    chain_placements: List[ChainPlacement] = []
+    rates: Dict[str, float] = {}
+
+    for c, chain in enumerate(chains):
+        order = chain_nodes[c]
+        assignment: Dict[str, NodeAssignment] = {}
+        for i, nid in enumerate(order):
+            server_var = table.names.get(f"x[{c},{i},{Platform.SERVER.value}]")
+            on_server = (
+                server_var is not None and solution[server_var] > 0.5
+            )
+            if on_server:
+                assignment[nid] = NodeAssignment(Platform.SERVER, server.name)
+            else:
+                assignment[nid] = NodeAssignment(Platform.PISA, switch.name)
+        subgroups = form_subgroups(chain, assignment, profiles)
+        # apply the MILP's core decisions to matching subgroups
+        node_pos = {nid: i for i, nid in enumerate(order)}
+        for sg in subgroups:
+            i = node_pos[sg.node_ids[0]]
+            j = node_pos[sg.node_ids[-1]]
+            k_index = table.names.get(f"k[{c},{i},{j}]")
+            if k_index is not None:
+                sg.cores = max(1, int(round(solution[k_index])))
+        cp = analyze_chain(chain, assignment, subgroups, topology,
+                           profiles, packet_bits)
+        chain_placements.append(cp)
+        rates[chain.name] = float(solution[table[f"r[{c}]"]])
+
+    objective = sum(
+        rates[cp.name] - cp.chain.slo.t_min for cp in chain_placements
+    )
+    return Placement(
+        chains=chain_placements,
+        rates=rates,
+        feasible=True,
+        objective_mbps=objective,
+        strategy="milp",
+    )

@@ -1,0 +1,113 @@
+"""Placement-pattern enumeration (§3.2 "Enumerating Placement Patterns").
+
+A pattern assigns each NF node a platform; the space is constrained by NF
+availability (Table 3) and the devices present in the topology. Patterns
+are enumerated with canonical device names (the first server / SmartNIC);
+multi-server balancing happens later at subgroup granularity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from repro.chain.graph import NFChain
+from repro.core.placement import NodeAssignment
+from repro.exceptions import PlacementError
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+
+
+def node_options(
+    chain: NFChain,
+    node_id: str,
+    topology: Topology,
+) -> List[NodeAssignment]:
+    """Assignments available to one NF in this topology.
+
+    Order matters: it encodes the hardware preference (PISA, then OpenFlow,
+    then SmartNIC, then server) that greedy schemes rely on.
+    """
+    node = chain.graph.nodes[node_id]
+    options: List[NodeAssignment] = []
+    switch = topology.switch
+    if (switch.platform is Platform.PISA
+            and node.info.available_on(Platform.PISA)
+            and switch.name not in topology.failed_devices):
+        options.append(NodeAssignment(Platform.PISA, switch.name))
+    if (switch.platform is Platform.OPENFLOW
+            and node.info.available_on(Platform.OPENFLOW)
+            and switch.name not in topology.failed_devices):
+        options.append(NodeAssignment(Platform.OPENFLOW, switch.name))
+    if node.info.available_on(Platform.SMARTNIC):
+        for nic in topology.devices_for(Platform.SMARTNIC):
+            options.append(NodeAssignment(Platform.SMARTNIC, nic.name))
+            break  # canonical NIC; others considered during rebalancing
+    if node.info.available_on(Platform.SERVER):
+        servers = topology.devices_for(Platform.SERVER)
+        if servers:
+            options.append(NodeAssignment(Platform.SERVER, servers[0].name))
+    if not options:
+        raise PlacementError(
+            f"NF {node.nf_class} ({node_id}) has no implementation on any "
+            f"device in this topology"
+        )
+    return options
+
+
+def enumerate_patterns(
+    chain: NFChain,
+    topology: Topology,
+    limit: int = 100_000,
+) -> Iterator[Dict[str, NodeAssignment]]:
+    """Yield every feasible platform pattern for one chain (bounded).
+
+    Raises :class:`PlacementError` if the space exceeds ``limit`` — callers
+    should prune via :func:`dedupe_patterns` or sample instead.
+    """
+    order = chain.graph.topological_order()
+    options = [node_options(chain, nid, topology) for nid in order]
+    total = 1
+    for opts in options:
+        total *= len(opts)
+    if total > limit:
+        raise PlacementError(
+            f"chain {chain.name}: {total} patterns exceed the enumeration "
+            f"limit ({limit})"
+        )
+    for combo in itertools.product(*options):
+        yield dict(zip(order, combo))
+
+
+def pattern_signature(assignment: Dict[str, NodeAssignment]) -> tuple:
+    """Hashable identity of a pattern (for deduplication)."""
+    return tuple(sorted(
+        (nid, a.platform.value, a.device) for nid, a in assignment.items()
+    ))
+
+
+def preferred_assignment(
+    chain: NFChain,
+    topology: Topology,
+    prefer: str = "hw",
+) -> Dict[str, NodeAssignment]:
+    """Single-pattern construction for greedy schemes.
+
+    ``hw`` takes each node's most-accelerated option (PISA/OF first);
+    ``sw`` places every NF with a software implementation on a server,
+    falling back to hardware only when no software version exists
+    (IPv4Fwd, which is P4-only in the evaluation).
+    """
+    assignment: Dict[str, NodeAssignment] = {}
+    for nid in chain.graph.topological_order():
+        options = node_options(chain, nid, topology)
+        if prefer == "hw":
+            assignment[nid] = options[0]
+        elif prefer == "sw":
+            server_opts = [
+                o for o in options if o.platform is Platform.SERVER
+            ]
+            assignment[nid] = server_opts[0] if server_opts else options[0]
+        else:
+            raise PlacementError(f"unknown preference {prefer!r}")
+    return assignment

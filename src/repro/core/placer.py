@@ -1,0 +1,195 @@
+"""Top-level Placer API (§3).
+
+:class:`Placer` bundles the topology, profile database, and configuration;
+``place()`` runs the selected strategy. Extensions from the paper's
+discussion section are provided: failure replanning (§7) and precomputed
+placements for time-varying SLOs (§7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.graph import NFChain
+from repro.chain.slo import SLO
+from repro.core.ablations import no_core_allocation_place, no_profiling_place
+from repro.core.baselines import (
+    greedy_place,
+    hw_preferred_place,
+    min_bounce_place,
+    sw_preferred_place,
+)
+from repro.core.bruteforce import brute_force_place
+from repro.core.heuristic import heuristic_place
+from repro.core.placement import Placement
+from repro.exceptions import PlacementError
+from repro.hw.topology import Topology, default_testbed
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.units import DEFAULT_PACKET_BITS
+
+
+@dataclass
+class PlacerConfig:
+    """Knobs for the Placer.
+
+    ``rate_objective`` selects how the rate LP splits burst headroom:
+    ``marginal`` (the paper's revenue objective) or ``max_min``
+    (progressive-filling fairness — §2 footnote 2's future-work item).
+    """
+
+    packet_bytes: int = 1500
+    strategy: str = "lemur"
+    rate_objective: str = "marginal"
+
+    @property
+    def packet_bits(self) -> int:
+        return self.packet_bytes * 8
+
+
+#: strategy name -> placement function
+_STRATEGIES: Dict[str, Callable[..., Placement]] = {
+    "lemur": heuristic_place,
+    "optimal": brute_force_place,
+    "hw-preferred": hw_preferred_place,
+    "sw-preferred": sw_preferred_place,
+    "min-bounce": min_bounce_place,
+    "greedy": greedy_place,
+    "no-profiling": no_profiling_place,
+    "no-core-allocation": no_core_allocation_place,
+}
+
+
+def available_strategies() -> List[str]:
+    return sorted(_STRATEGIES)
+
+
+@dataclass
+class Placer:
+    """The Lemur Placer.
+
+    >>> placer = Placer()
+    >>> placement = placer.place(chains)      # doctest: +SKIP
+    """
+
+    topology: Topology = field(default_factory=default_testbed)
+    profiles: ProfileDatabase = field(default_factory=default_profiles)
+    config: PlacerConfig = field(default_factory=PlacerConfig)
+
+    def place(
+        self,
+        chains: Sequence[NFChain],
+        strategy: Optional[str] = None,
+    ) -> Placement:
+        """Place chains; returns a (possibly infeasible) Placement."""
+        name = strategy or self.config.strategy
+        fn = _STRATEGIES.get(name)
+        if fn is None:
+            raise PlacementError(
+                f"unknown strategy {name!r}; choose from {available_strategies()}"
+            )
+        placement = fn(
+            list(chains), self.topology, self.profiles,
+            packet_bits=self.config.packet_bits,
+        )
+        if placement.feasible and self.config.rate_objective != "marginal":
+            # Rate assignment is a policy over the decided configuration:
+            # re-split the burst headroom under the configured objective.
+            from repro.core.lp import solve_rates
+
+            solution = solve_rates(
+                placement.chains, self.topology,
+                objective=self.config.rate_objective,
+            )
+            if solution.feasible:
+                placement.rates = solution.rates
+                placement.objective_mbps = solution.objective_mbps
+        return placement
+
+    def place_timed(
+        self, chains: Sequence[NFChain], strategy: Optional[str] = None
+    ) -> Tuple[Placement, float]:
+        """Place and report wall-clock seconds (the §5.3 scaling metric)."""
+        start = time.perf_counter()
+        placement = self.place(chains, strategy)
+        return placement, time.perf_counter() - start
+
+    # -- §7 extensions --------------------------------------------------------
+
+    def replan_after_failure(
+        self,
+        chains: Sequence[NFChain],
+        failed_device: str,
+        strategy: Optional[str] = None,
+    ) -> Placement:
+        """Re-place chains with a device marked failed (§7 Failures).
+
+        If on-path hardware fails, Lemur "can always fall back to using
+        server-based NFs"; the Placer simply re-runs without the device.
+        """
+        self.topology.mark_failed(failed_device)
+        try:
+            return self.place(chains, strategy)
+        finally:
+            self.topology.failed_devices.discard(failed_device)
+
+    def place_with_reserve(
+        self,
+        chains: Sequence[NFChain],
+        reserve_cores: int = 2,
+        strategy: Optional[str] = None,
+    ) -> Placement:
+        """Place while holding back spare server capacity (§7 Failures).
+
+        "Its Placer can make these decisions ... proactively (perhaps by
+        reserving some spare capacity to ensure fast failover)." Each
+        server's allocatable budget shrinks by ``reserve_cores`` during
+        placement; the reserve stays free for reactive failover.
+        """
+        if reserve_cores < 0:
+            raise PlacementError("reserve_cores must be non-negative")
+        originals = {s.name: s.reserved_cores for s in self.topology.servers}
+        try:
+            for server in self.topology.servers:
+                server.reserved_cores = originals[server.name] + reserve_cores
+                if server.reserved_cores >= server.total_cores:
+                    raise PlacementError(
+                        f"reserve of {reserve_cores} cores leaves server "
+                        f"{server.name} with no allocatable cores"
+                    )
+            return self.place(chains, strategy)
+        finally:
+            for server in self.topology.servers:
+                server.reserved_cores = originals[server.name]
+
+    def precompute_slo_schedule(
+        self,
+        chains: Sequence[NFChain],
+        slo_schedule: Dict[str, List[SLO]],
+        strategy: Optional[str] = None,
+    ) -> List[Placement]:
+        """Precompute placements for time-varying SLOs (§7 Dynamics).
+
+        ``slo_schedule`` maps chain name to one SLO per time slot; every
+        chain must provide the same number of slots. Returns one placement
+        per slot, ready to be installed on schedule.
+        """
+        lengths = {len(v) for v in slo_schedule.values()}
+        if len(lengths) != 1:
+            raise PlacementError(
+                "all chains must provide the same number of SLO time slots"
+            )
+        (n_slots,) = lengths
+        placements: List[Placement] = []
+        for slot in range(n_slots):
+            slot_chains = []
+            for chain in chains:
+                slos = slo_schedule.get(chain.name)
+                if slos is None:
+                    raise PlacementError(
+                        f"no SLO schedule for chain {chain.name!r}"
+                    )
+                slot_chains.append(chain.with_slo(slos[slot]))
+            placements.append(self.place(slot_chains, strategy))
+        return placements

@@ -1,0 +1,59 @@
+"""eBPF program model.
+
+An :class:`EBPFProgram` carries the generated C source plus the attributes
+the offload verifier cares about: instruction count, stack usage, whether
+any back-edges (loops) or function calls survived code generation. The
+meta-compiler's eBPF backend eliminates loops by unrolling and calls by
+inlining (§A.3), and records how many of each it removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class EBPFSection:
+    """One logical section of the program (dispatcher or one NF)."""
+
+    name: str
+    nf_class: Optional[str]
+    instructions: int
+    stack_bytes: int
+    source: str = ""
+
+
+@dataclass
+class EBPFProgram:
+    """A complete XDP program destined for the SmartNIC."""
+
+    name: str
+    sections: List[EBPFSection] = field(default_factory=list)
+    has_back_edges: bool = False
+    has_calls: bool = False
+    unrolled_loops: int = 0
+    inlined_calls: int = 0
+    #: demux: (spi, si) -> (nf section index, next_spi, next_si, exits)
+    demux: Dict[Tuple[int, int], Tuple[int, int, int, bool]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.sections)
+
+    @property
+    def stack_bytes(self) -> int:
+        """Peak stack: sections execute sequentially, frames are reused
+        except the dispatcher's, which stays live."""
+        if not self.sections:
+            return 0
+        dispatcher = self.sections[0].stack_bytes
+        deepest_nf = max((s.stack_bytes for s in self.sections[1:]),
+                         default=0)
+        return dispatcher + deepest_nf
+
+    @property
+    def source(self) -> str:
+        return "\n".join(s.source for s in self.sections)

@@ -1,0 +1,63 @@
+"""The eBPF offload verifier (§A.3).
+
+"It has only 512 bytes of memory stack. It can only load 4096
+instructions. There can be no function call. [...] The verifier does not
+allow back-edge jumps (for, while)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ebpf.program import EBPFProgram
+from repro.exceptions import VerifierError
+
+MAX_INSTRUCTIONS = 4096
+MAX_STACK_BYTES = 512
+
+
+@dataclass
+class VerifierReport:
+    """Outcome of verification; ``violations`` is empty on success."""
+
+    program: str
+    instructions: int
+    stack_bytes: int
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def verify_program(program: EBPFProgram, strict: bool = True
+                   ) -> VerifierReport:
+    """Verify a program against the offload constraints.
+
+    With ``strict`` (default) a failing program raises
+    :class:`VerifierError`, mirroring a load failure on the NIC.
+    """
+    report = VerifierReport(
+        program=program.name,
+        instructions=program.instructions,
+        stack_bytes=program.stack_bytes,
+    )
+    if program.instructions > MAX_INSTRUCTIONS:
+        report.violations.append(
+            f"program has {program.instructions} instructions "
+            f"> {MAX_INSTRUCTIONS}"
+        )
+    if program.stack_bytes > MAX_STACK_BYTES:
+        report.violations.append(
+            f"stack usage {program.stack_bytes} B > {MAX_STACK_BYTES} B"
+        )
+    if program.has_back_edges:
+        report.violations.append("back-edge jump (loop) detected")
+    if program.has_calls:
+        report.violations.append("function call detected")
+    if strict and report.violations:
+        raise VerifierError(
+            f"{program.name}: " + "; ".join(report.violations)
+        )
+    return report

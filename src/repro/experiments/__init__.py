@@ -1,0 +1,26 @@
+"""Evaluation harness (§5): canonical chains, scheme registry, δ-sweep runner."""
+
+from repro.experiments.chains import (
+    canonical_chain,
+    canonical_chains,
+    base_rate_mbps,
+    chains_with_delta,
+)
+from repro.experiments.schemes import SCHEMES, run_scheme
+from repro.experiments.runner import (
+    DeltaSweepResult,
+    ExperimentResult,
+    run_delta_sweep,
+)
+
+__all__ = [
+    "canonical_chain",
+    "canonical_chains",
+    "base_rate_mbps",
+    "chains_with_delta",
+    "SCHEMES",
+    "run_scheme",
+    "DeltaSweepResult",
+    "ExperimentResult",
+    "run_delta_sweep",
+]

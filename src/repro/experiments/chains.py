@@ -1,0 +1,124 @@
+"""The five canonical NF chains of Table 2.
+
+Chains are expressed in the spec DSL and lowered through the standard
+parser, so the evaluation exercises the exact front-end an operator would
+use. Subchains:
+
+* Subchain 6 = ``LB -> Limiter -> ACL``
+* Subchain 7 = ``ACL -> Limiter``
+* Subchain 8 = ``Detunnel -> Encrypt -> IPv4Fwd``
+
+Chain 1's published rendering is ambiguous (see DESIGN.md): we encode a
+three-way BPF split where one branch runs Subchain 7, a second BPF
+classifier and UrlFilter before its Subchain 8, and the other two branches
+go straight to their own Subchain 8 instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.graph import NFChain, chains_from_spec
+from repro.chain.slo import SLO
+from repro.exceptions import SpecError
+from repro.hw.topology import Topology
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.units import DEFAULT_PACKET_BITS, gbps
+
+_SUB6 = "LB -> Limiter -> ACL"
+_SUB7 = "ACL -> Limiter"
+_SUB8 = "Detunnel -> Encrypt -> IPv4Fwd"
+
+_CHAIN_SPECS: Dict[int, str] = {
+    1: (
+        f"chain chain1: BPF -> ["
+        f"{_SUB7} -> BPF -> UrlFilter -> {_SUB8}, "
+        f"{_SUB8}, "
+        f"{_SUB8}"
+        f"]"
+    ),
+    2: "chain chain2: Encrypt -> LB -> [NAT, NAT, NAT] -> IPv4Fwd",
+    3: "chain chain3: Dedup -> ACL -> Limiter -> LB -> IPv4Fwd",
+    4: (
+        f"chain chain4: Dedup -> ACL -> Monitor -> Tunnel -> BPF -> ["
+        f"{_SUB6}, {_SUB6}, {_SUB6}"
+        f"] -> IPv4Fwd"
+    ),
+    5: "chain chain5: ACL -> UrlFilter -> FastEncrypt -> IPv4Fwd",
+}
+
+
+def canonical_chain(index: int, slo: Optional[SLO] = None) -> NFChain:
+    """Build canonical chain 1-5 (Table 2) with an optional SLO."""
+    spec = _CHAIN_SPECS.get(index)
+    if spec is None:
+        raise SpecError(f"no canonical chain #{index}; choose 1-5")
+    chain = chains_from_spec(spec)[0]
+    if slo is not None:
+        chain = chain.with_slo(slo)
+    return chain
+
+
+def canonical_chains(indices: Sequence[int],
+                     slos: Optional[Sequence[SLO]] = None) -> List[NFChain]:
+    """Build several canonical chains at once."""
+    out = []
+    for position, index in enumerate(indices):
+        slo = slos[position] if slos else None
+        out.append(canonical_chain(index, slo))
+    return out
+
+
+def base_rate_mbps(
+    chain: NFChain,
+    profiles: Optional[ProfileDatabase] = None,
+    freq_hz: float = 1.7e9,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> float:
+    """The chain's *base rate* (§5.1 Experiment Design).
+
+    "For each chain, we first define its base rate as the rate it would
+    achieve if only one core were allocated to the slowest software NF in
+    the chain." Software NFs are those with a server implementation.
+    """
+    profiles = profiles or default_profiles()
+    worst_cycles = 0.0
+    from repro.hw.platform import Platform
+
+    for node in chain.graph.nodes.values():
+        if Platform.SERVER not in node.info.platforms:
+            continue
+        cycles = profiles.server_cycles(node.nf_class, node.params)
+        worst_cycles = max(worst_cycles, cycles)
+    if worst_cycles == 0.0:
+        # all-hardware chain: base rate is line rate
+        return gbps(100)
+    pps = freq_hz / worst_cycles
+    return pps * packet_bits / 1e6
+
+
+def chains_with_delta(
+    indices: Sequence[int],
+    delta: float,
+    t_max_mbps: float = gbps(100),
+    profiles: Optional[ProfileDatabase] = None,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> List[NFChain]:
+    """Canonical chains with t_min = δ × base rate, t_max fixed (§5.1)."""
+    profiles = profiles or default_profiles()
+    chains = []
+    for index in indices:
+        chain = canonical_chain(index)
+        base = base_rate_mbps(chain, profiles, packet_bits=packet_bits)
+        chains.append(
+            chain.with_slo(SLO(t_min=delta * base, t_max=t_max_mbps))
+        )
+    return chains
+
+
+def nat_stress_chain(n_nats: int = 11) -> NFChain:
+    """§5.2's extreme configuration: ``BPF -> n×NAT (branched) -> IPv4Fwd``."""
+    arms = ", ".join(["NAT"] * n_nats)
+    return chains_from_spec(
+        f"chain natstress: BPF -> [{arms}] -> IPv4Fwd"
+    )[0]

@@ -1,0 +1,53 @@
+"""Scheme registry for the evaluation (§5.1 Comparison)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.chain.graph import NFChain
+from repro.core.ablations import no_core_allocation_place, no_profiling_place
+from repro.core.baselines import (
+    greedy_place,
+    hw_preferred_place,
+    min_bounce_place,
+    sw_preferred_place,
+)
+from repro.core.bruteforce import brute_force_place
+from repro.core.heuristic import heuristic_place
+from repro.core.placement import Placement
+from repro.hw.topology import Topology
+from repro.profiles.defaults import ProfileDatabase
+from repro.units import DEFAULT_PACKET_BITS
+
+#: Display order follows Figure 2's legend.
+SCHEMES: Dict[str, Callable[..., Placement]] = {
+    "Lemur": heuristic_place,
+    "Optimal": brute_force_place,
+    "HW Preferred": hw_preferred_place,
+    "SW Preferred": sw_preferred_place,
+    "Min Bounce": min_bounce_place,
+    "Greedy": greedy_place,
+}
+
+ABLATIONS: Dict[str, Callable[..., Placement]] = {
+    "Lemur": heuristic_place,
+    "No Profiling": no_profiling_place,
+    "No Core Alloc": no_core_allocation_place,
+}
+
+
+def run_scheme(
+    name: str,
+    chains: Sequence[NFChain],
+    topology: Topology,
+    profiles: ProfileDatabase,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Placement:
+    fn = SCHEMES.get(name) or ABLATIONS.get(name)
+    if fn is None:
+        raise KeyError(f"unknown scheme {name!r}")
+    return fn(list(chains), topology, profiles, packet_bits=packet_bits)
+
+
+def scheme_names() -> List[str]:
+    return list(SCHEMES)

@@ -1,0 +1,78 @@
+"""OpenFlow switch model (Edgecore AS5712-54X class).
+
+Unlike a PISA switch, an OF switch has a *fixed* table order, so the Placer
+must check that the NFs mapped to it can execute in the order its pipeline
+tables appear (§5.3). It also lacks NSH support: Lemur encodes SPI/SI in the
+12-bit VLAN vid, limiting the number of chains x hops that fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hw.platform import Device, Platform
+from repro.units import gbps
+
+
+@dataclass
+class OFTableSpec:
+    """One fixed-pipeline table: what NF kinds it can host, and capacity."""
+
+    index: int
+    name: str
+    supported_nfs: frozenset
+    max_rules: int = 2048
+
+
+def _default_of_pipeline() -> List[OFTableSpec]:
+    """A typical fixed pipeline: VLAN -> ACL -> L3 fwd -> stats.
+
+    The supported-NF sets follow Table 3's OF column: Tunnel/Detunnel
+    (VLAN table), ACL, IPv4Fwd (L3), Monitor (stats).
+    """
+    return [
+        OFTableSpec(0, "vlan", frozenset({"Tunnel", "Detunnel"}), max_rules=4094),
+        OFTableSpec(1, "acl", frozenset({"ACL"}), max_rules=2048),
+        OFTableSpec(2, "l3", frozenset({"IPv4Fwd"}), max_rules=16384),
+        OFTableSpec(3, "stats", frozenset({"Monitor"}), max_rules=4096),
+    ]
+
+
+@dataclass
+class OpenFlowSwitchModel(Device):
+    """An OF switch: fixed table order, VLAN-vid chain encoding, line rate."""
+
+    name: str = "of0"
+    platform: Platform = Platform.OPENFLOW
+    tables: List[OFTableSpec] = field(default_factory=_default_of_pipeline)
+    port_rate_mbps: float = field(default_factory=lambda: gbps(10))
+    #: SPI/SI live in the 12-bit VLAN vid (§5.3): limits chains x indices.
+    vid_bits: int = 12
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.platform))
+
+    def table_for_nf(self, nf_name: str):
+        """First pipeline table able to host ``nf_name``, or None."""
+        for table in self.tables:
+            if nf_name in table.supported_nfs:
+                return table
+        return None
+
+    def supports_order(self, nf_names: List[str]) -> bool:
+        """Can the fixed pipeline execute ``nf_names`` in this order?
+
+        Each NF must map to a table, and table indices must be
+        non-decreasing along the chain (a packet traverses the fixed
+        pipeline once, front to back).
+        """
+        last_index = -1
+        for name in nf_names:
+            table = self.table_for_nf(name)
+            if table is None:
+                return False
+            if table.index < last_index:
+                return False
+            last_index = table.index
+        return True

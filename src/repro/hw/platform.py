@@ -1,0 +1,39 @@
+"""Platform taxonomy and device base class."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Platform(enum.Enum):
+    """Where an NF can execute (Table 3's columns).
+
+    ``SERVER`` is C++ on a BESS server, ``PISA`` is P4 on the programmable
+    ToR, ``SMARTNIC`` is eBPF on a Netronome-class NIC, ``OPENFLOW`` is
+    match/action rules on a fixed-function OF switch.
+    """
+
+    SERVER = "server"
+    PISA = "pisa"
+    SMARTNIC = "smartnic"
+    OPENFLOW = "openflow"
+
+    def __str__(self) -> str:  # nicer in reports
+        return self.value
+
+
+@dataclass
+class Device:
+    """A named hardware element in the topology."""
+
+    name: str
+    platform: Platform
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.platform))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Device):
+            return NotImplemented
+        return self.name == other.name and self.platform == other.platform

@@ -1,0 +1,104 @@
+"""Commodity x86 server model: sockets, cores, NUMA, NICs.
+
+The paper's NF server is a dual-socket 8-core (total 16) 1.7 GHz Xeon Bronze
+3106 with one 40 Gbps Intel XL710 NIC attached to socket 0. NUMA matters:
+profiles measured cross-socket are a few percent costlier (Table 4), and the
+NIC's socket gets the demultiplexer core (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import TopologyError
+from repro.hw.platform import Device, Platform
+from repro.units import gbps
+
+
+@dataclass
+class NIC:
+    """A conventional NIC: full-duplex capacity, socket affinity."""
+
+    name: str = "xl710"
+    rate_mbps: float = field(default_factory=lambda: gbps(40))
+    socket: int = 0
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+@dataclass
+class CPUSocket:
+    """One CPU socket: core count and clock."""
+
+    index: int
+    cores: int = 8
+    freq_hz: float = 1.7e9
+
+
+@dataclass
+class Server(Device):
+    """An NF server with one or more sockets and NICs."""
+
+    name: str = "server0"
+    platform: Platform = Platform.SERVER
+    sockets: List[CPUSocket] = field(
+        default_factory=lambda: [CPUSocket(0), CPUSocket(1)]
+    )
+    nics: List[NIC] = field(default_factory=lambda: [NIC()])
+    #: Cores reserved off the top (the NSH demultiplexer runs on one core,
+    #: §4.2 / §A.1.2).
+    reserved_cores: int = 1
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.platform))
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise TopologyError(f"server {self.name} has no CPU sockets")
+        if not self.nics:
+            raise TopologyError(f"server {self.name} has no NICs")
+        for nic in self.nics:
+            if nic.socket >= len(self.sockets):
+                raise TopologyError(
+                    f"NIC {nic.name} on server {self.name} references socket "
+                    f"{nic.socket}, but only {len(self.sockets)} sockets exist"
+                )
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cores for s in self.sockets)
+
+    @property
+    def allocatable_cores(self) -> int:
+        """Cores the Placer may hand to NF subgroups."""
+        return max(0, self.total_cores - self.reserved_cores)
+
+    @property
+    def freq_hz(self) -> float:
+        """Clock rate used for cycle→rate conversion (homogeneous sockets)."""
+        return self.sockets[0].freq_hz
+
+    def nic_by_name(self, name: str) -> NIC:
+        for nic in self.nics:
+            if nic.name == name:
+                return nic
+        raise TopologyError(f"server {self.name} has no NIC named {name!r}")
+
+    def primary_nic(self) -> NIC:
+        return self.nics[0]
+
+
+def paper_nf_server(name: str = "server0") -> Server:
+    """The paper's BESS NF server: 2x8 cores @1.7 GHz, one 40 G NIC."""
+    return Server(name=name)
+
+
+def eight_core_server(name: str, nic_rate_mbps: Optional[float] = None) -> Server:
+    """A single-socket 8-core server (used in the multi-server experiment)."""
+    return Server(
+        name=name,
+        sockets=[CPUSocket(0, cores=8, freq_hz=1.7e9)],
+        nics=[NIC(name=f"{name}-nic", rate_mbps=nic_rate_mbps or gbps(40))],
+    )

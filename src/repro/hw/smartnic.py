@@ -1,0 +1,36 @@
+"""SmartNIC model: a Netronome Agilio CX 1x40 Gbps running eBPF/XDP.
+
+The constraints (§A.3) are the eBPF offload verifier's: 512-byte stack,
+4096-instruction program limit, no back-edges, no function calls. The NIC
+processes offloaded NFs at a rate set by per-NF NIC cycle profiles (our
+profiles make ChaCha >10x faster than the server, matching §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.platform import Device, Platform
+from repro.units import gbps
+
+
+@dataclass
+class SmartNIC(Device):
+    """eBPF-capable SmartNIC attached to a server."""
+
+    name: str = "agilio0"
+    platform: Platform = Platform.SMARTNIC
+    rate_mbps: float = field(default_factory=lambda: gbps(40))
+    host_server: str = "server0"
+    socket: int = 0
+    #: eBPF offload verifier limits (§A.3).
+    max_instructions: int = 4096
+    stack_bytes: int = 512
+    #: Processing clock used for cycle→rate conversion of NIC profiles.
+    freq_hz: float = 1.2e9
+    #: Number of packet-processing engines running the eBPF program in
+    #: parallel (Netronome NFP flow-processing cores); rates scale with it.
+    engines: int = 54
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.platform))

@@ -1,0 +1,23 @@
+"""The meta-compiler (§4): from NF-chain specs + placement to runnable code.
+
+Given the Placer's placement configuration, the meta-compiler synthesizes
+(a) NF chain routing — NSH service-path/index assignment plus per-platform
+steering — and (b) code for every platform: a unified P4 program for the
+PISA ToR, BESS pipeline scripts for servers, eBPF C for SmartNICs, and
+OpenFlow rules (VLAN-encoded SPI/SI) for OF switches.
+"""
+
+from repro.metacompiler.nsh import ServicePath, assign_service_paths
+from repro.metacompiler.routing import RoutingPlan, synthesize_routing
+from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
+from repro.metacompiler.codestats import CodegenStats
+
+__all__ = [
+    "ServicePath",
+    "assign_service_paths",
+    "RoutingPlan",
+    "synthesize_routing",
+    "MetaCompiler",
+    "CompiledArtifacts",
+    "CodegenStats",
+]

@@ -1,0 +1,185 @@
+"""eBPF/C code generation for SmartNIC-placed NFs (§A.3).
+
+"The NFs are programmed in C language and then compiled to the eBPF
+target. [...] We solved these challenges by optimizing the code for 64-bit
+implementation, using loop unrolling to avoid for (back-edge), and
+inlining all function calls."
+
+The generator emits one XDP program per SmartNIC: a dispatcher section
+that demuxes on the NSH (SPI, SI) plus one section per offloaded NF. Loop
+unrolling and call inlining are performed symbolically (the instruction
+estimate grows accordingly), and the result must pass the offload
+verifier before the placement is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.placement import ChainPlacement
+from repro.ebpf.program import EBPFProgram, EBPFSection
+from repro.exceptions import CompileError
+from repro.hw.platform import Platform
+from repro.metacompiler.routing import RoutingPlan
+
+
+@dataclass(frozen=True)
+class _NFCodeModel:
+    """Instruction/stack model of one NF's generated eBPF body."""
+
+    base_instructions: int
+    stack_bytes: int
+    loops_unrolled: int = 0
+    unroll_factor: int = 1
+    calls_inlined: int = 0
+
+    @property
+    def instructions(self) -> int:
+        return self.base_instructions * max(1, self.unroll_factor)
+
+
+#: Calibrated per-NF code models. FastEncrypt unrolls the ChaCha block
+#: rounds (the dominant, near-limit program); table-driven NFs use maps.
+_CODE_MODELS: Dict[str, _NFCodeModel] = {
+    "FastEncrypt": _NFCodeModel(
+        base_instructions=180, stack_bytes=320,
+        loops_unrolled=2, unroll_factor=20, calls_inlined=3,
+    ),
+    "ACL": _NFCodeModel(base_instructions=520, stack_bytes=96,
+                        calls_inlined=1),
+    "LB": _NFCodeModel(base_instructions=460, stack_bytes=80,
+                       calls_inlined=2),
+    "BPF": _NFCodeModel(base_instructions=380, stack_bytes=64),
+    "Tunnel": _NFCodeModel(base_instructions=150, stack_bytes=32),
+    "Detunnel": _NFCodeModel(base_instructions=140, stack_bytes=32),
+    "IPv4Fwd": _NFCodeModel(base_instructions=290, stack_bytes=48,
+                            calls_inlined=1),
+}
+
+_DISPATCHER_INSTRUCTIONS = 120
+_DISPATCHER_STACK = 48
+
+
+def generate_ebpf(
+    nic_name: str,
+    chain_placements: Sequence[ChainPlacement],
+    plan: RoutingPlan,
+) -> Tuple[EBPFProgram, List[Tuple[str, dict]]]:
+    """Generate (and structurally describe) the NIC's XDP program.
+
+    Returns the program plus the (nf_class, params) spec list the runtime
+    uses to bind functional behaviour to sections.
+    """
+    entries = plan.entries_for(nic_name)
+    node_info: Dict[str, Tuple[str, dict]] = {}
+    for cp in chain_placements:
+        for nid, assign in cp.assignment.items():
+            if assign.platform is Platform.SMARTNIC and assign.device == nic_name:
+                node = cp.chain.graph.nodes[nid]
+                node_info[nid] = (node.nf_class, dict(node.params))
+
+    program = EBPFProgram(name=f"{nic_name}_xdp")
+    program.sections.append(
+        EBPFSection(
+            name="dispatcher",
+            nf_class=None,
+            instructions=_DISPATCHER_INSTRUCTIONS
+            + 6 * max(0, len(entries) - 1),
+            stack_bytes=_DISPATCHER_STACK,
+            source=_dispatcher_source(nic_name, entries),
+        )
+    )
+
+    nf_specs: List[Tuple[str, dict]] = []
+    section_of_node: Dict[Tuple[str, ...], int] = {}
+    for entry in entries:
+        key = tuple(entry.node_ids)
+        if key in section_of_node:
+            continue
+        if len(entry.node_ids) != 1:
+            raise CompileError(
+                f"{nic_name}: eBPF hops host exactly one NF, got "
+                f"{entry.node_ids}"
+            )
+        nid = entry.node_ids[0]
+        if nid not in node_info:
+            raise CompileError(
+                f"{nic_name}: demux entry references node {nid} not placed "
+                f"on this NIC"
+            )
+        nf_class, params = node_info[nid]
+        model = _CODE_MODELS.get(nf_class)
+        if model is None:
+            raise CompileError(
+                f"no eBPF implementation for NF {nf_class!r} "
+                f"(library: {sorted(_CODE_MODELS)})"
+            )
+        section_index = len(nf_specs)
+        program.sections.append(
+            EBPFSection(
+                name=f"nf_{section_index}_{nf_class.lower()}",
+                nf_class=nf_class,
+                instructions=model.instructions,
+                stack_bytes=model.stack_bytes,
+                source=_nf_source(nf_class, model),
+            )
+        )
+        program.unrolled_loops += model.loops_unrolled
+        program.inlined_calls += model.calls_inlined
+        nf_specs.append((nf_class, params))
+        section_of_node[key] = section_index
+
+    for entry in entries:
+        section_index = section_of_node[tuple(entry.node_ids)]
+        program.demux[(entry.spi, entry.si)] = (
+            section_index, entry.next_spi, entry.next_si, entry.exits_isp,
+        )
+    return program, nf_specs
+
+
+def _dispatcher_source(nic_name: str, entries) -> str:
+    lines = [
+        f"/* auto-generated XDP dispatcher for {nic_name} */",
+        "SEC(\"xdp\")",
+        "int lemur_xdp(struct xdp_md *ctx) {",
+        "    struct nsh_hdr *nsh = parse_nsh(ctx);",
+        "    if (!nsh) return XDP_DROP;",
+        "    __u32 key = (nsh->spi << 8) | nsh->si;",
+        "    switch (key) {",
+    ]
+    for entry in entries:
+        key = (entry.spi << 8) | entry.si
+        lines.append(
+            f"    case {key:#x}: /* -> nf section, then "
+            f"spi={entry.next_spi} si={entry.next_si} */"
+        )
+        lines.append(f"        return run_nf_{entry.spi}_{entry.si}(ctx, nsh);")
+    lines.append("    default: return XDP_DROP;")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _nf_source(nf_class: str, model: _NFCodeModel) -> str:
+    lines = [
+        f"/* {nf_class}: 64-bit optimized, {model.loops_unrolled} loop(s) "
+        f"unrolled x{model.unroll_factor}, {model.calls_inlined} call(s) "
+        f"inlined */",
+        f"static __always_inline int nf_{nf_class.lower()}"
+        "(struct xdp_md *ctx, struct nsh_hdr *nsh) {",
+    ]
+    if model.unroll_factor > 1:
+        for round_index in range(model.unroll_factor):
+            lines.append(
+                f"    block_round_{round_index}(state); "
+                "/* unrolled: no back-edge */"
+            )
+    else:
+        lines.append("    /* map lookup + header rewrite */")
+        lines.append(f"    struct entry *e = bpf_map_lookup_elem("
+                     f"&{nf_class.lower()}_map, &key);")
+        lines.append("    if (!e) return XDP_DROP;")
+    lines.append("    return XDP_TX;")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""OpenFlow rule generation (§5.3).
+
+For chains with NFs offloaded to an OpenFlow switch, generate flow rules
+over the fixed pipeline. SPI/SI travel in the VLAN vid (OF switches lack
+NSH); each hop's rules match the vid, apply the NF's table action, rewrite
+the vid toward the next hop, and output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.placement import ChainPlacement
+from repro.exceptions import CompileError, OpenFlowError
+from repro.hw.openflow import OpenFlowSwitchModel
+from repro.hw.platform import Platform
+from repro.metacompiler.nsh import INITIAL_SI
+from repro.metacompiler.routing import RoutingPlan
+from repro.openflow.switch import encode_vid
+from repro.openflow.tables import FlowRule
+
+#: conventional port numbering in the generated rules
+PORT_EGRESS = 1
+PORT_SERVER = 2
+
+
+def generate_openflow(
+    switch: OpenFlowSwitchModel,
+    chain_placements: Sequence[ChainPlacement],
+    plan: RoutingPlan,
+) -> List[Tuple[int, FlowRule]]:
+    """Generate (table_id, rule) pairs realizing the routing plan.
+
+    Rules fall into two families: *NF rules* executing offloaded NFs at
+    their fixed table, and *steering rules* in the VLAN table that
+    retag/forward packets between hops (the OF analogue of the PISA
+    steering table).
+    """
+    rules: List[Tuple[int, FlowRule]] = []
+    vlan_table = switch.tables[0]
+
+    for path in plan.service_paths:
+        cp = _placement_for(chain_placements, path.chain_name)
+        for hop_index, hop in enumerate(path.hops):
+            if hop.device != switch.name:
+                continue
+            # SI rides the low vid bits as a path *position* (255 - SI),
+            # which fits the 6-bit slice for paths of up to 64 NFs.
+            vid = encode_vid(path.spi, INITIAL_SI - hop.entry_si)
+            nxt = path.hop_after(hop_index)
+            # NF rules at their fixed tables, chained by goto order.
+            last_table = None
+            for nid in hop.node_ids:
+                node = cp.chain.graph.nodes[nid]
+                table = switch.table_for_nf(node.nf_class)
+                if table is None:
+                    raise OpenFlowError(
+                        f"{node.nf_class} has no OpenFlow table"
+                    )
+                if last_table is not None and table.index < last_table:
+                    raise OpenFlowError(
+                        f"chain {cp.name}: NF order violates the fixed "
+                        f"pipeline"
+                    )
+                last_table = table.index
+                rules.append((
+                    table.index,
+                    FlowRule(
+                        priority=200,
+                        match={"vlan_vid": vid},
+                        actions=_nf_actions(node.nf_class, node.params),
+                    ),
+                ))
+            # steering rule: retag to the next hop and output.
+            if nxt is None:
+                actions = [("pop_vlan",), ("output", PORT_EGRESS)]
+            else:
+                next_vid = encode_vid(path.spi, INITIAL_SI - nxt.entry_si)
+                actions = [("set_vlan", next_vid), ("output", PORT_SERVER)]
+            rules.append((
+                vlan_table.index,
+                FlowRule(
+                    priority=100,
+                    match={"vlan_vid": vid},
+                    actions=actions,
+                ),
+            ))
+    return rules
+
+
+def _nf_actions(nf_class: str, params: dict) -> List[tuple]:
+    """Fixed-pipeline action encoding per offloadable NF (Table 3 OF dots)."""
+    if nf_class == "ACL":
+        rules = params.get("rules") or []
+        drop = any(r.get("drop") for r in rules if isinstance(r, dict))
+        return [("drop",)] if drop and not _has_permit(rules) else [("count",)]
+    if nf_class == "Monitor":
+        return [("count",)]
+    if nf_class == "Tunnel":
+        return [("push_vlan", int(params.get("vid", 100)))]
+    if nf_class == "Detunnel":
+        return [("pop_vlan",)]
+    if nf_class == "IPv4Fwd":
+        return [("count",)]  # forwarding decision rides the steering rule
+    raise CompileError(f"NF {nf_class!r} cannot be encoded as OF actions")
+
+
+def _has_permit(rules) -> bool:
+    return any(not r.get("drop", False) for r in rules if isinstance(r, dict))
+
+
+def render_rules(rules: Sequence[Tuple[int, FlowRule]]) -> str:
+    """ovs-ofctl-style dump of the generated rule set."""
+    return "\n".join(rule.render(table_id) for table_id, rule in rules) + "\n"
+
+
+def _placement_for(chain_placements: Sequence[ChainPlacement], name: str
+                   ) -> ChainPlacement:
+    for cp in chain_placements:
+        if cp.name == name:
+            return cp
+    raise CompileError(f"no placement for chain {name!r}")

@@ -1,0 +1,139 @@
+"""Pre-processor for Lemur's extended P4 syntax (§4.2).
+
+NF developers write *standalone* P4 NFs: header usage, an NF-local parser
+in a simple graph definition language, tables, and control flow. This
+pre-processor parses that syntax back into the :class:`~repro.p4c.ir.P4NF`
+IR the meta-compiler composes — the counterpart of
+:func:`repro.metacompiler.p4gen.render_standalone_nf`, with which it
+round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import P4CompileError
+from repro.p4c.ir import MatchType, P4NF, P4Table, ParseTree, TableDAG
+
+
+def parse_standalone_nf(text: str) -> P4NF:
+    """Parse one standalone extended-P4 NF source."""
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    index = 0
+    name: Optional[str] = None
+    headers: set = set()
+    parse_tree = ParseTree()
+    tables: List[P4Table] = []
+    edges: List[Tuple[str, str]] = []
+    control: List[str] = []
+
+    def err(message: str) -> P4CompileError:
+        return P4CompileError(f"extended-P4 line {index + 1}: {message}")
+
+    while index < len(lines):
+        line = lines[index].strip()
+        if not line or line.startswith("//") or line.startswith("#"):
+            index += 1
+            continue
+        if line.startswith("@nf "):
+            name = line[4:].strip()
+            index += 1
+        elif line.startswith("headers"):
+            inner = _inline_block(line)
+            headers = set(inner.split())
+            index += 1
+        elif line.startswith("parser"):
+            index += 1
+            while index < len(lines) and lines[index].strip() != "}":
+                entry = lines[index].strip()
+                if entry:
+                    frm_field, value_s, arrow, to = _split_parser_line(entry)
+                    if arrow != "->":
+                        raise err(f"bad parser transition {entry!r}")
+                    if "." not in frm_field:
+                        raise err(f"bad select field {frm_field!r}")
+                    frm, fieldname = frm_field.split(".", 1)
+                    value = None if value_s == "default" else int(value_s, 0)
+                    if frm not in parse_tree.headers:
+                        parse_tree.headers.add(frm)
+                    parse_tree.add_transition(frm, fieldname, value, to)
+                index += 1
+            index += 1  # closing brace
+        elif line.startswith("table "):
+            table_name = line[len("table "):].split("{")[0].strip()
+            index += 1
+            attrs: Dict[str, str] = {}
+            while index < len(lines) and lines[index].strip() != "}":
+                entry = lines[index].strip()
+                if entry and ":" in entry:
+                    key, _, value = entry.partition(":")
+                    attrs[key.strip()] = value.strip()
+                index += 1
+            index += 1
+            try:
+                tables.append(
+                    P4Table(
+                        name=table_name,
+                        match_type=MatchType(attrs.get("match_type", "exact")),
+                        size=int(attrs.get("size", "64")),
+                        entry_bits=int(attrs.get("entry_bits", "64")),
+                        reads=frozenset(attrs.get("reads", "").split()),
+                        writes=frozenset(attrs.get("writes", "").split()),
+                    )
+                )
+            except ValueError as exc:
+                raise err(f"bad table attribute: {exc}") from exc
+        elif line.startswith("depends"):
+            index += 1
+            while index < len(lines) and lines[index].strip() != "}":
+                entry = lines[index].strip()
+                if entry:
+                    parts = entry.split("->")
+                    if len(parts) != 2:
+                        raise err(f"bad dependency {entry!r}")
+                    edges.append((parts[0].strip(), parts[1].strip()))
+                index += 1
+            index += 1
+        elif line.startswith("control"):
+            control = _inline_block(line).split()
+            index += 1
+        else:
+            raise err(f"unrecognized statement {line!r}")
+
+    if name is None:
+        raise P4CompileError("extended-P4 source missing '@nf <name>'")
+    if not tables:
+        raise P4CompileError(f"NF {name!r} declares no tables")
+
+    dag = TableDAG()
+    for table in tables:
+        dag.add_table(table)
+    for a, b in edges:
+        dag.add_edge(a, b)
+
+    entry_tables = [control[0]] if control else [tables[0].name]
+    exit_tables = [control[-1]] if control else [tables[-1].name]
+    return P4NF(
+        name=name,
+        parse_tree=parse_tree,
+        dag=dag,
+        entry_tables=entry_tables,
+        exit_tables=exit_tables,
+        headers=headers or set(parse_tree.headers),
+    )
+
+
+def _inline_block(line: str) -> str:
+    """Extract the ``...`` from ``keyword { ... }``."""
+    open_idx = line.find("{")
+    close_idx = line.rfind("}")
+    if open_idx == -1 or close_idx == -1 or close_idx < open_idx:
+        raise P4CompileError(f"expected inline block in {line!r}")
+    return line[open_idx + 1:close_idx].strip()
+
+
+def _split_parser_line(entry: str) -> Tuple[str, str, str, str]:
+    parts = entry.split()
+    if len(parts) != 4:
+        raise P4CompileError(f"bad parser transition {entry!r}")
+    return parts[0], parts[1], parts[2], parts[3]

@@ -1,0 +1,170 @@
+"""Cross-platform routing synthesis (§4.1).
+
+Given service paths, produce the routing state every platform needs:
+
+* the ToR's steering entries — for each (SPI, SI) arriving back at the
+  switch, where does the packet go next?
+* per-server demux registrations — which (SPI, SI) values map to which
+  run-to-completion subgroup;
+* encap directives — the (SPI, SI) a platform must write before handing
+  the packet onward.
+
+The ToR coordinates chain execution: all traffic enters and exits through
+it, and bounces return to it between hops (the architectural novelty of
+§1/§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.placement import ChainPlacement
+from repro.exceptions import CompileError
+from repro.metacompiler.nsh import Hop, ServicePath
+
+
+@dataclass(frozen=True)
+class SteeringEntry:
+    """One ToR steering decision: packets tagged (spi, si) → next hop."""
+
+    spi: int
+    si: int
+    next_device: str
+    next_platform: str
+    next_spi: int
+    next_si: int
+    is_egress: bool = False
+
+
+@dataclass
+class DemuxEntry:
+    """Server-side demux: (spi, si) selects a subgroup (and its node run)."""
+
+    spi: int
+    si: int
+    chain_name: str
+    node_ids: Tuple[str, ...]
+    next_spi: int
+    next_si: int
+    exits_isp: bool = False
+
+
+@dataclass
+class RoutingPlan:
+    """All synthesized routing state, keyed by device."""
+
+    service_paths: List[ServicePath] = field(default_factory=list)
+    #: ToR steering: (spi, si) -> SteeringEntry
+    steering: Dict[Tuple[int, int], SteeringEntry] = field(default_factory=dict)
+    #: per-device demux entries (servers and SmartNICs)
+    demux: Dict[str, List[DemuxEntry]] = field(default_factory=dict)
+    #: chain name -> entry (spi, si) per linearized route, with fraction
+    chain_entries: Dict[str, List[Tuple[int, int, float]]] = field(
+        default_factory=dict
+    )
+
+    def entries_for(self, device: str) -> List[DemuxEntry]:
+        return self.demux.get(device, [])
+
+
+def synthesize_routing(
+    chain_placements: Sequence[ChainPlacement],
+    service_paths: Sequence[ServicePath],
+    switch_name: str,
+) -> RoutingPlan:
+    """Build the routing plan from assigned service paths."""
+    plan = RoutingPlan(service_paths=list(service_paths))
+    by_chain: Dict[str, ChainPlacement] = {
+        cp.name: cp for cp in chain_placements
+    }
+
+    for path in service_paths:
+        cp = by_chain.get(path.chain_name)
+        if cp is None:
+            raise CompileError(f"no placement for chain {path.chain_name!r}")
+        plan.chain_entries.setdefault(path.chain_name, []).append(
+            (path.spi, path.si_of[path.node_ids[0]], path.fraction)
+        )
+        for hop_index, hop in enumerate(path.hops):
+            nxt = path.hop_after(hop_index)
+            next_device = nxt.device if nxt else switch_name
+            next_platform = nxt.platform if nxt else "egress"
+            next_spi = path.spi
+            next_si = nxt.entry_si if nxt else 0
+
+            if hop.device == switch_name:
+                # switch hop: after its NFs run, steer to the next hop
+                entry = SteeringEntry(
+                    spi=path.spi,
+                    si=hop.entry_si,
+                    next_device=next_device,
+                    next_platform=next_platform,
+                    next_spi=next_spi,
+                    next_si=next_si,
+                    is_egress=nxt is None,
+                )
+                _add_steering(plan, entry)
+            else:
+                # off-switch hop: the device's demux consumes (spi, si);
+                # its encap writes the next hop's values before returning
+                # to the ToR.
+                plan.demux.setdefault(hop.device, []).append(
+                    DemuxEntry(
+                        spi=path.spi,
+                        si=hop.entry_si,
+                        chain_name=path.chain_name,
+                        node_ids=tuple(hop.node_ids),
+                        next_spi=next_spi,
+                        next_si=next_si,
+                        exits_isp=nxt is None,
+                    )
+                )
+                if nxt is None:
+                    # returning traffic with SI 0 egresses at the ToR
+                    _add_steering(
+                        plan,
+                        SteeringEntry(
+                            spi=path.spi,
+                            si=0,
+                            next_device=switch_name,
+                            next_platform="egress",
+                            next_spi=path.spi,
+                            next_si=0,
+                            is_egress=True,
+                        ),
+                    )
+    _dedupe_demux(plan)
+    return plan
+
+
+def _add_steering(plan: RoutingPlan, entry: SteeringEntry) -> None:
+    key = (entry.spi, entry.si)
+    existing = plan.steering.get(key)
+    if existing is not None and existing != entry:
+        raise CompileError(
+            f"conflicting steering entries for (spi={entry.spi}, "
+            f"si={entry.si}): {existing} vs {entry}"
+        )
+    plan.steering[key] = entry
+
+
+def _dedupe_demux(plan: RoutingPlan) -> None:
+    """Drop duplicate demux rows (shared path prefixes emit copies)."""
+    for device, entries in plan.demux.items():
+        seen = {}
+        unique: List[DemuxEntry] = []
+        for entry in entries:
+            key = (entry.spi, entry.si)
+            if key in seen:
+                prior = seen[key]
+                if (prior.node_ids, prior.next_spi, prior.next_si) != (
+                    entry.node_ids, entry.next_spi, entry.next_si,
+                ):
+                    raise CompileError(
+                        f"{device}: conflicting demux entries for {key}"
+                    )
+                continue
+            seen[key] = entry
+            unique.append(entry)
+        plan.demux[device] = unique

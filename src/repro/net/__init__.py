@@ -1,0 +1,55 @@
+"""Packet substrate: header codecs, packets, flows, and traffic generation.
+
+This package stands in for the paper's testbed traffic generator (a BESS
+server driving a 100 Gbps NIC). It provides byte-accurate header encoding so
+the simulated dataplanes (:mod:`repro.bess`, :mod:`repro.ebpf`,
+:mod:`repro.openflow`) operate on real packet bytes, plus flow/traffic
+generators reproducing the paper's profiling workloads (footnote 6).
+"""
+
+from repro.net.headers import (
+    EthernetHeader,
+    IPv4Header,
+    NSHHeader,
+    TCPHeader,
+    UDPHeader,
+    VLANHeader,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_NSH,
+    ETHERTYPE_VLAN,
+    PROTO_TCP,
+    PROTO_UDP,
+    ip_to_int,
+    int_to_ip,
+)
+from repro.net.packet import Packet, PacketMetadata
+from repro.net.flows import FiveTuple, Flow, TrafficAggregate
+from repro.net.traffic import (
+    TrafficGenerator,
+    long_lived_workload,
+    short_lived_workload,
+)
+
+__all__ = [
+    "EthernetHeader",
+    "VLANHeader",
+    "IPv4Header",
+    "TCPHeader",
+    "UDPHeader",
+    "NSHHeader",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_VLAN",
+    "ETHERTYPE_NSH",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "ip_to_int",
+    "int_to_ip",
+    "Packet",
+    "PacketMetadata",
+    "FiveTuple",
+    "Flow",
+    "TrafficAggregate",
+    "TrafficGenerator",
+    "long_lived_workload",
+    "short_lived_workload",
+]

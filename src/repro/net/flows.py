@@ -1,0 +1,96 @@
+"""Flow and traffic-aggregate descriptors.
+
+A *traffic aggregate* (§2) selects the traffic an NF chain applies to — a
+combination of 5-tuple field constraints, e.g. all traffic from one customer
+prefix. Flows are concrete 5-tuples used by the traffic generators.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """A concrete flow key."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def as_tuple(self):
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+
+@dataclass
+class Flow:
+    """A flow: key + generation parameters (rate share, lifetime)."""
+
+    key: FiveTuple
+    weight: float = 1.0
+    start_us: float = 0.0
+    duration_us: Optional[float] = None
+    packet_bytes: int = 1500
+
+    def active_at(self, t_us: float) -> bool:
+        if t_us < self.start_us:
+            return False
+        if self.duration_us is None:
+            return True
+        return t_us < self.start_us + self.duration_us
+
+
+@dataclass
+class TrafficAggregate:
+    """A predicate over 5-tuples selecting a customer's traffic (§2).
+
+    Any field may be ``None`` (wildcard); IPs may be CIDR prefixes. An
+    aggregate maps 1:1 to an NF chain in a Lemur spec.
+    """
+
+    name: str = "default"
+    src_prefix: Optional[str] = None
+    dst_prefix: Optional[str] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    proto: Optional[int] = None
+    _src_net: Optional[ipaddress.IPv4Network] = field(default=None, repr=False)
+    _dst_net: Optional[ipaddress.IPv4Network] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.src_prefix:
+            self._src_net = ipaddress.ip_network(self.src_prefix, strict=False)
+        if self.dst_prefix:
+            self._dst_net = ipaddress.ip_network(self.dst_prefix, strict=False)
+
+    def matches(self, key: FiveTuple) -> bool:
+        """Does a concrete 5-tuple fall inside this aggregate?"""
+        if self._src_net and ipaddress.ip_address(key.src_ip) not in self._src_net:
+            return False
+        if self._dst_net and ipaddress.ip_address(key.dst_ip) not in self._dst_net:
+            return False
+        if self.src_port is not None and key.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and key.dst_port != self.dst_port:
+            return False
+        if self.proto is not None and key.proto != self.proto:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.src_prefix:
+            parts.append(f"src={self.src_prefix}")
+        if self.dst_prefix:
+            parts.append(f"dst={self.dst_prefix}")
+        if self.src_port is not None:
+            parts.append(f"sport={self.src_port}")
+        if self.dst_port is not None:
+            parts.append(f"dport={self.dst_port}")
+        if self.proto is not None:
+            parts.append(f"proto={self.proto}")
+        return f"{self.name}({', '.join(parts) or '*'})"

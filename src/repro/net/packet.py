@@ -1,0 +1,347 @@
+"""Packet representation used by every simulated dataplane.
+
+A :class:`Packet` owns a mutable byte buffer plus the *per-packet metadata*
+Lemur's generated code relies on: the NSH service path index / service index,
+the drop flag standalone P4 NFs may set (§4.2), and branch decisions stored by
+generated traffic-splitting tables (§A.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_NSH,
+    ETHERTYPE_VLAN,
+    PROTO_TCP,
+    PROTO_UDP,
+    EthernetHeader,
+    IPv4Header,
+    NSHHeader,
+    TCPHeader,
+    UDPHeader,
+    VLANHeader,
+)
+
+
+@dataclass
+class PacketMetadata:
+    """Mutable per-packet metadata shared between chained NFs.
+
+    Mirrors the P4 metadata Lemur's meta-compiler injects: ``drop_flag`` lets a
+    standalone NF stop the chain (firewalls), ``branch_decision`` records the
+    traffic-splitting table's verdict at a branching node, and ``processed_by``
+    is a debugging trail of NF instance names (not available on hardware, but
+    invaluable for validating generated routing in tests).
+    """
+
+    drop_flag: bool = False
+    branch_decision: Optional[int] = None
+    spi: Optional[int] = None
+    si: Optional[int] = None
+    ingress_port: Optional[int] = None
+    egress_port: Optional[int] = None
+    chain_id: Optional[str] = None
+    timestamp_us: float = 0.0
+    cycles_consumed: int = 0
+    processed_by: list = field(default_factory=list)
+    fields: dict = field(default_factory=dict)
+
+
+class Packet:
+    """A packet: raw bytes + parsed header cache + metadata.
+
+    The header cache is invalidated on any byte mutation; dataplane modules
+    mutate headers through the typed helpers (``eth``, ``ipv4``...) and call
+    :meth:`commit` to re-serialize.
+    """
+
+    def __init__(self, data: bytes, metadata: Optional[PacketMetadata] = None):
+        self._data = bytearray(data)
+        self.metadata = metadata or PacketMetadata()
+        self._parsed: Optional[dict] = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        src_ip: str = "10.0.0.1",
+        dst_ip: str = "10.0.0.2",
+        src_port: int = 1234,
+        dst_port: int = 80,
+        proto: int = PROTO_UDP,
+        payload: bytes = b"",
+        vlan: Optional[int] = None,
+        src_mac: str = "02:00:00:00:00:01",
+        dst_mac: str = "02:00:00:00:00:02",
+        total_bytes: Optional[int] = None,
+    ) -> "Packet":
+        """Assemble an Ethernet/IPv4/{TCP,UDP} packet.
+
+        ``total_bytes`` pads the payload so the wire size matches a desired
+        frame length (the perf simulator cares about packet size).
+        """
+        l4: bytes
+        if proto == PROTO_TCP:
+            l4 = TCPHeader(src_port=src_port, dst_port=dst_port).pack()
+        elif proto == PROTO_UDP:
+            l4 = UDPHeader(
+                src_port=src_port, dst_port=dst_port, length=8 + len(payload)
+            ).pack()
+        else:
+            l4 = b""
+        eth_type = ETHERTYPE_VLAN if vlan is not None else ETHERTYPE_IPV4
+        pieces = [EthernetHeader(dst=dst_mac, src=src_mac, ethertype=eth_type).pack()]
+        if vlan is not None:
+            pieces.append(VLANHeader(vid=vlan, ethertype=ETHERTYPE_IPV4).pack())
+        ip_total = IPv4Header.LENGTH + len(l4) + len(payload)
+        pieces.append(
+            IPv4Header(src=src_ip, dst=dst_ip, proto=proto, total_length=ip_total).pack()
+        )
+        pieces.append(l4)
+        pieces.append(payload)
+        raw = b"".join(pieces)
+        if total_bytes is not None and len(raw) < total_bytes:
+            raw += b"\x00" * (total_bytes - len(raw))
+        return cls(raw)
+
+    # -- byte access ------------------------------------------------------
+
+    @property
+    def data(self) -> bytes:
+        return bytes(self._data)
+
+    @data.setter
+    def data(self, value: bytes) -> None:
+        self._data = bytearray(value)
+        self._parsed = None
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- parsing ----------------------------------------------------------
+
+    def _parse(self) -> dict:
+        """Parse the header stack: [NSH] Ethernet [VLAN] IPv4 [TCP|UDP]."""
+        if self._parsed is not None:
+            return self._parsed
+        parsed: dict[str, Any] = {
+            "nsh": None,
+            "eth": None,
+            "vlan": None,
+            "ipv4": None,
+            "tcp": None,
+            "udp": None,
+            "payload_offset": 0,
+        }
+        raw = bytes(self._data)
+        offset = 0
+        # Lemur's NSH encap places NSH at the very front followed by the
+        # original Ethernet frame (next_proto = Ethernet).
+        if len(raw) >= NSHHeader.LENGTH + EthernetHeader.LENGTH:
+            maybe_eth = EthernetHeader.unpack(raw[NSHHeader.LENGTH:])
+            if maybe_eth.ethertype in (ETHERTYPE_IPV4, ETHERTYPE_VLAN) and _looks_like_nsh(
+                raw
+            ):
+                parsed["nsh"] = NSHHeader.unpack(raw)
+                offset = NSHHeader.LENGTH
+        if len(raw) >= offset + EthernetHeader.LENGTH:
+            eth = EthernetHeader.unpack(raw[offset:])
+            parsed["eth"] = eth
+            offset += EthernetHeader.LENGTH
+            ethertype = eth.ethertype
+            if ethertype == ETHERTYPE_VLAN and len(raw) >= offset + VLANHeader.LENGTH:
+                vlan = VLANHeader.unpack(raw[offset:])
+                parsed["vlan"] = vlan
+                offset += VLANHeader.LENGTH
+                ethertype = vlan.ethertype
+            if ethertype == ETHERTYPE_IPV4 and len(raw) >= offset + IPv4Header.LENGTH:
+                ipv4 = IPv4Header.unpack(raw[offset:])
+                parsed["ipv4"] = ipv4
+                offset += IPv4Header.LENGTH
+                if ipv4.proto == PROTO_TCP and len(raw) >= offset + TCPHeader.LENGTH:
+                    parsed["tcp"] = TCPHeader.unpack(raw[offset:])
+                    offset += TCPHeader.LENGTH
+                elif ipv4.proto == PROTO_UDP and len(raw) >= offset + UDPHeader.LENGTH:
+                    parsed["udp"] = UDPHeader.unpack(raw[offset:])
+                    offset += UDPHeader.LENGTH
+        parsed["payload_offset"] = offset
+        self._parsed = parsed
+        return parsed
+
+    @property
+    def nsh(self) -> Optional[NSHHeader]:
+        return self._parse()["nsh"]
+
+    @property
+    def eth(self) -> Optional[EthernetHeader]:
+        return self._parse()["eth"]
+
+    @property
+    def vlan(self) -> Optional[VLANHeader]:
+        return self._parse()["vlan"]
+
+    @property
+    def ipv4(self) -> Optional[IPv4Header]:
+        return self._parse()["ipv4"]
+
+    @property
+    def tcp(self) -> Optional[TCPHeader]:
+        return self._parse()["tcp"]
+
+    @property
+    def udp(self) -> Optional[UDPHeader]:
+        return self._parse()["udp"]
+
+    @property
+    def payload(self) -> bytes:
+        return bytes(self._data[self._parse()["payload_offset"]:])
+
+    @payload.setter
+    def payload(self, value: bytes) -> None:
+        offset = self._parse()["payload_offset"]
+        self._data = self._data[:offset] + bytearray(value)
+        self._parsed = None
+
+    def five_tuple(self):
+        """(src_ip, dst_ip, src_port, dst_port, proto) or None if not IP."""
+        parsed = self._parse()
+        ipv4 = parsed["ipv4"]
+        if ipv4 is None:
+            return None
+        l4 = parsed["tcp"] or parsed["udp"]
+        src_port = l4.src_port if l4 else 0
+        dst_port = l4.dst_port if l4 else 0
+        return (ipv4.src, ipv4.dst, src_port, dst_port, ipv4.proto)
+
+    # -- mutation ---------------------------------------------------------
+
+    def commit(self) -> None:
+        """Re-serialize cached headers back into the byte buffer.
+
+        Headers obtained via the typed properties may be mutated in place;
+        ``commit()`` writes them back at their original offsets.
+        """
+        parsed = self._parse()
+        offset = 0
+        pieces = []
+        if parsed["nsh"] is not None:
+            pieces.append(parsed["nsh"].pack())
+            offset += NSHHeader.LENGTH
+        if parsed["eth"] is not None:
+            pieces.append(parsed["eth"].pack())
+            offset += EthernetHeader.LENGTH
+        if parsed["vlan"] is not None:
+            pieces.append(parsed["vlan"].pack())
+            offset += VLANHeader.LENGTH
+        if parsed["ipv4"] is not None:
+            pieces.append(parsed["ipv4"].pack())
+            offset += IPv4Header.LENGTH
+        if parsed["tcp"] is not None:
+            pieces.append(parsed["tcp"].pack())
+            offset += TCPHeader.LENGTH
+        elif parsed["udp"] is not None:
+            pieces.append(parsed["udp"].pack())
+            offset += UDPHeader.LENGTH
+        tail = bytes(self._data[parsed["payload_offset"]:])
+        self._data = bytearray(b"".join(pieces) + tail)
+        self._parsed = None
+
+    def push_nsh(self, spi: int, si: int) -> None:
+        """Encapsulate with an NSH header (meta-compiler 'NSHencap')."""
+        header = NSHHeader(spi=spi, si=si)
+        self._data = bytearray(header.pack()) + self._data
+        self._parsed = None
+        self.metadata.spi = spi
+        self.metadata.si = si
+
+    def pop_nsh(self) -> Optional[NSHHeader]:
+        """Decapsulate the NSH header, if present ('NSHdecap')."""
+        parsed = self._parse()
+        nsh = parsed["nsh"]
+        if nsh is None:
+            return None
+        self._data = self._data[NSHHeader.LENGTH:]
+        self._parsed = None
+        self.metadata.spi = nsh.spi
+        self.metadata.si = nsh.si
+        return nsh
+
+    def push_vlan(self, vid: int, pcp: int = 0) -> None:
+        """Insert an 802.1Q tag after Ethernet (Tunnel NF / OF SPI-SI)."""
+        parsed = self._parse()
+        eth = parsed["eth"]
+        if eth is None:
+            raise ValueError("cannot push VLAN on a non-Ethernet packet")
+        base = NSHHeader.LENGTH if parsed["nsh"] is not None else 0
+        tag = VLANHeader(vid=vid, pcp=pcp, ethertype=eth.ethertype).pack()
+        eth_end = base + EthernetHeader.LENGTH
+        new_eth = EthernetHeader(dst=eth.dst, src=eth.src, ethertype=ETHERTYPE_VLAN)
+        self._data = (
+            self._data[:base]
+            + bytearray(new_eth.pack())
+            + bytearray(tag)
+            + self._data[eth_end:]
+        )
+        self._parsed = None
+
+    def pop_vlan(self) -> Optional[VLANHeader]:
+        """Remove the 802.1Q tag, if present (Detunnel NF)."""
+        parsed = self._parse()
+        vlan = parsed["vlan"]
+        eth = parsed["eth"]
+        if vlan is None or eth is None:
+            return None
+        base = NSHHeader.LENGTH if parsed["nsh"] is not None else 0
+        eth_end = base + EthernetHeader.LENGTH
+        new_eth = EthernetHeader(dst=eth.dst, src=eth.src, ethertype=vlan.ethertype)
+        self._data = (
+            self._data[:base]
+            + bytearray(new_eth.pack())
+            + self._data[eth_end + VLANHeader.LENGTH:]
+        )
+        self._parsed = None
+        return vlan
+
+    def copy(self) -> "Packet":
+        """Deep-copy the packet (bytes and metadata)."""
+        clone = Packet(bytes(self._data))
+        meta = self.metadata
+        clone.metadata = PacketMetadata(
+            drop_flag=meta.drop_flag,
+            branch_decision=meta.branch_decision,
+            spi=meta.spi,
+            si=meta.si,
+            ingress_port=meta.ingress_port,
+            egress_port=meta.egress_port,
+            chain_id=meta.chain_id,
+            timestamp_us=meta.timestamp_us,
+            cycles_consumed=meta.cycles_consumed,
+            processed_by=list(meta.processed_by),
+            fields=dict(meta.fields),
+        )
+        return clone
+
+    def __repr__(self) -> str:
+        five = self.five_tuple()
+        nsh = self.nsh
+        tag = f" nsh(spi={nsh.spi},si={nsh.si})" if nsh else ""
+        return f"<Packet {len(self)}B {five}{tag}>"
+
+
+def _looks_like_nsh(raw: bytes) -> bool:
+    """Heuristic: does the buffer start with a plausible NSH base header?
+
+    Checks version==0, MD type 2, length==2 words — the exact encoding our
+    ``NSHHeader.pack`` produces, which is what the simulated platforms emit.
+    """
+    if len(raw) < NSHHeader.LENGTH:
+        return False
+    first = int.from_bytes(raw[:4], "big")
+    version = first >> 30
+    length = (first >> 16) & 0x3F
+    md_type = (first >> 8) & 0xF
+    return version == 0 and length == 2 and md_type == 2

@@ -1,0 +1,17 @@
+"""OpenFlow switch substrate (§5.3).
+
+A fixed-table-order match/action pipeline: Lemur can offload header-only
+NFs (ACL, Tunnel/Detunnel, IPv4Fwd, Monitor) to it, and encodes SPI/SI in
+the 12-bit VLAN vid because OF switches lack NSH support.
+"""
+
+from repro.openflow.tables import FlowRule, FlowTable
+from repro.openflow.switch import OpenFlowRuntime, encode_vid, decode_vid
+
+__all__ = [
+    "FlowRule",
+    "FlowTable",
+    "OpenFlowRuntime",
+    "encode_vid",
+    "decode_vid",
+]

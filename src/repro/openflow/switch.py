@@ -1,0 +1,128 @@
+"""OpenFlow switch runtime.
+
+Packets traverse the fixed pipeline front-to-back (a table can ``goto`` a
+later table only). VLAN vid carries the chain coordinate in place of NSH:
+the high bits hold the SPI and the low bits the SI (§5.3) — "specifically,
+the 12-bit vid field as SPI-SI to demultiplex packets for different
+subgroups".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import OpenFlowError
+from repro.hw.openflow import OpenFlowSwitchModel
+from repro.net.packet import Packet
+from repro.openflow.tables import FlowRule, FlowTable
+
+#: vid split: 6 bits of SPI, 6 bits of SI.
+SPI_BITS = 6
+SI_BITS = 6
+
+
+def encode_vid(spi: int, si: int) -> int:
+    """Pack (SPI, SI) into a 12-bit VLAN vid."""
+    if not 0 <= spi < (1 << SPI_BITS):
+        raise OpenFlowError(
+            f"SPI {spi} does not fit the {SPI_BITS}-bit VLAN encoding — "
+            f"too many chains/paths for an OpenFlow deployment"
+        )
+    if not 0 <= si < (1 << SI_BITS):
+        raise OpenFlowError(f"SI {si} does not fit {SI_BITS} bits")
+    return (spi << SI_BITS) | si
+
+
+def decode_vid(vid: int) -> Tuple[int, int]:
+    """Unpack a VLAN vid into (SPI, SI)."""
+    if not 0 <= vid < 4096:
+        raise OpenFlowError(f"not a 12-bit vid: {vid}")
+    return vid >> SI_BITS, vid & ((1 << SI_BITS) - 1)
+
+
+@dataclass
+class OFResult:
+    """Outcome of one pipeline traversal."""
+
+    packet: Packet
+    output_port: Optional[int] = None
+    dropped: bool = False
+
+
+class OpenFlowRuntime:
+    """Executable fixed-pipeline switch built from a hardware model."""
+
+    def __init__(self, model: OpenFlowSwitchModel):
+        self.model = model
+        self.tables: List[FlowTable] = [
+            FlowTable(table_id=spec.index, name=spec.name,
+                      max_rules=spec.max_rules)
+            for spec in model.tables
+        ]
+        self.rx = 0
+        self.drops = 0
+
+    def table(self, table_id: int) -> FlowTable:
+        for table in self.tables:
+            if table.table_id == table_id:
+                return table
+        raise OpenFlowError(f"no table id {table_id}")
+
+    def install(self, table_id: int, rule: FlowRule) -> None:
+        self.table(table_id).add(rule)
+
+    def install_all(self, rules: List[Tuple[int, FlowRule]]) -> None:
+        for table_id, rule in rules:
+            self.install(table_id, rule)
+
+    def process(self, packet: Packet) -> OFResult:
+        """Run one packet through the pipeline, honoring goto ordering."""
+        self.rx += 1
+        table_index = 0
+        output_port: Optional[int] = None
+        while table_index < len(self.tables):
+            table = self.tables[table_index]
+            rule = table.lookup(packet)
+            next_index = table_index + 1
+            if rule is not None:
+                stop = False
+                for action in rule.actions:
+                    kind = action[0]
+                    if kind == "drop":
+                        self.drops += 1
+                        return OFResult(packet=packet, dropped=True)
+                    if kind == "output":
+                        output_port = int(action[1])
+                        stop = True
+                    elif kind == "set_vlan":
+                        vlan = packet.vlan
+                        if vlan is None:
+                            packet.push_vlan(int(action[1]))
+                        else:
+                            vlan.vid = int(action[1])
+                            packet.commit()
+                    elif kind == "push_vlan":
+                        packet.push_vlan(int(action[1]))
+                    elif kind == "pop_vlan":
+                        packet.pop_vlan()
+                    elif kind == "count":
+                        pass  # counters updated in FlowRule.lookup
+                    elif kind == "goto":
+                        target = int(action[1])
+                        if target <= table.table_id:
+                            raise OpenFlowError(
+                                "goto must move forward in the fixed "
+                                f"pipeline (from {table.table_id} to {target})"
+                            )
+                        next_index = self._index_of(target)
+                if stop:
+                    break
+            table_index = next_index
+        return OFResult(packet=packet, output_port=output_port)
+
+    def _index_of(self, table_id: int) -> int:
+        for index, table in enumerate(self.tables):
+            if table.table_id == table_id:
+                return index
+        raise OpenFlowError(f"goto references unknown table {table_id}")

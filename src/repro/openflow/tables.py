@@ -1,0 +1,89 @@
+"""OpenFlow flow tables: priority-ordered match/action rules."""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import OpenFlowError
+from repro.net.packet import Packet
+
+
+@dataclass
+class FlowRule:
+    """One flow rule: match fields + action list.
+
+    Match fields: ``vlan_vid``, ``src_ip``/``dst_ip`` (CIDR), ``src_port``,
+    ``dst_port``, ``proto``. Actions: ``("drop",)``, ``("output", port)``,
+    ``("set_vlan", vid)``, ``("push_vlan", vid)``, ``("pop_vlan",)``,
+    ``("count",)``, ``("goto", table_id)``.
+    """
+
+    priority: int = 100
+    match: Dict[str, object] = field(default_factory=dict)
+    actions: List[tuple] = field(default_factory=list)
+    packets: int = 0
+    bytes: int = 0
+
+    def matches(self, packet: Packet) -> bool:
+        m = self.match
+        if "vlan_vid" in m:
+            vlan = packet.vlan
+            if vlan is None or vlan.vid != m["vlan_vid"]:
+                return False
+        five = packet.five_tuple()
+        if five is None:
+            return not any(
+                k in m for k in
+                ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+            )
+        src, dst, sport, dport, proto = five
+        if "src_ip" in m and ipaddress.ip_address(src) not in \
+                ipaddress.ip_network(str(m["src_ip"]), strict=False):
+            return False
+        if "dst_ip" in m and ipaddress.ip_address(dst) not in \
+                ipaddress.ip_network(str(m["dst_ip"]), strict=False):
+            return False
+        if "src_port" in m and sport != m["src_port"]:
+            return False
+        if "dst_port" in m and dport != m["dst_port"]:
+            return False
+        if "proto" in m and proto != m["proto"]:
+            return False
+        return True
+
+    def render(self, table_id: int) -> str:
+        """ovs-ofctl-style text rendering."""
+        match_s = ",".join(f"{k}={v}" for k, v in sorted(self.match.items()))
+        actions_s = ",".join(
+            ":".join(str(part) for part in action) for action in self.actions
+        )
+        return (f"table={table_id},priority={self.priority},{match_s} "
+                f"actions={actions_s}")
+
+
+@dataclass
+class FlowTable:
+    """One pipeline table with a capacity limit (fixed-function ASIC)."""
+
+    table_id: int
+    name: str
+    max_rules: int = 2048
+    rules: List[FlowRule] = field(default_factory=list)
+
+    def add(self, rule: FlowRule) -> None:
+        if len(self.rules) >= self.max_rules:
+            raise OpenFlowError(
+                f"table {self.name} full ({self.max_rules} rules)"
+            )
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+
+    def lookup(self, packet: Packet) -> Optional[FlowRule]:
+        for rule in self.rules:
+            if rule.matches(packet):
+                rule.packets += 1
+                rule.bytes += len(packet)
+                return rule
+        return None

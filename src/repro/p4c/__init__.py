@@ -1,0 +1,48 @@
+"""PISA pipeline compiler simulator.
+
+Stands in for Barefoot's Tofino P4 compiler. The Placer cannot estimate
+switch stage usage analytically ("it is hard to estimate a priori the number
+of PISA switch stages used by a placement because the PISA compiler performs
+stage packing", §3.2), so Lemur invokes the compiler to check feasibility.
+This package provides:
+
+* a P4 IR (headers, parser trees, match/action tables) — :mod:`repro.p4c.ir`;
+* a library of standalone P4 NFs (§4.2) — :mod:`repro.p4c.nflib`;
+* parse-tree union merging with conflict rejection (§A.2.1) —
+  :mod:`repro.p4c.parser_merge`;
+* table dependency analysis — :mod:`repro.p4c.dependency`;
+* NF-DAG → pipeline-tree conversion (§A.2.2) — :mod:`repro.p4c.pipeline_tree`;
+* three stage allocators (naive / conservative-estimate / optimizing
+  compiler) — :mod:`repro.p4c.stage_alloc`;
+* the top-level :class:`repro.p4c.compiler.PISACompiler`.
+"""
+
+from repro.p4c.ir import P4Header, P4Table, ParseTree, TableDAG, MatchType
+from repro.p4c.parser_merge import merge_parse_trees
+from repro.p4c.dependency import infer_dependencies
+from repro.p4c.stage_alloc import (
+    StageAllocation,
+    allocate_compiler,
+    allocate_conservative,
+    allocate_naive,
+)
+from repro.p4c.parser_exec import ParseResult, execute_parser
+from repro.p4c.compiler import CompileResult, PISACompiler
+
+__all__ = [
+    "P4Header",
+    "P4Table",
+    "ParseTree",
+    "TableDAG",
+    "MatchType",
+    "merge_parse_trees",
+    "infer_dependencies",
+    "StageAllocation",
+    "allocate_compiler",
+    "allocate_conservative",
+    "allocate_naive",
+    "CompileResult",
+    "PISACompiler",
+    "ParseResult",
+    "execute_parser",
+]

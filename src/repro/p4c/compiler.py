@@ -1,0 +1,333 @@
+"""Top-level PISA pipeline compiler.
+
+Given one or more NF chains and, per chain, the set of NF nodes placed on
+the switch, the compiler:
+
+1. instantiates standalone P4 NFs from the library (name-mangled per
+   instance, §4.2);
+2. merges their NF-local parse trees into a unified parser, rejecting the
+   placement on conflicts (§A.2.1);
+3. converts each chain's switch-resident sub-DAG into a pipeline tree,
+   emitting traffic-splitting tables at branches (§A.2.2);
+4. applies Lemur's stage optimizations: no NSH tables for all-switch
+   chains, a single steering/resume table in the first stage, one SI update
+   per service path, and explicit cross-branch/cross-chain exclusivity so
+   the allocator may pack parallel work into shared stages (§4.2 (a)-(d));
+5. packs the resulting table DAG into stages with the selected allocator
+   and reports fit against the switch's stage budget.
+
+The Placer treats this as the authoritative feasibility check — exactly how
+Lemur uses the Tofino compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.chain.graph import NFGraph
+from repro.exceptions import P4CompileError
+from repro.hw.pisa import PISASwitch
+from repro.p4c import nflib
+from repro.p4c.dependency import exclusive_table_pairs, infer_dependencies
+from repro.p4c.ir import P4NF, P4Table, ParseTree, TableDAG
+from repro.p4c.parser_merge import merge_into
+from repro.p4c.pipeline_tree import (
+    SubgroupDAG,
+    TreeNode,
+    build_subgroup_dag,
+    dag_to_tree,
+)
+from repro.p4c.stage_alloc import (
+    StageAllocation,
+    allocate_compiler,
+    allocate_conservative,
+    allocate_naive,
+)
+
+
+@dataclass
+class CompileResult:
+    """Outcome of compiling a set of chains onto the switch."""
+
+    allocation: StageAllocation
+    parser: ParseTree
+    dag: TableDAG
+    chain_tables: Dict[str, List[str]] = field(default_factory=dict)
+    uses_nsh: bool = False
+
+    @property
+    def fits(self) -> bool:
+        return self.allocation.fits
+
+    @property
+    def stage_count(self) -> int:
+        return self.allocation.stage_count
+
+
+def _sanitize(node_id: str) -> str:
+    return node_id.replace(".", "_").replace("-", "_")
+
+
+def _augment_reads(table: P4Table, extra: Set[str]) -> P4Table:
+    return replace(table, reads=frozenset(table.reads | extra))
+
+
+class PISACompiler:
+    """Compiles chain placements for one PISA switch."""
+
+    def __init__(self, switch: Optional[PISASwitch] = None):
+        self.switch = switch or PISASwitch()
+
+    # -- public API ---------------------------------------------------------
+
+    def compile(
+        self,
+        chain_assignments: Sequence[Tuple[NFGraph, Set[str]]],
+        strategy: str = "compiler",
+    ) -> CompileResult:
+        """Compile chains onto the switch.
+
+        ``chain_assignments`` pairs each chain graph with the node ids
+        placed on this switch. ``strategy`` selects the stage allocator:
+        ``compiler`` (default), ``conservative``, or ``naive``.
+        """
+        dag = TableDAG()
+        parser = ParseTree()
+        ordered_scope: List[str] = []
+        # Each partition is a list of table-name sets that are pairwise
+        # mutually exclusive (sibling arms of one branch block, or distinct
+        # chains). Exclusivity never crosses partitions.
+        exclusive_partitions: List[List[Set[str]]] = []
+        nf_groups: List[List[str]] = []
+        chain_tables: Dict[str, List[str]] = {}
+        uses_nsh = False
+
+        steering = nflib.steering_table()
+        dag.add_table(steering)
+        ordered_scope.append(steering.name)
+        nf_groups.append([steering.name])
+
+        per_chain_table_sets: List[Set[str]] = []
+
+        for graph, switch_ids in chain_assignments:
+            switch_ids = set(switch_ids)
+            if not switch_ids:
+                chain_tables[graph.name] = []
+                per_chain_table_sets.append(set())
+                continue
+            chain_guard = f"meta.chain_{_sanitize(graph.name)}"
+            spans_platforms = switch_ids != set(graph.nodes)
+            uses_nsh = uses_nsh or spans_platforms
+            names = self._compile_chain(
+                graph=graph,
+                switch_ids=switch_ids,
+                chain_guard=chain_guard,
+                spans_platforms=spans_platforms,
+                dag=dag,
+                parser=parser,
+                ordered_scope=ordered_scope,
+                exclusive_partitions=exclusive_partitions,
+                nf_groups=nf_groups,
+                strategy=strategy,
+            )
+            chain_tables[graph.name] = names
+            per_chain_table_sets.append(set(names))
+
+        # Chains process disjoint traffic aggregates: every cross-chain
+        # table pair is mutually exclusive (optimization (d) applied at
+        # chain granularity).
+        exclusive_partitions.append([s for s in per_chain_table_sets if s])
+        exclusive_pairs: Set[Tuple[str, str]] = set()
+        for partition in exclusive_partitions:
+            exclusive_pairs |= exclusive_table_pairs(partition)
+
+        if strategy == "naive":
+            allocation = allocate_naive(
+                dag,
+                serialized_order=ordered_scope,
+                resources=self.switch.stage_resources,
+                available_stages=self.switch.num_stages,
+            )
+        else:
+            infer_dependencies(dag, ordered_scope, exclusive_pairs)
+            if strategy == "conservative":
+                allocation = allocate_conservative(
+                    dag,
+                    nf_groups=nf_groups,
+                    resources=self.switch.stage_resources,
+                    available_stages=self.switch.num_stages,
+                )
+            elif strategy == "compiler":
+                allocation = allocate_compiler(
+                    dag,
+                    resources=self.switch.stage_resources,
+                    available_stages=self.switch.num_stages,
+                )
+            else:
+                raise P4CompileError(f"unknown allocation strategy {strategy!r}")
+
+        return CompileResult(
+            allocation=allocation,
+            parser=parser,
+            dag=dag,
+            chain_tables=chain_tables,
+            uses_nsh=uses_nsh,
+        )
+
+    def fits(self, chain_assignments: Sequence[Tuple[NFGraph, Set[str]]]) -> bool:
+        """Feasibility check used by the Placer's iterative search."""
+        try:
+            return self.compile(chain_assignments).fits
+        except P4CompileError:
+            return False
+
+    # -- per-chain lowering ---------------------------------------------------
+
+    def _compile_chain(
+        self,
+        graph: NFGraph,
+        switch_ids: Set[str],
+        chain_guard: str,
+        spans_platforms: bool,
+        dag: TableDAG,
+        parser: ParseTree,
+        ordered_scope: List[str],
+        exclusive_partitions: List[List[Set[str]]],
+        nf_groups: List[List[str]],
+        strategy: str,
+    ) -> List[str]:
+        sg_dag = build_subgroup_dag(graph, sorted(switch_ids))
+        tree = dag_to_tree(sg_dag)
+        if tree is None:
+            return []
+
+        # Instantiate P4 NFs and merge their parsers.
+        p4nfs: Dict[str, P4NF] = {}
+        for node_id in sorted(switch_ids):
+            node = graph.nodes[node_id]
+            p4nf = nflib.make_p4_nf(node.nf_class, _sanitize(node_id), node.params)
+            merge_into(parser, p4nf.parse_tree)
+            p4nfs[node_id] = p4nf
+        if spans_platforms:
+            # Returning packets carry NSH; the unified parser must accept it.
+            parser.headers.add("nsh")
+
+        nf_to_tables: Dict[str, List[str]] = {
+            nf_id: [t.name for t in p4nfs[nf_id].dag.tables] for nf_id in p4nfs
+        }
+
+        # Per-arm guards: tables inside a branch arm are predicated on the
+        # splitting table's decision metadata, and sibling arms are mutually
+        # exclusive (so the allocator may pack them into shared stages).
+        guards: Dict[str, Set[str]] = {nid: {chain_guard} for nid in switch_ids}
+        split_tables: Dict[str, P4Table] = {}  # branching sg -> split table
+        tree_index = _index_tree(tree)
+
+        for sg_id in sg_dag.branching_nodes():
+            split_name = f"{_sanitize(sg_id)}_split"
+            n_arms = len(sg_dag.successors(sg_id))
+            split = nflib.branch_split_table(split_name, n_arms)
+            split = _augment_reads(split, {chain_guard})
+            branch_guard = f"meta.branch_{_sanitize(sg_id)}"
+            split = replace(split, writes=frozenset(split.writes | {branch_guard}))
+            split_tables[sg_id] = split
+            node = tree_index[sg_id]
+            arm_table_groups: List[Set[str]] = []
+            for child in node.children:
+                if child.is_merge:
+                    continue
+                tables: Set[str] = set()
+                for desc in child.preorder():
+                    if desc.is_merge:
+                        continue
+                    for nf_id in desc.subgroup.nf_node_ids:
+                        guards[nf_id].add(branch_guard)
+                        tables.update(nf_to_tables[nf_id])
+                if tables:
+                    arm_table_groups.append(tables)
+            if len(arm_table_groups) >= 2:
+                exclusive_partitions.append(arm_table_groups)
+
+        # Emit tables in preorder: per subgroup, member NFs in order; the
+        # split table rides right after its branching subgroup.
+        emitted: List[str] = []
+        for node in tree.preorder():
+            sg = node.subgroup
+            for nf_id in sg.nf_node_ids:
+                p4nf = p4nfs[nf_id]
+                group: List[str] = []
+                for table in p4nf.dag.tables:
+                    table = _augment_reads(table, guards[nf_id])
+                    dag.add_table(table)
+                    ordered_scope.append(table.name)
+                    emitted.append(table.name)
+                    group.append(table.name)
+                for a, b in p4nf.dag.edges:
+                    dag.add_edge(a, b)
+                nf_groups.append(group)
+                if strategy == "naive":
+                    check = P4Table(
+                        name=f"{_sanitize(nf_id)}_check",
+                        size=16,
+                        entry_bits=16,
+                        reads=frozenset({chain_guard}),
+                        writes=frozenset(),
+                    )
+                    dag.add_table(check)
+                    # checks precede the NF in the serialized order
+                    index = ordered_scope.index(group[0])
+                    ordered_scope.insert(index, check.name)
+                    emitted.append(check.name)
+            split = split_tables.get(sg.sg_id)
+            if split is not None:
+                dag.add_table(split)
+                ordered_scope.append(split.name)
+                emitted.append(split.name)
+                nf_groups.append([split.name])
+
+        # NSH encap/decap (optimization (a): only when spanning platforms;
+        # optimization (b): one SI-update/encap table per service path).
+        if spans_platforms:
+            encap = nflib.nsh_encap_table(f"{_sanitize(graph.name)}_nsh_encap")
+            encap = _augment_reads(encap, {chain_guard})
+            dag.add_table(encap)
+            ordered_scope.append(encap.name)
+            emitted.append(encap.name)
+            nf_groups.append([encap.name])
+            # the encap happens after the last switch NF before each bounce:
+            for nf_id in self._bounce_exit_nodes(graph, switch_ids):
+                for table_name in nf_to_tables[nf_id]:
+                    dag.add_edge(table_name, encap.name)
+
+            # Decap runs on the *return* pass, right after the steering
+            # table recognizes a packet coming back from a server
+            # (optimization (c): resume steering lives in the first stage).
+            # Within a single pipeline traversal encap and decap never both
+            # apply to a packet, so they are mutually exclusive and the
+            # encap→decap NSH-field dependency must not serialize them.
+            decap = nflib.nsh_decap_table(f"{_sanitize(graph.name)}_nsh_decap")
+            decap = _augment_reads(decap, {chain_guard})
+            dag.add_table(decap)
+            ordered_scope.append(decap.name)
+            emitted.append(decap.name)
+            nf_groups.append([decap.name])
+            dag.add_edge("lemur_steering", decap.name)
+            exclusive_partitions.append([{encap.name}, {decap.name}])
+
+        return emitted
+
+    @staticmethod
+    def _bounce_exit_nodes(graph: NFGraph, switch_ids: Set[str]) -> List[str]:
+        """Switch nodes whose successor leaves the switch (bounce points)."""
+        out = []
+        for nid in switch_ids:
+            for edge in graph.out_edges(nid):
+                if edge.dst not in switch_ids:
+                    out.append(nid)
+                    break
+        return out
+
+
+def _index_tree(tree: TreeNode) -> Dict[str, TreeNode]:
+    return {node.subgroup.sg_id: node for node in tree.preorder()}

@@ -1,0 +1,133 @@
+"""Parse-tree interpreter: execute a (merged) P4 parser on packet bytes.
+
+The meta-compiler's §A.2.1 algorithm produces a unified parse tree; this
+module *runs* that tree against real packets — extracting each header's
+fields per the header library's bit layout, reading the select field, and
+following the matching transition — so tests can verify that the merged
+parser accepts exactly the framings its constituent NFs declared.
+
+Framing note: RFC 8300 carries NSH after an outer Ethernet; our simulated
+wire format (see :mod:`repro.net.packet`) places the 8-byte NSH base
+header at the very front of the buffer. When the tree knows the ``nsh``
+header and the buffer starts with a well-formed NSH base header, the
+interpreter consumes it first and then parses the inner frame from the
+tree's root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import P4CompileError
+from repro.net.packet import Packet, _looks_like_nsh
+from repro.p4c.ir import HEADER_LIBRARY, ParseTree
+
+
+class _BitReader:
+    """MSB-first bit cursor over bytes."""
+
+    def __init__(self, data: bytes, bit_offset: int = 0):
+        self.data = data
+        self.bit = bit_offset
+
+    def read(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            byte_index, bit_index = divmod(self.bit, 8)
+            if byte_index >= len(self.data):
+                raise P4CompileError("packet too short for header layout")
+            bit = (self.data[byte_index] >> (7 - bit_index)) & 1
+            value = (value << 1) | bit
+            self.bit += 1
+        return value
+
+    @property
+    def byte_aligned(self) -> bool:
+        return self.bit % 8 == 0
+
+
+@dataclass
+class ParsedHeader:
+    """One extracted header instance."""
+
+    name: str
+    fields: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ParseResult:
+    """Outcome of one parser execution."""
+
+    headers: List[ParsedHeader] = field(default_factory=list)
+    accepted: bool = True
+    consumed_bits: int = 0
+
+    def header(self, name: str) -> Optional[ParsedHeader]:
+        for parsed in self.headers:
+            if parsed.name == name:
+                return parsed
+        return None
+
+    def names(self) -> List[str]:
+        return [h.name for h in self.headers]
+
+
+def execute_parser(tree: ParseTree, packet: Packet) -> ParseResult:
+    """Run the parse tree over a packet's bytes.
+
+    Extraction walks from the tree's root, following select transitions
+    until a state has no matching transition (accept: remaining bytes are
+    payload). Unknown select values with no default transition also
+    accept — P4 parsers fall through to ``ingress``.
+    """
+    data = packet.data
+    result = ParseResult()
+    reader = _BitReader(data)
+
+    if "nsh" in tree.headers and _looks_like_nsh(data):
+        _extract(reader, "nsh", result)
+
+    state = tree.root
+    visited = 0
+    while True:
+        visited += 1
+        if visited > 64:
+            raise P4CompileError("parser loop: too many states")
+        if state not in HEADER_LIBRARY:
+            raise P4CompileError(f"no layout for header {state!r}")
+        parsed = _extract(reader, state, result)
+        transitions = {
+            (fieldname, value): to
+            for (frm, fieldname, value), to in tree.transitions.items()
+            if frm == state
+        }
+        if not transitions:
+            return result
+        select_field = next(iter(transitions))[0]
+        if select_field not in parsed.fields:
+            raise P4CompileError(
+                f"select field {select_field!r} not in header {state!r}"
+            )
+        actual = parsed.fields[select_field]
+        next_state = transitions.get((select_field, actual))
+        if next_state is None:
+            next_state = transitions.get((select_field, None))
+        if next_state is None:
+            return result  # fall through to ingress
+        state = next_state
+
+
+def _extract(reader: _BitReader, header_name: str,
+             result: ParseResult) -> ParsedHeader:
+    layout = HEADER_LIBRARY[header_name]
+    parsed = ParsedHeader(name=header_name)
+    for field_name, bits in layout.fields:
+        parsed.fields[field_name] = reader.read(bits)
+    if not reader.byte_aligned:
+        raise P4CompileError(
+            f"header {header_name!r} layout is not byte-aligned"
+        )
+    result.headers.append(parsed)
+    result.consumed_bits = reader.bit
+    return parsed

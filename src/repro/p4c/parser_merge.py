@@ -1,0 +1,61 @@
+"""Unified-parser construction (§A.2.1).
+
+"The meta-compiler starts from an empty parse tree and merges each P4 NF's
+parse tree into that unified tree. [...] At each parsing state, it compares
+all state transitions between the new tree and the unified tree, and
+integrates any non-existing transitions and new headers. If the
+meta-compiler encounters a conflicting header transition, then it rejects
+this placement because at least two NFs conflict."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import ParserMergeConflict
+from repro.p4c.ir import ParseTree
+
+
+def merge_parse_trees(trees: Iterable[ParseTree]) -> ParseTree:
+    """Union-merge NF-local parse trees into one unified parser.
+
+    Raises :class:`ParserMergeConflict` when two trees disagree on where the
+    same ``(header, select_field, value)`` transition leads — the paper's
+    rejection condition.
+    """
+    unified = ParseTree()
+    for tree in trees:
+        merge_into(unified, tree)
+    return unified
+
+
+def merge_into(unified: ParseTree, tree: ParseTree) -> None:
+    """Merge one NF-local tree into the unified tree, in place."""
+    if tree.root != unified.root:
+        raise ParserMergeConflict(
+            f"parse trees rooted at different headers: "
+            f"{unified.root!r} vs {tree.root!r}"
+        )
+    unified.headers.update(tree.headers)
+    for key, to_header in tree.transitions.items():
+        existing = unified.transitions.get(key)
+        if existing is not None and existing != to_header:
+            from_header, select_field, value = key
+            raise ParserMergeConflict(
+                f"conflicting transition from {from_header!r} on "
+                f"{select_field}={value!r}: {existing!r} vs {to_header!r}"
+            )
+        unified.transitions[key] = to_header
+
+
+def reachable_headers(tree: ParseTree) -> set:
+    """Headers reachable from the root (unreachable ones are codegen bugs)."""
+    seen = {tree.root}
+    frontier = [tree.root]
+    while frontier:
+        header = frontier.pop()
+        for nxt in tree.next_headers(header):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen

@@ -1,0 +1,29 @@
+"""NF profiling (§3.2, Table 4).
+
+The Placer estimates chain throughput from per-NF CPU cycle-cost *profiles*.
+This package holds the default profile database (Table 4 values where the
+paper gives them, calibrated values elsewhere), linear models for
+size-dependent NFs (e.g. ACL cost grows with rule count), and a profiling
+harness that reproduces the paper's 500-run stability measurements.
+"""
+
+from repro.profiles.models import LinearCostModel
+from repro.profiles.defaults import (
+    DEMUX_LB_CYCLES,
+    NSH_ENCAP_DECAP_CYCLES,
+    NFProfile,
+    ProfileDatabase,
+    default_profiles,
+)
+from repro.profiles.profiler import ProfileStats, Profiler
+
+__all__ = [
+    "LinearCostModel",
+    "NFProfile",
+    "ProfileDatabase",
+    "default_profiles",
+    "NSH_ENCAP_DECAP_CYCLES",
+    "DEMUX_LB_CYCLES",
+    "ProfileStats",
+    "Profiler",
+]

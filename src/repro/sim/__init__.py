@@ -1,0 +1,6 @@
+"""Testbed simulator: deploy a placement and measure what it achieves."""
+
+from repro.sim.testbed import TestbedSimulator, TestbedReport
+from repro.sim.measurement import ChainMeasurement
+
+__all__ = ["TestbedSimulator", "TestbedReport", "ChainMeasurement"]

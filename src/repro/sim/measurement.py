@@ -1,0 +1,45 @@
+"""Measurement records produced by the testbed simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ChainMeasurement:
+    """Measured behaviour of one chain under a deployed placement."""
+
+    chain_name: str
+    offered_mbps: float
+    achieved_mbps: float
+    predicted_mbps: float
+    t_min_mbps: float
+    latency_us: float = 0.0
+
+    @property
+    def marginal_mbps(self) -> float:
+        return max(0.0, self.achieved_mbps - self.t_min_mbps)
+
+    @property
+    def slo_met(self) -> bool:
+        return self.achieved_mbps + 1e-6 >= self.t_min_mbps
+
+    @property
+    def prediction_error(self) -> float:
+        """(measured − predicted) / predicted; positive = conservative."""
+        if self.predicted_mbps <= 0:
+            return 0.0
+        return (self.achieved_mbps - self.predicted_mbps) / self.predicted_mbps
+
+
+@dataclass
+class PacketTraceResult:
+    """Outcome of packet-level execution through generated pipelines."""
+
+    chain_name: str
+    injected: int
+    delivered: int
+    dropped: int
+    nf_trail: List[str] = field(default_factory=list)
+    exit_ports: Dict[int, int] = field(default_factory=dict)

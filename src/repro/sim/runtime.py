@@ -1,0 +1,378 @@
+"""Deployed-rack runtime: execute generated code on real packets.
+
+Ties the substrates together the way the testbed does: the ToR runtime
+classifies ingress traffic onto service paths and coordinates execution
+(§4.1), BESS pipelines built from generated IR run on servers, verified
+eBPF programs run on SmartNICs, and generated rules run on an OpenFlow
+ToR. Used to validate that generated routing visits every NF of a chain
+in order across platforms.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bess.module import Pipeline
+from repro.bess.modules import make_nf_module
+from repro.bess.nsh_modules import PortInc, PortOut
+from repro.bess.pipeline import build_bess_pipeline
+from repro.chain.graph import NFChain
+from repro.core.placement import ChainPlacement, Placement
+from repro.ebpf.nic import SmartNICRuntime, XDPAction
+from repro.exceptions import DataplaneError
+from repro.hw.openflow import OpenFlowSwitchModel
+from repro.hw.platform import Platform
+from repro.hw.topology import Topology
+from repro.metacompiler.compiler import CompiledArtifacts
+from repro.metacompiler.nsh import ServicePath
+from repro.net.packet import Packet
+from repro.openflow.switch import OpenFlowRuntime, decode_vid, encode_vid
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.sim.measurement import PacketTraceResult
+
+_MAX_EVENTS = 1000
+
+
+@dataclass
+class _ServerRuntime:
+    pipeline: Pipeline
+    port_inc: PortInc
+    port_out: PortOut
+
+
+class DeployedRack:
+    """A rack with compiled artifacts installed on every device."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        artifacts: CompiledArtifacts,
+        profiles: Optional[ProfileDatabase] = None,
+        seed: int = 23,
+    ):
+        self.topology = topology
+        self.artifacts = artifacts
+        self.profiles = profiles or default_profiles()
+        self.seed = seed
+        self.rng = random.Random(f"rack/{seed}")
+
+        self.paths_by_spi: Dict[int, ServicePath] = {
+            path.spi: path for path in artifacts.routing.service_paths
+        }
+
+        self.servers: Dict[str, _ServerRuntime] = {}
+        for server_name, ir in artifacts.bess.items():
+            pipeline, port_inc, port_out, _sched = build_bess_pipeline(
+                ir, self.profiles, seed=seed,
+                freq_hz=topology.server(server_name).freq_hz,
+            )
+            self.servers[server_name] = _ServerRuntime(
+                pipeline=pipeline, port_inc=port_inc, port_out=port_out
+            )
+
+        self.nics: Dict[str, SmartNICRuntime] = {}
+        for nic_name, (program, nf_specs) in artifacts.ebpf.items():
+            runtime = SmartNICRuntime(
+                topology.smartnic(nic_name), self.profiles, seed=seed
+            )
+            runtime.load(program, nf_specs)
+            self.nics[nic_name] = runtime
+
+        self.of_runtime: Optional[OpenFlowRuntime] = None
+        if isinstance(topology.switch, OpenFlowSwitchModel):
+            self.of_runtime = OpenFlowRuntime(topology.switch)
+            self.of_runtime.install_all(artifacts.openflow_rules)
+
+        #: functional modules for switch-placed NFs, keyed by node id
+        self._switch_modules: Dict[str, object] = {}
+
+    # -- classification ---------------------------------------------------------
+
+    def classify(self, chain_placement: ChainPlacement, packet: Packet
+                 ) -> ServicePath:
+        """Pick the service path a packet takes through a chain.
+
+        Walks the chain DAG evaluating branch-arm conditions against the
+        packet (vlan tag / 5-tuple fields); unconditional splits choose by
+        a stable flow hash weighted with the operators' split estimates.
+        This is the switch's initial SPI/SI classification (§4.1).
+        """
+        graph = chain_placement.chain.graph
+        node_path: List[str] = []
+        (current,) = graph.entry_nodes()
+        while True:
+            node_path.append(current)
+            edges = graph.out_edges(current)
+            if not edges:
+                break
+            if len(edges) == 1:
+                current = edges[0].dst
+                continue
+            conditioned = [e for e in edges if e.condition]
+            chosen = None
+            for edge in conditioned:
+                if _edge_condition_matches(edge.condition, packet):
+                    chosen = edge
+                    break
+            if chosen is None:
+                unconditioned = [e for e in edges if not e.condition]
+                pool = unconditioned or edges
+                digest = zlib.crc32(repr(packet.five_tuple()).encode())
+                total = sum(e.fraction for e in pool)
+                point = (digest % 10_000) / 10_000 * total
+                acc = 0.0
+                chosen = pool[-1]
+                for edge in pool:
+                    acc += edge.fraction
+                    if point < acc:
+                        chosen = edge
+                        break
+            current = chosen.dst
+        for path in self.paths_by_spi.values():
+            if (path.chain_name == chain_placement.name
+                    and path.node_ids == node_path):
+                return path
+        raise DataplaneError(
+            f"no service path matches route {node_path} of chain "
+            f"{chain_placement.name}"
+        )
+
+    # -- event loop ---------------------------------------------------------------
+
+    def inject(self, chain_placement: ChainPlacement, packet: Packet
+               ) -> Optional[Packet]:
+        """Run one packet through its chain; returns it on egress, None if
+        dropped anywhere."""
+        path = self.classify(chain_placement, packet)
+        packet.metadata.chain_id = chain_placement.name
+        spi, si = path.spi, path.si_of[path.node_ids[0]]
+        excursions = 0
+        switch_passes = 1
+
+        for _ in range(_MAX_EVENTS):
+            path = self.paths_by_spi.get(spi)
+            if path is None:
+                raise DataplaneError(f"unknown SPI {spi}")
+            if si == 0:
+                self._stamp_latency(packet, excursions, switch_passes)
+                return packet  # chain complete: egress at the ToR
+            hop_index = _hop_index_for(path, si)
+            hop = path.hops[hop_index]
+            nxt = path.hop_after(hop_index)
+
+            if hop.device == self.topology.switch.name:
+                survived = self._run_switch_hop(chain_placement, hop, packet)
+                if not survived:
+                    return None
+                if nxt is None:
+                    self._stamp_latency(packet, excursions, switch_passes)
+                    return packet
+                spi, si = path.spi, nxt.entry_si
+                continue
+
+            excursions += 1
+            switch_passes += 1
+            if hop.platform == Platform.SERVER.value:
+                out = self._run_server_hop(hop.device, packet, spi, si)
+            elif hop.platform == Platform.SMARTNIC.value:
+                out = self._run_nic_hop(hop.device, packet, spi, si)
+            else:
+                raise DataplaneError(f"unexpected hop platform {hop.platform}")
+            if out is None:
+                return None
+            packet = out
+            nsh = packet.pop_nsh()
+            if nsh is None:
+                raise DataplaneError(
+                    f"packet returned from {hop.device} without NSH"
+                )
+            spi, si = nsh.spi, nsh.si
+        raise DataplaneError("packet exceeded the rack event budget (loop?)")
+
+    def _stamp_latency(self, packet: Packet, excursions: int,
+                       switch_passes: int) -> None:
+        """Record the packet's end-to-end latency (µs) in its metadata.
+
+        Execution time comes from the cycles the functional modules
+        actually charged; propagation/queueing follows the topology's
+        per-bounce model — so rack-measured latency is comparable with
+        (and, sampling real cycle counts, usually below) the Placer's
+        worst-case estimate.
+        """
+        from repro.core.rates import SWITCH_TRANSIT_US
+
+        freq = (self.topology.servers[0].freq_hz
+                if self.topology.servers else 1.7e9)
+        exec_us = packet.metadata.cycles_consumed / freq * 1e6
+        packet.metadata.fields["latency_us"] = (
+            exec_us
+            + excursions * self.topology.bounce_rtt_us
+            + switch_passes * SWITCH_TRANSIT_US
+        )
+
+    def _run_switch_hop(self, cp: ChainPlacement, hop, packet: Packet) -> bool:
+        """Execute switch-placed NFs functionally (line-rate pipeline)."""
+        if self.of_runtime is not None:
+            vid = encode_vid(
+                *_of_coordinates(self.paths_by_spi, hop)
+            )
+            if packet.vlan is None:
+                packet.push_vlan(vid)
+            else:
+                packet.vlan.vid = vid
+                packet.commit()
+            result = self.of_runtime.process(packet)
+            if result.dropped:
+                return False
+            packet.pop_vlan()
+            return True
+        for nid in hop.node_ids:
+            module = self._switch_module(cp, nid)
+            outputs = module.receive(packet)
+            if not outputs:
+                return False
+        return True
+
+    def _switch_module(self, cp: ChainPlacement, node_id: str):
+        module = self._switch_modules.get(node_id)
+        if module is None:
+            node = cp.chain.graph.nodes[node_id]
+            module = make_nf_module(
+                node.nf_class,
+                node.params,
+                name=f"tor/{node_id}",
+                database=self.profiles,
+                seed=f"{self.seed}/tor",
+            )
+            # the PISA/OF pipeline runs at line rate: its NFs transform
+            # packets functionally but charge no CPU cycles
+            module.database = None
+            self._switch_modules[node_id] = module
+        return module
+
+    def _run_server_hop(self, server: str, packet: Packet,
+                        spi: int, si: int) -> Optional[Packet]:
+        runtime = self.servers.get(server)
+        if runtime is None:
+            raise DataplaneError(f"no BESS pipeline deployed on {server}")
+        packet.push_nsh(spi, si)
+        runtime.pipeline.push(packet, entry=runtime.port_inc.name)
+        emitted = runtime.port_out.drain()
+        if not emitted:
+            return None
+        if len(emitted) != 1:
+            raise DataplaneError(
+                f"{server}: expected one packet out, got {len(emitted)}"
+            )
+        return emitted[0]
+
+    def _run_nic_hop(self, nic: str, packet: Packet,
+                     spi: int, si: int) -> Optional[Packet]:
+        runtime = self.nics.get(nic)
+        if runtime is None:
+            raise DataplaneError(f"no eBPF program loaded on {nic}")
+        packet.push_nsh(spi, si)
+        action, out = runtime.process(packet)
+        if action is not XDPAction.TX:
+            return None
+        return out
+
+    # -- tracing ------------------------------------------------------------------
+
+    def trace_chains(
+        self,
+        placement: Placement,
+        packets_per_chain: int = 32,
+    ) -> Dict[str, PacketTraceResult]:
+        """Inject packets per chain and report delivery + NF trails."""
+        results: Dict[str, PacketTraceResult] = {}
+        for cp in placement.chains:
+            delivered = 0
+            dropped = 0
+            trail: List[str] = []
+            exit_ports: Dict[int, int] = {}
+            for index in range(packets_per_chain):
+                packet = _chain_packet(cp.chain, index)
+                out = self.inject(cp, packet)
+                if out is None:
+                    dropped += 1
+                    continue
+                delivered += 1
+                if not trail:
+                    trail = list(out.metadata.processed_by)
+                port = out.metadata.egress_port or 0
+                exit_ports[port] = exit_ports.get(port, 0) + 1
+            results[cp.name] = PacketTraceResult(
+                chain_name=cp.name,
+                injected=packets_per_chain,
+                delivered=delivered,
+                dropped=dropped,
+                nf_trail=trail,
+                exit_ports=exit_ports,
+            )
+        return results
+
+
+def _hop_index_for(path: ServicePath, si: int) -> int:
+    for index, hop in enumerate(path.hops):
+        if hop.entry_si == si:
+            return index
+    raise DataplaneError(
+        f"SPI {path.spi}: no hop enters at SI {si} "
+        f"(hops at {[h.entry_si for h in path.hops]})"
+    )
+
+
+def _edge_condition_matches(condition: dict, packet: Packet) -> bool:
+    if "vlan_tag" in condition:
+        vlan = packet.vlan
+        if vlan is None or vlan.vid != condition["vlan_tag"]:
+            return False
+    five = packet.five_tuple()
+    if five is not None:
+        src, dst, sport, dport, proto = five
+        checks = {
+            "src_port": sport, "dst_port": dport, "proto": proto,
+        }
+        for key, actual in checks.items():
+            if key in condition and condition[key] != actual:
+                return False
+    return True
+
+
+def _of_coordinates(paths_by_spi: Dict[int, ServicePath], hop
+                    ) -> Tuple[int, int]:
+    """(SPI, path-position) pair matching the OF rule generator's
+    6-bit VLAN encoding (position = INITIAL_SI - entry SI)."""
+    from repro.metacompiler.nsh import INITIAL_SI
+
+    for path in paths_by_spi.values():
+        if hop in path.hops:
+            return path.spi, INITIAL_SI - hop.entry_si
+    raise DataplaneError("hop does not belong to any service path")
+
+
+def _chain_packet(chain: NFChain, index: int) -> Packet:
+    """Build a packet inside the chain's traffic aggregate."""
+    aggregate = chain.aggregate
+    src = "10.1.0." + str(index % 200 + 1)
+    dst = "10.0.0." + str(index % 200 + 1)
+    if aggregate.src_prefix:
+        base = aggregate.src_prefix.split("/")[0].rsplit(".", 1)[0]
+        src = f"{base}.{index % 200 + 1}"
+    if aggregate.dst_prefix:
+        base = aggregate.dst_prefix.split("/")[0].rsplit(".", 1)[0]
+        dst = f"{base}.{index % 200 + 1}"
+    payload = (b"lemur-payload-" + str(index).encode()) * 8
+    return Packet.build(
+        src_ip=src,
+        dst_ip=dst,
+        src_port=1024 + index,
+        dst_port=aggregate.dst_port or 80,
+        proto=aggregate.proto or 6,
+        payload=payload,
+        total_bytes=512,
+    )

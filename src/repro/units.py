@@ -1,0 +1,68 @@
+"""Unit helpers.
+
+All rates inside the library are plain floats in **Mbps**; all latencies are
+floats in **microseconds**; CPU costs are **cycles per packet**. These helpers
+exist so that configuration and tests can speak in natural units without
+sprinkling magic constants.
+"""
+
+from __future__ import annotations
+
+#: Simulated average packet size (bytes). The paper's testbed drives MTU-sized
+#: frames; every pps<->bps conversion in the library uses this default unless
+#: a caller overrides it.
+DEFAULT_PACKET_BYTES = 1500
+
+#: Bits per default packet.
+DEFAULT_PACKET_BITS = DEFAULT_PACKET_BYTES * 8
+
+
+def mbps(value: float) -> float:
+    """Identity, for readability at call sites: ``mbps(40_000)``."""
+    return float(value)
+
+
+def gbps(value: float) -> float:
+    """Convert Gbps to the library's Mbps floats."""
+    return float(value) * 1000.0
+
+
+def mbps_to_gbps(value: float) -> float:
+    """Convert an internal Mbps value back to Gbps for reporting."""
+    return float(value) / 1000.0
+
+
+def pps_to_mbps(pps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> float:
+    """Packets/sec to Mbps at a given packet size."""
+    return pps * packet_bytes * 8 / 1e6
+
+
+def mbps_to_pps(rate_mbps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> float:
+    """Mbps to packets/sec at a given packet size."""
+    return rate_mbps * 1e6 / (packet_bytes * 8)
+
+
+def cycles_to_rate_mbps(
+    cycles: float,
+    freq_hz: float,
+    packet_bytes: int = DEFAULT_PACKET_BYTES,
+) -> float:
+    """Single-core rate of an NF costing ``cycles`` per packet (§3.2: f/c)."""
+    if cycles <= 0:
+        raise ValueError(f"cycle cost must be positive, got {cycles}")
+    return pps_to_mbps(freq_hz / cycles, packet_bytes)
+
+
+def us(value: float) -> float:
+    """Identity for microseconds, for readability."""
+    return float(value)
+
+
+def ms(value: float) -> float:
+    """Milliseconds to microseconds."""
+    return float(value) * 1000.0
+
+
+def seconds_to_us(value: float) -> float:
+    """Seconds to microseconds."""
+    return float(value) * 1e6

@@ -1,0 +1,174 @@
+"""NSH shared modules and scheduler tree tests (§A.1)."""
+
+import pytest
+
+from repro.bess.nsh_modules import (
+    NSHDecap,
+    NSHEncap,
+    PortInc,
+    PortOut,
+    SIUpdate,
+    SubgroupDemux,
+)
+from repro.bess.scheduler import (
+    LeafTask,
+    RateLimitNode,
+    RoundRobinNode,
+    SchedulerTree,
+)
+from repro.exceptions import DataplaneError
+from repro.net.packet import Packet
+
+
+class TestNSHModules:
+    def test_decap_records_metadata(self):
+        pkt = Packet.build()
+        pkt.push_nsh(9, 250)
+        decap = NSHDecap("d")
+        (gate, out), = decap.receive(pkt)
+        assert out.nsh is None
+        assert out.metadata.spi == 9
+        assert out.metadata.si == 250
+
+    def test_encap_uses_metadata(self):
+        pkt = Packet.build()
+        pkt.metadata.spi, pkt.metadata.si = 3, 100
+        encap = NSHEncap("e")
+        (gate, out), = encap.receive(pkt)
+        assert out.nsh.spi == 3 and out.nsh.si == 100
+
+    def test_encap_fixed_params(self):
+        encap = NSHEncap("e", params={"spi": 7, "si": 77})
+        (gate, out), = encap.receive(Packet.build())
+        assert out.nsh.spi == 7
+
+    def test_encap_without_values_raises(self):
+        with pytest.raises(DataplaneError):
+            NSHEncap("e").receive(Packet.build())
+
+    def test_portout_collects(self):
+        out = PortOut("po")
+        out.receive(Packet.build())
+        out.receive(Packet.build())
+        drained = out.drain()
+        assert len(drained) == 2
+        assert out.drain() == []
+
+
+class TestSubgroupDemux:
+    def _tagged(self, spi, si):
+        pkt = Packet.build()
+        pkt.metadata.spi, pkt.metadata.si = spi, si
+        return pkt
+
+    def test_routes_by_spi_si(self):
+        demux = SubgroupDemux("d")
+        (g1,) = demux.register(1, 255)
+        (g2,) = demux.register(2, 255)
+        (gate, _), = demux.receive(self._tagged(2, 255))
+        assert gate == g2
+
+    def test_unknown_route_drops(self):
+        demux = SubgroupDemux("d")
+        demux.register(1, 255)
+        assert demux.receive(self._tagged(9, 9)) == []
+
+    def test_replicated_subgroup_flow_affinity(self):
+        demux = SubgroupDemux("d")
+        gates = demux.register(1, 255, instances=4)
+        assert len(gates) == 4
+        pkt_a1 = Packet.build(src_port=100)
+        pkt_a2 = Packet.build(src_port=100)
+        for p in (pkt_a1, pkt_a2):
+            p.metadata.spi, p.metadata.si = 1, 255
+        (gate1, _), = demux.receive(pkt_a1)
+        (gate2, _), = demux.receive(pkt_a2)
+        assert gate1 == gate2  # same flow, same instance
+
+    def test_replication_costs_lb_cycles(self):
+        from repro.profiles.defaults import DEMUX_LB_CYCLES
+        demux = SubgroupDemux("d")
+        demux.register(1, 255, instances=2)
+        pkt = self._tagged(1, 255)
+        demux.receive(pkt)
+        assert pkt.metadata.cycles_consumed >= DEMUX_LB_CYCLES
+
+    def test_duplicate_registration_rejected(self):
+        demux = SubgroupDemux("d")
+        demux.register(1, 255)
+        with pytest.raises(DataplaneError):
+            demux.register(1, 255)
+
+
+class TestSIUpdate:
+    def test_next_map(self):
+        update = SIUpdate("u", params={"next_map": {(1, 255): (1, 200)}})
+        pkt = Packet.build()
+        pkt.metadata.spi, pkt.metadata.si = 1, 255
+        update.receive(pkt)
+        assert (pkt.metadata.spi, pkt.metadata.si) == (1, 200)
+
+    def test_next_map_miss_drops(self):
+        update = SIUpdate("u", params={"next_map": {}})
+        pkt = Packet.build()
+        pkt.metadata.spi, pkt.metadata.si = 1, 255
+        assert update.receive(pkt) == []
+
+    def test_default_decrement(self):
+        update = SIUpdate("u")
+        pkt = Packet.build()
+        pkt.metadata.spi, pkt.metadata.si = 1, 10
+        update.receive(pkt)
+        assert pkt.metadata.si == 9
+
+
+class TestScheduler:
+    def _task(self, name, cycles):
+        state = {"left": 5}
+
+        def work():
+            if state["left"] <= 0:
+                return 0
+            state["left"] -= 1
+            return cycles
+
+        return LeafTask(name=name, work_fn=work)
+
+    def test_round_robin_rotates(self):
+        root = RoundRobinNode("root")
+        t1, t2 = self._task("t1", 10), self._task("t2", 10)
+        root.add(t1)
+        root.add(t2)
+        picked = [root.next_task().name for _ in range(4)]
+        assert picked == ["t1", "t2", "t1", "t2"]
+
+    def test_core_quantum_budget(self):
+        tree = SchedulerTree()
+        tree.assign(0, self._task("t", 100))
+        core = tree.core(0)
+        spent = core.run_quantum(max_cycles=250)
+        assert spent == 300  # 3 runs pushed it past the budget
+
+    def test_rate_limit_blocks_when_empty(self):
+        limiter = RateLimitNode("rl", rate_mbps=100.0, burst_bits=100.0)
+        limiter.add(self._task("t", 10))
+        assert limiter.consume(100.0)  # drain the bucket
+        assert limiter.next_task() is None
+        limiter.advance(dt_us=1000.0)  # refill
+        assert limiter.next_task() is not None
+
+    def test_rate_limit_consume(self):
+        limiter = RateLimitNode("rl", rate_mbps=100.0, burst_bits=1000.0)
+        assert limiter.consume(800)
+        assert not limiter.consume(800)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(DataplaneError):
+            RateLimitNode("rl", rate_mbps=0)
+
+    def test_utilization(self):
+        tree = SchedulerTree(freq_hz=1e9)
+        tree.assign(0, self._task("t", 1000))
+        tree.core(0).run_quantum(max_cycles=10_000)
+        util = tree.utilization(duration_s=1e-5)
+        assert 0 < util[0] <= 1.0

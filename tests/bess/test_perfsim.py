@@ -1,0 +1,97 @@
+"""Performance-model tests: socket assignment, sampled capacity, NIC
+water-filling."""
+
+import random
+
+import pytest
+
+from repro.bess.perfsim import ServerPerfModel, SubgroupLoad, waterfill_nic
+from repro.hw.server import paper_nf_server
+from repro.profiles.defaults import default_profiles
+
+
+@pytest.fixture()
+def model():
+    return ServerPerfModel(paper_nf_server(), default_profiles(), seed=1)
+
+
+def load(cores=1, nf="Encrypt", fraction=1.0, sg_id="sg"):
+    return SubgroupLoad(sg_id=sg_id, chain_name="c", cores=cores,
+                        nf_costs=[(nf, None, fraction)])
+
+
+class TestSocketAssignment:
+    def test_small_loads_land_on_nic_socket(self, model):
+        loads = [load(cores=2, sg_id="a"), load(cores=2, sg_id="b")]
+        model.assign_sockets(loads)
+        assert all(l.numa_same for l in loads)
+
+    def test_overflow_spills_cross_socket(self, model):
+        # NIC socket has 7 free cores (8 minus demux)
+        loads = [load(cores=6, sg_id="a"), load(cores=6, sg_id="b")]
+        model.assign_sockets(loads)
+        assert sorted(l.numa_same for l in loads) == [False, True]
+
+    def test_split_load_is_cross_numa(self, model):
+        loads = [load(cores=15, sg_id="big")]
+        model.assign_sockets(loads)
+        assert not loads[0].numa_same
+
+
+class TestSampledCapacity:
+    def test_capacity_within_profile_band(self, model):
+        profiles = default_profiles()
+        l = load(cores=1)
+        worst = profiles.server_cycles("Encrypt") + 220
+        best_mean = worst / 1.05
+        for _ in range(20):
+            cap = model.subgroup_capacity_mbps(l)
+            upper = 1.7e9 / (best_mean * 0.9) * 12000 / 1e6
+            lower = 1.7e9 / (worst + 1) * 12000 / 1e6
+            assert lower <= cap <= upper
+
+    def test_numa_same_faster_on_average(self):
+        profiles = default_profiles()
+        model = ServerPerfModel(paper_nf_server(), profiles, seed=2)
+        same = load(cores=1)
+        same.numa_same = True
+        diff = load(cores=1)
+        diff.numa_same = False
+        same_caps = [model.subgroup_capacity_mbps(same) for _ in range(50)]
+        diff_caps = [model.subgroup_capacity_mbps(diff) for _ in range(50)]
+        assert sum(same_caps) / 50 > sum(diff_caps) / 50
+
+    def test_cores_scale_capacity(self, model):
+        one = model.subgroup_capacity_mbps(load(cores=1))
+        four = model.subgroup_capacity_mbps(load(cores=4))
+        assert 3.0 < four / one < 4.2
+
+
+class TestWaterfill:
+    def test_no_users_untouched(self):
+        demands = {"a": 100.0, "b": 50.0}
+        out = waterfill_nic(demands, {"a": 0.0, "b": 0.0}, 10.0)
+        assert out == demands
+
+    def test_fair_split_when_saturated(self):
+        out = waterfill_nic({"a": 100.0, "b": 100.0},
+                            {"a": 1.0, "b": 1.0}, 40.0)
+        assert out["a"] == pytest.approx(20.0)
+        assert out["b"] == pytest.approx(20.0)
+
+    def test_small_demand_satisfied_first(self):
+        out = waterfill_nic({"a": 5.0, "b": 100.0},
+                            {"a": 1.0, "b": 1.0}, 40.0)
+        assert out["a"] == pytest.approx(5.0)
+        assert out["b"] == pytest.approx(35.0)
+
+    def test_visit_weight_charges_more(self):
+        out = waterfill_nic({"a": 100.0, "b": 100.0},
+                            {"a": 2.0, "b": 1.0}, 60.0)
+        # total consumption = 2*ra + rb <= 60
+        assert 2 * out["a"] + out["b"] <= 60.0 + 1e-9
+
+    def test_under_capacity_unchanged(self):
+        out = waterfill_nic({"a": 10.0, "b": 10.0},
+                            {"a": 1.0, "b": 1.0}, 100.0)
+        assert out == {"a": 10.0, "b": 10.0}

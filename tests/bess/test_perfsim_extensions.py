@@ -1,0 +1,102 @@
+"""Opt-in performance-model refinements: cache contention (ResQ, §5.2)
+and egress-aware traffic fractions (data-dependent NFs, §5.2)."""
+
+import pytest
+
+from repro.bess.perfsim import ServerPerfModel, SubgroupLoad
+from repro.chain.graph import chains_from_spec
+from repro.hw.server import paper_nf_server
+from repro.profiles.defaults import default_profiles
+
+
+def load(sg_id="sg", cores=1):
+    return SubgroupLoad(sg_id=sg_id, chain_name="c", cores=cores,
+                        nf_costs=[("Encrypt", None, 1.0)])
+
+
+class TestCacheContention:
+    def test_default_off(self):
+        base = ServerPerfModel(paper_nf_server(), default_profiles(), seed=3)
+        knob = ServerPerfModel(paper_nf_server(), default_profiles(), seed=3,
+                               cache_contention=0.0)
+        loads = [load("a"), load("b"), load("c")]
+        base.assign_sockets(loads)
+        knob.assign_sockets(loads)
+        assert base.subgroup_capacity_mbps(load("x")) == pytest.approx(
+            knob.subgroup_capacity_mbps(load("x"))
+        )
+
+    def test_contention_lowers_capacity(self):
+        quiet = ServerPerfModel(paper_nf_server(), default_profiles(),
+                                seed=3)
+        noisy = ServerPerfModel(paper_nf_server(), default_profiles(),
+                                seed=3, cache_contention=0.03)
+        loads_q = [load("a"), load("b"), load("c"), load("d")]
+        loads_n = [load("a"), load("b"), load("c"), load("d")]
+        quiet.assign_sockets(loads_q)
+        noisy.assign_sockets(loads_n)
+        q = sum(quiet.subgroup_capacity_mbps(l) for l in loads_q)
+        n = sum(noisy.subgroup_capacity_mbps(l) for l in loads_n)
+        assert n < q
+
+    def test_resq_bound(self):
+        """With short queues (the paper's regime), interference stays
+        within a few percent — ResQ's 3% bound."""
+        quiet = ServerPerfModel(paper_nf_server(), default_profiles(),
+                                seed=3)
+        noisy = ServerPerfModel(paper_nf_server(), default_profiles(),
+                                seed=3, cache_contention=0.01)
+        loads_q = [load("a"), load("b"), load("c")]
+        loads_n = [load("a"), load("b"), load("c")]
+        quiet.assign_sockets(loads_q)
+        noisy.assign_sockets(loads_n)
+        q = sum(quiet.subgroup_capacity_mbps(l) for l in loads_q)
+        n = sum(noisy.subgroup_capacity_mbps(l) for l in loads_n)
+        assert (q - n) / q < 0.03
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPerfModel(paper_nf_server(), default_profiles(),
+                            cache_contention=0.9)
+
+
+class TestEgressAwareFractions:
+    def test_default_matches_paper_behavior(self):
+        chain = chains_from_spec(
+            "chain c: Dedup(egress_ratio=0.6) -> Monitor -> IPv4Fwd"
+        )[0]
+        fractions = chain.graph.node_fractions()
+        assert all(f == pytest.approx(1.0) for f in fractions.values())
+
+    def test_egress_ratio_attenuates_downstream(self):
+        chain = chains_from_spec(
+            "chain c: Dedup(egress_ratio=0.6) -> Monitor -> IPv4Fwd"
+        )[0]
+        fractions = chain.graph.node_fractions(egress_aware=True)
+        order = chain.graph.topological_order()
+        assert fractions[order[0]] == pytest.approx(1.0)   # Dedup input
+        assert fractions[order[1]] == pytest.approx(0.6)   # after Dedup
+        assert fractions[order[2]] == pytest.approx(0.6)
+
+    def test_vocabulary_default_ratio_is_one(self):
+        chain = chains_from_spec("chain c: Dedup -> Monitor")[0]
+        fractions = chain.graph.node_fractions(egress_aware=True)
+        assert all(f == pytest.approx(1.0) for f in fractions.values())
+
+    def test_compound_attenuation(self):
+        chain = chains_from_spec(
+            "chain c: Dedup(egress_ratio=0.5) -> "
+            "Dedup(egress_ratio=0.5) -> Monitor"
+        )[0]
+        fractions = chain.graph.node_fractions(egress_aware=True)
+        (exit_node,) = chain.graph.exit_nodes()
+        assert fractions[exit_node] == pytest.approx(0.25)
+
+    def test_branches_combine_with_ratio(self):
+        chain = chains_from_spec(
+            "chain c: Dedup(egress_ratio=0.5) -> [Monitor, Encrypt]"
+            " -> UrlFilter"
+        )[0]
+        fractions = chain.graph.node_fractions(egress_aware=True)
+        (exit_node,) = chain.graph.exit_nodes()
+        assert fractions[exit_node] == pytest.approx(0.5)

@@ -1,0 +1,131 @@
+"""Time-stepped server execution tests: does the scheduled, executing
+server agree with the analytic capacity model?"""
+
+import pytest
+
+from repro.bess.modules import make_nf_module
+from repro.bess.runner import ServerRunner
+from repro.exceptions import DataplaneError
+from repro.profiles.defaults import default_profiles
+from repro.units import mbps_to_pps
+
+PROFILES = default_profiles()
+FREQ = 1.7e9
+
+
+def encrypt_head(instance):
+    return make_nf_module("Encrypt", name=f"enc{instance}",
+                          database=PROFILES, seed=instance)
+
+
+def monitor_head(instance):
+    return make_nf_module("Monitor", name=f"mon{instance}",
+                          database=PROFILES, seed=instance)
+
+
+def analytic_pps(nf_class):
+    return FREQ / PROFILES.server_cycles(nf_class)
+
+
+class TestThroughputAgreement:
+    def test_underload_passes_everything(self):
+        runner = ServerRunner(freq_hz=FREQ)
+        runner.add_subgroup("enc", encrypt_head, cores=[1])
+        capacity = analytic_pps("Encrypt")
+        reports = runner.run({"enc": capacity * 0.5}, duration_us=20_000)
+        report = reports["enc"]
+        assert report.dropped == 0
+        assert report.processed_pps == pytest.approx(capacity * 0.5,
+                                                     rel=0.1)
+
+    def test_overload_saturates_at_capacity(self):
+        runner = ServerRunner(freq_hz=FREQ)
+        runner.add_subgroup("enc", encrypt_head, cores=[1])
+        capacity = analytic_pps("Encrypt")
+        reports = runner.run({"enc": capacity * 3.0}, duration_us=20_000)
+        report = reports["enc"]
+        # executing throughput within ~12% of the analytic f/c model
+        assert report.processed_pps == pytest.approx(capacity, rel=0.12)
+        assert report.backlog + report.dropped > 0
+
+    def test_replication_scales(self):
+        one = ServerRunner(freq_hz=FREQ)
+        one.add_subgroup("enc", encrypt_head, cores=[1])
+        two = ServerRunner(freq_hz=FREQ)
+        two.add_subgroup("enc", encrypt_head, cores=[1, 2])
+        offered = analytic_pps("Encrypt") * 3.0
+        r1 = one.run({"enc": offered}, duration_us=20_000)["enc"]
+        r2 = two.run({"enc": offered}, duration_us=20_000)["enc"]
+        assert r2.processed_pps == pytest.approx(2 * r1.processed_pps,
+                                                 rel=0.15)
+
+
+class TestScheduling:
+    def test_round_robin_shares_one_core(self):
+        """Two subgroups on the same core each get about half."""
+        runner = ServerRunner(freq_hz=FREQ)
+        runner.add_subgroup("a", encrypt_head, cores=[1])
+        runner.add_subgroup("b", encrypt_head, cores=[1])
+        offered = analytic_pps("Encrypt") * 2.0
+        reports = runner.run({"a": offered, "b": offered},
+                             duration_us=20_000)
+        total = reports["a"].processed_pps + reports["b"].processed_pps
+        assert total == pytest.approx(analytic_pps("Encrypt"), rel=0.15)
+        assert reports["a"].processed_pps == pytest.approx(
+            reports["b"].processed_pps, rel=0.2
+        )
+
+    def test_rate_limit_enforces_tmax(self):
+        """The scheduler's token bucket caps a subgroup at t_max even
+        when CPU is abundant (§4.2: 'We also use the scheduler to
+        enforce t_max')."""
+        runner = ServerRunner(freq_hz=FREQ)
+        t_max_mbps = 500.0
+        runner.add_subgroup("mon", monitor_head, cores=[1],
+                            rate_limit_mbps=t_max_mbps)
+        offered = mbps_to_pps(5_000.0)  # 10x the cap
+        reports = runner.run({"mon": offered}, duration_us=50_000)
+        report = reports["mon"]
+        assert report.throughput_mbps <= t_max_mbps * 1.3
+        assert report.throughput_mbps >= t_max_mbps * 0.5
+
+    def test_unlimited_subgroup_unaffected_by_sibling_cap(self):
+        runner = ServerRunner(freq_hz=FREQ)
+        runner.add_subgroup("capped", monitor_head, cores=[1],
+                            rate_limit_mbps=100.0)
+        runner.add_subgroup("free", monitor_head, cores=[2])
+        offered = mbps_to_pps(2_000.0)
+        reports = runner.run({"capped": offered, "free": offered},
+                             duration_us=20_000)
+        assert reports["free"].throughput_mbps > \
+            5 * reports["capped"].throughput_mbps
+
+
+class TestValidation:
+    def test_duplicate_subgroup_rejected(self):
+        runner = ServerRunner()
+        runner.add_subgroup("x", encrypt_head, cores=[1])
+        with pytest.raises(DataplaneError):
+            runner.add_subgroup("x", encrypt_head, cores=[2])
+
+    def test_unknown_subgroup_in_offered(self):
+        runner = ServerRunner()
+        with pytest.raises(DataplaneError):
+            runner.run({"ghost": 1000.0}, duration_us=1000)
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(DataplaneError):
+            ServerRunner(tick_us=0)
+
+    def test_dropping_module_counts(self):
+        def dropper_head(instance):
+            return make_nf_module(
+                "ACL",
+                {"rules": [], "default_drop": True},
+                name=f"acl{instance}", database=PROFILES,
+            )
+        runner = ServerRunner(freq_hz=FREQ)
+        runner.add_subgroup("acl", dropper_head, cores=[1])
+        reports = runner.run({"acl": 10_000.0}, duration_us=10_000)
+        assert reports["acl"].processed == 0
+        assert reports["acl"].throughput_mbps == 0.0

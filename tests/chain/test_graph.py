@@ -1,0 +1,120 @@
+"""NF-graph IR tests: lowering, structure queries, linearization."""
+
+import pytest
+
+from repro.chain.graph import NFGraph, chains_from_spec
+from repro.chain.parser import parse_spec
+from repro.exceptions import GraphError, VocabularyError
+
+
+def graph_of(spec, index=0):
+    return chains_from_spec(spec)[index].graph
+
+
+class TestLowering:
+    def test_linear(self):
+        graph = graph_of("ACL -> Encrypt -> IPv4Fwd")
+        assert len(graph) == 3
+        assert len(graph.edges) == 2
+        assert graph.nf_multiset() == ["ACL", "Encrypt", "IPv4Fwd"]
+
+    def test_unknown_nf_rejected(self):
+        with pytest.raises(VocabularyError):
+            graph_of("ACL -> Bogus -> IPv4Fwd")
+
+    def test_alias_resolution(self):
+        graph = graph_of("ACL -> Encryption -> Forward")
+        assert graph.nf_multiset() == ["ACL", "Encrypt", "IPv4Fwd"]
+
+    def test_branch_and_merge(self):
+        graph = graph_of("BPF -> [ACL, Monitor] -> IPv4Fwd")
+        assert len(graph) == 4
+        assert len(graph.branch_nodes()) == 1
+        assert len(graph.merge_nodes()) == 1
+
+    def test_passthrough_arm_edge(self):
+        graph = graph_of("BPF -> [ACL, default: pass] -> IPv4Fwd")
+        # BPF->ACL, ACL->Fwd, BPF->Fwd (passthrough)
+        assert len(graph.edges) == 3
+
+    def test_chain_cannot_start_with_branch(self):
+        ast = parse_spec("[ACL, Monitor] -> IPv4Fwd")
+        with pytest.raises(GraphError):
+            NFGraph.from_pipeline(ast.pipelines[0], name="bad")
+
+
+class TestStructure:
+    def test_entry_exit(self):
+        graph = graph_of("ACL -> Encrypt -> IPv4Fwd")
+        assert len(graph.entry_nodes()) == 1
+        assert len(graph.exit_nodes()) == 1
+
+    def test_topological_order_linear(self):
+        graph = graph_of("ACL -> Encrypt -> IPv4Fwd")
+        order = graph.topological_order()
+        assert [graph.nodes[n].nf_class for n in order] == \
+            ["ACL", "Encrypt", "IPv4Fwd"]
+
+    def test_is_branch_or_merge(self):
+        graph = graph_of("BPF -> [ACL, Monitor] -> IPv4Fwd")
+        (entry,) = graph.entry_nodes()
+        (exit_node,) = graph.exit_nodes()
+        assert graph.is_branch_or_merge(entry)
+        assert graph.is_branch_or_merge(exit_node)
+        for nid in graph.nodes:
+            if nid not in (entry, exit_node):
+                assert not graph.is_branch_or_merge(nid)
+
+
+class TestFractionsAndLinearization:
+    def test_node_fractions_equal_split(self):
+        graph = graph_of("BPF -> [ACL, Monitor] -> IPv4Fwd")
+        fractions = graph.node_fractions()
+        values = sorted(fractions.values())
+        assert values == pytest.approx([0.5, 0.5, 1.0, 1.0])
+
+    def test_explicit_weights(self):
+        graph = graph_of("BPF -> [ACL @ 0.8, Monitor @ 0.2] -> IPv4Fwd")
+        fractions = graph.node_fractions()
+        acl = next(n for n in graph.nodes.values() if n.nf_class == "ACL")
+        assert fractions[acl.node_id] == pytest.approx(0.8)
+
+    def test_merge_fraction_sums_to_one(self):
+        graph = graph_of("BPF -> [ACL, Monitor, Tunnel] -> IPv4Fwd")
+        fractions = graph.node_fractions()
+        (exit_node,) = graph.exit_nodes()
+        assert fractions[exit_node] == pytest.approx(1.0)
+
+    def test_linearize_counts_paths(self):
+        graph = graph_of("BPF -> [ACL, Monitor, Tunnel] -> IPv4Fwd")
+        paths = graph.linearize()
+        assert len(paths) == 3
+        assert sum(p.fraction for p in paths) == pytest.approx(1.0)
+        for path in paths:
+            assert len(path.node_ids) == 3
+
+    def test_linearize_linear_chain(self):
+        graph = graph_of("ACL -> Encrypt -> IPv4Fwd")
+        paths = graph.linearize()
+        assert len(paths) == 1
+        assert paths[0].fraction == 1.0
+
+
+class TestChainsFromSpec:
+    def test_default_slo_is_bulk(self):
+        chains = chains_from_spec("ACL -> IPv4Fwd")
+        assert chains[0].slo.t_min == 0.0
+
+    def test_slo_pairing(self):
+        from repro.chain.slo import SLO
+        chains = chains_from_spec(
+            "ACL -> IPv4Fwd\nBPF -> IPv4Fwd",
+            slos=[SLO(t_min=100.0), SLO(t_min=200.0)],
+        )
+        assert chains[0].slo.t_min == 100.0
+        assert chains[1].slo.t_min == 200.0
+
+    def test_auto_names(self):
+        chains = chains_from_spec("ACL -> IPv4Fwd\nchain z: BPF -> IPv4Fwd")
+        assert chains[0].name == "chain1"
+        assert chains[1].name == "z"

@@ -1,0 +1,55 @@
+"""Robustness fuzzing of the DSL front end.
+
+The lexer/parser must never crash with anything other than
+:class:`SpecSyntaxError` (or produce a valid AST), whatever text an
+operator throws at them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.lexer import Lexer
+from repro.chain.parser import parse_spec
+from repro.exceptions import SpecError
+
+printable = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120,
+)
+dsl_ish = st.text(
+    alphabet=" ->ACLEncryptBPF[](){}:,@$'\"0123456789\n_",
+    max_size=120,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=printable)
+def test_lexer_total_on_printable_input(text):
+    try:
+        tokens = Lexer(text).tokens()
+    except SpecError:
+        return
+    assert tokens[-1].type.name == "EOF"
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=dsl_ish)
+def test_parser_total_on_dsl_alphabet(text):
+    try:
+        ast = parse_spec(text)
+    except SpecError:
+        return
+    # a successful parse yields a structurally sound AST
+    assert len(ast.pipelines) == len(ast.pipeline_names)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    names=st.lists(
+        st.sampled_from(["ACL", "BPF", "Encrypt", "Monitor", "NAT"]),
+        min_size=1, max_size=6,
+    )
+)
+def test_parser_accepts_all_generated_linear_chains(names):
+    ast = parse_spec(" -> ".join(names))
+    assert [item.nf_class for item in ast.pipelines[0].items] == names

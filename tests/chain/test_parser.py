@@ -1,0 +1,124 @@
+"""Parser tests: DSL → AST."""
+
+import pytest
+
+from repro.chain.ast import BranchSpec, NFInvocation
+from repro.chain.parser import parse_spec
+from repro.exceptions import SpecSyntaxError
+
+
+class TestPipelines:
+    def test_linear_chain(self):
+        ast = parse_spec("ACL -> Encrypt -> IPv4Fwd")
+        assert len(ast.pipelines) == 1
+        names = [item.nf_class for item in ast.pipelines[0].items]
+        assert names == ["ACL", "Encrypt", "IPv4Fwd"]
+
+    def test_named_chain(self):
+        ast = parse_spec("chain c9: ACL -> IPv4Fwd")
+        assert ast.pipeline_names == ["c9"]
+
+    def test_multiple_pipelines(self):
+        ast = parse_spec("ACL -> IPv4Fwd\nBPF -> NAT")
+        assert len(ast.pipelines) == 2
+
+    def test_nf_params(self):
+        ast = parse_spec("ACL(rules=[{'dst_ip': '10.0.0.0/8', "
+                         "'drop': False}]) -> IPv4Fwd")
+        acl = ast.pipelines[0].items[0]
+        assert acl.params["rules"] == [{"dst_ip": "10.0.0.0/8",
+                                        "drop": False}]
+
+
+class TestInstances:
+    def test_instance_declaration(self):
+        ast = parse_spec("acl0 = ACL(rules=[])\nacl0 -> IPv4Fwd")
+        first = ast.pipelines[0].items[0]
+        assert first.nf_class == "ACL"
+        assert first.instance_name == "acl0"
+
+    def test_duplicate_instance_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("a = ACL()\na = NAT()")
+
+    def test_instance_use_with_params_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("a = ACL()\na(rules=[]) -> IPv4Fwd")
+
+
+class TestMacros:
+    def test_macro_substitution(self):
+        ast = parse_spec("$R = [{'drop': True}]\nACL(rules=$R) -> IPv4Fwd")
+        assert ast.pipelines[0].items[0].params["rules"] == [{"drop": True}]
+
+    def test_undefined_macro(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("ACL(rules=$NOPE) -> IPv4Fwd")
+
+
+class TestBranches:
+    def test_paper_style_branch(self):
+        ast = parse_spec("ACL -> [{'vlan_tag': 0x1, Encrypt}] -> IPv4Fwd")
+        branch = ast.pipelines[0].items[1]
+        assert isinstance(branch, BranchSpec)
+        # conditional arm + implicit passthrough default
+        assert len(branch.arms) == 2
+        assert branch.arms[0].condition == {"vlan_tag": 1}
+        assert branch.arms[0].pipeline.items[0].nf_class == "Encrypt"
+        assert branch.arms[1].condition is None
+        assert branch.arms[1].pipeline.items == []
+
+    def test_default_arm(self):
+        ast = parse_spec(
+            "BPF -> [{'dst_port': 80}: UrlFilter, default: pass] -> IPv4Fwd"
+        )
+        branch = ast.pipelines[0].items[1]
+        assert len(branch.arms) == 2
+        assert branch.arms[1].pipeline.items == []
+
+    def test_weighted_arms(self):
+        ast = parse_spec("BPF -> [NAT @ 0.7, NAT @ 0.3] -> IPv4Fwd")
+        branch = ast.pipelines[0].items[1]
+        assert [arm.weight for arm in branch.arms] == [0.7, 0.3]
+
+    def test_arm_with_subpipeline(self):
+        ast = parse_spec("BPF -> [ACL -> Encrypt, Monitor] -> IPv4Fwd")
+        branch = ast.pipelines[0].items[1]
+        assert [i.nf_class for i in branch.arms[0].pipeline.items] == \
+            ["ACL", "Encrypt"]
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("BPF -> [NAT @ 1.5] -> IPv4Fwd")
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("BPF -> [] -> IPv4Fwd")
+
+
+class TestLiterals:
+    def test_booleans_and_none(self):
+        ast = parse_spec("ACL(a=True, b=False, c=None) -> IPv4Fwd")
+        assert ast.pipelines[0].items[0].params == {
+            "a": True, "b": False, "c": None,
+        }
+
+    def test_nested_structures(self):
+        ast = parse_spec("LB(backends=['10.0.0.1', '10.0.0.2']) -> IPv4Fwd")
+        assert ast.pipelines[0].items[0].params["backends"] == [
+            "10.0.0.1", "10.0.0.2",
+        ]
+
+    def test_hex_literal(self):
+        ast = parse_spec("Tunnel(vid=0xff) -> IPv4Fwd")
+        assert ast.pipelines[0].items[0].params["vid"] == 255
+
+
+class TestErrors:
+    def test_dangling_arrow(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("ACL ->")
+
+    def test_garbage_statement(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_spec("-> ACL")

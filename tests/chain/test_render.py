@@ -1,0 +1,111 @@
+"""Spec renderer tests, including parse→render→parse round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.render import render_chain, render_graph, render_spec
+
+
+def roundtrip(spec):
+    """parse -> render -> parse; returns (original, reparsed) graphs."""
+    original = chains_from_spec(spec)[0]
+    rendered = render_chain(original)
+    reparsed = chains_from_spec(rendered)[0]
+    return original, reparsed
+
+
+def structure(graph):
+    """Comparable structural fingerprint of a graph."""
+    order = graph.topological_order()
+    index = {nid: i for i, nid in enumerate(order)}
+    nodes = [(i, graph.nodes[nid].nf_class, tuple(sorted(
+        graph.nodes[nid].params.items(), key=str
+    ))) for nid, i in sorted(index.items(), key=lambda kv: kv[1])]
+    edges = sorted(
+        (index[e.src], index[e.dst], round(e.fraction, 6)) for e in graph.edges
+    )
+    return nodes, edges
+
+
+class TestRenderLinear:
+    def test_simple_chain(self):
+        original, reparsed = roundtrip("chain c: ACL -> Encrypt -> IPv4Fwd")
+        assert structure(original.graph) == structure(reparsed.graph)
+
+    def test_params_preserved(self):
+        spec = ("chain c: ACL(rules=[{'dst_ip': '10.0.0.0/8', "
+                "'drop': False}]) -> IPv4Fwd")
+        original, reparsed = roundtrip(spec)
+        acl = next(n for n in reparsed.graph.nodes.values()
+                   if n.nf_class == "ACL")
+        assert acl.params["rules"] == [{"dst_ip": "10.0.0.0/8",
+                                        "drop": False}]
+
+    def test_numeric_and_bool_params(self):
+        spec = "chain c: Tunnel(vid=42) -> LB(backends=4) -> IPv4Fwd"
+        original, reparsed = roundtrip(spec)
+        assert structure(original.graph) == structure(reparsed.graph)
+
+
+class TestRenderBranches:
+    def test_unconditional_branch(self):
+        original, reparsed = roundtrip(
+            "chain c: BPF -> [Encrypt, Monitor] -> IPv4Fwd"
+        )
+        assert structure(original.graph) == structure(reparsed.graph)
+
+    def test_weighted_branch(self):
+        original, reparsed = roundtrip(
+            "chain c: BPF -> [Encrypt @ 0.75, Monitor @ 0.25] -> IPv4Fwd"
+        )
+        assert structure(original.graph) == structure(reparsed.graph)
+
+    def test_conditional_branch(self):
+        original, reparsed = roundtrip(
+            "chain c: ACL -> [{'vlan_tag': 0x1}: Encrypt, default: pass]"
+            " -> IPv4Fwd"
+        )
+        assert structure(original.graph) == structure(reparsed.graph)
+
+    def test_multi_nf_arms(self):
+        original, reparsed = roundtrip(
+            "chain c: BPF -> [ACL -> Encrypt, Monitor -> Limiter]"
+            " -> IPv4Fwd"
+        )
+        assert structure(original.graph) == structure(reparsed.graph)
+
+
+class TestRenderSpec:
+    def test_multiple_chains(self):
+        chains = chains_from_spec(
+            "chain a: ACL -> IPv4Fwd\nchain b: BPF -> NAT -> IPv4Fwd"
+        )
+        text = render_spec(chains)
+        reparsed = chains_from_spec(text)
+        assert [c.name for c in reparsed] == ["a", "b"]
+
+
+SERVER_NFS = st.sampled_from(
+    ["ACL", "Encrypt", "Monitor", "BPF", "Dedup", "UrlFilter", "LB"]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    backbone=st.lists(SERVER_NFS, min_size=1, max_size=4),
+    arms=st.lists(st.lists(SERVER_NFS, min_size=1, max_size=2),
+                  min_size=0, max_size=3),
+)
+def test_roundtrip_property(backbone, arms):
+    """Any generated backbone + optional branch block round-trips."""
+    expr = " -> ".join(backbone)
+    if len(arms) >= 2:
+        arm_exprs = [" -> ".join(arm) for arm in arms]
+        expr += " -> [" + ", ".join(arm_exprs) + "] -> IPv4Fwd"
+    else:
+        expr += " -> IPv4Fwd"
+    spec = f"chain prop: {expr}"
+    original, reparsed = roundtrip(spec)
+    assert structure(original.graph) == structure(reparsed.graph)

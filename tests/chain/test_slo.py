@@ -1,0 +1,90 @@
+"""SLO model tests (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.chain.slo import (
+    SLO,
+    SLOUseCase,
+    bulk,
+    classify_slo,
+    elastic_pipe,
+    infinite_pipe,
+    metered_bulk,
+    virtual_pipe,
+)
+from repro.units import gbps
+
+
+class TestTable1UseCases:
+    """Every row of Table 1 classifies correctly."""
+
+    def test_bulk(self):
+        assert bulk().use_case is SLOUseCase.BULK
+
+    def test_metered_bulk(self):
+        assert metered_bulk(gbps(1)).use_case is SLOUseCase.METERED_BULK
+
+    def test_virtual_pipe(self):
+        assert virtual_pipe(gbps(2)).use_case is SLOUseCase.VIRTUAL_PIPE
+
+    def test_elastic_pipe(self):
+        slo = elastic_pipe(gbps(1), gbps(5))
+        assert slo.use_case is SLOUseCase.ELASTIC_PIPE
+
+    def test_infinite_pipe(self):
+        assert infinite_pipe(gbps(1)).use_case is SLOUseCase.INFINITE_PIPE
+
+    def test_classify_matches_property(self):
+        for slo in (bulk(), metered_bulk(5), virtual_pipe(5),
+                    elastic_pipe(5, 9), infinite_pipe(5)):
+            assert classify_slo(slo) is slo.use_case
+
+
+class TestValidation:
+    def test_negative_tmin_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(t_min=-1)
+
+    def test_tmax_below_tmin_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(t_min=10, t_max=5)
+
+    def test_nonpositive_dmax_rejected(self):
+        with pytest.raises(ValueError):
+            SLO(d_max=0)
+
+
+class TestSatisfaction:
+    def test_rate_only(self):
+        slo = SLO(t_min=1000)
+        assert slo.satisfied_by(1000.0)
+        assert not slo.satisfied_by(999.0)
+
+    def test_with_delay(self):
+        slo = SLO(t_min=100, d_max=50.0)
+        assert slo.satisfied_by(200, delay_us=49.0)
+        assert not slo.satisfied_by(200, delay_us=51.0)
+
+    def test_unbounded_delay_never_violates(self):
+        assert SLO(t_min=0).satisfied_by(0, delay_us=1e9)
+
+    def test_marginal(self):
+        slo = SLO(t_min=1000)
+        assert slo.marginal(1500) == 500
+        assert slo.marginal(500) == 0
+
+
+class TestWithTmin:
+    def test_delta_scaling(self):
+        slo = SLO(t_min=100, t_max=gbps(100), d_max=45.0)
+        scaled = slo.with_tmin(4000)
+        assert scaled.t_min == 4000
+        assert scaled.d_max == 45.0
+        assert scaled.t_max == gbps(100)
+
+    def test_tmax_raised_when_needed(self):
+        slo = SLO(t_min=100, t_max=200)
+        scaled = slo.with_tmin(500)
+        assert scaled.t_max >= scaled.t_min

@@ -1,0 +1,82 @@
+"""NF vocabulary tests (Table 3)."""
+
+import pytest
+
+from repro.chain.vocabulary import NFInfo, default_vocabulary
+from repro.exceptions import VocabularyError
+from repro.hw.platform import Platform
+
+
+@pytest.fixture()
+def vocab():
+    return default_vocabulary()
+
+
+class TestTable3:
+    """Placement-choice dots of Table 3, row by row."""
+
+    @pytest.mark.parametrize("name,platforms", [
+        ("Encrypt", {Platform.SERVER}),
+        ("Decrypt", {Platform.SERVER}),
+        ("FastEncrypt", {Platform.SERVER, Platform.SMARTNIC}),
+        ("Dedup", {Platform.SERVER}),
+        ("Tunnel", {Platform.SERVER, Platform.PISA, Platform.SMARTNIC,
+                    Platform.OPENFLOW}),
+        ("Detunnel", {Platform.SERVER, Platform.PISA, Platform.SMARTNIC,
+                      Platform.OPENFLOW}),
+        ("IPv4Fwd", {Platform.PISA}),  # artificially P4-only
+        ("Limiter", {Platform.SERVER}),
+        ("UrlFilter", {Platform.SERVER}),
+        ("Monitor", {Platform.SERVER, Platform.OPENFLOW}),
+        ("NAT", {Platform.SERVER, Platform.PISA}),
+        ("LB", {Platform.SERVER, Platform.PISA, Platform.SMARTNIC}),
+        ("BPF", {Platform.SERVER, Platform.PISA, Platform.SMARTNIC}),
+        ("ACL", {Platform.SERVER, Platform.PISA, Platform.SMARTNIC,
+                 Platform.OPENFLOW}),
+    ])
+    def test_platforms(self, vocab, name, platforms):
+        assert set(vocab.lookup(name).platforms) == platforms
+
+    def test_exactly_two_non_replicable(self, vocab):
+        """Table 3's bold rows: NAT and Limiter."""
+        non_replicable = {
+            name for name in vocab.names()
+            if not vocab.lookup(name).replicable
+        }
+        assert non_replicable == {"NAT", "Limiter"}
+
+    def test_fourteen_nfs(self, vocab):
+        assert len(vocab.names()) == 14
+
+
+class TestLookup:
+    def test_alias(self, vocab):
+        assert vocab.lookup("Encryption").name == "Encrypt"
+        assert vocab.lookup("Forward").name == "IPv4Fwd"
+        assert vocab.lookup("Match").name == "BPF"
+
+    def test_unknown_raises(self, vocab):
+        with pytest.raises(VocabularyError):
+            vocab.lookup("Quantum")
+
+    def test_contains(self, vocab):
+        assert "ACL" in vocab
+        assert "Quantum" not in vocab
+
+
+class TestExtensibility:
+    def test_register_custom_nf(self, vocab):
+        vocab.register(NFInfo(
+            name="DPI",
+            spec="Deep packet inspection",
+            platforms=frozenset({Platform.SERVER}),
+            stateful=True,
+        ))
+        assert vocab.lookup("DPI").stateful
+
+    def test_unrestricted_lifts_ipv4fwd(self, vocab):
+        lifted = vocab.unrestricted()
+        assert lifted.lookup("IPv4Fwd").available_on(Platform.SERVER)
+        assert lifted.lookup("IPv4Fwd").available_on(Platform.OPENFLOW)
+        # original untouched
+        assert not vocab.lookup("IPv4Fwd").available_on(Platform.SERVER)

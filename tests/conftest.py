@@ -1,0 +1,43 @@
+"""Shared fixtures for the Lemur reproduction test suite."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.hw.topology import default_testbed
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+@pytest.fixture()
+def testbed():
+    return default_testbed()
+
+
+@pytest.fixture()
+def simple_chains():
+    """Two small linear chains with modest SLOs."""
+    spec = """
+    chain alpha: ACL -> Encrypt -> IPv4Fwd
+    chain beta: BPF -> NAT -> IPv4Fwd
+    """
+    return chains_from_spec(
+        spec,
+        slos=[SLO(t_min=gbps(1), t_max=gbps(50)),
+              SLO(t_min=gbps(1), t_max=gbps(50))],
+    )
+
+
+@pytest.fixture()
+def branched_chain():
+    """A chain with a conditional branch and a merge."""
+    spec = (
+        "chain branchy: BPF -> "
+        "[ACL -> Encrypt @ 0.5, default: Monitor] -> IPv4Fwd"
+    )
+    return chains_from_spec(spec, slos=[SLO(t_min=gbps(0.5))])[0]

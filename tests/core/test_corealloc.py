@@ -1,0 +1,191 @@
+"""Core allocation policy tests (§3.2)."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.corealloc import (
+    allocate_cores,
+    allocate_exhaustive,
+    allocate_minimum,
+    meet_tmin,
+)
+from repro.core.placement import NodeAssignment
+from repro.core.rates import analyze_chain
+from repro.core.subgroups import form_subgroups
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+def build_cp(spec, slo, profiles, topo, server_nfs):
+    chain = chains_from_spec(spec, slos=[slo])[0]
+    assignment = {}
+    for nid, node in chain.graph.nodes.items():
+        platform = (Platform.SERVER if node.nf_class in server_nfs
+                    else Platform.PISA)
+        device = "server0" if platform is Platform.SERVER else "tofino0"
+        assignment[nid] = NodeAssignment(platform, device)
+    subgroups = form_subgroups(chain, assignment, profiles)
+    return analyze_chain(chain, assignment, subgroups, topo, profiles)
+
+
+class TestMinimum:
+    def test_one_core_each(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: Encrypt -> ACL -> Dedup -> IPv4Fwd",
+                      SLO(t_min=100), profiles, topo, {"Encrypt", "Dedup"})
+        result = allocate_minimum([cp], topo)
+        assert result.feasible
+        assert all(sg.cores == 1 for sg in cp.subgroups)
+
+    def test_too_many_subgroups_infeasible(self, profiles):
+        topo = default_testbed()
+        cps = [
+            build_cp(f"chain c{i}: Encrypt -> ACL -> Dedup -> IPv4Fwd",
+                     SLO(t_min=10), profiles, topo, {"Encrypt", "Dedup"})
+            for i in range(9)  # 18 subgroups > 15 cores
+        ]
+        result = allocate_minimum(cps, topo)
+        assert not result.feasible
+        assert "deficit" in result.reason
+
+
+class TestMeetTmin:
+    def test_scales_bottleneck(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
+                      SLO(t_min=5000, t_max=gbps(100)),
+                      profiles, topo, {"Encrypt"})
+        allocate_minimum([cp], topo)
+        result = meet_tmin([cp], topo)
+        assert result.feasible
+        assert cp.estimated_rate >= 5000
+        (sg,) = cp.subgroups
+        assert sg.cores >= 3
+
+    def test_non_replicable_cannot_scale(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Dedup -> Limiter -> IPv4Fwd",
+                      SLO(t_min=gbps(2)), profiles, topo,
+                      {"Dedup", "Limiter"})
+        allocate_minimum([cp], topo)
+        result = meet_tmin([cp], topo)
+        assert not result.feasible
+        assert "stuck" in result.reason
+
+
+class TestPolicies:
+    def test_none_policy_keeps_one_core(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
+                      SLO(t_min=100, t_max=gbps(100)),
+                      profiles, topo, {"Encrypt"})
+        result = allocate_cores([cp], topo, policy="none")
+        assert result.feasible
+        assert all(sg.cores == 1 for sg in cp.subgroups)
+
+    def test_none_policy_fails_on_high_tmin(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
+                      SLO(t_min=5000), profiles, topo, {"Encrypt"})
+        result = allocate_cores([cp], topo, policy="none")
+        assert not result.feasible
+
+    def test_lemur_policy_spends_all_useful_cores(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
+                      SLO(t_min=1000, t_max=gbps(100)),
+                      profiles, topo, {"Encrypt"})
+        result = allocate_cores([cp], topo, policy="lemur")
+        assert result.feasible
+        (sg,) = cp.subgroups
+        assert sg.cores == 15  # only chain: grab everything useful
+
+    def test_lemur_prefers_higher_gain(self, profiles):
+        topo = default_testbed()
+        fast = build_cp("chain fast: ACL -> Encrypt -> IPv4Fwd",
+                        SLO(t_min=100, t_max=gbps(100)),
+                        profiles, topo, {"Encrypt"})
+        slow = build_cp("chain slow: ACL -> Dedup -> IPv4Fwd",
+                        SLO(t_min=100, t_max=gbps(100)),
+                        profiles, topo, {"Dedup"})
+        allocate_cores([fast, slow], topo, policy="lemur")
+        fast_cores = fast.subgroups[0].cores
+        slow_cores = slow.subgroups[0].cores
+        # Encrypt has ~4x the per-core rate of Dedup: greedy marginal gain
+        # should favour it
+        assert fast_cores > slow_cores
+
+    def test_by_index_pumps_first_chain(self, profiles):
+        topo = default_testbed()
+        first = build_cp("chain a: ACL -> Encrypt -> IPv4Fwd",
+                         SLO(t_min=100, t_max=gbps(100)),
+                         profiles, topo, {"Encrypt"})
+        second = build_cp("chain b: ACL -> Encrypt -> IPv4Fwd",
+                          SLO(t_min=100, t_max=gbps(100)),
+                          profiles, topo, {"Encrypt"})
+        allocate_cores([first, second], topo, policy="by_index")
+        assert first.subgroups[0].cores >= second.subgroups[0].cores
+
+    def test_even_policy_balances(self, profiles):
+        topo = default_testbed()
+        cps = [
+            build_cp(f"chain c{i}: ACL -> Encrypt -> IPv4Fwd",
+                     SLO(t_min=100, t_max=gbps(100)),
+                     profiles, topo, {"Encrypt"})
+            for i in range(3)
+        ]
+        allocate_cores(cps, topo, policy="even")
+        cores = sorted(cp.subgroups[0].cores for cp in cps)
+        assert cores[-1] - cores[0] <= 1
+
+    def test_unknown_policy(self, profiles):
+        topo = default_testbed()
+        cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
+                      SLO(t_min=100), profiles, topo, {"Encrypt"})
+        from repro.exceptions import PlacementError
+        with pytest.raises(PlacementError):
+            allocate_cores([cp], topo, policy="nope")
+
+
+class TestExhaustiveOracle:
+    def test_greedy_matches_exhaustive_small(self, profiles):
+        """The greedy water-fill should equal the exhaustive optimum on a
+        small instance (chain rate is concave in cores)."""
+        from repro.core.lp import solve_rates
+        from repro.hw.server import Server, CPUSocket, NIC
+        from repro.hw.pisa import PISASwitch
+        from repro.hw.topology import Topology
+
+        server = Server(name="server0",
+                        sockets=[CPUSocket(0, cores=5, freq_hz=1.7e9)],
+                        nics=[NIC()], reserved_cores=1)
+        topo = Topology(switch=PISASwitch(), servers=[server])
+
+        def fresh():
+            return [
+                build_cp("chain a: ACL -> Encrypt -> IPv4Fwd",
+                         SLO(t_min=100, t_max=gbps(100)),
+                         profiles, topo, {"Encrypt"}),
+                build_cp("chain b: ACL -> Dedup -> IPv4Fwd",
+                         SLO(t_min=100, t_max=gbps(100)),
+                         profiles, topo, {"Dedup"}),
+            ]
+
+        greedy_cps = fresh()
+        result = allocate_cores(greedy_cps, topo, policy="lemur")
+        assert result.feasible
+        greedy_obj = solve_rates(greedy_cps, topo).objective_mbps
+
+        exhaustive_cps = fresh()
+        _alloc, solution = allocate_exhaustive(exhaustive_cps, topo)
+        assert solution.feasible
+        assert greedy_obj == pytest.approx(solution.objective_mbps,
+                                           rel=1e-6)

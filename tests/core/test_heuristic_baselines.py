@@ -1,0 +1,164 @@
+"""Heuristic and baseline placement strategy tests (§3.2, §5.1)."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.baselines import (
+    greedy_place,
+    hw_preferred_place,
+    min_bounce_place,
+    sw_preferred_place,
+)
+from repro.core.heuristic import heuristic_place
+from repro.experiments.chains import chains_with_delta, nat_stress_chain, \
+    base_rate_mbps
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestHeuristic:
+    def test_simple_chains_feasible(self, profiles, simple_chains):
+        placement = heuristic_place(simple_chains, default_testbed(),
+                                    profiles)
+        assert placement.feasible
+        assert placement.objective_mbps > 0
+        for cp in placement.chains:
+            assert placement.rates[cp.name] >= cp.chain.slo.t_min
+
+    def test_hw_capable_nfs_prefer_switch(self, profiles, simple_chains):
+        placement = heuristic_place(simple_chains, default_testbed(),
+                                    profiles)
+        for cp in placement.chains:
+            for nid, assign in cp.assignment.items():
+                node = cp.chain.graph.nodes[nid]
+                if Platform.PISA in node.info.platforms:
+                    assert assign.platform is Platform.PISA
+
+    def test_stage_pressure_evicts_cheapest(self, profiles):
+        """With 11 NATs the heuristic evicts NATs (cheap) off the switch
+        until the pipeline fits, and stays feasible."""
+        chain = nat_stress_chain(11)
+        base = base_rate_mbps(chain, profiles)
+        chains = [chain.with_slo(SLO(t_min=0.5 * base, t_max=gbps(100)))]
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        assert placement.feasible
+        cp = placement.chains[0]
+        on_switch = sum(
+            1 for nid, a in cp.assignment.items()
+            if a.platform is Platform.PISA
+            and cp.chain.graph.nodes[nid].nf_class == "NAT"
+        )
+        assert on_switch == 10
+        assert placement.switch_stages_used <= 12
+
+    def test_infeasible_reports_reason(self, profiles):
+        chains = chains_with_delta([1, 2, 3, 4], delta=4.0)
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        assert not placement.feasible
+        assert placement.infeasible_reason
+
+    def test_placement_respects_core_budget(self, profiles):
+        chains = chains_with_delta([1, 2, 3], delta=1.0)
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        assert placement.feasible
+        assert placement.total_cores()["server0"] <= 15
+
+
+class TestHWPreferred:
+    def test_everything_hardware_capable_on_switch(self, profiles,
+                                                   simple_chains):
+        placement = hw_preferred_place(simple_chains, default_testbed(),
+                                       profiles)
+        assert placement.feasible
+        for cp in placement.chains:
+            for nid, assign in cp.assignment.items():
+                node = cp.chain.graph.nodes[nid]
+                if Platform.PISA in node.info.platforms:
+                    assert assign.platform is Platform.PISA
+
+    def test_rate_independent_of_delta(self, profiles):
+        """Paper: 'HW Preferred delivers the same rate regardless of δ'."""
+        rates = []
+        for delta in (0.5, 1.0):
+            chains = chains_with_delta([1, 2, 3], delta=delta)
+            placement = hw_preferred_place(chains, default_testbed(),
+                                           profiles)
+            assert placement.feasible
+            rates.append(round(placement.aggregate_rate))
+        assert rates[0] == rates[1]
+
+
+class TestSWPreferred:
+    def test_software_nfs_on_server(self, profiles, simple_chains):
+        placement = sw_preferred_place(simple_chains, default_testbed(),
+                                       profiles)
+        for cp in placement.chains:
+            for nid, assign in cp.assignment.items():
+                node = cp.chain.graph.nodes[nid]
+                if Platform.SERVER in node.info.platforms:
+                    assert assign.platform is Platform.SERVER
+                else:  # IPv4Fwd has no software implementation
+                    assert assign.platform is Platform.PISA
+
+    def test_fails_to_scale_stateful_chains(self, profiles):
+        """Paper: SW Preferred puts whole chains in one subgroup; with a
+        non-replicable member, SLOs fail at modest δ."""
+        chains = chains_with_delta([3], delta=1.0)
+        placement = sw_preferred_place(chains, default_testbed(), profiles)
+        assert not placement.feasible
+
+
+class TestMinBounce:
+    def test_minimizes_bounces(self, profiles):
+        chains = chains_from_spec(
+            "chain c: Dedup -> ACL -> Limiter -> IPv4Fwd",
+            slos=[SLO(t_min=100.0)],
+        )
+        placement = min_bounce_place(chains, default_testbed(), profiles)
+        assert placement.feasible
+        assert placement.chains[0].bounces == 1
+        # ACL stays on the server (moving it to P4 would add a bounce)
+        cp = placement.chains[0]
+        acl = next(nid for nid, n in cp.chain.graph.nodes.items()
+                   if n.nf_class == "ACL")
+        assert cp.assignment[acl].platform is Platform.SERVER
+
+    def test_fails_where_lemur_survives(self, profiles):
+        """The §3.2 narrative: refusing a bounce fuses a non-replicable
+        subgroup, so Min Bounce dies at a δ Lemur handles."""
+        chains = chains_with_delta([3], delta=1.5)
+        minb = min_bounce_place(chains, default_testbed(), profiles)
+        lemur = heuristic_place(chains, default_testbed(), profiles)
+        assert not minb.feasible
+        assert lemur.feasible
+
+
+class TestGreedy:
+    def test_feasible_and_slo_aware(self, profiles):
+        chains = chains_with_delta([1, 2, 3], delta=1.0)
+        placement = greedy_place(chains, default_testbed(), profiles)
+        assert placement.feasible
+        for cp in placement.chains:
+            assert placement.rates[cp.name] >= cp.chain.slo.t_min
+
+    def test_lemur_dominates_all_baselines(self, profiles):
+        """Whenever a baseline is feasible, Lemur is feasible with at
+        least the same marginal throughput."""
+        for delta in (0.5, 1.0, 1.5):
+            chains = chains_with_delta([1, 2, 3], delta=delta)
+            lemur = heuristic_place(chains, default_testbed(), profiles)
+            for baseline in (hw_preferred_place, sw_preferred_place,
+                             min_bounce_place, greedy_place):
+                other = baseline(chains, default_testbed(), profiles)
+                if other.feasible:
+                    assert lemur.feasible
+                    assert lemur.objective_mbps >= \
+                        other.objective_mbps - 1e-6

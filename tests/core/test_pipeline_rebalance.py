@@ -1,0 +1,132 @@
+"""Shared placement-pipeline tests: multi-server rebalancing, stage
+verification, and the rescoring helper."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.patterns import preferred_assignment
+from repro.core.pipeline import (
+    build_placement,
+    rebalance_servers,
+    rescore_placement,
+    verify_switch_fit,
+)
+from repro.core.heuristic import heuristic_place
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestRebalance:
+    def test_single_server_noop(self, profiles):
+        topo = default_testbed()
+        chains = chains_from_spec("chain a: ACL -> Encrypt -> IPv4Fwd")
+        assignments = [preferred_assignment(chains[0], topo, "hw")]
+        before = {nid: str(a) for nid, a in assignments[0].items()}
+        out = rebalance_servers(chains, assignments, topo, profiles)
+        after = {nid: str(a) for nid, a in out[0].items()}
+        assert before == after
+
+    def test_subgroups_spread_across_servers(self, profiles):
+        topo = multi_server_testbed(2)
+        spec = ("chain a: ACL -> Encrypt -> IPv4Fwd\n"
+                "chain b: BPF -> Dedup -> IPv4Fwd")
+        chains = chains_from_spec(spec)
+        assignments = [preferred_assignment(c, topo, "hw") for c in chains]
+        out = rebalance_servers(chains, assignments, topo, profiles)
+        servers = {
+            a.device for assignment in out for a in assignment.values()
+            if a.platform is Platform.SERVER
+        }
+        assert servers == {"server0", "server1"}
+
+    def test_whole_subgroups_move_together(self, profiles):
+        topo = multi_server_testbed(2)
+        chains = chains_from_spec("chain a: ACL -> Dedup -> Monitor "
+                                  "-> IPv4Fwd")
+        assignments = [preferred_assignment(chains[0], topo, "hw")]
+        out = rebalance_servers(chains, assignments, topo, profiles)
+        server_devices = {
+            a.device for a in out[0].values()
+            if a.platform is Platform.SERVER
+        }
+        # Dedup+Monitor form one subgroup: exactly one server hosts them
+        assert len(server_devices) == 1
+
+
+class TestVerifySwitchFit:
+    def test_fit_returns_none(self, profiles):
+        topo = default_testbed()
+        chains = chains_from_spec("chain a: ACL -> Encrypt -> IPv4Fwd",
+                                  slos=[SLO(t_min=100.0)])
+        placement = build_placement(
+            chains, [preferred_assignment(chains[0], topo, "hw")],
+            topo, profiles,
+        )
+        assert verify_switch_fit(placement.chains, topo) is None
+
+    def test_overflow_reports_stage_count(self, profiles):
+        from repro.experiments.chains import nat_stress_chain
+        topo = default_testbed()
+        chain = nat_stress_chain(11).with_slo(SLO(t_min=100.0))
+        placement = build_placement(
+            [chain], [preferred_assignment(chain, topo, "hw")],
+            topo, profiles, check_stages=False,
+        )
+        reason = verify_switch_fit(placement.chains, topo)
+        assert reason is not None and "stages" in reason
+
+
+class TestRescore:
+    def test_identity_rescore_preserves_objective(self, profiles):
+        topo = default_testbed()
+        chains = chains_from_spec(
+            "chain a: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
+        )
+        decided = heuristic_place(chains, topo, profiles)
+        rescored = rescore_placement(decided, chains, topo, profiles)
+        assert rescored.feasible
+        assert rescored.objective_mbps == pytest.approx(
+            decided.objective_mbps, rel=1e-6
+        )
+
+    def test_rescore_keeps_core_decisions(self, profiles):
+        topo = default_testbed()
+        chains = chains_from_spec(
+            "chain a: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(5), t_max=gbps(30))],
+        )
+        decided = heuristic_place(chains, topo, profiles)
+        slower = profiles.with_error(0.10)  # 10% costlier reality
+        rescored = rescore_placement(decided, chains, topo, slower)
+        decided_cores = {
+            sg.sg_id: sg.cores
+            for cp in decided.chains for sg in cp.subgroups
+        }
+        rescored_cores = {
+            sg.sg_id: sg.cores
+            for cp in rescored.chains for sg in cp.subgroups
+        }
+        assert decided_cores == rescored_cores
+
+    def test_rescore_detects_slo_miss(self, profiles):
+        topo = default_testbed()
+        # Dedup+Limiter fuse into a non-replicable subgroup (~600 Mbps on
+        # one core): a 40% cost increase cannot be absorbed by scaling.
+        chains = chains_from_spec(
+            "chain a: Dedup -> Limiter -> IPv4Fwd",
+            slos=[SLO(t_min=550.0, t_max=gbps(30))],
+        )
+        decided = heuristic_place(chains, topo, profiles)
+        much_slower = profiles.with_error(0.40)
+        rescored = rescore_placement(decided, chains, topo, much_slower)
+        assert not rescored.feasible
+        assert "t_min" in rescored.infeasible_reason

@@ -1,0 +1,123 @@
+"""Property-based tests over the Placer's core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.heuristic import heuristic_place
+from repro.core.lp import solve_rates
+from repro.core.placement import NodeAssignment
+from repro.core.rates import analyze_chain, estimate_chain_rate
+from repro.core.subgroups import form_subgroups
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+PROFILES = default_profiles()
+
+#: server-capable NFs with distinct cost profiles
+SERVER_NFS = ["Encrypt", "Dedup", "Monitor", "UrlFilter", "BPF", "ACL"]
+
+
+@st.composite
+def linear_chain_spec(draw):
+    """A random linear chain of 2-5 server-capable NFs ending in IPv4Fwd."""
+    length = draw(st.integers(2, 5))
+    nfs = [draw(st.sampled_from(SERVER_NFS)) for _ in range(length)]
+    return " -> ".join(nfs) + " -> IPv4Fwd"
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=linear_chain_spec(),
+       tmin_gbps=st.floats(0.0, 2.0),
+       delta_gbps=st.floats(0.1, 20.0))
+def test_lp_rate_within_bounds(spec, tmin_gbps, delta_gbps):
+    """LP rates always honor t_min <= r <= min(t_max, estimate)."""
+    topo = default_testbed()
+    slo = SLO(t_min=gbps(tmin_gbps), t_max=gbps(tmin_gbps + delta_gbps))
+    chains = chains_from_spec(f"chain p: {spec}", slos=[slo])
+    placement = heuristic_place(chains, topo, PROFILES)
+    if not placement.feasible:
+        return  # infeasibility is legitimate for expensive draws
+    rate = placement.rates["p"]
+    cp = placement.chains[0]
+    assert rate >= slo.t_min - 1e-6
+    assert rate <= min(slo.t_max, cp.estimated_rate) + 1e-6
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=linear_chain_spec())
+def test_subgroups_partition_server_nodes(spec):
+    """Subgroups exactly partition the server-placed NFs."""
+    topo = default_testbed()
+    chains = chains_from_spec(f"chain p: {spec}")
+    chain = chains[0]
+    assignment = {}
+    for i, nid in enumerate(chain.graph.topological_order()):
+        node = chain.graph.nodes[nid]
+        if Platform.SERVER in node.info.platforms and i % 2 == 0:
+            assignment[nid] = NodeAssignment(Platform.SERVER, "server0")
+        elif Platform.PISA in node.info.platforms:
+            assignment[nid] = NodeAssignment(Platform.PISA, "tofino0")
+        else:
+            assignment[nid] = NodeAssignment(Platform.SERVER, "server0")
+    subgroups = form_subgroups(chain, assignment, PROFILES)
+    server_nodes = {
+        nid for nid, a in assignment.items()
+        if a.platform is Platform.SERVER
+    }
+    covered = [nid for sg in subgroups for nid in sg.node_ids]
+    assert sorted(covered) == sorted(server_nodes)  # no dup, no miss
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=linear_chain_spec(), cores=st.integers(1, 6))
+def test_estimate_monotone_in_cores(spec, cores):
+    """Adding cores to a replicable subgroup never lowers the estimate."""
+    topo = default_testbed()
+    chain = chains_from_spec(f"chain p: {spec}")[0]
+    assignment = {
+        nid: (NodeAssignment(Platform.SERVER, "server0")
+              if Platform.SERVER in chain.graph.nodes[nid].info.platforms
+              else NodeAssignment(Platform.PISA, "tofino0"))
+        for nid in chain.graph.nodes
+    }
+    subgroups = form_subgroups(chain, assignment, PROFILES)
+    cp = analyze_chain(chain, assignment, subgroups, topo, PROFILES)
+    baseline = estimate_chain_rate(cp, topo)
+    for sg in cp.subgroups:
+        if sg.replicable:
+            sg.cores = cores
+    scaled = estimate_chain_rate(cp, topo)
+    if cores >= 2:
+        assert scaled >= baseline - 1e-9
+    else:
+        assert scaled == baseline
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tmins=st.lists(st.floats(0.1, 3.0), min_size=2, max_size=3))
+def test_lp_objective_equals_sum_of_marginals(tmins):
+    """The LP objective is exactly Σ(r_i − t_min_i)."""
+    topo = default_testbed()
+    spec = "\n".join(
+        f"chain c{i}: ACL -> Encrypt -> IPv4Fwd" for i in range(len(tmins))
+    )
+    slos = [SLO(t_min=gbps(t), t_max=gbps(40)) for t in tmins]
+    chains = chains_from_spec(spec, slos=slos)
+    placement = heuristic_place(chains, topo, PROFILES)
+    if not placement.feasible:
+        return
+    marginals = sum(
+        placement.rates[cp.name] - cp.chain.slo.t_min
+        for cp in placement.chains
+    )
+    assert abs(placement.objective_mbps - marginals) < 1e-6

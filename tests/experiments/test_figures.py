@@ -1,0 +1,83 @@
+"""Figure/table generator unit tests (fast variants of the benchmarks)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    MultiServerResult,
+    OpenFlowResult,
+    SmartNICResult,
+    StageExperimentResult,
+    figure3c_openflow,
+    stage_constraint_experiment,
+    table4_rows,
+)
+
+
+class TestResultRecords:
+    def test_multiserver_lookup(self):
+        result = MultiServerResult(rows=[
+            (1, 0.5, True, 1000.0),
+            (1, 1.5, False, 0.0),
+            (2, 0.5, True, 2000.0),
+        ])
+        assert result.aggregate(1, 0.5) == 1000.0
+        assert result.aggregate(1, 1.5) is None
+        assert result.aggregate(9, 9.0) is None
+        assert "INFEASIBLE" in result.print_table()
+
+    def test_smartnic_lookup(self):
+        result = SmartNICResult(rows=[
+            (True, 0.5, True, 40000.0),
+            (False, 0.5, True, 27000.0),
+        ])
+        assert result.aggregate(True, 0.5) == 40000.0
+        assert "smartnic" in result.print_table()
+
+    def test_openflow_speedup(self):
+        result = OpenFlowResult(offloaded_mbps=10000.0, server_mbps=750.0)
+        assert result.speedup == pytest.approx(13.33, rel=0.01)
+        assert "speedup" in result.print_table()
+
+    def test_openflow_zero_server_rate(self):
+        assert OpenFlowResult(offloaded_mbps=1.0).speedup == 0.0
+
+    def test_stage_result_rendering(self):
+        result = StageExperimentResult(
+            all_switch_11_fits=False, lemur_feasible=True,
+            lemur_nats_on_switch=10, compiler_stages_10=12,
+            conservative_stages_10=14, naive_stages_10=26,
+        )
+        text = result.print_table()
+        assert "10 NATs on switch" in text
+        assert "12" in text and "14" in text and "26" in text
+
+
+class TestGenerators:
+    def test_table4_header_and_rows(self):
+        rows = table4_rows(runs=50)
+        assert len(rows) == 9  # header + 8 data rows
+        assert "NUMA" in rows[0]
+        assert any("NAT (12000 entries)" in r for r in rows)
+
+    def test_figure3c_deterministic(self):
+        first = figure3c_openflow()
+        second = figure3c_openflow()
+        assert first.server_mbps == pytest.approx(second.server_mbps)
+
+    def test_stage_experiment_consistency(self):
+        result = stage_constraint_experiment()
+        assert result.compiler_stages_10 <= result.conservative_stages_10
+        assert result.conservative_stages_10 < result.naive_stages_10
+
+
+class TestGraphDot:
+    def test_to_dot_structure(self):
+        from repro.chain.graph import chains_from_spec
+        chain = chains_from_spec(
+            "chain d: BPF -> [ACL @ 0.7, Monitor @ 0.3] -> IPv4Fwd"
+        )[0]
+        dot = chain.graph.to_dot()
+        assert dot.startswith('digraph "d"')
+        assert dot.count("->") == 4
+        assert "diamond" in dot  # branch/merge nodes highlighted
+        assert "0.70" in dot     # fraction label

@@ -1,0 +1,147 @@
+"""End-to-end integration: spec → place → compile → execute → measure.
+
+These tests walk Figure 1's full flow on realistic inputs and verify the
+cross-cutting invariants that unit tests cannot see.
+"""
+
+import pytest
+
+from repro import (
+    MetaCompiler,
+    Placer,
+    SLO,
+    chains_from_spec,
+    default_testbed,
+    gbps,
+)
+from repro.experiments.chains import chains_with_delta
+from repro.hw.platform import Platform
+from repro.profiles.defaults import default_profiles
+from repro.sim.runtime import DeployedRack
+from repro.sim.testbed import TestbedSimulator
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestFigureOneFlow:
+    def test_spec_to_packets(self, profiles):
+        topology = default_testbed()
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        placement, artifacts = meta.compile_spec(
+            "chain web: ACL -> UrlFilter -> Encrypt -> IPv4Fwd\n"
+            "chain cgn: BPF -> NAT -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30)),
+                  SLO(t_min=gbps(2), t_max=gbps(30))],
+        )
+        rack = DeployedRack(topology, artifacts, profiles)
+        traces = rack.trace_chains(placement, packets_per_chain=12)
+        for trace in traces.values():
+            assert trace.delivered == 12
+
+    def test_nf_execution_order_matches_chain(self, profiles):
+        """The packet's NF trail must equal a topological path of the
+        chain DAG — the meta-compiler's core routing guarantee."""
+        topology = default_testbed()
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        placement, artifacts = meta.compile_spec(
+            "chain t: BPF -> Dedup -> ACL -> Monitor -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(0.3), t_max=gbps(30))],
+        )
+        rack = DeployedRack(topology, artifacts, profiles)
+        cp = placement.chains[0]
+        from repro.sim.runtime import _chain_packet
+        pkt = _chain_packet(cp.chain, 0)
+        out = rack.inject(cp, pkt)
+        assert out is not None
+        # map module names back to NF classes, in execution order
+        trail_classes = []
+        for name in out.metadata.processed_by:
+            for nid, node in cp.chain.graph.nodes.items():
+                mangled = nid.replace(".", "_")
+                if name.endswith(nid) or mangled in name:
+                    trail_classes.append(node.nf_class)
+                    break
+        assert trail_classes == ["BPF", "Dedup", "ACL", "Monitor", "IPv4Fwd"]
+
+    def test_nsh_stripped_at_egress(self, profiles):
+        topology = default_testbed()
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        placement, artifacts = meta.compile_spec(
+            "chain t: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
+        )
+        rack = DeployedRack(topology, artifacts, profiles)
+        cp = placement.chains[0]
+        from repro.sim.runtime import _chain_packet
+        out = rack.inject(cp, _chain_packet(cp.chain, 1))
+        assert out is not None
+        assert out.nsh is None  # no NSH leaks out of the ISP
+
+
+class TestCrossComponentInvariants:
+    def test_rates_never_exceed_estimates(self, profiles):
+        for delta in (0.5, 1.0):
+            chains = chains_with_delta([1, 2, 3], delta=delta)
+            placement = Placer(profiles=profiles).place(chains)
+            assert placement.feasible
+            for cp in placement.chains:
+                assert placement.rates[cp.name] <= cp.estimated_rate + 1e-6
+
+    def test_nic_capacity_respected_by_rates(self, profiles):
+        chains = chains_with_delta([1, 2, 3], delta=1.0)
+        placer = Placer(profiles=profiles)
+        placement = placer.place(chains)
+        load = sum(
+            cp.server_visits.get("server0", 0.0) * placement.rates[cp.name]
+            for cp in placement.chains
+        )
+        assert load <= gbps(40) + 1e-6
+
+    def test_switch_stage_budget_respected(self, profiles):
+        chains = chains_with_delta([1, 2, 3, 4], delta=0.5)
+        placement = Placer(profiles=profiles).place(chains)
+        assert placement.feasible
+        assert placement.switch_stages_used is not None
+        assert placement.switch_stages_used <= 12
+
+    def test_stateful_flows_not_split_across_instances(self, profiles):
+        """A replicated subgroup must keep each flow on one instance."""
+        topology = default_testbed()
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        placement, artifacts = meta.compile_spec(
+            "chain t: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(6), t_max=gbps(30))],
+        )
+        (sg,) = placement.chains[0].subgroups
+        assert sg.cores >= 2  # replicated
+        rack = DeployedRack(topology, artifacts, profiles)
+        cp = placement.chains[0]
+        from repro.net.packet import Packet
+        hits = set()
+        for _ in range(4):
+            pkt = Packet.build(src_ip="10.5.5.5", dst_ip="10.0.0.1",
+                               src_port=4242, payload=b"flowdata")
+            out = rack.inject(cp, pkt)
+            assert out is not None
+            encrypt_module = next(
+                name for name in out.metadata.processed_by
+                if "_i" in name
+            )
+            hits.add(encrypt_module)
+        assert len(hits) == 1
+
+
+class TestMeasurementShape:
+    def test_aggregate_close_to_lp_rates(self, profiles):
+        chains = chains_with_delta([2, 3], delta=1.0)
+        placer = Placer(profiles=profiles)
+        placement = placer.place(chains)
+        sim = TestbedSimulator(topology=placer.topology, profiles=profiles)
+        report = sim.run(placement)
+        assert report.aggregate_throughput_mbps == pytest.approx(
+            placement.aggregate_rate, rel=0.2
+        )
+        assert report.all_slos_met

@@ -1,0 +1,117 @@
+"""Failure handling and dynamics (§7), end to end."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.placer import Placer
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.metacompiler.compiler import MetaCompiler
+from repro.profiles.defaults import default_profiles
+from repro.sim.runtime import DeployedRack
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestSmartNICFailure:
+    def test_fallback_moves_nf_to_server(self, profiles):
+        """§7: "Lemur can always fall back to using server-based NFs"."""
+        topology = default_testbed(with_smartnic=True)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain c: BPF -> FastEncrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
+        )
+        healthy = placer.place(chains)
+        assert any(
+            a.platform is Platform.SMARTNIC
+            for a in healthy.chains[0].assignment.values()
+        )
+        degraded = placer.replan_after_failure(chains, "agilio0")
+        assert degraded.feasible
+        assert all(
+            a.platform is not Platform.SMARTNIC
+            for a in degraded.chains[0].assignment.values()
+        )
+        # offload was the accelerator: throughput drops but SLO holds
+        assert degraded.aggregate_rate <= healthy.aggregate_rate
+        assert degraded.rates["c"] >= gbps(1)
+
+    def test_fallback_placement_executes(self, profiles):
+        """The re-placed chain must actually run on the degraded rack."""
+        topology = default_testbed(with_smartnic=True)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain c: BPF -> FastEncrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
+        )
+        degraded = placer.replan_after_failure(chains, "agilio0")
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        artifacts = meta.compile_placement(degraded)
+        rack = DeployedRack(topology, artifacts, profiles)
+        traces = rack.trace_chains(degraded, packets_per_chain=8)
+        assert traces["c"].delivered == 8
+
+
+class TestServerFailure:
+    def test_one_of_two_servers_fails(self, profiles):
+        topology = multi_server_testbed(2)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain a: ACL -> Encrypt -> IPv4Fwd\n"
+            "chain b: BPF -> Dedup -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30)),
+                  SLO(t_min=gbps(0.3), t_max=gbps(30))],
+        )
+        healthy = placer.place(chains)
+        assert healthy.feasible
+        degraded = placer.replan_after_failure(chains, "server1")
+        assert degraded.feasible
+        for cp in degraded.chains:
+            for sg in cp.subgroups:
+                assert sg.server == "server0"
+
+    def test_capacity_pressure_after_failure(self, profiles):
+        """A load that needs both servers goes infeasible when one dies —
+        the Placer must say so rather than overcommit."""
+        from repro.experiments.chains import chains_with_delta
+        topology = multi_server_testbed(2)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_with_delta([1, 2, 3], delta=1.0, profiles=profiles)
+        healthy = placer.place(chains)
+        assert healthy.feasible
+        degraded = placer.replan_after_failure(chains, "server1")
+        assert not degraded.feasible
+
+
+class TestSLOSchedule:
+    def test_day_night_schedule_end_to_end(self, profiles):
+        """§7 dynamics: precomputed placements for a 2-slot SLO schedule,
+        both executable."""
+        topology = default_testbed()
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain biz: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
+        )
+        schedule = {
+            "biz": [
+                SLO(t_min=gbps(6), t_max=gbps(30)),   # business hours
+                SLO(t_min=gbps(0.5), t_max=gbps(30)),  # night
+            ],
+        }
+        placements = placer.precompute_slo_schedule(chains, schedule)
+        assert all(p.feasible for p in placements)
+        day_cores = placements[0].total_cores()["server0"]
+        meta = MetaCompiler(topology=topology, profiles=profiles)
+        for placement in placements:
+            artifacts = meta.compile_placement(placement)
+            rack = DeployedRack(topology, artifacts, profiles)
+            traces = rack.trace_chains(placement, packets_per_chain=4)
+            assert traces["biz"].delivered == 4
+        assert day_cores >= 3  # the day slot really provisions more

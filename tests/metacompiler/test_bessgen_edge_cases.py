@@ -1,0 +1,138 @@
+"""BESS/eBPF codegen edge cases: shared prefixes, SmartNIC hops, multi-
+server scripts, all-switch chains."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.heuristic import heuristic_place
+from repro.exceptions import CompileError
+from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.metacompiler.bessgen import generate_bess
+from repro.metacompiler.compiler import MetaCompiler
+from repro.metacompiler.nsh import assign_service_paths
+from repro.metacompiler.routing import synthesize_routing
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+def compiled(spec, profiles, topology=None, slos=None):
+    topology = topology or default_testbed()
+    chains = chains_from_spec(
+        spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(30))]
+    )
+    placement = heuristic_place(chains, topology, profiles)
+    assert placement.feasible, placement.infeasible_reason
+    meta = MetaCompiler(topology=topology, profiles=profiles)
+    return placement, meta.compile_placement(placement)
+
+
+class TestSharedPrefixSubgroups:
+    def test_shared_subgroup_gets_entry_per_path(self, profiles):
+        """A server subgroup upstream of a branch is entered under every
+        service path's SPI; its next_map must route each correctly."""
+        placement, artifacts = compiled(
+            "chain s: Encrypt -> BPF -> [Monitor, UrlFilter] -> IPv4Fwd",
+            profiles,
+        )
+        script = artifacts.bess["server0"]
+        encrypt_sg = next(
+            sg for sg in script.subgroups
+            if any(m.nf_class == "Encrypt" for m in sg.modules)
+        )
+        spis = {entry.spi for entry in encrypt_sg.entries}
+        assert len(spis) == 2  # one per linearized path
+
+    def test_next_hops_differ_per_path(self, profiles):
+        placement, artifacts = compiled(
+            "chain s: Encrypt -> BPF -> [Monitor, UrlFilter] -> IPv4Fwd",
+            profiles,
+        )
+        script = artifacts.bess["server0"]
+        encrypt_sg = next(
+            sg for sg in script.subgroups
+            if any(m.nf_class == "Encrypt" for m in sg.modules)
+        )
+        nexts = {(e.next_spi, e.next_si) for e in encrypt_sg.entries}
+        assert len(nexts) == 2
+
+
+class TestMultiServerScripts:
+    def test_one_script_per_loaded_server(self, profiles):
+        topology = multi_server_testbed(2)
+        spec = ("chain a: ACL -> Encrypt -> IPv4Fwd\n"
+                "chain b: BPF -> Dedup -> IPv4Fwd")
+        slos = [SLO(t_min=gbps(1), t_max=gbps(30)),
+                SLO(t_min=gbps(0.3), t_max=gbps(30))]
+        placement, artifacts = compiled(spec, profiles, topology, slos)
+        assert set(artifacts.bess) == {"server0", "server1"}
+        for server, script in artifacts.bess.items():
+            for sg in script.subgroups:
+                assert sg.entries, f"{server}: subgroup without routing"
+
+    def test_all_switch_chain_no_bess_script(self, profiles):
+        placement, artifacts = compiled(
+            "chain a: ACL -> NAT -> IPv4Fwd", profiles,
+        )
+        assert artifacts.bess == {}
+        assert not artifacts.routing.entries_for("server0")
+
+    def test_routing_mismatch_detected(self, profiles):
+        """generate_bess must fail loudly when routing entries are out of
+        sync with the placement's subgroups."""
+        topology = default_testbed()
+        chains = chains_from_spec(
+            "chain a: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(0.5), t_max=gbps(30))],
+        )
+        placement = heuristic_place(chains, topology, profiles)
+        paths = assign_service_paths(placement.chains)
+        plan = synthesize_routing(placement.chains, paths, "tofino0")
+        plan.demux["server0"] = []  # sabotage
+        with pytest.raises(CompileError):
+            generate_bess("server0", placement.chains, plan)
+
+
+class TestSmartNICChains:
+    def test_server_and_nic_hops_coexist(self, profiles):
+        topology = default_testbed(with_smartnic=True)
+        placement, artifacts = compiled(
+            "chain c: UrlFilter -> FastEncrypt -> IPv4Fwd", profiles,
+            topology=topology,
+            slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
+        )
+        assert "server0" in artifacts.bess       # UrlFilter
+        assert "agilio0" in artifacts.ebpf       # FastEncrypt
+        program, _specs = artifacts.ebpf["agilio0"]
+        # the NIC's demux routes to (at least) the FastEncrypt section
+        assert program.demux
+
+    def test_unsupported_nic_nf_rejected(self, profiles):
+        """Demux entries pointing at NFs without eBPF code models fail
+        compilation instead of silently passing."""
+        from repro.core.placement import NodeAssignment, Placement
+        from repro.core.rates import analyze_chain
+        from repro.core.subgroups import form_subgroups
+        from repro.hw.platform import Platform
+        from repro.metacompiler.ebpfgen import generate_ebpf
+
+        topology = default_testbed(with_smartnic=True)
+        chain = chains_from_spec("chain c: Monitor -> IPv4Fwd")[0]
+        assignment = {}
+        for nid, node in chain.graph.nodes.items():
+            if node.nf_class == "Monitor":
+                assignment[nid] = NodeAssignment(Platform.SMARTNIC,
+                                                 "agilio0")
+            else:
+                assignment[nid] = NodeAssignment(Platform.PISA, "tofino0")
+        subgroups = form_subgroups(chain, assignment, profiles)
+        cp = analyze_chain(chain, assignment, subgroups, topology, profiles)
+        paths = assign_service_paths([cp])
+        plan = synthesize_routing([cp], paths, "tofino0")
+        with pytest.raises(CompileError):
+            generate_ebpf("agilio0", [cp], plan)

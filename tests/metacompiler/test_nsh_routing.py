@@ -1,0 +1,133 @@
+"""NSH assignment and routing synthesis tests (§4.1)."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.heuristic import heuristic_place
+from repro.core.placement import NodeAssignment
+from repro.core.rates import analyze_chain
+from repro.core.subgroups import form_subgroups
+from repro.exceptions import CompileError
+from repro.hw.platform import Platform
+from repro.hw.topology import default_testbed
+from repro.metacompiler.nsh import INITIAL_SI, assign_service_paths
+from repro.metacompiler.routing import synthesize_routing
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+def place(spec, profiles, slos=None):
+    chains = chains_from_spec(
+        spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(50))]
+    )
+    placement = heuristic_place(chains, default_testbed(), profiles)
+    assert placement.feasible
+    return placement
+
+
+class TestServicePaths:
+    def test_spis_globally_unique(self, profiles):
+        placement = place(
+            "chain a: ACL -> Encrypt -> IPv4Fwd\n"
+            "chain b: BPF -> NAT -> IPv4Fwd",
+            profiles,
+            slos=[SLO(t_min=gbps(0.5), t_max=gbps(50))] * 2,
+        )
+        paths = assign_service_paths(placement.chains)
+        spis = [p.spi for p in paths]
+        assert len(spis) == len(set(spis))
+
+    def test_si_decrements_along_path(self, profiles):
+        placement = place("chain a: ACL -> Encrypt -> IPv4Fwd", profiles)
+        (path,) = assign_service_paths(placement.chains)
+        sis = [path.si_of[nid] for nid in path.node_ids]
+        assert sis == [INITIAL_SI, INITIAL_SI - 1, INITIAL_SI - 2]
+
+    def test_branch_paths_share_prefix_si(self, profiles):
+        placement = place(
+            "chain a: BPF -> [Encrypt, Monitor] -> IPv4Fwd", profiles
+        )
+        paths = assign_service_paths(placement.chains)
+        assert len(paths) == 2
+        entry = paths[0].node_ids[0]
+        assert paths[0].si_of[entry] == paths[1].si_of[entry]
+        assert paths[0].spi != paths[1].spi
+
+    def test_hops_alternate_devices(self, profiles):
+        placement = place("chain a: ACL -> Encrypt -> IPv4Fwd", profiles)
+        (path,) = assign_service_paths(placement.chains)
+        devices = [hop.device for hop in path.hops]
+        assert devices == ["tofino0", "server0", "tofino0"]
+
+    def test_hop_splits_at_subgroup_boundary(self, profiles):
+        """A path crossing a merge stays on the server but changes
+        subgroup, so a new hop (new demux entry) must start."""
+        chain = chains_from_spec(
+            "chain m: Dedup -> [Encrypt, Monitor] -> UrlFilter"
+        )[0]
+        assignment = {
+            nid: NodeAssignment(Platform.SERVER, "server0")
+            for nid in chain.graph.nodes
+        }
+        topo = default_testbed()
+        subgroups = form_subgroups(chain, assignment, profiles)
+        cp = analyze_chain(chain, assignment, subgroups, topo, profiles)
+        paths = assign_service_paths([cp])
+        for path in paths:
+            # Dedup | arm | UrlFilter = 3 hops despite one device
+            assert len(path.hops) == 3
+
+
+class TestRoutingPlan:
+    def test_linear_chain_routing(self, profiles):
+        placement = place("chain a: ACL -> Encrypt -> IPv4Fwd", profiles)
+        paths = assign_service_paths(placement.chains)
+        plan = synthesize_routing(placement.chains, paths, "tofino0")
+        (path,) = paths
+        # switch hop 1 -> server; server hop returns to switch hop 2;
+        # final switch hop egresses
+        entry = plan.steering[(path.spi, INITIAL_SI)]
+        assert entry.next_device == "server0"
+        server_entries = plan.entries_for("server0")
+        assert len(server_entries) == 1
+        assert server_entries[0].next_si == INITIAL_SI - 2
+        final = plan.steering[(path.spi, INITIAL_SI - 2)]
+        assert final.is_egress
+
+    def test_chain_entries_cover_fractions(self, profiles):
+        placement = place(
+            "chain a: BPF -> [Encrypt, Monitor] -> IPv4Fwd", profiles
+        )
+        paths = assign_service_paths(placement.chains)
+        plan = synthesize_routing(placement.chains, paths, "tofino0")
+        entries = plan.chain_entries["a"]
+        assert len(entries) == 2
+        assert sum(frac for _s, _i, frac in entries) == pytest.approx(1.0)
+
+    def test_demux_dedupe_for_shared_prefix(self, profiles):
+        """Shared-prefix subgroups appear once per SPI, not per duplicate."""
+        chain = chains_from_spec(
+            "chain m: Encrypt -> BPF -> [Monitor, UrlFilter] -> IPv4Fwd"
+        )[0]
+        placement = heuristic_place(
+            [chain.with_slo(SLO(t_min=100.0, t_max=gbps(50)))],
+            default_testbed(), profiles,
+        )
+        paths = assign_service_paths(placement.chains)
+        plan = synthesize_routing(placement.chains, paths, "tofino0")
+        entries = plan.entries_for("server0")
+        keys = [(e.spi, e.si) for e in entries]
+        assert len(keys) == len(set(keys))
+
+    def test_unknown_chain_rejected(self, profiles):
+        placement = place("chain a: ACL -> Encrypt -> IPv4Fwd", profiles)
+        paths = assign_service_paths(placement.chains)
+        paths[0].chain_name = "ghost"
+        with pytest.raises(CompileError):
+            synthesize_routing(placement.chains, paths, "tofino0")

@@ -1,0 +1,84 @@
+"""Flow descriptors and traffic generators."""
+
+import pytest
+
+from repro.net.flows import FiveTuple, Flow, TrafficAggregate
+from repro.net.traffic import (
+    TrafficGenerator,
+    long_lived_workload,
+    short_lived_workload,
+)
+
+
+class TestTrafficAggregate:
+    def test_prefix_match(self):
+        agg = TrafficAggregate(name="cust", src_prefix="10.1.0.0/16")
+        assert agg.matches(FiveTuple("10.1.2.3", "8.8.8.8", 1, 2, 6))
+        assert not agg.matches(FiveTuple("10.2.2.3", "8.8.8.8", 1, 2, 6))
+
+    def test_wildcard_matches_everything(self):
+        agg = TrafficAggregate()
+        assert agg.matches(FiveTuple("1.1.1.1", "2.2.2.2", 3, 4, 17))
+
+    def test_port_and_proto(self):
+        agg = TrafficAggregate(dst_port=443, proto=6)
+        assert agg.matches(FiveTuple("1.1.1.1", "2.2.2.2", 99, 443, 6))
+        assert not agg.matches(FiveTuple("1.1.1.1", "2.2.2.2", 99, 80, 6))
+        assert not agg.matches(FiveTuple("1.1.1.1", "2.2.2.2", 99, 443, 17))
+
+    def test_describe(self):
+        agg = TrafficAggregate(name="x", src_prefix="10.0.0.0/8")
+        assert "src=10.0.0.0/8" in agg.describe()
+
+
+class TestFlow:
+    def test_active_window(self):
+        flow = Flow(key=FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, 6),
+                    start_us=100.0, duration_us=50.0)
+        assert not flow.active_at(99.0)
+        assert flow.active_at(100.0)
+        assert flow.active_at(149.0)
+        assert not flow.active_at(150.0)
+
+    def test_unbounded_duration(self):
+        flow = Flow(key=FiveTuple("1.1.1.1", "2.2.2.2", 1, 2, 6))
+        assert flow.active_at(1e12)
+
+
+class TestGenerators:
+    def test_deterministic_given_seed(self):
+        gen1 = long_lived_workload(seed=3)
+        gen2 = long_lived_workload(seed=3)
+        pkts1 = [p.data for p in gen1.packets(20)]
+        pkts2 = [p.data for p in gen2.packets(20)]
+        assert pkts1 == pkts2
+
+    def test_long_lived_flow_count(self):
+        gen = long_lived_workload(n_flows=35)
+        assert len(gen.flows) == 35
+        keys = {p.five_tuple() for p in gen.packets(200)}
+        assert 1 < len(keys) <= 35
+
+    def test_long_lived_bad_count(self):
+        with pytest.raises(ValueError):
+            long_lived_workload(n_flows=0)
+
+    def test_short_lived_schedule(self):
+        gen = short_lived_workload(new_flows_per_sec=1000, duration_s=0.5)
+        assert len(gen.flows) == 500
+        starts = [f.start_us for f in gen.flows]
+        assert starts == sorted(starts)
+
+    def test_packet_sizes_respected(self):
+        gen = long_lived_workload(packet_bytes=512)
+        for pkt in gen.packets(10):
+            assert len(pkt) == 512
+
+    def test_duplicate_fraction_produces_duplicates(self):
+        gen = long_lived_workload(seed=5)
+        payloads = [p.payload for p in gen.packets(60, duplicate_fraction=0.9)]
+        assert len(set(payloads)) < len(payloads)
+
+    def test_empty_flow_list_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(flows=[])

@@ -1,0 +1,125 @@
+"""Header codec unit tests."""
+
+import pytest
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_VLAN,
+    EthernetHeader,
+    IPv4Header,
+    NSHHeader,
+    TCPHeader,
+    UDPHeader,
+    VLANHeader,
+    bytes_to_mac,
+    int_to_ip,
+    ip_to_int,
+    ipv4_checksum,
+    mac_to_bytes,
+)
+
+
+class TestAddressHelpers:
+    def test_ip_roundtrip(self):
+        for addr in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.0.2.17"):
+            assert int_to_ip(ip_to_int(addr)) == addr
+
+    def test_ip_to_int_value(self):
+        assert ip_to_int("10.0.0.0") == 0x0A000000
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 33)
+
+    def test_mac_roundtrip(self):
+        mac = "02:aa:bb:cc:dd:ee"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(ValueError):
+            mac_to_bytes("02:aa:bb:cc:dd")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader(dst="02:00:00:00:00:02",
+                                src="02:00:00:00:00:01",
+                                ethertype=ETHERTYPE_VLAN)
+        raw = header.pack()
+        assert len(raw) == EthernetHeader.LENGTH
+        parsed = EthernetHeader.unpack(raw)
+        assert parsed == header
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 5)
+
+
+class TestVLAN:
+    def test_roundtrip(self):
+        header = VLANHeader(pcp=5, dei=1, vid=4094, ethertype=ETHERTYPE_IPV4)
+        assert VLANHeader.unpack(header.pack()) == header
+
+    def test_vid_bounds(self):
+        with pytest.raises(ValueError):
+            VLANHeader(vid=4096).pack()
+
+    def test_vid_all_bits(self):
+        for vid in (0, 1, 2047, 4095):
+            assert VLANHeader.unpack(VLANHeader(vid=vid).pack()).vid == vid
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(src="10.1.2.3", dst="192.0.2.1", proto=6,
+                            ttl=17, total_length=1500, identification=99)
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.src == "10.1.2.3"
+        assert parsed.dst == "192.0.2.1"
+        assert parsed.proto == 6
+        assert parsed.ttl == 17
+        assert parsed.total_length == 1500
+
+    def test_checksum_valid(self):
+        raw = IPv4Header(src="10.0.0.1", dst="10.0.0.2").pack()
+        # recomputing the checksum over the full header must give zero
+        assert ipv4_checksum(raw) == 0
+
+    def test_non_ipv4_version_rejected(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+
+class TestL4:
+    def test_tcp_roundtrip(self):
+        header = TCPHeader(src_port=1234, dst_port=443, seq=7, ack=9,
+                           flags=0x18, window=1024)
+        parsed = TCPHeader.unpack(header.pack())
+        assert parsed == header
+
+    def test_udp_roundtrip(self):
+        header = UDPHeader(src_port=53, dst_port=5353, length=100)
+        assert UDPHeader.unpack(header.pack()) == header
+
+
+class TestNSH:
+    def test_roundtrip(self):
+        header = NSHHeader(spi=0xABCDE, si=42)
+        parsed = NSHHeader.unpack(header.pack())
+        assert parsed.spi == 0xABCDE
+        assert parsed.si == 42
+
+    def test_spi_bounds(self):
+        with pytest.raises(ValueError):
+            NSHHeader(spi=1 << 24).pack()
+        with pytest.raises(ValueError):
+            NSHHeader(si=256).pack()
+
+    def test_length(self):
+        assert len(NSHHeader(spi=1, si=255).pack()) == NSHHeader.LENGTH

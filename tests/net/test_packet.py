@@ -1,0 +1,118 @@
+"""Packet buffer + metadata tests."""
+
+import pytest
+
+from repro.net.headers import PROTO_TCP, PROTO_UDP
+from repro.net.packet import Packet
+
+
+class TestBuild:
+    def test_udp_packet_parses(self):
+        pkt = Packet.build(src_ip="10.1.1.1", dst_ip="10.2.2.2",
+                           src_port=1111, dst_port=53, proto=PROTO_UDP,
+                           payload=b"hello")
+        assert pkt.ipv4.src == "10.1.1.1"
+        assert pkt.udp.dst_port == 53
+        assert pkt.payload == b"hello"
+        assert pkt.tcp is None
+
+    def test_tcp_packet_parses(self):
+        pkt = Packet.build(proto=PROTO_TCP, src_port=2222, dst_port=443)
+        assert pkt.tcp.src_port == 2222
+        assert pkt.udp is None
+
+    def test_total_bytes_padding(self):
+        pkt = Packet.build(payload=b"x", total_bytes=1500)
+        assert len(pkt) == 1500
+
+    def test_vlan_packet(self):
+        pkt = Packet.build(vlan=77)
+        assert pkt.vlan.vid == 77
+        assert pkt.ipv4 is not None
+
+    def test_five_tuple(self):
+        pkt = Packet.build(src_ip="1.2.3.4", dst_ip="5.6.7.8",
+                           src_port=9, dst_port=10, proto=PROTO_TCP)
+        assert pkt.five_tuple() == ("1.2.3.4", "5.6.7.8", 9, 10, PROTO_TCP)
+
+
+class TestMutation:
+    def test_header_mutation_commit(self):
+        pkt = Packet.build(src_ip="10.0.0.1", dst_ip="10.0.0.2")
+        pkt.ipv4.dst = "172.16.0.9"
+        pkt.commit()
+        reparsed = Packet(pkt.data)
+        assert reparsed.ipv4.dst == "172.16.0.9"
+
+    def test_payload_replacement(self):
+        pkt = Packet.build(payload=b"aaaa")
+        pkt.payload = b"bb"
+        assert pkt.payload == b"bb"
+        assert pkt.ipv4 is not None  # headers intact
+
+
+class TestNSHOps:
+    def test_push_pop_nsh(self):
+        pkt = Packet.build(payload=b"data")
+        original = pkt.data
+        pkt.push_nsh(spi=5, si=250)
+        assert pkt.nsh.spi == 5
+        assert pkt.metadata.spi == 5
+        popped = pkt.pop_nsh()
+        assert popped.si == 250
+        assert pkt.data == original
+        assert pkt.nsh is None
+
+    def test_pop_without_nsh_returns_none(self):
+        pkt = Packet.build()
+        assert pkt.pop_nsh() is None
+
+    def test_nsh_then_inner_parse(self):
+        pkt = Packet.build(src_ip="10.9.9.9")
+        pkt.push_nsh(spi=1, si=255)
+        assert pkt.ipv4.src == "10.9.9.9"  # parses through the NSH
+
+
+class TestVLANOps:
+    def test_push_pop_vlan(self):
+        pkt = Packet.build(payload=b"p")
+        before = len(pkt)
+        pkt.push_vlan(vid=100)
+        assert pkt.vlan.vid == 100
+        assert len(pkt) == before + 4
+        popped = pkt.pop_vlan()
+        assert popped.vid == 100
+        assert pkt.vlan is None
+        assert len(pkt) == before
+
+    def test_vlan_under_nsh(self):
+        pkt = Packet.build()
+        pkt.push_nsh(spi=2, si=200)
+        pkt.push_vlan(vid=9)
+        assert pkt.nsh.spi == 2
+        assert pkt.vlan.vid == 9
+        pkt.pop_vlan()
+        assert pkt.nsh.spi == 2
+
+    def test_pop_vlan_untagged_is_noop(self):
+        pkt = Packet.build()
+        assert pkt.pop_vlan() is None
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        pkt = Packet.build(payload=b"orig")
+        pkt.metadata.processed_by.append("nf1")
+        clone = pkt.copy()
+        clone.payload = b"changed"
+        clone.metadata.processed_by.append("nf2")
+        assert pkt.payload == b"orig"
+        assert pkt.metadata.processed_by == ["nf1"]
+
+    def test_copy_preserves_metadata(self):
+        pkt = Packet.build()
+        pkt.metadata.spi = 4
+        pkt.metadata.fields["k"] = 1
+        clone = pkt.copy()
+        assert clone.metadata.spi == 4
+        assert clone.metadata.fields == {"k": 1}

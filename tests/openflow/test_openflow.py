@@ -1,0 +1,124 @@
+"""OpenFlow substrate tests: rules, fixed pipeline, VLAN SPI/SI encoding."""
+
+import pytest
+
+from repro.exceptions import OpenFlowError
+from repro.hw.openflow import OpenFlowSwitchModel
+from repro.net.packet import Packet
+from repro.openflow.switch import OpenFlowRuntime, decode_vid, encode_vid
+from repro.openflow.tables import FlowRule, FlowTable
+
+
+class TestVidEncoding:
+    def test_roundtrip(self):
+        for spi in (0, 1, 63):
+            for si in (0, 42, 63):
+                assert decode_vid(encode_vid(spi, si)) == (spi, si)
+
+    def test_spi_overflow_rejected(self):
+        with pytest.raises(OpenFlowError):
+            encode_vid(64, 0)
+
+    def test_si_overflow_rejected(self):
+        with pytest.raises(OpenFlowError):
+            encode_vid(0, 64)
+
+    def test_decode_bounds(self):
+        with pytest.raises(OpenFlowError):
+            decode_vid(4096)
+
+
+class TestFlowRules:
+    def test_vlan_match(self):
+        rule = FlowRule(match={"vlan_vid": 10}, actions=[("count",)])
+        assert rule.matches(Packet.build(vlan=10))
+        assert not rule.matches(Packet.build(vlan=11))
+        assert not rule.matches(Packet.build())
+
+    def test_ip_prefix_match(self):
+        rule = FlowRule(match={"dst_ip": "10.0.0.0/8"})
+        assert rule.matches(Packet.build(dst_ip="10.1.2.3"))
+        assert not rule.matches(Packet.build(dst_ip="192.168.0.1"))
+
+    def test_priority_ordering(self):
+        table = FlowTable(table_id=0, name="t")
+        low = FlowRule(priority=10, match={}, actions=[("count",)])
+        high = FlowRule(priority=100, match={}, actions=[("drop",)])
+        table.add(low)
+        table.add(high)
+        assert table.lookup(Packet.build()) is high
+
+    def test_capacity_enforced(self):
+        table = FlowTable(table_id=0, name="t", max_rules=1)
+        table.add(FlowRule())
+        with pytest.raises(OpenFlowError):
+            table.add(FlowRule())
+
+    def test_counters(self):
+        table = FlowTable(table_id=0, name="t")
+        rule = FlowRule(match={})
+        table.add(rule)
+        table.lookup(Packet.build(total_bytes=100))
+        assert rule.packets == 1
+        assert rule.bytes == 100
+
+    def test_render(self):
+        rule = FlowRule(priority=50, match={"vlan_vid": 3},
+                        actions=[("output", 2)])
+        text = rule.render(table_id=1)
+        assert "table=1" in text and "vlan_vid=3" in text
+
+
+class TestRuntime:
+    def _runtime(self):
+        return OpenFlowRuntime(OpenFlowSwitchModel())
+
+    def test_drop_action(self):
+        rt = self._runtime()
+        rt.install(1, FlowRule(match={"dst_ip": "192.0.2.0/24"},
+                               actions=[("drop",)]))
+        result = rt.process(Packet.build(dst_ip="192.0.2.5"))
+        assert result.dropped
+        assert rt.drops == 1
+
+    def test_output_action_stops_pipeline(self):
+        rt = self._runtime()
+        rt.install(0, FlowRule(match={}, actions=[("output", 7)]))
+        rt.install(1, FlowRule(match={}, actions=[("drop",)]))
+        result = rt.process(Packet.build())
+        assert result.output_port == 7
+        assert not result.dropped
+
+    def test_vlan_rewrite_chain(self):
+        rt = self._runtime()
+        rt.install(0, FlowRule(match={"vlan_vid": 5},
+                               actions=[("set_vlan", 9), ("output", 1)]))
+        result = rt.process(Packet.build(vlan=5))
+        assert result.packet.vlan.vid == 9
+
+    def test_push_pop_vlan_actions(self):
+        rt = self._runtime()
+        rt.install(0, FlowRule(match={}, actions=[("push_vlan", 77)]))
+        result = rt.process(Packet.build())
+        assert result.packet.vlan.vid == 77
+
+    def test_goto_must_move_forward(self):
+        rt = self._runtime()
+        rt.install(1, FlowRule(match={}, actions=[("goto", 0)]))
+        with pytest.raises(OpenFlowError):
+            rt.process(Packet.build())
+
+    def test_goto_skips_tables(self):
+        rt = self._runtime()
+        rt.install(0, FlowRule(match={}, actions=[("goto", 2)]))
+        skipped = FlowRule(match={}, actions=[("drop",)])
+        rt.install(1, skipped)
+        result = rt.process(Packet.build())
+        assert not result.dropped
+        assert skipped.packets == 0
+
+    def test_no_match_passes_through(self):
+        rt = self._runtime()
+        result = rt.process(Packet.build())
+        assert not result.dropped
+        assert result.output_port is None

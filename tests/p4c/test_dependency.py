@@ -1,0 +1,78 @@
+"""Table dependency analysis tests."""
+
+from repro.p4c.dependency import (
+    chain_dependencies,
+    data_dependent,
+    exclusive_table_pairs,
+    infer_dependencies,
+)
+from repro.p4c.ir import P4Table, TableDAG
+
+
+def _table(name, reads=(), writes=()):
+    return P4Table(name=name, reads=frozenset(reads),
+                   writes=frozenset(writes))
+
+
+class TestDataDependence:
+    def test_read_after_write(self):
+        a = _table("a", writes={"ipv4.dst"})
+        b = _table("b", reads={"ipv4.dst"})
+        assert data_dependent(a, b)
+
+    def test_write_after_write(self):
+        a = _table("a", writes={"ipv4.src"})
+        b = _table("b", writes={"ipv4.src"})
+        assert data_dependent(a, b)
+
+    def test_independent(self):
+        a = _table("a", reads={"ipv4.src"}, writes={"meta.x"})
+        b = _table("b", reads={"ipv4.dst"}, writes={"meta.y"})
+        assert not data_dependent(a, b)
+
+    def test_read_read_independent(self):
+        a = _table("a", reads={"ipv4.dst"})
+        b = _table("b", reads={"ipv4.dst"})
+        assert not data_dependent(a, b)
+
+
+class TestInference:
+    def _dag(self):
+        dag = TableDAG()
+        dag.add_table(_table("w", writes={"f"}))
+        dag.add_table(_table("r", reads={"f"}))
+        dag.add_table(_table("i", reads={"g"}))
+        return dag
+
+    def test_program_order_edge(self):
+        dag = self._dag()
+        infer_dependencies(dag, ["w", "r", "i"])
+        assert ("w", "r") in dag.edges
+        assert ("w", "i") not in dag.edges
+
+    def test_exclusive_pair_suppresses_edge(self):
+        dag = self._dag()
+        infer_dependencies(dag, ["w", "r", "i"],
+                           exclusive_pairs={("w", "r")})
+        assert ("w", "r") not in dag.edges
+
+    def test_chain_dependencies_serialize(self):
+        dag = self._dag()
+        chain_dependencies(dag, ["w", "r", "i"])
+        assert dag.depth() == 3
+
+
+class TestExclusivePairs:
+    def test_cross_group_pairs(self):
+        pairs = exclusive_table_pairs([{"a", "b"}, {"c"}])
+        assert ("a", "c") in pairs
+        assert ("b", "c") in pairs
+        # within-group pairs are NOT exclusive
+        assert ("a", "b") not in pairs
+
+    def test_three_groups(self):
+        pairs = exclusive_table_pairs([{"a"}, {"b"}, {"c"}])
+        assert len(pairs) == 3
+
+    def test_single_group_no_pairs(self):
+        assert exclusive_table_pairs([{"a", "b"}]) == set()

@@ -1,0 +1,120 @@
+"""P4 IR tests: headers, parse trees, table DAGs."""
+
+import pytest
+
+from repro.exceptions import P4CompileError
+from repro.p4c.ir import (
+    HEADER_LIBRARY,
+    MatchType,
+    P4Table,
+    ParseTree,
+    TableDAG,
+    ethernet_ipv4_tree,
+)
+
+
+class TestHeaders:
+    def test_library_has_core_headers(self):
+        for name in ("ethernet", "vlan", "ipv4", "tcp", "udp", "nsh"):
+            assert name in HEADER_LIBRARY
+
+    def test_header_bits(self):
+        assert HEADER_LIBRARY["ethernet"].bits == 112
+        assert HEADER_LIBRARY["vlan"].bits == 32
+        assert HEADER_LIBRARY["ipv4"].bits == 160
+
+    def test_field_names(self):
+        assert "ethertype" in HEADER_LIBRARY["ethernet"].field_names()
+
+
+class TestParseTree:
+    def test_common_tree(self):
+        tree = ethernet_ipv4_tree()
+        assert tree.next_headers("ethernet") == {"ipv4"}
+        assert tree.next_headers("ipv4") == {"tcp", "udp"}
+
+    def test_transition_from_unknown_header(self):
+        tree = ParseTree()
+        with pytest.raises(P4CompileError):
+            tree.add_transition("mystery", "field", 1, "ipv4")
+
+    def test_self_conflict_detected(self):
+        tree = ethernet_ipv4_tree()
+        with pytest.raises(P4CompileError):
+            tree.add_transition("ethernet", "ethertype", 0x0800, "vlan")
+
+    def test_idempotent_transition(self):
+        tree = ethernet_ipv4_tree()
+        tree.add_transition("ethernet", "ethertype", 0x0800, "ipv4")  # same
+        assert tree.next_headers("ethernet") == {"ipv4"}
+
+    def test_copy_independent(self):
+        tree = ethernet_ipv4_tree()
+        clone = tree.copy()
+        clone.add_transition("ethernet", "ethertype", 0x8100, "vlan")
+        assert "vlan" not in tree.headers
+
+
+class TestP4Table:
+    def test_sram_footprint(self):
+        table = P4Table(name="t", match_type=MatchType.EXACT,
+                        size=12000, entry_bits=888)
+        assert table.sram_kb == pytest.approx(12000 * 888 / 8 / 1024)
+        assert table.tcam_kb == 0.0
+
+    def test_tcam_footprint(self):
+        table = P4Table(name="t", match_type=MatchType.TERNARY,
+                        size=1024, entry_bits=40)
+        assert table.tcam_kb == pytest.approx(5.0)
+        assert table.sram_kb == 0.0
+
+
+class TestTableDAG:
+    def _dag(self):
+        dag = TableDAG()
+        for name in ("a", "b", "c"):
+            dag.add_table(P4Table(name=name))
+        return dag
+
+    def test_topological_order(self):
+        dag = self._dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        assert dag.topological_order() == ["a", "b", "c"]
+
+    def test_depth(self):
+        dag = self._dag()
+        assert dag.depth() == 1
+        dag.add_edge("a", "b")
+        assert dag.depth() == 2
+        dag.add_edge("b", "c")
+        assert dag.depth() == 3
+
+    def test_cycle_detected(self):
+        dag = self._dag()
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "a")
+        with pytest.raises(P4CompileError):
+            dag.topological_order()
+
+    def test_duplicate_table_rejected(self):
+        dag = self._dag()
+        with pytest.raises(P4CompileError):
+            dag.add_table(P4Table(name="a"))
+
+    def test_edge_to_unknown_table(self):
+        dag = self._dag()
+        with pytest.raises(P4CompileError):
+            dag.add_edge("a", "zz")
+
+    def test_self_edge_rejected(self):
+        dag = self._dag()
+        with pytest.raises(P4CompileError):
+            dag.add_edge("a", "a")
+
+    def test_merge(self):
+        dag1 = self._dag()
+        dag2 = TableDAG()
+        dag2.add_table(P4Table(name="x"))
+        dag1.merge(dag2)
+        assert len(dag1.tables) == 4

@@ -1,0 +1,108 @@
+"""Parse-tree interpreter tests: the merged parser runs on real bytes."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.exceptions import P4CompileError
+from repro.net.headers import PROTO_TCP, PROTO_UDP, ip_to_int
+from repro.net.packet import Packet
+from repro.p4c.compiler import PISACompiler
+from repro.p4c.ir import ParseTree, ethernet_ipv4_tree
+from repro.p4c.parser_exec import execute_parser
+
+
+class TestBasicExtraction:
+    def test_ethernet_ipv4_udp(self):
+        tree = ethernet_ipv4_tree()
+        pkt = Packet.build(src_ip="10.1.2.3", dst_ip="192.0.2.9",
+                           src_port=1234, dst_port=53, proto=PROTO_UDP)
+        result = execute_parser(tree, pkt)
+        assert result.names() == ["ethernet", "ipv4", "udp"]
+        assert result.header("ipv4").fields["src"] == ip_to_int("10.1.2.3")
+        assert result.header("udp").fields["dport"] == 53
+
+    def test_tcp_branch(self):
+        tree = ethernet_ipv4_tree()
+        pkt = Packet.build(proto=PROTO_TCP, src_port=443, dst_port=8443)
+        result = execute_parser(tree, pkt)
+        assert result.names() == ["ethernet", "ipv4", "tcp"]
+        assert result.header("tcp").fields["sport"] == 443
+
+    def test_vlan_requires_transition(self):
+        plain = ethernet_ipv4_tree()
+        pkt = Packet.build(vlan=42)
+        result = execute_parser(plain, pkt)
+        # ethertype 0x8100 has no transition: parser stops after ethernet
+        assert result.names() == ["ethernet"]
+
+        with_vlan = ethernet_ipv4_tree()
+        with_vlan.add_transition("ethernet", "ethertype", 0x8100, "vlan")
+        with_vlan.add_transition("vlan", "ethertype", 0x0800, "ipv4")
+        result = execute_parser(with_vlan, pkt)
+        assert result.names()[:3] == ["ethernet", "vlan", "ipv4"]
+        assert result.header("vlan").fields["vid"] == 42
+
+    def test_unknown_l4_stops_at_ipv4(self):
+        tree = ethernet_ipv4_tree()
+        pkt = Packet.build(proto=89)  # OSPF: no transition
+        result = execute_parser(tree, pkt)
+        assert result.names() == ["ethernet", "ipv4"]
+
+    def test_consumed_bits_byte_aligned(self):
+        tree = ethernet_ipv4_tree()
+        pkt = Packet.build(proto=PROTO_UDP)
+        result = execute_parser(tree, pkt)
+        assert result.consumed_bits % 8 == 0
+        assert result.consumed_bits == (14 + 20 + 8) * 8
+
+
+class TestNSHFraming:
+    def test_nsh_consumed_when_tree_knows_it(self):
+        tree = ethernet_ipv4_tree()
+        tree.headers.add("nsh")
+        pkt = Packet.build(src_ip="10.0.0.1")
+        pkt.push_nsh(spi=7, si=200)
+        result = execute_parser(tree, pkt)
+        assert result.names()[0] == "nsh"
+        assert result.header("nsh").fields["spi"] == 7
+        assert result.header("nsh").fields["si"] == 200
+        assert "ipv4" in result.names()
+
+    def test_nsh_ignored_when_tree_does_not_parse_it(self):
+        """A parser whose NFs never declared NSH misparses tagged
+        traffic — it cannot see the inner IPv4 packet. This is why the
+        compiler adds ``nsh`` to the unified parser whenever a chain
+        spans platforms."""
+        tree = ethernet_ipv4_tree()
+        pkt = Packet.build()
+        pkt.push_nsh(spi=7, si=200)
+        result = execute_parser(tree, pkt)
+        assert "ipv4" not in result.names()
+
+
+class TestUnifiedParser:
+    def test_compiled_parser_accepts_all_declared_framings(self):
+        """The §A.2.1 merged parser must accept every framing its NFs
+        declared: plain IPv4 (ACL/NAT) and VLAN-tagged (Detunnel)."""
+        chain = chains_from_spec("chain c: Detunnel -> NAT -> IPv4Fwd")[0]
+        result = PISACompiler().compile([(chain.graph,
+                                          set(chain.graph.nodes))])
+        plain = Packet.build()
+        tagged = Packet.build(vlan=5)
+        plain_parse = execute_parser(result.parser, plain)
+        tagged_parse = execute_parser(result.parser, tagged)
+        assert "ipv4" in plain_parse.names()
+        assert "vlan" in tagged_parse.names()
+        assert "ipv4" in tagged_parse.names()
+
+    def test_spanning_chain_parser_accepts_nsh_return_traffic(self):
+        chain = chains_from_spec("chain c: ACL -> Encrypt -> IPv4Fwd")[0]
+        switch_ids = {
+            nid for nid in chain.graph.nodes
+            if chain.graph.nodes[nid].nf_class != "Encrypt"
+        }
+        result = PISACompiler().compile([(chain.graph, switch_ids)])
+        pkt = Packet.build()
+        pkt.push_nsh(spi=1, si=254)
+        parsed = execute_parser(result.parser, pkt)
+        assert parsed.names()[0] == "nsh"

@@ -1,0 +1,52 @@
+"""Unified-parser merge tests (§A.2.1)."""
+
+import pytest
+
+from repro.exceptions import ParserMergeConflict
+from repro.p4c.ir import ParseTree, ethernet_ipv4_tree
+from repro.p4c.parser_merge import merge_parse_trees, reachable_headers
+
+
+class TestMerge:
+    def test_union_of_transitions(self):
+        t1 = ethernet_ipv4_tree(l4=False)
+        t2 = ParseTree()
+        t2.add_transition("ethernet", "ethertype", 0x8100, "vlan")
+        unified = merge_parse_trees([t1, t2])
+        assert unified.next_headers("ethernet") == {"ipv4", "vlan"}
+
+    def test_identical_trees_merge_cleanly(self):
+        unified = merge_parse_trees(
+            [ethernet_ipv4_tree(), ethernet_ipv4_tree()]
+        )
+        assert unified.next_headers("ipv4") == {"tcp", "udp"}
+
+    def test_conflict_rejected(self):
+        """Same select value leading to different headers => reject (the
+        paper rejects the placement)."""
+        t1 = ParseTree()
+        t1.add_transition("ethernet", "ethertype", 0x1234, "ipv4")
+        t2 = ParseTree()
+        t2.add_transition("ethernet", "ethertype", 0x1234, "vlan")
+        with pytest.raises(ParserMergeConflict):
+            merge_parse_trees([t1, t2])
+
+    def test_different_roots_rejected(self):
+        odd = ParseTree(root="ipv4", headers={"ipv4"})
+        with pytest.raises(ParserMergeConflict):
+            merge_parse_trees([ethernet_ipv4_tree(), odd])
+
+    def test_empty_merge(self):
+        unified = merge_parse_trees([])
+        assert unified.headers == {"ethernet"}
+
+
+class TestReachability:
+    def test_all_reachable_in_common_tree(self):
+        tree = ethernet_ipv4_tree()
+        assert reachable_headers(tree) == {"ethernet", "ipv4", "tcp", "udp"}
+
+    def test_orphan_header_unreachable(self):
+        tree = ethernet_ipv4_tree()
+        tree.headers.add("orphan")
+        assert "orphan" not in reachable_headers(tree)

@@ -1,0 +1,86 @@
+"""NF-DAG → pipeline-tree conversion tests (§A.2.2)."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.p4c.pipeline_tree import build_subgroup_dag, dag_to_tree
+
+
+def graph_of(spec):
+    return chains_from_spec(spec)[0].graph
+
+
+class TestSubgroupDAG:
+    def test_sequential_concatenation(self):
+        graph = graph_of("ACL -> Tunnel -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, list(graph.nodes))
+        # one subgroup holding all three sequential NFs
+        assert len(dag.nodes) == 1
+        (sg,) = dag.nodes.values()
+        assert len(sg.nf_node_ids) == 3
+
+    def test_branch_splits_subgroups(self):
+        graph = graph_of("BPF -> [NAT, NAT] -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, list(graph.nodes))
+        # BPF | NAT | NAT | IPv4Fwd
+        assert len(dag.nodes) == 4
+        assert len(dag.branching_nodes()) == 1
+        assert len(dag.merging_nodes()) == 1
+
+    def test_off_switch_gap_bridged(self):
+        graph = graph_of("ACL -> Encrypt -> IPv4Fwd")
+        switch_ids = [
+            nid for nid in graph.nodes
+            if graph.nodes[nid].nf_class != "Encrypt"
+        ]
+        dag = build_subgroup_dag(graph, switch_ids)
+        assert len(dag.nodes) == 2
+        # edge bridges the server excursion
+        assert len(dag.edges) == 1
+
+    def test_empty_switch_set(self):
+        graph = graph_of("ACL -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, [])
+        assert len(dag.nodes) == 0
+
+
+class TestTreeConversion:
+    def test_linear_tree(self):
+        graph = graph_of("ACL -> Tunnel -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, list(graph.nodes))
+        tree = dag_to_tree(dag)
+        assert tree is not None
+        assert tree.children == []
+
+    def test_merge_reattached_to_common_ancestor(self):
+        graph = graph_of("BPF -> [NAT, NAT] -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, list(graph.nodes))
+        tree = dag_to_tree(dag)
+        # root = BPF subgroup; children = two arms + the merge (IPv4Fwd)
+        assert len(tree.children) == 3
+        merges = [c for c in tree.children if c.is_merge]
+        assert len(merges) == 1
+
+    def test_preorder_visits_merge_last(self):
+        graph = graph_of("BPF -> [NAT, NAT] -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, list(graph.nodes))
+        tree = dag_to_tree(dag)
+        order = tree.preorder()
+        assert order[-1].is_merge
+
+    def test_multi_root_gets_virtual_root(self):
+        # chain starts off-switch then branches onto the switch
+        graph = graph_of("Dedup -> [ACL, Tunnel] -> Encrypt")
+        switch_ids = [
+            nid for nid in graph.nodes
+            if graph.nodes[nid].nf_class in ("ACL", "Tunnel")
+        ]
+        dag = build_subgroup_dag(graph, switch_ids)
+        tree = dag_to_tree(dag)
+        assert tree.subgroup.nf_node_ids == []  # virtual root
+        assert len(tree.children) == 2
+
+    def test_empty_dag_returns_none(self):
+        graph = graph_of("ACL -> IPv4Fwd")
+        dag = build_subgroup_dag(graph, [])
+        assert dag_to_tree(dag) is None

@@ -1,0 +1,92 @@
+"""Property-based tests on the stage allocators' invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.pisa import PISAStageResources
+from repro.p4c.ir import MatchType, P4Table, TableDAG
+from repro.p4c.stage_alloc import (
+    allocate_compiler,
+    allocate_conservative,
+    allocate_naive,
+)
+
+
+@st.composite
+def table_dags(draw):
+    """Random DAGs of up to 10 tables with forward-only dependencies."""
+    n = draw(st.integers(1, 10))
+    dag = TableDAG()
+    for i in range(n):
+        match_type = draw(st.sampled_from(list(MatchType)))
+        size = draw(st.integers(16, 4096))
+        entry_bits = draw(st.sampled_from([16, 40, 64, 104]))
+        dag.add_table(P4Table(
+            name=f"t{i}", match_type=match_type,
+            size=size, entry_bits=entry_bits,
+        ))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):
+                dag.add_edge(f"t{i}", f"t{j}")
+    return dag
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=table_dags())
+def test_compiler_places_every_table_once(dag):
+    allocation = allocate_compiler(dag)
+    placed = [name for stage in allocation.stages for name in stage]
+    assert sorted(placed) == sorted(t.name for t in dag.tables)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=table_dags())
+def test_compiler_respects_dependencies(dag):
+    allocation = allocate_compiler(dag)
+    for before, after in dag.edges:
+        assert allocation.stage_of(before) < allocation.stage_of(after)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=table_dags())
+def test_compiler_respects_per_stage_resources(dag):
+    resources = PISAStageResources()
+    allocation = allocate_compiler(dag, resources)
+    for stage in allocation.stages:
+        assert len(stage) <= resources.table_slots
+        sram = sum(dag.table(name).sram_kb for name in stage)
+        tcam = sum(dag.table(name).tcam_kb for name in stage)
+        assert sram <= resources.sram_kb + 1e-9
+        assert tcam <= resources.tcam_kb + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=table_dags())
+def test_compiler_never_below_depth_bound(dag):
+    """Stage count is at least the dependency depth (a lower bound) and
+    at most the table count (the naive upper bound)."""
+    allocation = allocate_compiler(dag)
+    assert dag.depth() <= allocation.stage_count <= len(dag.tables)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag=table_dags())
+def test_strategy_ordering(dag):
+    """compiler <= conservative(per-table groups) <= naive, always."""
+    compiler = allocate_compiler(dag)
+    conservative = allocate_conservative(
+        dag, nf_groups=[[t.name] for t in dag.tables]
+    )
+    naive = allocate_naive(dag)
+    assert compiler.stage_count <= conservative.stage_count
+    assert conservative.stage_count <= naive.stage_count
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag=table_dags(), budget=st.integers(1, 20))
+def test_fits_monotone_in_budget(dag, budget):
+    tight = allocate_compiler(dag, available_stages=budget)
+    loose = allocate_compiler(dag, available_stages=budget + 5)
+    if tight.fits:
+        assert loose.fits

@@ -1,0 +1,152 @@
+"""Profile database, cost models, and profiler tests."""
+
+import pytest
+
+from repro.exceptions import ProfileError
+from repro.profiles.defaults import (
+    DEMUX_LB_CYCLES,
+    NSH_ENCAP_DECAP_CYCLES,
+    default_profiles,
+)
+from repro.profiles.models import LinearCostModel
+from repro.profiles.profiler import Profiler
+
+
+@pytest.fixture()
+def db():
+    return default_profiles()
+
+
+class TestTable4Values:
+    """The published Table 4 numbers are encoded verbatim."""
+
+    @pytest.mark.parametrize("nf,worst_diff,worst_same", [
+        ("Encrypt", 9123, 8777),
+        ("Dedup", 33185, 30867),
+        ("ACL", 4091, 4008),
+        ("NAT", 507, 477),
+    ])
+    def test_worst_case_costs(self, db, nf, worst_diff, worst_same):
+        profile = db.get(nf)
+        assert profile.cycles == worst_diff
+        assert profile.cycles_numa_same == worst_same
+        assert profile.from_paper
+
+    def test_numa_diff_is_worse(self, db):
+        for name in ("Encrypt", "Dedup", "ACL", "NAT", "Limiter"):
+            p = db.get(name)
+            assert p.cycles >= (p.cycles_numa_same or 0)
+
+    def test_overhead_constants(self):
+        assert NSH_ENCAP_DECAP_CYCLES == 220
+        assert DEMUX_LB_CYCLES == 180
+
+
+class TestSizeModels:
+    def test_acl_scales_with_rules(self, db):
+        small = db.server_cycles("ACL", {"rules": 16})
+        large = db.server_cycles("ACL", {"rules": 4096})
+        reference = db.server_cycles("ACL", {"rules": 1024})
+        assert small < reference < large
+        assert reference == pytest.approx(4091, rel=0.02)
+
+    def test_rules_list_uses_length(self, db):
+        rules = [{"drop": False}] * 16
+        assert db.server_cycles("ACL", {"rules": rules}) == pytest.approx(
+            db.server_cycles("ACL", {"rules": 16})
+        )
+
+    def test_nat_nearly_flat(self, db):
+        low = db.server_cycles("NAT", {"entries": 1000})
+        high = db.server_cycles("NAT", {"entries": 48000})
+        assert high / low < 1.3
+
+    def test_linear_fit(self):
+        model = LinearCostModel.fit([(10, 100.0), (20, 200.0)],
+                                    reference_size=10)
+        assert model.cycles(15) == pytest.approx(150.0)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ProfileError):
+            LinearCostModel.fit([(10, 100.0)], reference_size=10)
+
+    def test_negative_slope_clamped(self):
+        model = LinearCostModel.fit([(10, 200.0), (20, 100.0)],
+                                    reference_size=10)
+        assert model.slope == 0.0
+        assert model.cycles(1000) >= 100.0
+
+    def test_negative_size_rejected(self):
+        model = LinearCostModel.fit([(10, 100.0), (20, 200.0)], 10)
+        with pytest.raises(ProfileError):
+            model.cycles(-1)
+
+
+class TestDatabase:
+    def test_all_table3_nfs_profiled(self, db):
+        from repro.chain.vocabulary import default_vocabulary
+        for name in default_vocabulary().names():
+            assert name in db
+
+    def test_missing_profile_raises(self, db):
+        with pytest.raises(ProfileError):
+            db.get("Quantum")
+
+    def test_error_injection(self, db):
+        reduced = db.with_error(-0.05)
+        assert reduced.server_cycles("Encrypt") == pytest.approx(
+            0.95 * db.server_cycles("Encrypt")
+        )
+
+    def test_error_bounds(self, db):
+        with pytest.raises(ProfileError):
+            db.with_error(0.9)
+
+    def test_uniform_ablation(self, db):
+        flat = db.uniform(5000.0)
+        assert flat.server_cycles("Encrypt") == flat.server_cycles("Tunnel")
+        # NIC capability preserved structurally
+        assert flat.nic_cycles("FastEncrypt") is not None
+        assert flat.nic_cycles("Encrypt") is None
+
+    def test_nic_cycles(self, db):
+        assert db.nic_cycles("FastEncrypt") == pytest.approx(16000)
+        assert db.nic_cycles("Dedup") is None
+
+
+class TestProfiler:
+    def test_model_stats_bounded(self):
+        profiler = Profiler()
+        stats = profiler.profile_model("Encrypt", runs=500)
+        assert stats.min <= stats.mean <= stats.max
+        # Table 4 narrative: worst case within 6.5% of mean
+        assert stats.worst_case_over_mean < 0.065
+
+    def test_numa_same_cheaper(self):
+        profiler = Profiler()
+        same = profiler.profile_model("Dedup", runs=300, numa_same=True)
+        diff = profiler.profile_model("Dedup", runs=300, numa_same=False)
+        assert same.mean < diff.mean
+
+    def test_table4_has_eight_rows(self):
+        rows = Profiler().table4(runs=50)
+        assert len(rows) == 8
+        assert {r.numa for r in rows} == {"same", "diff"}
+
+    def test_measured_mode_matches_model(self):
+        profiler = Profiler()
+        measured = profiler.profile_measured("ACL", runs=10,
+                                             packets_per_run=16,
+                                             params={"rules": 1024})
+        modeled = profiler.profile_model("ACL", runs=100,
+                                         params={"rules": 1024})
+        assert measured.mean == pytest.approx(modeled.mean, rel=0.1)
+
+    def test_too_few_runs_rejected(self):
+        with pytest.raises(ProfileError):
+            Profiler().profile_model("ACL", runs=1)
+
+    def test_determinism(self):
+        a = Profiler(seed=3).profile_model("NAT", runs=100)
+        b = Profiler(seed=3).profile_model("NAT", runs=100)
+        assert (a.mean, a.min, a.max) == (b.mean, b.min, b.max)

@@ -1,0 +1,109 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "chains.lemur"
+    path.write_text(
+        "chain a: ACL -> Encrypt -> IPv4Fwd\n"
+        "chain b: BPF -> NAT -> IPv4Fwd\n"
+    )
+    return str(path)
+
+
+class TestPlace:
+    def test_basic(self, spec_file, capsys):
+        code = main(["place", spec_file, "--tmin", "1", "1",
+                     "--tmax", "30", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible=True" in out
+        assert "pisa:tofino0" in out
+
+    def test_infeasible_exit_code(self, spec_file, capsys):
+        code = main(["place", spec_file, "--tmin", "90", "90"])
+        assert code == 2
+
+    def test_fair_flag(self, spec_file, capsys):
+        code = main(["place", spec_file, "--tmin", "1", "1",
+                     "--tmax", "100", "100", "--fair"])
+        assert code == 0
+
+    def test_reserve(self, spec_file, capsys):
+        code = main(["place", spec_file, "--reserve", "4"])
+        assert code == 0
+
+    def test_strategy_selection(self, spec_file, capsys):
+        code = main(["place", spec_file, "--strategy", "hw-preferred"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hw-preferred" in out
+
+    def test_missing_file(self, capsys):
+        code = main(["place", "/does/not/exist.lemur"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_multi_server_topology(self, spec_file, capsys):
+        code = main(["place", spec_file, "--servers", "2"])
+        assert code == 0
+
+
+class TestCompile:
+    def test_dump_p4(self, spec_file, capsys):
+        code = main(["compile", spec_file, "--dump", "p4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "control ingress" in out
+
+    def test_dump_bess(self, spec_file, capsys):
+        code = main(["compile", spec_file, "--dump", "bess"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SubgroupDemux" in out
+
+    def test_dump_paths(self, spec_file, capsys):
+        code = main(["compile", spec_file, "--dump", "paths"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spi=" in out
+
+    def test_stats_line(self, spec_file, capsys):
+        code = main(["compile", spec_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "auto-generated" in out
+
+    def test_out_directory(self, spec_file, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        code = main(["compile", spec_file, "--out", str(out_dir)])
+        assert code == 0
+        assert (out_dir / "p4" / "unified.p4").is_file()
+        assert (out_dir / "routing" / "paths.txt").is_file()
+        assert "artifact file(s)" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_packets_delivered(self, spec_file, capsys):
+        code = main(["trace", spec_file, "--packets", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 delivered" in out
+
+
+class TestSweepProfile:
+    def test_sweep(self, capsys):
+        code = main(["sweep", "2", "--deltas", "0.5", "--no-measure"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Lemur" in out
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--runs", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "NAT (12000 entries)" in out

@@ -1,0 +1,57 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_PACKET_BITS,
+    DEFAULT_PACKET_BYTES,
+    cycles_to_rate_mbps,
+    gbps,
+    mbps,
+    mbps_to_gbps,
+    mbps_to_pps,
+    ms,
+    pps_to_mbps,
+    seconds_to_us,
+    us,
+)
+
+
+class TestRateConversions:
+    def test_gbps(self):
+        assert gbps(40) == 40_000.0
+
+    def test_roundtrip_pps(self):
+        rate = 1234.5
+        assert pps_to_mbps(mbps_to_pps(rate)) == pytest.approx(rate)
+
+    def test_packet_size_matters(self):
+        small = mbps_to_pps(1000, packet_bytes=64)
+        large = mbps_to_pps(1000, packet_bytes=1500)
+        assert small > large
+
+    def test_default_packet_constants(self):
+        assert DEFAULT_PACKET_BITS == DEFAULT_PACKET_BYTES * 8 == 12000
+
+    def test_cycles_to_rate(self):
+        # f/c pps at 1500B: 1.7e9/17000 = 100kpps = 1200 Mbps
+        assert cycles_to_rate_mbps(17_000, 1.7e9) == pytest.approx(1200.0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_rate_mbps(0, 1.7e9)
+
+    def test_gbps_mbps_inverse(self):
+        assert mbps_to_gbps(gbps(3.5)) == pytest.approx(3.5)
+
+
+class TestTimeConversions:
+    def test_identity_helpers(self):
+        assert mbps(5) == 5.0
+        assert us(7) == 7.0
+
+    def test_ms(self):
+        assert ms(2) == 2000.0
+
+    def test_seconds(self):
+        assert seconds_to_us(0.5) == 500_000.0
