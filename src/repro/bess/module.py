@@ -59,6 +59,7 @@ class Module:
         self.rx_packets = 0
         self.tx_packets = 0
         self.dropped_packets = 0
+        self.cycles_charged = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -91,7 +92,9 @@ class Module:
         worst = profile.cost(self.params, numa_same=self.numa_same)
         mean = worst / (1.0 + profile.variance)
         sampled = self._rng.uniform(mean * (1 - profile.variance), worst)
-        packet.metadata.cycles_consumed += int(sampled * scale)
+        charged = int(sampled * scale)
+        packet.metadata.cycles_consumed += charged
+        self.cycles_charged += charged
 
     def receive(self, packet: Packet) -> List[Tuple[int, Packet]]:
         """Bookkeeping wrapper around :meth:`process`."""
@@ -184,6 +187,7 @@ class Pipeline:
                 "rx": m.rx_packets,
                 "tx": m.tx_packets,
                 "dropped": m.dropped_packets,
+                "cycles": m.cycles_charged,
             }
             for name, m in self.modules.items()
         }

@@ -49,6 +49,7 @@ class NSHDecap(Module):
     def process(self, packet: Packet):
         packet.pop_nsh()
         packet.metadata.cycles_consumed += NSH_ENCAP_DECAP_CYCLES // 2
+        self.cycles_charged += NSH_ENCAP_DECAP_CYCLES // 2
         return [(0, packet)]
 
 
@@ -69,6 +70,7 @@ class NSHEncap(Module):
             )
         packet.push_nsh(int(spi), int(si))
         packet.metadata.cycles_consumed += NSH_ENCAP_DECAP_CYCLES // 2
+        self.cycles_charged += NSH_ENCAP_DECAP_CYCLES // 2
         return [(0, packet)]
 
 
@@ -115,6 +117,7 @@ class SubgroupDemux(Module):
         if instances == 1:
             return [(base_gate, packet)]
         packet.metadata.cycles_consumed += DEMUX_LB_CYCLES
+        self.cycles_charged += DEMUX_LB_CYCLES
         five = packet.five_tuple()
         digest = zlib.crc32(repr(five).encode())
         return [(base_gate + digest % instances, packet)]

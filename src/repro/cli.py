@@ -5,6 +5,9 @@ Subcommands mirror an operator's workflow:
 * ``place``   — place a spec file's chains and print the placement;
 * ``compile`` — place + meta-compile, dumping chosen artifacts;
 * ``trace``   — run packets through the deployed rack and show NF trails;
+* ``stats``   — trace a placement and dump the observability metrics:
+  placer stage timings, codegen times, per-device packet/drop/cycle
+  counters, and the per-hop latency breakdown;
 * ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
 * ``profile`` — print the Table 4 profiling statistics.
 
@@ -87,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec_args(trace_cmd)
     add_topology_args(trace_cmd)
     trace_cmd.add_argument("--packets", type=int, default=16)
+
+    stats_cmd = sub.add_parser(
+        "stats",
+        help="trace a placement and report the full metrics surface",
+    )
+    add_spec_args(stats_cmd)
+    add_topology_args(stats_cmd)
+    stats_cmd.add_argument("--packets", type=int, default=32)
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="emit one JSON document instead of text")
 
     sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
     sweep_cmd.add_argument("chains", type=int, nargs="+",
@@ -217,7 +230,101 @@ def cmd_trace(args) -> int:
     traces = rack.trace_chains(placement, packets_per_chain=args.packets)
     for name, trace in traces.items():
         print(f"{name}: {trace.delivered}/{trace.injected} delivered; "
+              f"avg latency {trace.avg_latency_us:.2f} us; "
               f"trail: {' -> '.join(trace.nf_trail)}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry, render_text, set_registry
+    from repro.sim.runtime import DeployedRack
+
+    # a fresh registry so the report covers exactly this run
+    registry = set_registry(MetricsRegistry())
+    chains = _load_chains(args)
+    topology = _topology(args)
+    placer = Placer(
+        topology=topology, profiles=default_profiles(),
+        config=PlacerConfig(
+            strategy=args.strategy,
+            rate_objective="max_min" if args.fair else "marginal",
+        ),
+    )
+    placement, seconds = placer.place_timed(chains)
+    if not placement.feasible:
+        print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
+        return 2
+    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
+    artifacts = meta.compile_placement(placement)
+    rack = DeployedRack(topology, artifacts, placer.profiles,
+                        registry=registry)
+    traces = rack.trace_chains(placement, packets_per_chain=args.packets)
+
+    chain_reports = {
+        name: {
+            "injected": trace.injected,
+            "delivered": trace.delivered,
+            "dropped": trace.dropped,
+            "avg_latency_us": trace.avg_latency_us,
+            "latency_breakdown_us": trace.latency_breakdown,
+            "hops": [
+                {
+                    "position": hop.position,
+                    "device": hop.device,
+                    "platform": hop.platform,
+                    "packets": hop.packets,
+                    "cycles": hop.cycles,
+                    "avg_exec_us": hop.avg_exec_us,
+                }
+                for hop in trace.hops
+            ],
+        }
+        for name, trace in traces.items()
+    }
+    if args.json:
+        print(json.dumps({
+            "placer_wall_clock_ms": seconds * 1000,
+            "chains": chain_reports,
+            "devices": rack.device_stats(),
+            "metrics": registry.snapshot(),
+        }, indent=2))
+        return 0
+
+    print(f"placer wall-clock: {seconds * 1000:.1f} ms")
+    print()
+    print("== chains ==")
+    for name, report in chain_reports.items():
+        breakdown = report["latency_breakdown_us"]
+        print(f"{name}: {report['delivered']}/{report['injected']} "
+              f"delivered, {report['dropped']} dropped; "
+              f"avg latency {report['avg_latency_us']:.2f} us "
+              f"(exec {breakdown.get('exec_us', 0.0):.2f} + "
+              f"bounce {breakdown.get('bounce_us', 0.0):.2f} + "
+              f"switch {breakdown.get('switch_us', 0.0):.2f})")
+        for hop in report["hops"]:
+            print(f"    hop {hop['position']}: {hop['device']} "
+                  f"[{hop['platform']}] {hop['packets']} pkts, "
+                  f"{hop['cycles']} cycles, "
+                  f"avg exec {hop['avg_exec_us']:.3f} us")
+    print()
+    print("== devices ==")
+    for device, stats in rack.device_stats().items():
+        drops = stats.get("drops") or {}
+        drop_text = (
+            ", ".join(f"{k}={v:g}" for k, v in sorted(drops.items()))
+            or "none"
+        )
+        print(f"{device} [{stats['platform']}]: "
+              f"in={stats['packets_in']:g} out={stats['packets_out']:g} "
+              f"cycles={stats['cycles']:g} drops: {drop_text}")
+        for module, mstats in sorted(stats.get("modules", {}).items()):
+            print(f"    {module}: rx={mstats['rx']} tx={mstats['tx']} "
+                  f"dropped={mstats['dropped']} cycles={mstats['cycles']}")
+    print()
+    print("== metrics ==")
+    print(render_text(registry))
     return 0
 
 
@@ -245,6 +352,7 @@ _COMMANDS = {
     "place": cmd_place,
     "compile": cmd_compile,
     "trace": cmd_trace,
+    "stats": cmd_stats,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
 }

@@ -41,6 +41,7 @@ from repro.core.subgroups import (
 from repro.exceptions import P4CompileError
 from repro.hw.platform import Platform
 from repro.hw.topology import Topology
+from repro.obs import get_registry
 from repro.p4c.compiler import PISACompiler
 from repro.profiles.defaults import ProfileDatabase
 from repro.units import DEFAULT_PACKET_BITS
@@ -56,37 +57,52 @@ def heuristic_place(
     core_policy: str = "lemur",
     strategy_name: str = "lemur",
 ) -> Placement:
-    """Run the full three-step heuristic and return the best placement."""
+    """Run the full three-step heuristic and return the best placement.
+
+    Each heuristic stage (stage-constraint baseline, the coalescing
+    variants, candidate evaluation) is timed into the observability
+    registry under ``placer.stage.seconds{stage=...}`` so `repro stats`
+    and the §5.3 scaling benchmarks can see where placement time goes.
+    """
     chains = list(chains)
     compiler = _compiler_for(topology)
+    registry = get_registry()
 
-    baseline = _stage_constrained_baseline(
-        chains, topology, profiles, compiler
-    )
+    with registry.timer("placer.stage.seconds", stage="stage_constraints"):
+        baseline = _stage_constrained_baseline(
+            chains, topology, profiles, compiler
+        )
     candidates: List[Tuple[str, Assignments]] = [("baseline", baseline)]
-    candidates.append((
-        "aggressive",
-        _coalesce_all(chains, baseline, topology, profiles, packet_bits,
-                      rules=("strict", "aggressive")),
-    ))
-    candidates.append((
-        "conservative",
-        _coalesce_all(chains, baseline, topology, profiles, packet_bits,
-                      rules=("strict", "conservative")),
-    ))
-    if any(cp.slo.d_max != float("inf") for cp in chains):
+    with registry.timer("placer.stage.seconds", stage="coalesce_aggressive"):
         candidates.append((
-            "min-bounce-variant",
-            _bounce_reducing_variant(chains, baseline, topology, profiles),
+            "aggressive",
+            _coalesce_all(chains, baseline, topology, profiles, packet_bits,
+                          rules=("strict", "aggressive")),
         ))
+    with registry.timer("placer.stage.seconds", stage="coalesce_conservative"):
+        candidates.append((
+            "conservative",
+            _coalesce_all(chains, baseline, topology, profiles, packet_bits,
+                          rules=("strict", "conservative")),
+        ))
+    if any(cp.slo.d_max != float("inf") for cp in chains):
+        with registry.timer("placer.stage.seconds", stage="min_bounce"):
+            candidates.append((
+                "min-bounce-variant",
+                _bounce_reducing_variant(chains, baseline, topology,
+                                         profiles),
+            ))
 
     best: Optional[Placement] = None
     for label, assignments in candidates:
-        placement = build_placement(
-            chains, assignments, topology, profiles, packet_bits,
-            core_policy=core_policy, compiler=compiler,
-            strategy=strategy_name,
-        )
+        with registry.timer("placer.stage.seconds",
+                            stage=f"evaluate_{label}"):
+            placement = build_placement(
+                chains, assignments, topology, profiles, packet_bits,
+                core_policy=core_policy, compiler=compiler,
+                strategy=strategy_name,
+            )
+        registry.counter("placer.candidates", label=label).inc()
         if placement.feasible and (
             best is None or placement.objective_mbps > best.objective_mbps + 1e-9
         ):

@@ -23,6 +23,17 @@ from scipy.optimize import linprog
 
 from repro.core.placement import ChainPlacement
 from repro.hw.topology import Topology
+from repro.obs import get_registry
+
+
+def _record_solve(objective: str, result) -> None:
+    """Count one LP solve and its simplex/IPM iterations in the registry."""
+    registry = get_registry()
+    registry.counter("lp.solves", objective=objective).inc()
+    iterations = getattr(result, "nit", 0) or 0
+    registry.counter("lp.iterations", objective=objective).inc(
+        int(iterations)
+    )
 
 
 @dataclass
@@ -101,6 +112,7 @@ def solve_rates(
         bounds=list(zip(lower, upper)),
         method="highs",
     )
+    _record_solve("marginal", result)
     if not result.success:
         return RateSolution(
             feasible=False,
@@ -108,10 +120,11 @@ def solve_rates(
         )
 
     rates = {cp.name: float(r) for cp, r in zip(placements, result.x)}
-    objective = sum(
+    objective_mbps = sum(
         rates[cp.name] - cp.chain.slo.t_min for cp in placements
     )
-    return RateSolution(rates=rates, feasible=True, objective_mbps=objective)
+    return RateSolution(rates=rates, feasible=True,
+                        objective_mbps=objective_mbps)
 
 
 def solve_rates_max_min(
@@ -203,6 +216,7 @@ def solve_rates_max_min(
             bounds=bounds,
             method="highs",
         )
+        _record_solve("max_min", stage1)
         if not stage1.success:
             return RateSolution(
                 feasible=False,
@@ -226,6 +240,7 @@ def solve_rates_max_min(
         bounds=list(zip(floor, upper)),
         method="highs",
     )
+    _record_solve("max_min", stage2)
     if not stage2.success:
         return RateSolution(
             feasible=False,
@@ -234,11 +249,11 @@ def solve_rates_max_min(
     rates = {
         cp.name: float(r) for cp, r in zip(placements, stage2.x)
     }
-    objective = sum(
+    objective_mbps = sum(
         rates[cp.name] - cp.chain.slo.t_min for cp in placements
     )
     return RateSolution(rates=rates, feasible=True,
-                        objective_mbps=objective)
+                        objective_mbps=objective_mbps)
 
 
 def nic_headroom(

@@ -26,6 +26,7 @@ from repro.core.heuristic import heuristic_place
 from repro.core.placement import Placement
 from repro.exceptions import PlacementError
 from repro.hw.topology import Topology, default_testbed
+from repro.obs import get_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.units import DEFAULT_PACKET_BITS
 
@@ -89,22 +90,28 @@ class Placer:
             raise PlacementError(
                 f"unknown strategy {name!r}; choose from {available_strategies()}"
             )
-        placement = fn(
-            list(chains), self.topology, self.profiles,
-            packet_bits=self.config.packet_bits,
-        )
-        if placement.feasible and self.config.rate_objective != "marginal":
-            # Rate assignment is a policy over the decided configuration:
-            # re-split the burst headroom under the configured objective.
-            from repro.core.lp import solve_rates
-
-            solution = solve_rates(
-                placement.chains, self.topology,
-                objective=self.config.rate_objective,
+        registry = get_registry()
+        with registry.timer("placer.place.seconds", strategy=name):
+            placement = fn(
+                list(chains), self.topology, self.profiles,
+                packet_bits=self.config.packet_bits,
             )
-            if solution.feasible:
-                placement.rates = solution.rates
-                placement.objective_mbps = solution.objective_mbps
+            if placement.feasible and self.config.rate_objective != "marginal":
+                # Rate assignment is a policy over the decided configuration:
+                # re-split the burst headroom under the configured objective.
+                from repro.core.lp import solve_rates
+
+                solution = solve_rates(
+                    placement.chains, self.topology,
+                    objective=self.config.rate_objective,
+                )
+                if solution.feasible:
+                    placement.rates = solution.rates
+                    placement.objective_mbps = solution.objective_mbps
+        registry.counter(
+            "placer.placements", strategy=name,
+            feasible=str(placement.feasible).lower(),
+        ).inc()
         return placement
 
     def place_timed(
@@ -127,12 +134,18 @@ class Placer:
 
         If on-path hardware fails, Lemur "can always fall back to using
         server-based NFs"; the Placer simply re-runs without the device.
+
+        Devices that were already marked failed before the call stay
+        failed afterwards — only the membership this call added is rolled
+        back.
         """
+        already_failed = failed_device in self.topology.failed_devices
         self.topology.mark_failed(failed_device)
         try:
             return self.place(chains, strategy)
         finally:
-            self.topology.failed_devices.discard(failed_device)
+            if not already_failed:
+                self.topology.failed_devices.discard(failed_device)
 
     def place_with_reserve(
         self,

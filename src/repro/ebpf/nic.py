@@ -41,6 +41,8 @@ class SmartNICRuntime:
         self.rx = 0
         self.tx = 0
         self.drops = 0
+        #: cumulative per-engine NIC cycles charged (the NIC's own clock).
+        self.cycles_charged = 0
 
     def load(self, program: EBPFProgram,
              nf_specs: List[Tuple[str, dict]]) -> None:
@@ -89,6 +91,18 @@ class SmartNICRuntime:
             self.drops += 1
             return (XDPAction.DROP, packet)
         _gate, out = outputs[0]
+        # Charge the NF's per-engine NIC cycle cost on the NIC's clock —
+        # these are *NIC* cycles, so latency conversion must use
+        # ``nic.freq_hz``, never a server frequency.
+        nf_class, _params = self._nf_specs[section_index]
+        nic_cycles = int(self.profiles.nic_cycles(nf_class) or 0)
+        if nic_cycles:
+            meta = out.metadata
+            meta.cycles_consumed += nic_cycles
+            meta.cycles_by_device[self.nic.name] = (
+                meta.cycles_by_device.get(self.nic.name, 0) + nic_cycles
+            )
+            self.cycles_charged += nic_cycles
         out.push_nsh(next_spi, next_si)
         self.tx += 1
         return (XDPAction.TX, out)

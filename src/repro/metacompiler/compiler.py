@@ -29,6 +29,7 @@ from repro.metacompiler.nsh import ServicePath, assign_service_paths
 from repro.metacompiler.ofgen import generate_openflow, render_rules
 from repro.metacompiler.p4gen import P4GenResult, generate_p4
 from repro.metacompiler.routing import RoutingPlan, synthesize_routing
+from repro.obs import get_registry
 from repro.p4c.compiler import PISACompiler
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 
@@ -124,74 +125,104 @@ class MetaCompiler:
         self.profiles = profiles or default_profiles()
 
     def compile_placement(self, placement: Placement) -> CompiledArtifacts:
-        """Generate all per-platform code for a placement."""
+        """Generate all per-platform code for a placement.
+
+        Per-platform codegen wall-clock lands in the observability
+        registry under ``metacompiler.codegen.seconds{platform=...}``,
+        generated-line totals under ``metacompiler.codegen.lines``, and
+        PISA stage usage under the ``metacompiler.p4.stages`` histogram.
+        """
         if not placement.feasible:
             raise CompileError(
                 "cannot compile an infeasible placement: "
                 f"{placement.infeasible_reason}"
             )
+        registry = get_registry()
         chain_placements = placement.chains
-        paths = assign_service_paths(chain_placements)
-        plan = synthesize_routing(
-            chain_placements, paths, self.topology.switch.name
+        with registry.timer("metacompiler.codegen.seconds",
+                            platform="routing"):
+            paths = assign_service_paths(chain_placements)
+            plan = synthesize_routing(
+                chain_placements, paths, self.topology.switch.name
+            )
+        registry.counter("metacompiler.service_paths").inc(
+            len(plan.service_paths)
         )
         artifacts = CompiledArtifacts(routing=plan)
         stats = artifacts.stats
 
         switch = self.topology.switch
         if switch.platform is Platform.PISA:
-            compiler = PISACompiler(switch)  # type: ignore[arg-type]
-            artifacts.p4 = generate_p4(chain_placements, plan, compiler)
+            with registry.timer("metacompiler.codegen.seconds",
+                                platform="p4"):
+                compiler = PISACompiler(switch)  # type: ignore[arg-type]
+                artifacts.p4 = generate_p4(chain_placements, plan, compiler)
             stats.auto_steering_lines += artifacts.p4.steering_lines
             stats.auto_nf_glue_lines += artifacts.p4.nf_lines
             stats.add_platform("p4", artifacts.p4.total_lines)
             for source in artifacts.p4.nf_sources.values():
                 stats.manual_nf_lines += count_lines(source)
-        elif isinstance(switch, OpenFlowSwitchModel):
-            artifacts.openflow_rules = generate_openflow(
-                switch, chain_placements, plan
+            registry.histogram("metacompiler.p4.stages").observe(
+                artifacts.p4.compile_result.stage_count
             )
-            artifacts.openflow_text = render_rules(artifacts.openflow_rules)
+        elif isinstance(switch, OpenFlowSwitchModel):
+            with registry.timer("metacompiler.codegen.seconds",
+                                platform="openflow"):
+                artifacts.openflow_rules = generate_openflow(
+                    switch, chain_placements, plan
+                )
+                artifacts.openflow_text = render_rules(
+                    artifacts.openflow_rules
+                )
             lines = count_lines(artifacts.openflow_text)
             stats.auto_steering_lines += lines
             stats.add_platform("openflow", lines)
+            registry.counter("metacompiler.openflow.rules").inc(
+                len(artifacts.openflow_rules)
+            )
 
-        for server in self.topology.servers:
-            if server.name in self.topology.failed_devices:
-                continue
-            has_work = any(
-                sg.server == server.name
-                for cp in chain_placements for sg in cp.subgroups
-            )
-            if not has_work:
-                continue
-            script = generate_bess(server.name, chain_placements, plan)
-            artifacts.bess[server.name] = script
-            text = script.render()
-            lines = count_lines(text)
-            stats.auto_steering_lines += lines
-            stats.add_platform("bess", lines)
-            # the NF module implementations themselves are manual code
-            # (the paper's 1396 lines of C++ BESS modules): count each
-            # placed NF class's implementation source once
-            stats.manual_nf_lines += _manual_module_lines(script)
+        with registry.timer("metacompiler.codegen.seconds", platform="bess"):
+            for server in self.topology.servers:
+                if server.name in self.topology.failed_devices:
+                    continue
+                has_work = any(
+                    sg.server == server.name
+                    for cp in chain_placements for sg in cp.subgroups
+                )
+                if not has_work:
+                    continue
+                script = generate_bess(server.name, chain_placements, plan)
+                artifacts.bess[server.name] = script
+                text = script.render()
+                lines = count_lines(text)
+                stats.auto_steering_lines += lines
+                stats.add_platform("bess", lines)
+                # the NF module implementations themselves are manual code
+                # (the paper's 1396 lines of C++ BESS modules): count each
+                # placed NF class's implementation source once
+                stats.manual_nf_lines += _manual_module_lines(script)
 
-        for nic in self.topology.smartnics:
-            if not plan.entries_for(nic.name):
-                continue
-            program, nf_specs = generate_ebpf(
-                nic.name, chain_placements, plan
-            )
-            artifacts.ebpf[nic.name] = (program, nf_specs)
-            lines = count_lines(program.source)
-            stats.auto_steering_lines += count_lines(
-                program.sections[0].source
-            )
-            stats.auto_nf_glue_lines += lines - count_lines(
-                program.sections[0].source
-            )
-            stats.add_platform("ebpf", lines)
+        with registry.timer("metacompiler.codegen.seconds", platform="ebpf"):
+            for nic in self.topology.smartnics:
+                if not plan.entries_for(nic.name):
+                    continue
+                program, nf_specs = generate_ebpf(
+                    nic.name, chain_placements, plan
+                )
+                artifacts.ebpf[nic.name] = (program, nf_specs)
+                lines = count_lines(program.source)
+                stats.auto_steering_lines += count_lines(
+                    program.sections[0].source
+                )
+                stats.auto_nf_glue_lines += lines - count_lines(
+                    program.sections[0].source
+                )
+                stats.add_platform("ebpf", lines)
 
+        for platform, lines in stats.per_platform.items():
+            registry.counter(
+                "metacompiler.codegen.lines", platform=platform
+            ).inc(lines)
         return artifacts
 
     def compile_spec(

@@ -46,6 +46,10 @@ class PacketMetadata:
     chain_id: Optional[str] = None
     timestamp_us: float = 0.0
     cycles_consumed: int = 0
+    #: cycles attributed to the device that charged them (device name →
+    #: cycles on *that device's* clock); the rack converts each entry with
+    #: the owning device's frequency when stamping latency.
+    cycles_by_device: dict = field(default_factory=dict)
     processed_by: list = field(default_factory=list)
     fields: dict = field(default_factory=dict)
 
@@ -320,6 +324,7 @@ class Packet:
             chain_id=meta.chain_id,
             timestamp_us=meta.timestamp_us,
             cycles_consumed=meta.cycles_consumed,
+            cycles_by_device=dict(meta.cycles_by_device),
             processed_by=list(meta.processed_by),
             fields=dict(meta.fields),
         )

@@ -1,0 +1,51 @@
+"""Exporters: registry snapshot → JSON document or aligned text table."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _labels_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=False)
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Human-readable dump, one instrument per line::
+
+        counter    lp.solves{objective=marginal}            3
+        histogram  placer.place.seconds{strategy=lemur}     n=1 mean=0.012 ...
+    """
+    snapshot = registry.snapshot()
+    lines = []
+    names = [
+        f"{c['name']}{_labels_suffix(c['labels'])}"
+        for c in snapshot["counters"]
+    ] + [
+        f"{h['name']}{_labels_suffix(h['labels'])}"
+        for h in snapshot["histograms"]
+    ]
+    width = max((len(n) for n in names), default=0)
+    for entry in snapshot["counters"]:
+        name = f"{entry['name']}{_labels_suffix(entry['labels'])}"
+        value = entry["value"]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"counter    {name:<{width}}  {rendered}")
+    for entry in snapshot["histograms"]:
+        name = f"{entry['name']}{_labels_suffix(entry['labels'])}"
+        lines.append(
+            f"histogram  {name:<{width}}  n={entry['count']} "
+            f"mean={entry['mean']:.6g} min={entry['min']:.6g} "
+            f"max={entry['max']:.6g} p50={entry['p50']:.6g} "
+            f"p99={entry['p99']:.6g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Core metric types: counters, histograms, timers, and their registry.
+
+Design goals (the ISSUE's "near-zero overhead when disabled"):
+
+* **Enabled path**: instruments are plain objects with ``__slots__``; a
+  ``Counter.inc`` is one attribute add, a ``Histogram.observe`` a handful
+  of comparisons. Hot loops fetch instruments once and keep references.
+* **Disabled path**: :meth:`MetricsRegistry.counter` (et al.) hand back
+  shared null singletons whose record methods are empty — call sites need
+  no ``if enabled`` branches and pay only a no-op method call.
+
+Instruments are identified by ``(name, labels)``; asking the registry for
+the same pair twice returns the same object, so concurrent layers (placer,
+meta-compiler, dataplane) naturally aggregate into one surface.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: retained samples per histogram; beyond this, count/sum/min/max stay
+#: exact but percentiles reflect the first SAMPLE_CAP observations.
+SAMPLE_CAP = 4096
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """Streaming distribution summary with bounded sample retention."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < SAMPLE_CAP:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) over the retained samples."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram {self.name}{dict(self.labels)} "
+                f"n={self.count} mean={self.mean:.3g}>")
+
+
+class Timer:
+    """Context manager recording elapsed seconds into a histogram.
+
+    >>> with registry.timer("placer.place.seconds", strategy="lemur"):
+    ...     place()                                       # doctest: +SKIP
+    """
+
+    __slots__ = ("histogram", "last_seconds", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self.histogram = histogram
+        self.last_seconds: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.last_seconds = time.perf_counter() - self._start
+        self.histogram.observe(self.last_seconds)
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    labels: LabelKey = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    labels: LabelKey = ()
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p99": 0.0}
+
+
+class _NullTimer:
+    __slots__ = ()
+    last_seconds = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Holds every instrument; the uniform observation surface.
+
+    A disabled registry returns null instruments from every getter, so
+    instrumented code runs with near-zero overhead. Toggling ``enabled``
+    affects *subsequent* getter calls — call sites that cached a null
+    instrument keep it, which is exactly the cheap behaviour wanted for
+    long-lived hot paths.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- instrument getters -----------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(name, key[1])
+        return histogram
+
+    def timer(self, name: str, **labels) -> Timer:
+        if not self.enabled:
+            return NULL_TIMER  # type: ignore[return-value]
+        return Timer(self.histogram(name, **labels))
+
+    # -- introspection ------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Read a counter without creating it (0 if absent)."""
+        entry = self._counters.get((name, _label_key(labels)))
+        return entry.value if entry is not None else 0
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump of every instrument (the export input)."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in sorted(self._counters.values(),
+                                key=lambda c: (c.name, c.labels))
+            ],
+            "histograms": [
+                {"name": h.name, "labels": dict(h.labels), **h.summary()}
+                for h in sorted(self._histograms.values(),
+                                key=lambda h: (h.name, h.labels))
+            ],
+        }

@@ -61,6 +61,7 @@ class OpenFlowRuntime:
             for spec in model.tables
         ]
         self.rx = 0
+        self.tx = 0
         self.drops = 0
 
     def table(self, table_id: int) -> FlowTable:
@@ -119,6 +120,7 @@ class OpenFlowRuntime:
                 if stop:
                     break
             table_index = next_index
+        self.tx += 1
         return OFResult(packet=packet, output_port=output_port)
 
     def _index_of(self, table_id: int) -> int:

@@ -34,6 +34,23 @@ class ChainMeasurement:
 
 
 @dataclass
+class HopStat:
+    """Aggregated per-hop execution accounting for one chain's trace.
+
+    ``position`` is the hop's index along the service path; ``cycles`` are
+    summed on the owning device's clock, and ``avg_exec_us`` already uses
+    that device's frequency for the conversion.
+    """
+
+    position: int
+    device: str
+    platform: str
+    packets: int = 0
+    cycles: int = 0
+    avg_exec_us: float = 0.0
+
+
+@dataclass
 class PacketTraceResult:
     """Outcome of packet-level execution through generated pipelines."""
 
@@ -43,3 +60,9 @@ class PacketTraceResult:
     dropped: int
     nf_trail: List[str] = field(default_factory=list)
     exit_ports: Dict[int, int] = field(default_factory=dict)
+    #: mean end-to-end latency over delivered packets (µs)
+    avg_latency_us: float = 0.0
+    #: mean exec_us / bounce_us / switch_us components (µs)
+    latency_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: per-hop execution breakdown, ordered along the service path
+    hops: List[HopStat] = field(default_factory=list)

@@ -6,6 +6,12 @@ classifies ingress traffic onto service paths and coordinates execution
 eBPF programs run on SmartNICs, and generated rules run on an OpenFlow
 ToR. Used to validate that generated routing visits every NF of a chain
 in order across platforms.
+
+Observability: every injected packet updates the rack's
+:class:`~repro.obs.MetricsRegistry` — per-device packets in/out, drops by
+reason, and cycles charged — and carries a per-hop latency breakdown
+(exec / bounce / switch-transit) in its metadata, which ``trace_chains``
+aggregates into :class:`~repro.sim.measurement.PacketTraceResult`.
 """
 
 from __future__ import annotations
@@ -29,9 +35,10 @@ from repro.hw.topology import Topology
 from repro.metacompiler.compiler import CompiledArtifacts
 from repro.metacompiler.nsh import ServicePath
 from repro.net.packet import Packet
+from repro.obs import MetricsRegistry, get_registry
 from repro.openflow.switch import OpenFlowRuntime, decode_vid, encode_vid
 from repro.profiles.defaults import ProfileDatabase, default_profiles
-from repro.sim.measurement import PacketTraceResult
+from repro.sim.measurement import HopStat, PacketTraceResult
 
 _MAX_EVENTS = 1000
 
@@ -52,16 +59,35 @@ class DeployedRack:
         artifacts: CompiledArtifacts,
         profiles: Optional[ProfileDatabase] = None,
         seed: int = 23,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.topology = topology
         self.artifacts = artifacts
         self.profiles = profiles or default_profiles()
         self.seed = seed
         self.rng = random.Random(f"rack/{seed}")
+        self.obs = registry if registry is not None else get_registry()
 
         self.paths_by_spi: Dict[int, ServicePath] = {
             path.spi: path for path in artifacts.routing.service_paths
         }
+        #: (chain name, node-id route) -> service path; replaces the old
+        #: O(paths × packets) linear scan in :meth:`classify`.
+        self._path_by_route: Dict[Tuple[str, Tuple[str, ...]], ServicePath] = {
+            (path.chain_name, tuple(path.node_ids)): path
+            for path in artifacts.routing.service_paths
+        }
+
+        #: device name -> clock used to convert that device's cycles to time.
+        self._freq_by_device: Dict[str, float] = {
+            server.name: server.freq_hz for server in topology.servers
+        }
+        self._freq_by_device.update(
+            {nic.name: nic.freq_hz for nic in topology.smartnics}
+        )
+        self._fallback_freq = (
+            topology.servers[0].freq_hz if topology.servers else 1.7e9
+        )
 
         self.servers: Dict[str, _ServerRuntime] = {}
         for server_name, ir in artifacts.bess.items():
@@ -88,6 +114,22 @@ class DeployedRack:
 
         #: functional modules for switch-placed NFs, keyed by node id
         self._switch_modules: Dict[str, object] = {}
+
+    # -- observability helpers ---------------------------------------------------
+
+    def device_freq(self, device: str) -> float:
+        return self._freq_by_device.get(device, self._fallback_freq)
+
+    def _count_device(self, counter: str, device: str, n: int = 1) -> None:
+        self.obs.counter(f"rack.device.{counter}", device=device).inc(n)
+
+    def _count_drop(self, chain: str, device: str, reason: str) -> None:
+        self.obs.counter(
+            "rack.packets.dropped", chain=chain, reason=reason
+        ).inc()
+        self.obs.counter(
+            "rack.device.drops", device=device, reason=reason
+        ).inc()
 
     # -- classification ---------------------------------------------------------
 
@@ -131,10 +173,11 @@ class DeployedRack:
                         chosen = edge
                         break
             current = chosen.dst
-        for path in self.paths_by_spi.values():
-            if (path.chain_name == chain_placement.name
-                    and path.node_ids == node_path):
-                return path
+        path = self._path_by_route.get(
+            (chain_placement.name, tuple(node_path))
+        )
+        if path is not None:
+            return path
         raise DataplaneError(
             f"no service path matches route {node_path} of chain "
             f"{chain_placement.name}"
@@ -148,41 +191,66 @@ class DeployedRack:
         dropped anywhere."""
         path = self.classify(chain_placement, packet)
         packet.metadata.chain_id = chain_placement.name
+        self.obs.counter(
+            "rack.packets.injected", chain=chain_placement.name
+        ).inc()
         spi, si = path.spi, path.si_of[path.node_ids[0]]
         excursions = 0
         switch_passes = 1
+        hops: List[dict] = []
 
         for _ in range(_MAX_EVENTS):
             path = self.paths_by_spi.get(spi)
             if path is None:
                 raise DataplaneError(f"unknown SPI {spi}")
             if si == 0:
-                self._stamp_latency(packet, excursions, switch_passes)
+                self._finish(chain_placement, packet, excursions,
+                             switch_passes, hops)
                 return packet  # chain complete: egress at the ToR
             hop_index = _hop_index_for(path, si)
             hop = path.hops[hop_index]
             nxt = path.hop_after(hop_index)
 
             if hop.device == self.topology.switch.name:
+                self._count_device("packets_in", hop.device)
                 survived = self._run_switch_hop(chain_placement, hop, packet)
                 if not survived:
+                    reason = ("openflow_rule" if self.of_runtime is not None
+                              else "switch_nf")
+                    self._count_drop(chain_placement.name, hop.device, reason)
                     return None
+                self._count_device("packets_out", hop.device)
+                hops.append({
+                    "device": hop.device, "platform": hop.platform,
+                    "cycles": 0, "exec_us": 0.0,
+                })
                 if nxt is None:
-                    self._stamp_latency(packet, excursions, switch_passes)
+                    self._finish(chain_placement, packet, excursions,
+                                 switch_passes, hops)
                     return packet
                 spi, si = path.spi, nxt.entry_si
                 continue
 
             excursions += 1
             switch_passes += 1
+            before_total = packet.metadata.cycles_consumed
+            before_attr = dict(packet.metadata.cycles_by_device)
+            self._count_device("packets_in", hop.device)
             if hop.platform == Platform.SERVER.value:
                 out = self._run_server_hop(hop.device, packet, spi, si)
+                reason = "server_pipeline"
             elif hop.platform == Platform.SMARTNIC.value:
                 out = self._run_nic_hop(hop.device, packet, spi, si)
+                reason = "nic_program"
             else:
                 raise DataplaneError(f"unexpected hop platform {hop.platform}")
             if out is None:
+                self._count_drop(chain_placement.name, hop.device, reason)
                 return None
+            self._count_device("packets_out", hop.device)
+            hops.append(self._attribute_hop(
+                hop, out, before_total, before_attr
+            ))
             packet = out
             nsh = packet.pop_nsh()
             if nsh is None:
@@ -192,26 +260,92 @@ class DeployedRack:
             spi, si = nsh.spi, nsh.si
         raise DataplaneError("packet exceeded the rack event budget (loop?)")
 
+    def _attribute_hop(self, hop, out: Packet, before_total: int,
+                       before_attr: Dict[str, int]) -> dict:
+        """Charge the hop's cycle delta to its device and build the
+        per-hop record.
+
+        Cycles charged by platform runtimes that know their device (the
+        SmartNIC) arrive already attributed in ``cycles_by_device``; the
+        remainder (BESS modules charge ``cycles_consumed`` only) belongs
+        to the device the hop ran on.
+        """
+        meta = out.metadata
+        total_delta = meta.cycles_consumed - before_total
+        attributed_delta = sum(meta.cycles_by_device.values()) - sum(
+            before_attr.values()
+        )
+        unattributed = total_delta - attributed_delta
+        if unattributed:
+            meta.cycles_by_device[hop.device] = (
+                meta.cycles_by_device.get(hop.device, 0) + unattributed
+            )
+        exec_us = 0.0
+        for device, cycles in meta.cycles_by_device.items():
+            delta = cycles - before_attr.get(device, 0)
+            if delta:
+                exec_us += delta / self.device_freq(device) * 1e6
+                self._count_device("cycles", device, delta)
+        return {
+            "device": hop.device, "platform": hop.platform,
+            "cycles": total_delta, "exec_us": exec_us,
+        }
+
+    def _finish(self, chain_placement: ChainPlacement, packet: Packet,
+                excursions: int, switch_passes: int,
+                hops: Optional[List[dict]] = None) -> None:
+        """Stamp latency and record the delivery in the registry."""
+        self._stamp_latency(packet, excursions, switch_passes, hops)
+        name = chain_placement.name
+        self.obs.counter("rack.packets.delivered", chain=name).inc()
+        fields = packet.metadata.fields
+        self.obs.histogram("rack.latency_us", chain=name).observe(
+            fields["latency_us"]
+        )
+        for component in ("exec_us", "bounce_us", "switch_us"):
+            self.obs.histogram(
+                "rack.latency_component_us", chain=name, component=component
+            ).observe(fields[component])
+
     def _stamp_latency(self, packet: Packet, excursions: int,
-                       switch_passes: int) -> None:
+                       switch_passes: int,
+                       hops: Optional[List[dict]] = None) -> None:
         """Record the packet's end-to-end latency (µs) in its metadata.
 
         Execution time comes from the cycles the functional modules
-        actually charged; propagation/queueing follows the topology's
-        per-bounce model — so rack-measured latency is comparable with
-        (and, sampling real cycle counts, usually below) the Placer's
-        worst-case estimate.
+        actually charged, converted with the clock of the device each
+        charge happened on (``cycles_by_device``) — a rack may mix server
+        frequencies and SmartNIC clocks, so a single global conversion
+        would misattribute latency. Propagation/queueing follows the
+        topology's per-bounce model — so rack-measured latency is
+        comparable with (and, sampling real cycle counts, usually below)
+        the Placer's worst-case estimate.
+
+        Alongside the total, the metadata fields carry the breakdown:
+        ``exec_us`` / ``bounce_us`` / ``switch_us`` and (when provided by
+        :meth:`inject`) the per-hop ``hops`` records.
         """
         from repro.core.rates import SWITCH_TRANSIT_US
 
-        freq = (self.topology.servers[0].freq_hz
-                if self.topology.servers else 1.7e9)
-        exec_us = packet.metadata.cycles_consumed / freq * 1e6
-        packet.metadata.fields["latency_us"] = (
-            exec_us
-            + excursions * self.topology.bounce_rtt_us
-            + switch_passes * SWITCH_TRANSIT_US
-        )
+        meta = packet.metadata
+        exec_us = 0.0
+        attributed = 0
+        for device, cycles in meta.cycles_by_device.items():
+            exec_us += cycles / self.device_freq(device) * 1e6
+            attributed += cycles
+        # cycles charged outside any rack hop (e.g. a pre-charged packet)
+        # fall back to the reference server clock, as before
+        unattributed = meta.cycles_consumed - attributed
+        if unattributed > 0:
+            exec_us += unattributed / self._fallback_freq * 1e6
+        bounce_us = excursions * self.topology.bounce_rtt_us
+        switch_us = switch_passes * SWITCH_TRANSIT_US
+        meta.fields["exec_us"] = exec_us
+        meta.fields["bounce_us"] = bounce_us
+        meta.fields["switch_us"] = switch_us
+        meta.fields["latency_us"] = exec_us + bounce_us + switch_us
+        if hops is not None:
+            meta.fields["hops"] = hops
 
     def _run_switch_hop(self, cp: ChainPlacement, hop, packet: Packet) -> bool:
         """Execute switch-placed NFs functionally (line-rate pipeline)."""
@@ -287,13 +421,19 @@ class DeployedRack:
         placement: Placement,
         packets_per_chain: int = 32,
     ) -> Dict[str, PacketTraceResult]:
-        """Inject packets per chain and report delivery + NF trails."""
+        """Inject packets per chain and report delivery + NF trails,
+        including the mean per-hop latency breakdown."""
         results: Dict[str, PacketTraceResult] = {}
         for cp in placement.chains:
             delivered = 0
             dropped = 0
             trail: List[str] = []
             exit_ports: Dict[int, int] = {}
+            latency_sum = 0.0
+            component_sums = {"exec_us": 0.0, "bounce_us": 0.0,
+                              "switch_us": 0.0}
+            hop_agg: Dict[Tuple[int, str], HopStat] = {}
+            hop_exec_sums: Dict[Tuple[int, str], float] = {}
             for index in range(packets_per_chain):
                 packet = _chain_packet(cp.chain, index)
                 out = self.inject(cp, packet)
@@ -305,6 +445,26 @@ class DeployedRack:
                     trail = list(out.metadata.processed_by)
                 port = out.metadata.egress_port or 0
                 exit_ports[port] = exit_ports.get(port, 0) + 1
+                fields = out.metadata.fields
+                latency_sum += fields.get("latency_us", 0.0)
+                for component in component_sums:
+                    component_sums[component] += fields.get(component, 0.0)
+                for position, hop in enumerate(fields.get("hops", ())):
+                    key = (position, hop["device"])
+                    stat = hop_agg.get(key)
+                    if stat is None:
+                        stat = hop_agg[key] = HopStat(
+                            position=position,
+                            device=hop["device"],
+                            platform=hop["platform"],
+                        )
+                        hop_exec_sums[key] = 0.0
+                    stat.packets += 1
+                    stat.cycles += hop["cycles"]
+                    hop_exec_sums[key] += hop["exec_us"]
+            for key, stat in hop_agg.items():
+                if stat.packets:
+                    stat.avg_exec_us = hop_exec_sums[key] / stat.packets
             results[cp.name] = PacketTraceResult(
                 chain_name=cp.name,
                 injected=packets_per_chain,
@@ -312,8 +472,67 @@ class DeployedRack:
                 dropped=dropped,
                 nf_trail=trail,
                 exit_ports=exit_ports,
+                avg_latency_us=(latency_sum / delivered) if delivered else 0.0,
+                latency_breakdown={
+                    component: (total / delivered) if delivered else 0.0
+                    for component, total in component_sums.items()
+                },
+                hops=sorted(hop_agg.values(),
+                            key=lambda s: (s.position, s.device)),
             )
         return results
+
+    # -- reporting ----------------------------------------------------------------
+
+    def device_stats(self) -> Dict[str, dict]:
+        """Per-device counters for the stats CLI / benchmarks.
+
+        Combines registry counters (packets in/out, drops by reason,
+        cycles) with each platform runtime's own bookkeeping (per-module
+        rx/tx/drop/cycles for BESS, NIC and OF runtime counters).
+        """
+        devices: Dict[str, dict] = {}
+
+        def base(name: str, platform: str) -> dict:
+            drops: Dict[str, float] = {}
+            for counter in self.obs.counters():
+                labels = dict(counter.labels)
+                if (counter.name == "rack.device.drops"
+                        and labels.get("device") == name):
+                    drops[labels.get("reason", "?")] = counter.value
+            return {
+                "platform": platform,
+                "packets_in": self.obs.counter_value(
+                    "rack.device.packets_in", device=name),
+                "packets_out": self.obs.counter_value(
+                    "rack.device.packets_out", device=name),
+                "cycles": self.obs.counter_value(
+                    "rack.device.cycles", device=name),
+                "drops": drops,
+            }
+
+        switch = self.topology.switch
+        entry = base(switch.name, switch.platform.value)
+        if self.of_runtime is not None:
+            entry["rx"] = self.of_runtime.rx
+            entry["tx"] = self.of_runtime.tx
+            entry["rule_drops"] = self.of_runtime.drops
+        devices[switch.name] = entry
+
+        for name, runtime in self.servers.items():
+            entry = base(name, Platform.SERVER.value)
+            entry["modules"] = runtime.pipeline.stats()
+            devices[name] = entry
+
+        for name, runtime in self.nics.items():
+            entry = base(name, Platform.SMARTNIC.value)
+            entry.update({
+                "rx": runtime.rx, "tx": runtime.tx,
+                "program_drops": runtime.drops,
+                "nic_cycles": runtime.cycles_charged,
+            })
+            devices[name] = entry
+        return devices
 
 
 def _hop_index_for(path: ServicePath, si: int) -> int:

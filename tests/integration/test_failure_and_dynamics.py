@@ -58,6 +58,36 @@ class TestSmartNICFailure:
         assert traces["c"].delivered == 8
 
 
+class TestReplanFailedSetRestoration:
+    def test_replan_restores_prior_failure_membership(self, profiles):
+        """Regression: replanning around device B must not un-fail device
+        A that was already down before the call."""
+        topology = multi_server_testbed(3)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain a: ACL -> Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
+        )
+        topology.mark_failed("server2")
+        placer.replan_after_failure(chains, "server1")
+        # the transient server1 failure is rolled back...
+        assert "server1" not in topology.failed_devices
+        # ...but server2, failed before the call, must stay failed
+        assert "server2" in topology.failed_devices
+
+    def test_replan_of_already_failed_device_keeps_it_failed(self, profiles):
+        topology = default_testbed(with_smartnic=True)
+        placer = Placer(topology=topology, profiles=profiles)
+        chains = chains_from_spec(
+            "chain c: BPF -> FastEncrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
+        )
+        topology.mark_failed("agilio0")
+        degraded = placer.replan_after_failure(chains, "agilio0")
+        assert degraded.feasible
+        assert "agilio0" in topology.failed_devices
+
+
 class TestServerFailure:
     def test_one_of_two_servers_fails(self, profiles):
         topology = multi_server_testbed(2)

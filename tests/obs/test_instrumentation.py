@@ -1,0 +1,78 @@
+"""Placer and meta-compiler instrumentation lands in the registry."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.placer import Placer
+from repro.hw.topology import default_testbed
+from repro.metacompiler.compiler import MetaCompiler
+from repro.obs import scoped_registry
+from repro.profiles.defaults import default_profiles
+from repro.units import gbps
+
+
+@pytest.fixture()
+def chains():
+    return chains_from_spec(
+        "chain a: ACL -> Encrypt -> IPv4Fwd",
+        slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
+    )
+
+
+class TestPlacerInstrumentation:
+    def test_place_records_timings_and_counts(self, chains):
+        with scoped_registry() as registry:
+            placement = Placer().place(chains)
+            assert placement.feasible
+            wall = registry.histogram(
+                "placer.place.seconds", strategy="lemur"
+            )
+            assert wall.count == 1
+            assert wall.total > 0
+            assert registry.counter_value(
+                "placer.placements", strategy="lemur", feasible="true"
+            ) == 1
+            stages = {
+                dict(h.labels).get("stage")
+                for h in registry.histograms()
+                if h.name == "placer.stage.seconds"
+            }
+            assert "stage_constraints" in stages
+            assert "coalesce_aggressive" in stages
+            assert registry.counter_value("lp.solves", objective="marginal") > 0
+
+    def test_disabled_registry_records_nothing(self, chains):
+        from repro.obs import MetricsRegistry
+
+        with scoped_registry(MetricsRegistry(enabled=False)) as registry:
+            placement = Placer().place(chains)
+            assert placement.feasible
+            assert registry.snapshot() == {"counters": [], "histograms": []}
+
+
+class TestMetaCompilerInstrumentation:
+    def test_codegen_timings_and_line_counts(self, chains):
+        with scoped_registry() as registry:
+            topology = default_testbed()
+            profiles = default_profiles()
+            placer = Placer(topology=topology, profiles=profiles)
+            placement = placer.place(chains)
+            meta = MetaCompiler(topology=topology, profiles=profiles)
+            artifacts = meta.compile_placement(placement)
+            platforms = {
+                dict(h.labels).get("platform")
+                for h in registry.histograms()
+                if h.name == "metacompiler.codegen.seconds"
+            }
+            assert {"routing", "p4", "bess"} <= platforms
+            assert registry.counter_value("metacompiler.service_paths") == len(
+                artifacts.service_paths
+            )
+            p4_lines = registry.counter_value(
+                "metacompiler.codegen.lines", platform="p4"
+            )
+            assert p4_lines == artifacts.stats.per_platform["p4"]
+            stages = registry.histogram("metacompiler.p4.stages")
+            assert stages.count == 1
+            assert stages.max == artifacts.p4.compile_result.stage_count

@@ -1,0 +1,148 @@
+"""Unit tests for the observability core (``repro.obs``)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    NULL_TIMER,
+    get_registry,
+    render_json,
+    render_text,
+    scoped_registry,
+    set_registry,
+)
+from repro.obs.metrics import SAMPLE_CAP
+
+
+class TestCounter:
+    def test_inc_and_read(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(4)
+        assert registry.counter_value("events") == 5
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("lp.solves", objective="marginal").inc()
+        registry.counter("lp.solves", objective="max_min").inc(2)
+        assert registry.counter_value("lp.solves", objective="marginal") == 1
+        assert registry.counter_value("lp.solves", objective="max_min") == 2
+
+    def test_label_order_insensitive(self):
+        registry = MetricsRegistry()
+        a = registry.counter("drops", device="s0", reason="acl")
+        b = registry.counter("drops", reason="acl", device="s0")
+        assert a is b
+
+    def test_counter_value_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never.touched") == 0
+        assert list(registry.counters()) == []
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("sizes")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(value)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+
+    def test_percentiles(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        for value in range(101):
+            h.observe(float(value))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(0) == 0.0
+        assert h.percentile(100) == 100.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("big")
+        for value in range(SAMPLE_CAP + 100):
+            h.observe(float(value))
+        assert h.count == SAMPLE_CAP + 100
+        assert h.max == float(SAMPLE_CAP + 99)
+
+
+class TestTimer:
+    def test_observes_elapsed_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase.seconds", stage="x") as t:
+            sum(range(1000))
+        h = registry.histogram("phase.seconds", stage="x")
+        assert h.count == 1
+        assert t.last_seconds >= 0
+        assert h.total == pytest.approx(t.last_seconds)
+
+
+class TestDisabledRegistry:
+    def test_getters_return_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("c") is NULL_COUNTER
+        assert registry.histogram("h") is NULL_HISTOGRAM
+        assert registry.timer("t") is NULL_TIMER
+
+    def test_null_instruments_record_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc(10)
+        registry.histogram("h").observe(1.0)
+        with registry.timer("t"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": [], "histograms": []}
+
+
+class TestRegistrySwapping:
+    def test_set_registry_installs_fresh_default(self):
+        previous = get_registry()
+        try:
+            fresh = set_registry()
+            assert get_registry() is fresh
+            assert fresh is not previous
+        finally:
+            set_registry(previous)
+
+    def test_scoped_registry_restores(self):
+        before = get_registry()
+        with scoped_registry() as scoped:
+            assert get_registry() is scoped
+            scoped.counter("inside").inc()
+        assert get_registry() is before
+        assert before.counter_value("inside") == 0
+
+
+class TestExport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("rack.packets.injected", chain="a").inc(7)
+        registry.histogram("rack.latency_us", chain="a").observe(11.5)
+        return registry
+
+    def test_render_json_round_trips(self):
+        registry = self._populated()
+        doc = json.loads(render_json(registry))
+        [counter] = doc["counters"]
+        assert counter["name"] == "rack.packets.injected"
+        assert counter["labels"] == {"chain": "a"}
+        assert counter["value"] == 7
+        [hist] = doc["histograms"]
+        assert hist["count"] == 1
+        assert hist["mean"] == 11.5
+
+    def test_render_text_lines(self):
+        text = render_text(self._populated())
+        assert "rack.packets.injected{chain=a}" in text
+        assert "rack.latency_us{chain=a}" in text

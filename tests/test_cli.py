@@ -95,6 +95,41 @@ class TestTrace:
         assert "4/4 delivered" in out
 
 
+class TestStats:
+    def test_text_report_sections(self, spec_file, capsys):
+        code = main(["stats", spec_file, "--packets", "4",
+                     "--tmin", "1", "1", "--tmax", "30", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== chains ==" in out
+        assert "== devices ==" in out
+        assert "== metrics ==" in out
+        assert "4/4 delivered" in out
+        assert "placer.stage.seconds" in out
+        assert "lp.solves" in out
+
+    def test_json_document(self, spec_file, capsys):
+        import json
+
+        code = main(["stats", spec_file, "--packets", "4", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert set(doc) == {
+            "placer_wall_clock_ms", "chains", "devices", "metrics",
+        }
+        chain = doc["chains"]["a"]
+        assert chain["delivered"] == 4
+        assert chain["latency_breakdown_us"]["exec_us"] >= 0
+        assert chain["avg_latency_us"] == pytest.approx(
+            sum(chain["latency_breakdown_us"].values())
+        )
+        assert doc["devices"]["server0"]["packets_in"] > 0
+        names = {c["name"] for c in doc["metrics"]["counters"]}
+        assert "lp.solves" in names
+        assert "rack.packets.delivered" in names
+
+
 class TestSweepProfile:
     def test_sweep(self, capsys):
         code = main(["sweep", "2", "--deltas", "0.5", "--no-measure"])
