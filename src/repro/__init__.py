@@ -8,8 +8,8 @@ Quickstart::
         "chain c1: ACL -> Encrypt -> IPv4Fwd",
         slos=[SLO(t_min=gbps(1), t_max=gbps(10))],
     )
-    placement = Placer().place(chains)
-    print(placement.describe())
+    report = Placer().solve(PlacementRequest(chains))
+    print(report.placement.describe())
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -19,8 +19,16 @@ from repro.chain.graph import NFChain, NFGraph, chains_from_spec
 from repro.chain.parser import parse_spec
 from repro.chain.slo import SLO, SLOUseCase
 from repro.chain.vocabulary import Vocabulary, default_vocabulary
+from repro.core.cache import PlacementCache
 from repro.core.placement import Placement
-from repro.core.placer import Placer, PlacerConfig, available_strategies
+from repro.core.placer import (
+    Placer,
+    PlacerConfig,
+    PlacementReport,
+    PlacementRequest,
+    available_strategies,
+)
+from repro.experiments.runner import SweepSpec, run_delta_sweep, run_sweep
 from repro.hw.platform import Platform
 from repro.hw.topology import Topology, default_testbed, multi_server_testbed
 from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
@@ -42,6 +50,12 @@ __all__ = [
     "Placement",
     "Placer",
     "PlacerConfig",
+    "PlacementRequest",
+    "PlacementReport",
+    "PlacementCache",
+    "SweepSpec",
+    "run_delta_sweep",
+    "run_sweep",
     "available_strategies",
     "Platform",
     "Topology",

@@ -25,7 +25,12 @@ from typing import List, Optional
 
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
-from repro.core.placer import Placer, PlacerConfig, available_strategies
+from repro.core.placer import (
+    Placer,
+    PlacerConfig,
+    PlacementRequest,
+    available_strategies,
+)
 from repro.exceptions import ReproError
 from repro.hw.topology import default_testbed, multi_server_testbed
 from repro.metacompiler.compiler import MetaCompiler
@@ -107,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--deltas", type=float, nargs="*",
                            default=[0.5, 1.0, 1.5, 2.0])
     sweep_cmd.add_argument("--no-measure", action="store_true")
+    sweep_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="fan (scheme, δ) cells over N worker "
+                                "processes (default: serial)")
+    sweep_cmd.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="memoize placements by problem fingerprint "
+                                "(--no-cache disables)")
 
     profile_cmd = sub.add_parser("profile",
                                  help="print Table 4 profiling statistics")
@@ -158,17 +170,12 @@ def cmd_place(args) -> int:
             rate_objective="max_min" if args.fair else "marginal",
         ),
     )
-    if args.reserve:
-        placement, seconds = (
-            placer.place_with_reserve(chains, reserve_cores=args.reserve),
-            None,
-        )
-    else:
-        placement, seconds = placer.place_timed(chains)
-    if seconds is not None:
-        print(f"placed in {seconds * 1000:.1f} ms")
-    print(placement.describe())
-    return 0 if placement.feasible else 2
+    report = placer.solve(PlacementRequest(
+        chains=chains, reserve_cores=args.reserve,
+    ))
+    print(f"placed in {report.seconds * 1000:.1f} ms")
+    print(report.placement.describe())
+    return 0 if report.placement.feasible else 2
 
 
 def cmd_compile(args) -> int:
@@ -181,7 +188,7 @@ def cmd_compile(args) -> int:
             rate_objective="max_min" if args.fair else "marginal",
         ),
     )
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     if not placement.feasible:
         print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
         return 2
@@ -220,7 +227,7 @@ def cmd_trace(args) -> int:
     topology = _topology(args)
     placer = Placer(topology=topology, profiles=default_profiles(),
                     config=PlacerConfig(strategy=args.strategy))
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     if not placement.feasible:
         print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
         return 2
@@ -252,7 +259,8 @@ def cmd_stats(args) -> int:
             rate_objective="max_min" if args.fair else "marginal",
         ),
     )
-    placement, seconds = placer.place_timed(chains)
+    report = placer.solve(PlacementRequest(chains=chains))
+    placement, seconds = report.placement, report.seconds
     if not placement.feasible:
         print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
         return 2
@@ -329,15 +337,31 @@ def cmd_stats(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.experiments.runner import run_delta_sweep
+    from repro.experiments.runner import SweepSpec, run_sweep
     from repro.experiments.schemes import SCHEMES
+    from repro.obs import scoped_registry
 
     schemes = {k: v for k, v in SCHEMES.items() if k != "Optimal"}
-    sweep = run_delta_sweep(
-        args.chains, deltas=tuple(args.deltas), schemes=schemes,
+    spec = SweepSpec(
+        chain_indices=args.chains,
+        deltas=tuple(args.deltas),
+        schemes=schemes,
         measure=not args.no_measure,
+        jobs=args.jobs,
+        cache=args.cache,
     )
+    # Counters merged back from pool workers land in this registry, so
+    # the hit/miss line is accurate in both serial and parallel mode.
+    with scoped_registry() as registry:
+        sweep = run_sweep(spec)
+        hits = registry.counter_value(
+            "placement_cache.lookups", result="hit")
+        misses = registry.counter_value(
+            "placement_cache.lookups", result="miss")
     print(sweep.print_table())
+    if args.cache:
+        print(f"placement cache: {hits:.0f} hits / {misses:.0f} misses "
+              f"across {len(spec.cells())} cells")
     return 0
 
 

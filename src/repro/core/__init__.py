@@ -22,7 +22,19 @@ from repro.core.placement import (
     Placement,
     Subgroup,
 )
-from repro.core.placer import Placer, PlacerConfig
+from repro.core.cache import (
+    PlacementCache,
+    get_cache,
+    placement_fingerprint,
+    scoped_cache,
+    set_cache,
+)
+from repro.core.placer import (
+    Placer,
+    PlacerConfig,
+    PlacementReport,
+    PlacementRequest,
+)
 from repro.core.bruteforce import brute_force_place
 from repro.core.heuristic import heuristic_place
 from repro.core.baselines import (
@@ -39,6 +51,13 @@ __all__ = [
     "Placement",
     "Placer",
     "PlacerConfig",
+    "PlacementRequest",
+    "PlacementReport",
+    "PlacementCache",
+    "placement_fingerprint",
+    "get_cache",
+    "set_cache",
+    "scoped_cache",
     "brute_force_place",
     "heuristic_place",
     "hw_preferred_place",

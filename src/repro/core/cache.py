@@ -1,0 +1,184 @@
+"""Placement memoization (the sweep engine's warm path).
+
+The evaluation grid — Figure 2 panels, ablations, reserve re-solves,
+failure replans — repeatedly solves placement problems over near-identical
+inputs. This module memoizes :class:`~repro.core.placement.Placement`
+results keyed by a *canonical fingerprint* of the full problem statement:
+chains (graphs, params, SLOs), topology state (devices, reserved cores,
+failed devices), profile database (including injected error), strategy
+name, and packet size. Any input that can change the answer is part of the
+key, so a hit is always safe to reuse.
+
+Entries are stored and returned as deep copies: callers may freely mutate
+a returned placement (rate re-splits, core rebalancing) without corrupting
+the cache, and cached entries never alias the solver's working state.
+
+A process-wide default cache backs the sweep engine; tests swap it with
+:func:`scoped_cache`. Forked sweep workers inherit the parent's populated
+cache for free, so warm parallel runs hit too.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import enum
+import hashlib
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.core.placement import Placement
+from repro.obs import get_registry
+
+#: Default retention bound; the Fig-2 grid is ~200 cells, so 1024 keeps
+#: several full evaluation runs warm while bounding memory.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+def canonical(obj) -> object:
+    """Reduce ``obj`` to a deterministic, hashable-repr structure.
+
+    Handles the model types placement inputs are built from: dataclasses
+    (field order is declaration order), dicts/sets (sorted), sequences,
+    enums, callables (by qualified name), and plain objects (public
+    ``__dict__``, sorted). Private attributes are skipped so incidental
+    state (e.g. ``NFGraph._next_id``) never perturbs the key.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        return ("dict", tuple(
+            (str(k), canonical(v))
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        ))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted((canonical(v) for v in obj), key=repr)))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonical(v) for v in obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__name__, tuple(
+            (f.name, canonical(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        ))
+    if callable(obj):
+        return ("fn", getattr(obj, "__module__", ""),
+                getattr(obj, "__qualname__", repr(type(obj))))
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        public = {k: v for k, v in state.items() if not k.startswith("_")}
+        return (type(obj).__name__, canonical(public))
+    return ("repr", repr(obj))
+
+
+def placement_fingerprint(
+    chains: Sequence,
+    topology,
+    profiles,
+    strategy: str,
+    packet_bits: int,
+    extra: Tuple = (),
+) -> str:
+    """Canonical key of one placement problem (sha256 hex digest).
+
+    ``extra`` admits solver knobs beyond the standard five inputs (e.g.
+    the Placer's rate objective) without widening the signature.
+    """
+    payload = canonical((
+        "placement/v1",
+        tuple(canonical(c) for c in chains),
+        canonical(topology),
+        canonical(profiles),
+        str(strategy),
+        int(packet_bits),
+        canonical(extra),
+    ))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+class PlacementCache:
+    """LRU memo of fingerprint -> Placement with copy-on-read semantics."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 enabled: bool = True):
+        self.max_entries = max_entries
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, Placement]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Placement]:
+        """Deep copy of the cached placement, or None (counts hit/miss)."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        registry = get_registry()
+        if entry is None:
+            self.misses += 1
+            registry.counter("placement_cache.lookups", result="miss").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        registry.counter("placement_cache.lookups", result="hit").inc()
+        return copy.deepcopy(entry)
+
+    def put(self, key: str, placement: Placement) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = copy.deepcopy(placement)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            get_registry().counter("placement_cache.evictions").inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<PlacementCache {len(self._entries)} entries, "
+                f"{self.hits} hits / {self.misses} misses>")
+
+
+_cache = PlacementCache()
+
+
+def get_cache() -> PlacementCache:
+    """The process-wide default placement cache."""
+    return _cache
+
+
+def set_cache(cache: Optional[PlacementCache] = None) -> PlacementCache:
+    """Install (and return) a new default cache; None means a fresh one."""
+    global _cache
+    _cache = cache if cache is not None else PlacementCache()
+    return _cache
+
+
+@contextmanager
+def scoped_cache(
+    cache: Optional[PlacementCache] = None,
+) -> Iterator[PlacementCache]:
+    """Temporarily swap the default cache (test/benchmark isolation)."""
+    global _cache
+    previous = _cache
+    _cache = cache if cache is not None else PlacementCache()
+    try:
+        yield _cache
+    finally:
+        _cache = previous

@@ -1,14 +1,21 @@
 """Top-level Placer API (§3).
 
 :class:`Placer` bundles the topology, profile database, and configuration;
-``place()`` runs the selected strategy. Extensions from the paper's
+:meth:`Placer.solve` takes a :class:`PlacementRequest` (strategy, failover
+reserve, failed devices) and returns a :class:`PlacementReport` (placement,
+wall-clock seconds, cache provenance). Extensions from the paper's
 discussion section are provided: failure replanning (§7) and precomputed
 placements for time-varying SLOs (§7).
+
+The legacy per-scenario methods (``place``, ``place_timed``,
+``place_with_reserve``, ``replan_after_failure``) remain as thin deprecated
+wrappers over ``solve``.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +29,7 @@ from repro.core.baselines import (
     sw_preferred_place,
 )
 from repro.core.bruteforce import brute_force_place
+from repro.core.cache import PlacementCache, placement_fingerprint
 from repro.core.heuristic import heuristic_place
 from repro.core.placement import Placement
 from repro.exceptions import PlacementError
@@ -67,62 +75,168 @@ def available_strategies() -> List[str]:
 
 
 @dataclass
+class PlacementRequest:
+    """One placement problem, fully stated.
+
+    ``reserve_cores`` holds back spare per-server capacity for failover
+    (§7); ``failed_devices`` are taken out of service for this solve only
+    (§7 failure replanning); ``use_cache`` consults the Placer's placement
+    cache (when one is attached) before solving.
+    """
+
+    chains: Sequence[NFChain]
+    strategy: Optional[str] = None
+    reserve_cores: int = 0
+    failed_devices: Sequence[str] = ()
+    use_cache: bool = True
+
+
+@dataclass
+class PlacementReport:
+    """What one solve produced: result, wall clock, cache provenance."""
+
+    placement: Placement
+    seconds: float
+    strategy: str
+    cache_hit: bool = False
+    fingerprint: Optional[str] = None
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"Placer.{old} is deprecated; use "
+        "Placer.solve(PlacementRequest(...)) instead",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
+@dataclass
 class Placer:
     """The Lemur Placer.
 
     >>> placer = Placer()
-    >>> placement = placer.place(chains)      # doctest: +SKIP
+    >>> report = placer.solve(PlacementRequest(chains))   # doctest: +SKIP
+    >>> report.placement.feasible                         # doctest: +SKIP
+
+    ``cache`` (optional) memoizes solves by problem fingerprint — repeated
+    requests over identical inputs (sweeps, replans, reserve re-solves)
+    return the cached placement with ``cache_hit=True`` in the report.
     """
 
     topology: Topology = field(default_factory=default_testbed)
     profiles: ProfileDatabase = field(default_factory=default_profiles)
     config: PlacerConfig = field(default_factory=PlacerConfig)
+    cache: Optional[PlacementCache] = None
+
+    def solve(self, request: PlacementRequest) -> PlacementReport:
+        """Solve one placement request; the single placement entry point.
+
+        Applies the request's failure/reserve adjustments to the topology
+        for the duration of the solve (state added by this call is rolled
+        back afterwards), consults the cache when enabled, runs the
+        selected strategy, and reports wall-clock plus provenance.
+        """
+        name = request.strategy or self.config.strategy
+        fn = _STRATEGIES.get(name)
+        if fn is None:
+            raise PlacementError(
+                f"unknown strategy {name!r}; choose from {available_strategies()}"
+            )
+        if request.reserve_cores < 0:
+            raise PlacementError("reserve_cores must be non-negative")
+        registry = get_registry()
+        start = time.perf_counter()
+        added_failures: List[str] = []
+        originals = {s.name: s.reserved_cores for s in self.topology.servers}
+        cache_hit = False
+        fingerprint: Optional[str] = None
+        try:
+            for device in request.failed_devices:
+                if device not in self.topology.failed_devices:
+                    self.topology.mark_failed(device)
+                    added_failures.append(device)
+            if request.reserve_cores:
+                for server in self.topology.servers:
+                    server.reserved_cores = (
+                        originals[server.name] + request.reserve_cores
+                    )
+                    if server.reserved_cores >= server.total_cores:
+                        raise PlacementError(
+                            f"reserve of {request.reserve_cores} cores leaves "
+                            f"server {server.name} with no allocatable cores"
+                        )
+            cache = self.cache if request.use_cache else None
+            if cache is not None:
+                # The fingerprint is taken *after* the failure/reserve
+                # adjustments, so those scenario knobs are part of the key.
+                fingerprint = placement_fingerprint(
+                    request.chains, self.topology, self.profiles,
+                    name, self.config.packet_bits,
+                    extra=("rate_objective", self.config.rate_objective),
+                )
+                cached = cache.get(fingerprint)
+                if cached is not None:
+                    placement = cached
+                    cache_hit = True
+            if not cache_hit:
+                with registry.timer("placer.place.seconds", strategy=name):
+                    placement = fn(
+                        list(request.chains), self.topology, self.profiles,
+                        packet_bits=self.config.packet_bits,
+                    )
+                    if placement.feasible and \
+                            self.config.rate_objective != "marginal":
+                        # Rate assignment is a policy over the decided
+                        # configuration: re-split the burst headroom under
+                        # the configured objective.
+                        from repro.core.lp import solve_rates
+
+                        solution = solve_rates(
+                            placement.chains, self.topology,
+                            objective=self.config.rate_objective,
+                        )
+                        if solution.feasible:
+                            placement.rates = solution.rates
+                            placement.objective_mbps = solution.objective_mbps
+                if cache is not None:
+                    cache.put(fingerprint, placement)
+        finally:
+            for device in added_failures:
+                self.topology.failed_devices.discard(device)
+            for server in self.topology.servers:
+                server.reserved_cores = originals[server.name]
+        registry.counter(
+            "placer.placements", strategy=name,
+            feasible=str(placement.feasible).lower(),
+        ).inc()
+        return PlacementReport(
+            placement=placement,
+            seconds=time.perf_counter() - start,
+            strategy=name,
+            cache_hit=cache_hit,
+            fingerprint=fingerprint,
+        )
+
+    # -- deprecated wrappers --------------------------------------------------
 
     def place(
         self,
         chains: Sequence[NFChain],
         strategy: Optional[str] = None,
     ) -> Placement:
-        """Place chains; returns a (possibly infeasible) Placement."""
-        name = strategy or self.config.strategy
-        fn = _STRATEGIES.get(name)
-        if fn is None:
-            raise PlacementError(
-                f"unknown strategy {name!r}; choose from {available_strategies()}"
-            )
-        registry = get_registry()
-        with registry.timer("placer.place.seconds", strategy=name):
-            placement = fn(
-                list(chains), self.topology, self.profiles,
-                packet_bits=self.config.packet_bits,
-            )
-            if placement.feasible and self.config.rate_objective != "marginal":
-                # Rate assignment is a policy over the decided configuration:
-                # re-split the burst headroom under the configured objective.
-                from repro.core.lp import solve_rates
-
-                solution = solve_rates(
-                    placement.chains, self.topology,
-                    objective=self.config.rate_objective,
-                )
-                if solution.feasible:
-                    placement.rates = solution.rates
-                    placement.objective_mbps = solution.objective_mbps
-        registry.counter(
-            "placer.placements", strategy=name,
-            feasible=str(placement.feasible).lower(),
-        ).inc()
-        return placement
+        """Deprecated: use :meth:`solve`."""
+        _deprecated("place")
+        return self.solve(
+            PlacementRequest(chains=chains, strategy=strategy)
+        ).placement
 
     def place_timed(
         self, chains: Sequence[NFChain], strategy: Optional[str] = None
     ) -> Tuple[Placement, float]:
-        """Place and report wall-clock seconds (the §5.3 scaling metric)."""
-        start = time.perf_counter()
-        placement = self.place(chains, strategy)
-        return placement, time.perf_counter() - start
-
-    # -- §7 extensions --------------------------------------------------------
+        """Deprecated: use :meth:`solve` (the report carries seconds)."""
+        _deprecated("place_timed")
+        report = self.solve(PlacementRequest(chains=chains, strategy=strategy))
+        return report.placement, report.seconds
 
     def replan_after_failure(
         self,
@@ -130,22 +244,16 @@ class Placer:
         failed_device: str,
         strategy: Optional[str] = None,
     ) -> Placement:
-        """Re-place chains with a device marked failed (§7 Failures).
+        """Deprecated: use :meth:`solve` with ``failed_devices`` (§7).
 
         If on-path hardware fails, Lemur "can always fall back to using
         server-based NFs"; the Placer simply re-runs without the device.
-
-        Devices that were already marked failed before the call stay
-        failed afterwards — only the membership this call added is rolled
-        back.
         """
-        already_failed = failed_device in self.topology.failed_devices
-        self.topology.mark_failed(failed_device)
-        try:
-            return self.place(chains, strategy)
-        finally:
-            if not already_failed:
-                self.topology.failed_devices.discard(failed_device)
+        _deprecated("replan_after_failure")
+        return self.solve(PlacementRequest(
+            chains=chains, strategy=strategy,
+            failed_devices=(failed_device,),
+        )).placement
 
     def place_with_reserve(
         self,
@@ -153,28 +261,15 @@ class Placer:
         reserve_cores: int = 2,
         strategy: Optional[str] = None,
     ) -> Placement:
-        """Place while holding back spare server capacity (§7 Failures).
+        """Deprecated: use :meth:`solve` with ``reserve_cores`` (§7).
 
         "Its Placer can make these decisions ... proactively (perhaps by
-        reserving some spare capacity to ensure fast failover)." Each
-        server's allocatable budget shrinks by ``reserve_cores`` during
-        placement; the reserve stays free for reactive failover.
+        reserving some spare capacity to ensure fast failover)."
         """
-        if reserve_cores < 0:
-            raise PlacementError("reserve_cores must be non-negative")
-        originals = {s.name: s.reserved_cores for s in self.topology.servers}
-        try:
-            for server in self.topology.servers:
-                server.reserved_cores = originals[server.name] + reserve_cores
-                if server.reserved_cores >= server.total_cores:
-                    raise PlacementError(
-                        f"reserve of {reserve_cores} cores leaves server "
-                        f"{server.name} with no allocatable cores"
-                    )
-            return self.place(chains, strategy)
-        finally:
-            for server in self.topology.servers:
-                server.reserved_cores = originals[server.name]
+        _deprecated("place_with_reserve")
+        return self.solve(PlacementRequest(
+            chains=chains, strategy=strategy, reserve_cores=reserve_cores,
+        )).placement
 
     def precompute_slo_schedule(
         self,
@@ -204,5 +299,7 @@ class Placer:
                         f"no SLO schedule for chain {chain.name!r}"
                     )
                 slot_chains.append(chain.with_slo(slos[slot]))
-            placements.append(self.place(slot_chains, strategy))
+            placements.append(self.solve(PlacementRequest(
+                chains=slot_chains, strategy=strategy,
+            )).placement)
         return placements

@@ -7,10 +7,13 @@ from repro.experiments.chains import (
     chains_with_delta,
 )
 from repro.experiments.schemes import SCHEMES, run_scheme
+from repro.experiments.parallel import SweepCell, run_cells
 from repro.experiments.runner import (
     DeltaSweepResult,
     ExperimentResult,
+    SweepSpec,
     run_delta_sweep,
+    run_sweep,
 )
 
 __all__ = [
@@ -22,5 +25,9 @@ __all__ = [
     "run_scheme",
     "DeltaSweepResult",
     "ExperimentResult",
+    "SweepSpec",
+    "SweepCell",
+    "run_cells",
     "run_delta_sweep",
+    "run_sweep",
 ]

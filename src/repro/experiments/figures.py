@@ -17,7 +17,12 @@ from repro.experiments.chains import (
     chains_with_delta,
     nat_stress_chain,
 )
-from repro.experiments.runner import DeltaSweepResult, run_delta_sweep
+from repro.experiments.runner import (
+    DeltaSweepResult,
+    SweepSpec,
+    run_delta_sweep,
+    run_sweep,
+)
 from repro.experiments.schemes import ABLATIONS, SCHEMES
 from repro.hw.topology import (
     Topology,
@@ -34,26 +39,33 @@ def figure2_panel(
     deltas: Sequence[float] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
     topology_factory: Optional[Callable[[], Topology]] = None,
     measure: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> DeltaSweepResult:
     """One Figure 2(a-e) panel: all six schemes over the δ sweep."""
-    return run_delta_sweep(
-        chain_indices,
+    return run_sweep(SweepSpec(
+        chain_indices=chain_indices,
         deltas=deltas,
         schemes=SCHEMES,
-        topology=topology_factory() if topology_factory else None,
+        topology_factory=topology_factory,
         measure=measure,
-    )
+        jobs=jobs,
+        cache=cache,
+    ))
 
 
 def figure2f_ablations(
     chain_indices: Sequence[int] = (1, 2, 3, 4),
     deltas: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
     measure: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> DeltaSweepResult:
     """Figure 2f: Lemur vs No-Profiling vs No-Core-Allocation."""
-    return run_delta_sweep(
-        chain_indices, deltas=deltas, schemes=ABLATIONS, measure=measure,
-    )
+    return run_sweep(SweepSpec(
+        chain_indices=chain_indices, deltas=deltas, schemes=ABLATIONS,
+        measure=measure, jobs=jobs, cache=cache,
+    ))
 
 
 @dataclass

@@ -96,6 +96,23 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def merge(self, count: int, total: float, minimum: Optional[float],
+              maximum: Optional[float], samples: List[float]) -> None:
+        """Fold another histogram's state in (worker registry merge-back).
+
+        count/sum/min/max stay exact; retained samples append up to
+        SAMPLE_CAP, mirroring :meth:`observe`'s retention policy.
+        """
+        self.count += count
+        self.total += total
+        if minimum is not None and (self.min is None or minimum < self.min):
+            self.min = minimum
+        if maximum is not None and (self.max is None or maximum > self.max):
+            self.max = maximum
+        room = SAMPLE_CAP - len(self._samples)
+        if room > 0:
+            self._samples.extend(samples[:room])
+
     def __repr__(self) -> str:
         return (f"<Histogram {self.name}{dict(self.labels)} "
                 f"n={self.count} mean={self.mean:.3g}>")
@@ -145,6 +162,9 @@ class _NullHistogram:
     mean = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, count, total, minimum, maximum, samples) -> None:
         pass
 
     def percentile(self, q: float) -> float:
@@ -227,6 +247,45 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._counters.clear()
         self._histograms.clear()
+
+    def dump_state(self) -> dict:
+        """Serializable full state (including histogram samples).
+
+        Unlike :meth:`snapshot` — a reporting summary — this is lossless
+        enough to reconstruct instruments elsewhere: sweep workers dump
+        their per-process registries and the parent folds them back in
+        with :meth:`merge_state`. Deterministically ordered.
+        """
+        return {
+            "counters": [
+                [c.name, list(c.labels), c.value]
+                for c in sorted(self._counters.values(),
+                                key=lambda c: (c.name, c.labels))
+            ],
+            "histograms": [
+                [h.name, list(h.labels), h.count, h.total, h.min, h.max,
+                 list(h._samples)]
+                for h in sorted(self._histograms.values(),
+                                key=lambda h: (h.name, h.labels))
+            ],
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add; histograms merge exactly (count/sum/min/max) with
+        sample retention capped as usual. No-op instruments are skipped,
+        and a disabled registry ignores everything.
+        """
+        for name, labels, value in state.get("counters", ()):
+            if value:
+                self.counter(name, **dict(labels)).inc(value)
+        for name, labels, count, total, mn, mx, samples in \
+                state.get("histograms", ()):
+            if count:
+                self.histogram(name, **dict(labels)).merge(
+                    count, total, mn, mx, samples
+                )
 
     def snapshot(self) -> dict:
         """Plain-dict dump of every instrument (the export input)."""

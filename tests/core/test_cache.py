@@ -1,0 +1,171 @@
+"""Placement cache: key stability, hit/miss semantics, isolation."""
+
+import pytest
+
+from repro.core.cache import (
+    PlacementCache,
+    canonical,
+    get_cache,
+    placement_fingerprint,
+    scoped_cache,
+    set_cache,
+)
+from repro.core.heuristic import heuristic_place
+from repro.experiments.chains import chains_with_delta
+from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.obs import scoped_registry
+from repro.profiles.defaults import default_profiles
+from repro.units import DEFAULT_PACKET_BITS
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+@pytest.fixture()
+def chains(profiles):
+    return chains_with_delta([2, 3], delta=0.5, profiles=profiles)
+
+
+def fingerprint(chains, profiles, topology=None, strategy="Lemur",
+                packet_bits=DEFAULT_PACKET_BITS):
+    return placement_fingerprint(
+        chains, topology or default_testbed(), profiles,
+        strategy, packet_bits,
+    )
+
+
+class TestFingerprintStability:
+    def test_identical_inputs_identical_key(self, profiles, chains):
+        a = fingerprint(chains, profiles)
+        b = fingerprint(
+            chains_with_delta([2, 3], delta=0.5, profiles=profiles),
+            default_profiles(),
+        )
+        assert a == b
+
+    def test_key_is_hex_digest(self, profiles, chains):
+        key = fingerprint(chains, profiles)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_delta_changes_key(self, profiles):
+        lo = fingerprint(chains_with_delta([2], 0.5, profiles=profiles),
+                         profiles)
+        hi = fingerprint(chains_with_delta([2], 1.0, profiles=profiles),
+                         profiles)
+        assert lo != hi
+
+    def test_strategy_changes_key(self, profiles, chains):
+        assert fingerprint(chains, profiles, strategy="Lemur") != \
+            fingerprint(chains, profiles, strategy="Greedy")
+
+    def test_packet_bits_changes_key(self, profiles, chains):
+        assert fingerprint(chains, profiles, packet_bits=1500 * 8) != \
+            fingerprint(chains, profiles, packet_bits=256 * 8)
+
+    def test_topology_state_changes_key(self, profiles, chains):
+        base = fingerprint(chains, profiles)
+        assert base != fingerprint(chains, profiles,
+                                   topology=multi_server_testbed(2))
+        failed = default_testbed()
+        failed.mark_failed("server0")
+        assert base != fingerprint(chains, profiles, topology=failed)
+        reserved = default_testbed()
+        reserved.servers[0].reserved_cores += 2
+        assert base != fingerprint(chains, profiles, topology=reserved)
+
+    def test_profile_error_changes_key(self, profiles, chains):
+        assert fingerprint(chains, profiles) != \
+            fingerprint(chains, profiles.with_error(-0.05))
+
+    def test_private_attributes_ignored(self):
+        class Thing:
+            def __init__(self):
+                self.value = 1
+                self._scratch = object()
+
+        a, b = Thing(), Thing()
+        b._scratch = object()
+        assert canonical(a) == canonical(b)
+
+
+class TestCacheSemantics:
+    def test_miss_then_hit(self, profiles, chains):
+        cache = PlacementCache()
+        key = fingerprint(chains, profiles)
+        assert cache.get(key) is None
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        cache.put(key, placement)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.feasible == placement.feasible
+        assert hit.rates == placement.rates
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
+
+    def test_hit_is_a_copy(self, profiles, chains):
+        cache = PlacementCache()
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        cache.put("k", placement)
+        first = cache.get("k")
+        first.rates["chain2"] = -1.0
+        second = cache.get("k")
+        assert second.rates != first.rates
+
+    def test_put_stores_a_copy(self, profiles, chains):
+        cache = PlacementCache()
+        placement = heuristic_place(chains, default_testbed(), profiles)
+        cache.put("k", placement)
+        placement.rates["chain2"] = -1.0
+        assert cache.get("k").rates["chain2"] != -1.0
+
+    def test_lru_eviction(self):
+        from repro.core.placement import Placement
+
+        cache = PlacementCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, Placement(chains=[]))
+        assert len(cache) == 2
+        assert cache.get("a") is None      # evicted (oldest)
+        assert cache.get("c") is not None
+
+    def test_disabled_cache_never_hits(self, profiles, chains):
+        from repro.core.placement import Placement
+
+        cache = PlacementCache(enabled=False)
+        cache.put("k", Placement(chains=[]))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_obs_counters(self, profiles, chains):
+        cache = PlacementCache()
+        with scoped_registry() as registry:
+            cache.get("missing")
+            cache.put("k", heuristic_place(chains, default_testbed(),
+                                           profiles))
+            cache.get("k")
+            assert registry.counter_value(
+                "placement_cache.lookups", result="miss") == 1
+            assert registry.counter_value(
+                "placement_cache.lookups", result="hit") == 1
+
+
+class TestGlobalCache:
+    def test_scoped_cache_swaps_and_restores(self):
+        outer = get_cache()
+        with scoped_cache() as inner:
+            assert get_cache() is inner
+            assert inner is not outer
+        assert get_cache() is outer
+
+    def test_set_cache_installs(self):
+        previous = get_cache()
+        try:
+            mine = PlacementCache()
+            assert set_cache(mine) is mine
+            assert get_cache() is mine
+        finally:
+            set_cache(previous)

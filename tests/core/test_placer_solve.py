@@ -1,0 +1,158 @@
+"""Placer.solve(PlacementRequest) and the deprecated wrapper delegation."""
+
+import pytest
+
+from repro.core.cache import PlacementCache
+from repro.core.placer import (
+    Placer,
+    PlacerConfig,
+    PlacementReport,
+    PlacementRequest,
+)
+from repro.exceptions import PlacementError
+from repro.hw.topology import default_testbed
+
+
+class TestSolve:
+    def test_solve_returns_report(self, simple_chains):
+        report = Placer().solve(PlacementRequest(chains=simple_chains))
+        assert isinstance(report, PlacementReport)
+        assert report.placement.feasible
+        assert report.strategy == "lemur"
+        assert report.seconds > 0
+        assert report.cache_hit is False
+        assert report.fingerprint is None  # no cache attached
+
+    def test_solve_strategy_override(self, simple_chains):
+        report = Placer().solve(
+            PlacementRequest(chains=simple_chains, strategy="greedy")
+        )
+        assert report.strategy == "greedy"
+        assert report.placement.strategy == "greedy"
+
+    def test_solve_unknown_strategy(self, simple_chains):
+        with pytest.raises(PlacementError):
+            Placer().solve(
+                PlacementRequest(chains=simple_chains, strategy="quantum")
+            )
+
+    def test_solve_with_failed_devices_restores(self, simple_chains):
+        placer = Placer(topology=default_testbed(with_smartnic=True))
+        report = placer.solve(PlacementRequest(
+            chains=simple_chains, failed_devices=("agilio0",),
+        ))
+        assert report.placement.feasible
+        assert "agilio0" not in placer.topology.failed_devices
+
+    def test_solve_preexisting_failure_stays(self, simple_chains):
+        placer = Placer(topology=default_testbed(with_smartnic=True))
+        placer.topology.mark_failed("agilio0")
+        placer.solve(PlacementRequest(
+            chains=simple_chains, failed_devices=("agilio0",),
+        ))
+        assert "agilio0" in placer.topology.failed_devices
+
+    def test_solve_with_reserve_restores(self, simple_chains):
+        placer = Placer()
+        before = [s.reserved_cores for s in placer.topology.servers]
+        report = placer.solve(PlacementRequest(
+            chains=simple_chains, reserve_cores=2,
+        ))
+        assert report.placement is not None
+        assert [s.reserved_cores for s in placer.topology.servers] == before
+
+    def test_solve_negative_reserve_rejected(self, simple_chains):
+        with pytest.raises(PlacementError):
+            Placer().solve(PlacementRequest(
+                chains=simple_chains, reserve_cores=-1,
+            ))
+
+    def test_solve_excessive_reserve_rejected_and_restored(
+            self, simple_chains):
+        placer = Placer()
+        before = [s.reserved_cores for s in placer.topology.servers]
+        with pytest.raises(PlacementError):
+            placer.solve(PlacementRequest(
+                chains=simple_chains, reserve_cores=100,
+            ))
+        assert [s.reserved_cores for s in placer.topology.servers] == before
+
+
+class TestSolveCaching:
+    def test_repeat_solve_hits_cache(self, simple_chains):
+        placer = Placer(cache=PlacementCache())
+        first = placer.solve(PlacementRequest(chains=simple_chains))
+        second = placer.solve(PlacementRequest(chains=simple_chains))
+        assert first.cache_hit is False
+        assert second.cache_hit is True
+        assert first.fingerprint == second.fingerprint
+        assert second.placement.rates == first.placement.rates
+
+    def test_request_can_bypass_cache(self, simple_chains):
+        placer = Placer(cache=PlacementCache())
+        placer.solve(PlacementRequest(chains=simple_chains))
+        fresh = placer.solve(PlacementRequest(
+            chains=simple_chains, use_cache=False,
+        ))
+        assert fresh.cache_hit is False
+        assert fresh.fingerprint is None
+
+    def test_scenario_knobs_partition_the_key(self, simple_chains):
+        placer = Placer(topology=default_testbed(with_smartnic=True),
+                        cache=PlacementCache())
+        plain = placer.solve(PlacementRequest(chains=simple_chains))
+        failed = placer.solve(PlacementRequest(
+            chains=simple_chains, failed_devices=("agilio0",),
+        ))
+        reserved = placer.solve(PlacementRequest(
+            chains=simple_chains, reserve_cores=2,
+        ))
+        keys = {plain.fingerprint, failed.fingerprint, reserved.fingerprint}
+        assert len(keys) == 3
+        assert not failed.cache_hit and not reserved.cache_hit
+
+    def test_rate_objective_in_key(self, simple_chains):
+        cache = PlacementCache()
+        marginal = Placer(cache=cache)
+        fair = Placer(cache=cache,
+                      config=PlacerConfig(rate_objective="max_min"))
+        a = marginal.solve(PlacementRequest(chains=simple_chains))
+        b = fair.solve(PlacementRequest(chains=simple_chains))
+        assert a.fingerprint != b.fingerprint
+        assert not b.cache_hit
+
+
+class TestDeprecatedWrappers:
+    def test_place_delegates(self, simple_chains):
+        placer = Placer()
+        with pytest.warns(DeprecationWarning, match="Placer.place is"):
+            placement = placer.place(simple_chains)
+        report = placer.solve(PlacementRequest(chains=simple_chains))
+        assert placement.feasible == report.placement.feasible
+        assert placement.rates == report.placement.rates
+
+    def test_place_timed_delegates(self, simple_chains):
+        with pytest.warns(DeprecationWarning, match="place_timed"):
+            placement, seconds = Placer().place_timed(simple_chains)
+        assert placement.feasible
+        assert seconds > 0
+
+    def test_place_with_reserve_delegates(self, simple_chains):
+        placer = Placer()
+        with pytest.warns(DeprecationWarning, match="place_with_reserve"):
+            placement = placer.place_with_reserve(simple_chains,
+                                                  reserve_cores=2)
+        direct = placer.solve(PlacementRequest(
+            chains=simple_chains, reserve_cores=2,
+        )).placement
+        assert placement.rates == direct.rates
+
+    def test_replan_after_failure_delegates(self, simple_chains):
+        placer = Placer(topology=default_testbed(with_smartnic=True))
+        with pytest.warns(DeprecationWarning, match="replan_after_failure"):
+            placement = placer.replan_after_failure(simple_chains, "agilio0")
+        direct = placer.solve(PlacementRequest(
+            chains=simple_chains, failed_devices=("agilio0",),
+        )).placement
+        assert placement.rates == direct.rates
+        assert "agilio0" not in placer.topology.failed_devices
