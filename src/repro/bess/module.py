@@ -60,6 +60,10 @@ class Module:
         self.tx_packets = 0
         self.dropped_packets = 0
         self.cycles_charged = 0
+        #: Memoized (database, (low, worst)) sampling bounds — the profiled
+        #: cost is a pure function of (nf_class, params, numa_same), so it is
+        #: resolved once and reused for every packet.
+        self._cost_cache: Optional[Tuple[ProfileDatabase, Tuple[float, float]]] = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -84,14 +88,24 @@ class Module:
         """Transform one packet; default is a pass-through on gate 0."""
         return [(0, packet)]
 
+    def _cost_bounds(self) -> Tuple[float, float]:
+        """The (low, worst) uniform-sampling band for this module's cost."""
+        cache = self._cost_cache
+        if cache is not None and cache[0] is self.database:
+            return cache[1]
+        profile = self.database.get(self.nf_class)
+        worst = profile.cost(self.params, numa_same=self.numa_same)
+        mean = worst / (1.0 + profile.variance)
+        bounds = (mean * (1 - profile.variance), worst)
+        self._cost_cache = (self.database, bounds)
+        return bounds
+
     def account(self, packet: Packet, scale: float = 1.0) -> None:
         """Charge this module's per-packet cycle cost to the packet."""
         if self.database is None or self.nf_class is None:
             return
-        profile = self.database.get(self.nf_class)
-        worst = profile.cost(self.params, numa_same=self.numa_same)
-        mean = worst / (1.0 + profile.variance)
-        sampled = self._rng.uniform(mean * (1 - profile.variance), worst)
+        low, worst = self._cost_bounds()
+        sampled = self._rng.uniform(low, worst)
         charged = int(sampled * scale)
         packet.metadata.cycles_consumed += charged
         self.cycles_charged += charged
@@ -107,6 +121,52 @@ class Module:
         self.dropped_packets += len(outputs) - len(live)
         if not outputs:
             self.dropped_packets += 1
+        self.tx_packets += len(live)
+        return live
+
+    def process_batch(self, packets: List[Packet]) -> List[List[Tuple[int, Packet]]]:
+        """Transform a batch; returns one output list per input packet.
+
+        The default preserves serial semantics exactly (per-packet
+        :meth:`process` in arrival order). Stateless modules may override it
+        to hoist per-batch work — overrides must keep the per-packet output
+        lists identical to serial processing.
+        """
+        process = self.process
+        return [process(packet) for packet in packets]
+
+    def receive_batch(self, packets: List[Packet]) -> List[Tuple[int, Packet]]:
+        """Batched :meth:`receive` with per-batch aggregated bookkeeping.
+
+        Behaviourally identical to calling :meth:`receive` on each packet in
+        order: cycle accounting stays interleaved with processing per packet
+        (stateful modules like Dedup scale their charge by state that the
+        previous packet just updated), so the module's RNG stream and state
+        evolve exactly as in the serial path.
+        """
+        self.rx_packets += len(packets)
+        if self.database is not None and self.nf_class is not None:
+            account = self.account
+            process = self.process
+            out_lists = []
+            for packet in packets:
+                account(packet)
+                out_lists.append(process(packet))
+        else:
+            # No cycle accounting — batch-amortized processing is safe.
+            out_lists = self.process_batch(packets)
+        live: List[Tuple[int, Packet]] = []
+        dropped = 0
+        for outputs in out_lists:
+            if not outputs:
+                dropped += 1
+                continue
+            for gate_pkt in outputs:
+                if gate_pkt[1].metadata.drop_flag:
+                    dropped += 1
+                else:
+                    live.append(gate_pkt)
+        self.dropped_packets += dropped
         self.tx_packets += len(live)
         return live
 
@@ -176,10 +236,52 @@ class Pipeline:
     def push_batch(
         self, batch: Iterable[Packet], entry: Optional[str] = None
     ) -> List[Tuple[Module, Packet]]:
-        out: List[Tuple[Module, Packet]] = []
-        for packet in batch:
-            out.extend(self.push(packet, entry))
-        return out
+        """Stage-wise batched traversal of the module graph.
+
+        Packets advance through the graph a *module at a time* instead of a
+        packet at a time: each module receives every packet queued at it in
+        one :meth:`Module.receive_batch` call, preserving per-module arrival
+        order (and therefore per-module RNG streams and state) exactly as the
+        serial :meth:`push` loop would.
+        """
+        packets = list(batch)
+        if not packets:
+            return []
+        if entry is None:
+            if len(self.entries) != 1:
+                raise DataplaneError(
+                    f"{self.name}: specify an entry (have "
+                    f"{sorted(self.entries)})"
+                )
+            start = next(iter(self.entries.values()))
+        else:
+            start = self.module(entry)
+        exits: List[Tuple[Module, Packet]] = []
+        work: List[Tuple[Module, List[Packet]]] = [(start, packets)]
+        steps = 0
+        max_steps = 10_000 * len(packets)
+        while work:
+            module, pkts = work.pop()
+            steps += len(pkts)
+            if steps > max_steps:
+                raise DataplaneError(
+                    f"{self.name}: batch exceeded {max_steps} hops (loop?)"
+                )
+            grouped: Dict[int, List[Packet]] = {}
+            order: List[int] = []
+            for gate, out in module.receive_batch(pkts):
+                bucket = grouped.get(gate)
+                if bucket is None:
+                    bucket = grouped[gate] = []
+                    order.append(gate)
+                bucket.append(out)
+            for gate in reversed(order):
+                nxt = module.downstream(gate)
+                if nxt is None:
+                    exits.extend((module, p) for p in grouped[gate])
+                else:
+                    work.append((nxt, grouped[gate]))
+        return exits
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {

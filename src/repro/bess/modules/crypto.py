@@ -32,8 +32,13 @@ def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
 
 def _packet_nonce(packet: Packet) -> bytes:
     """Per-flow nonce derived from the 5-tuple (stable across enc/dec)."""
-    five = packet.five_tuple()
-    return repr(five).encode()
+    key = packet.flow_key_bytes()
+    return key if key is not None else b"non-ip"
+
+
+#: Per-flow keystreams repeat across packets; cap the memo per module so a
+#: many-flow run cannot grow without bound.
+_STREAM_CACHE_MAX = 4096
 
 
 class _XCryptBase(Module):
@@ -45,13 +50,35 @@ class _XCryptBase(Module):
         super().__init__(*args, **kwargs)
         key = self.params.get("key", self.default_key)
         self.key = key.encode() if isinstance(key, str) else bytes(key)
+        self._streams: dict = {}
+        #: (nonce, payload) -> crypted payload memo — see :meth:`_xcrypt`.
+        self._outputs: dict = {}
 
     def _xcrypt(self, packet: Packet) -> None:
         payload = packet.payload
         if not payload:
             return
-        stream = _keystream(self.key, _packet_nonce(packet), len(payload))
-        packet.payload = bytes(a ^ b for a, b in zip(payload, stream))
+        # Memoize the whole transformation: the XOR is a pure function of
+        # (nonce, payload bytes), and flows replay identical payloads.
+        out_key = (_packet_nonce(packet), payload)
+        out = self._outputs.get(out_key)
+        if out is None:
+            length = len(payload)
+            cache_key = (out_key[0], length)
+            stream_int = self._streams.get(cache_key)
+            if stream_int is None:
+                if len(self._streams) >= _STREAM_CACHE_MAX:
+                    self._streams.clear()
+                stream = _keystream(self.key, cache_key[0], length)
+                stream_int = int.from_bytes(stream, "big")
+                self._streams[cache_key] = stream_int
+            out = (int.from_bytes(payload, "big") ^ stream_int).to_bytes(
+                length, "big"
+            )
+            if len(self._outputs) >= _STREAM_CACHE_MAX:
+                self._outputs.clear()
+            self._outputs[out_key] = out
+        packet.payload = out
 
 
 class EncryptModule(_XCryptBase):

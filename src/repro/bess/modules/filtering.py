@@ -6,7 +6,14 @@ import ipaddress
 from typing import List, Optional, Tuple
 
 from repro.bess.module import Module
+from repro.net.headers import ip_to_int
 from repro.net.packet import Packet
+
+
+def _prefix_ints(prefix: str) -> Tuple[int, int]:
+    """``'10.0.0.0/8'`` → ``(network_int, netmask_int)``."""
+    network = ipaddress.ip_network(prefix, strict=False)
+    return int(network.network_address), int(network.netmask)
 
 
 class ACLModule(Module):
@@ -27,16 +34,16 @@ class ACLModule(Module):
         if isinstance(raw_rules, int):
             raw_rules = []  # size-only spec (placement experiments)
         self.default_drop = bool(self.params.get("default_drop", False))
-        self._rules: List[Tuple[Optional[ipaddress.IPv4Network],
-                                Optional[ipaddress.IPv4Network],
+        # prefixes stored as (net_int, mask_int) — integer matching per
+        # packet instead of ipaddress containment
+        self._rules: List[Tuple[Optional[Tuple[int, int]],
+                                Optional[Tuple[int, int]],
                                 Optional[int], Optional[int], Optional[int],
                                 bool]] = []
         for rule in raw_rules:
             self._rules.append((
-                ipaddress.ip_network(rule["src_ip"], strict=False)
-                if rule.get("src_ip") else None,
-                ipaddress.ip_network(rule["dst_ip"], strict=False)
-                if rule.get("dst_ip") else None,
+                _prefix_ints(rule["src_ip"]) if rule.get("src_ip") else None,
+                _prefix_ints(rule["dst_ip"]) if rule.get("dst_ip") else None,
                 rule.get("src_port"),
                 rule.get("dst_port"),
                 rule.get("proto"),
@@ -49,11 +56,13 @@ class ACLModule(Module):
             packet.metadata.drop_flag = True
             return []
         src, dst, sport, dport, proto = five
+        src_int = ip_to_int(src)
+        dst_int = ip_to_int(dst)
         verdict = self.default_drop
         for s_net, d_net, s_port, d_port, r_proto, drop in self._rules:
-            if s_net and ipaddress.ip_address(src) not in s_net:
+            if s_net and (src_int & s_net[1]) != s_net[0]:
                 continue
-            if d_net and ipaddress.ip_address(dst) not in d_net:
+            if d_net and (dst_int & d_net[1]) != d_net[0]:
                 continue
             if s_port is not None and sport != s_port:
                 continue

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import ipaddress
-import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.bess.module import Module
 from repro.exceptions import DataplaneError
+from repro.net.headers import ip_to_int
 from repro.net.packet import Packet
 
 
@@ -55,21 +55,27 @@ class IPv4FwdModule(Module):
         parsed = []
         for route in routes:
             network = ipaddress.ip_network(route["prefix"], strict=False)
-            parsed.append(
-                (network, int(route["port"]), route.get("dst_mac"))
-            )
+            # store as (net_int, mask_int) so the per-packet LPM is two
+            # integer ops instead of ipaddress object containment
+            parsed.append((
+                network.prefixlen,
+                int(network.network_address),
+                int(network.netmask),
+                int(route["port"]),
+                route.get("dst_mac"),
+            ))
         # longest prefix first
-        parsed.sort(key=lambda item: -item[0].prefixlen)
-        self._routes = parsed
+        parsed.sort(key=lambda item: -item[0])
+        self._routes = [item[1:] for item in parsed]
 
     def process(self, packet: Packet):
         ipv4 = packet.ipv4
         if ipv4 is None:
             packet.metadata.drop_flag = True
             return []
-        address = ipaddress.ip_address(ipv4.dst)
-        for network, port, dst_mac in self._routes:
-            if address in network:
+        address = ip_to_int(ipv4.dst)
+        for net_int, mask_int, port, dst_mac in self._routes:
+            if address & mask_int == net_int:
                 packet.metadata.egress_port = port
                 if dst_mac and packet.eth is not None:
                     packet.eth.dst = dst_mac
@@ -172,7 +178,7 @@ class LBModule(Module):
         backend = self._flow_map.get(five)
         if backend is None:
             # stable across processes (unlike built-in str hashing)
-            digest = zlib.crc32(repr(five).encode())
+            digest = packet.flow_digest()
             backend = self.backends[digest % len(self.backends)]
             self._flow_map[five] = backend
         ipv4.dst = backend

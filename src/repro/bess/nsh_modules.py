@@ -9,7 +9,6 @@ are re-tagged with the next hop's SPI/SI before returning to the switch.
 
 from __future__ import annotations
 
-import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.bess.module import Module
@@ -118,8 +117,7 @@ class SubgroupDemux(Module):
             return [(base_gate, packet)]
         packet.metadata.cycles_consumed += DEMUX_LB_CYCLES
         self.cycles_charged += DEMUX_LB_CYCLES
-        five = packet.five_tuple()
-        digest = zlib.crc32(repr(five).encode())
+        digest = packet.flow_digest()
         return [(base_gate + digest % instances, packet)]
 
 

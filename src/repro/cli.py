@@ -8,6 +8,8 @@ Subcommands mirror an operator's workflow:
 * ``stats``   — trace a placement and dump the observability metrics:
   placer stage timings, codegen times, per-device packet/drop/cycle
   counters, and the per-hop latency breakdown;
+* ``traffic`` — replay high-volume synthesized flows through the rack in
+  batches and compare delivered rates against the LP's assignments;
 * ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
 * ``profile`` — print the Table 4 profiling statistics.
 
@@ -105,6 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats_cmd.add_argument("--packets", type=int, default=32)
     stats_cmd.add_argument("--json", action="store_true",
                            help="emit one JSON document instead of text")
+
+    traffic_cmd = sub.add_parser(
+        "traffic",
+        help="replay high-volume synthesized traffic through the rack",
+    )
+    add_spec_args(traffic_cmd)
+    add_topology_args(traffic_cmd)
+    traffic_cmd.add_argument("--packets", type=int, default=2048,
+                             help="packets injected per chain")
+    traffic_cmd.add_argument("--flows", type=int, default=64,
+                             help="distinct flows synthesized per chain")
+    traffic_cmd.add_argument("--batch", type=int, default=64,
+                             help="packets per injected batch")
 
     sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
     sweep_cmd.add_argument("chains", type=int, nargs="+",
@@ -336,6 +351,29 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_traffic(args) -> int:
+    from repro.sim.runtime import DeployedRack
+    from repro.sim.traffic import TrafficEngine
+
+    chains = _load_chains(args)
+    topology = _topology(args)
+    placer = Placer(topology=topology, profiles=default_profiles(),
+                    config=PlacerConfig(strategy=args.strategy))
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
+    if not placement.feasible:
+        print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
+        return 2
+    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
+    artifacts = meta.compile_placement(placement)
+    rack = DeployedRack(topology, artifacts, placer.profiles)
+    engine = TrafficEngine(rack, placement,
+                           flows_per_chain=args.flows,
+                           batch_size=args.batch)
+    report = engine.run(packets_per_chain=args.packets)
+    print(report.describe())
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments.runner import SweepSpec, run_sweep
     from repro.experiments.schemes import SCHEMES
@@ -377,6 +415,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "trace": cmd_trace,
     "stats": cmd_stats,
+    "traffic": cmd_traffic,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
 }

@@ -23,12 +23,22 @@ NSH_NEXT_PROTO_ETHERNET = 0x3
 NSH_NEXT_PROTO_IPV4 = 0x1
 
 
+#: Conversion memos — dataplanes see a bounded address set (flows, routes,
+#: NAT/LB pools), so both directions cache to a cap and reset when full.
+_ADDR_MEMO_MAX = 8192
+_ip_int_memo: dict = {}
+_int_ip_memo: dict = {}
+
+
 def ip_to_int(addr: str) -> int:
     """Dotted-quad IPv4 address to a 32-bit integer.
 
     >>> hex(ip_to_int("10.0.0.1"))
     '0xa000001'
     """
+    value = _ip_int_memo.get(addr)
+    if value is not None:
+        return value
     parts = addr.split(".")
     if len(parts) != 4:
         raise ValueError(f"not an IPv4 address: {addr!r}")
@@ -38,29 +48,62 @@ def ip_to_int(addr: str) -> int:
         if not 0 <= octet <= 255:
             raise ValueError(f"not an IPv4 address: {addr!r}")
         value = (value << 8) | octet
+    if len(_ip_int_memo) >= _ADDR_MEMO_MAX:
+        _ip_int_memo.clear()
+    _ip_int_memo[addr] = value
     return value
 
 
 def int_to_ip(value: int) -> str:
     """32-bit integer to dotted-quad IPv4 address."""
+    addr = _int_ip_memo.get(value)
+    if addr is not None:
+        return addr
     if not 0 <= value <= 0xFFFFFFFF:
         raise ValueError(f"not a 32-bit value: {value}")
-    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    addr = (
+        f"{(value >> 24) & 0xFF}.{(value >> 16) & 0xFF}"
+        f".{(value >> 8) & 0xFF}.{value & 0xFF}"
+    )
+    if len(_int_ip_memo) >= _ADDR_MEMO_MAX:
+        _int_ip_memo.clear()
+    _int_ip_memo[value] = addr
+    return addr
+
+
+_mac_memo: dict = {}
 
 
 def mac_to_bytes(mac: str) -> bytes:
     """``aa:bb:cc:dd:ee:ff`` to 6 raw bytes."""
+    raw = _mac_memo.get(mac)
+    if raw is not None:
+        return raw
     parts = mac.split(":")
     if len(parts) != 6:
         raise ValueError(f"not a MAC address: {mac!r}")
-    return bytes(int(p, 16) for p in parts)
+    raw = bytes(int(p, 16) for p in parts)
+    if len(_mac_memo) >= _ADDR_MEMO_MAX:
+        _mac_memo.clear()
+    _mac_memo[mac] = raw
+    return raw
+
+
+_mac_str_memo: dict = {}
 
 
 def bytes_to_mac(raw: bytes) -> str:
     """6 raw bytes to ``aa:bb:cc:dd:ee:ff``."""
+    mac = _mac_str_memo.get(raw)
+    if mac is not None:
+        return mac
     if len(raw) != 6:
         raise ValueError(f"MAC must be 6 bytes, got {len(raw)}")
-    return ":".join(f"{b:02x}" for b in raw)
+    mac = raw.hex(":")
+    if len(_mac_str_memo) >= _ADDR_MEMO_MAX:
+        _mac_str_memo.clear()
+    _mac_str_memo[bytes(raw)] = mac
+    return mac
 
 
 @dataclass
@@ -185,9 +228,7 @@ def ipv4_checksum(header: bytes) -> int:
     """Standard 16-bit ones-complement checksum over an IPv4 header."""
     if len(header) % 2:
         header += b"\x00"
-    total = 0
-    for i in range(0, len(header), 2):
-        total += (header[i] << 8) | header[i + 1]
+    total = sum(struct.unpack(f"!{len(header) // 2}H", header))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -296,6 +337,26 @@ class NSHHeader:
             next_proto=first & 0xFF,
             ttl=(first >> 22) & 0x3F,
         )
+
+
+#: Pre-computed first word of the 8-byte NSH header produced by
+#: ``NSHHeader(ttl=63, next_proto=Ethernet).pack()`` — the only variant the
+#: simulated platforms emit on the hot path.
+_NSH_FIRST_WORD = (63 << 22) | (2 << 16) | (2 << 8) | NSH_NEXT_PROTO_ETHERNET
+_NSH_STRUCT = struct.Struct("!II")
+
+
+def pack_nsh(spi: int, si: int) -> bytes:
+    """Fast path for ``NSHHeader(spi=spi, si=si).pack()`` (default TTL/proto).
+
+    Byte-identical to the dataclass encoder; used by the per-hop encap path
+    where constructing an :class:`NSHHeader` per packet is measurable.
+    """
+    if not 0 <= spi < (1 << 24):
+        raise ValueError(f"SPI must fit 24 bits, got {spi}")
+    if not 0 <= si < 256:
+        raise ValueError(f"SI must fit 8 bits, got {si}")
+    return _NSH_STRUCT.pack(_NSH_FIRST_WORD, (spi << 8) | si)
 
 
 @dataclass

@@ -8,6 +8,7 @@ generated traffic-splitting tables (§A.2.2).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -23,6 +24,7 @@ from repro.net.headers import (
     TCPHeader,
     UDPHeader,
     VLANHeader,
+    pack_nsh,
 )
 
 
@@ -39,6 +41,9 @@ class PacketMetadata:
 
     drop_flag: bool = False
     branch_decision: Optional[int] = None
+    #: Injection sequence number assigned by the rack; lets batched device
+    #: runtimes map emitted packets back to the inputs they came from.
+    seq: Optional[int] = None
     spi: Optional[int] = None
     si: Optional[int] = None
     ingress_port: Optional[int] = None
@@ -52,6 +57,22 @@ class PacketMetadata:
     cycles_by_device: dict = field(default_factory=dict)
     processed_by: list = field(default_factory=list)
     fields: dict = field(default_factory=dict)
+
+
+#: Interned NSH header objects for the encap fast path. NSH headers are
+#: read-only everywhere in the codebase (re-tagging always goes through
+#: pop/push), so one shared instance per (SPI, SI) is safe.
+_NSH_INTERN_MAX = 4096
+_nsh_intern: dict = {}
+
+
+def _interned_nsh(spi: int, si: int) -> NSHHeader:
+    header = _nsh_intern.get((spi, si))
+    if header is None:
+        if len(_nsh_intern) >= _NSH_INTERN_MAX:
+            _nsh_intern.clear()
+        header = _nsh_intern[(spi, si)] = NSHHeader(spi=spi, si=si)
+    return header
 
 
 class Packet:
@@ -145,11 +166,9 @@ class Packet:
         offset = 0
         # Lemur's NSH encap places NSH at the very front followed by the
         # original Ethernet frame (next_proto = Ethernet).
-        if len(raw) >= NSHHeader.LENGTH + EthernetHeader.LENGTH:
-            maybe_eth = EthernetHeader.unpack(raw[NSHHeader.LENGTH:])
-            if maybe_eth.ethertype in (ETHERTYPE_IPV4, ETHERTYPE_VLAN) and _looks_like_nsh(
-                raw
-            ):
+        if len(raw) >= NSHHeader.LENGTH + EthernetHeader.LENGTH and _looks_like_nsh(raw):
+            inner_ethertype = (raw[20] << 8) | raw[21]
+            if inner_ethertype in (ETHERTYPE_IPV4, ETHERTYPE_VLAN):
                 parsed["nsh"] = NSHHeader.unpack(raw)
                 offset = NSHHeader.LENGTH
         if len(raw) >= offset + EthernetHeader.LENGTH:
@@ -176,39 +195,54 @@ class Packet:
         self._parsed = parsed
         return parsed
 
+    # The hot accessors check ``_parsed`` directly instead of calling
+    # ``_parse()`` — the extra call shows up at dataplane packet rates.
+
     @property
     def nsh(self) -> Optional[NSHHeader]:
-        return self._parse()["nsh"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["nsh"]
 
     @property
     def eth(self) -> Optional[EthernetHeader]:
-        return self._parse()["eth"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["eth"]
 
     @property
     def vlan(self) -> Optional[VLANHeader]:
-        return self._parse()["vlan"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["vlan"]
 
     @property
     def ipv4(self) -> Optional[IPv4Header]:
-        return self._parse()["ipv4"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["ipv4"]
 
     @property
     def tcp(self) -> Optional[TCPHeader]:
-        return self._parse()["tcp"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["tcp"]
 
     @property
     def udp(self) -> Optional[UDPHeader]:
-        return self._parse()["udp"]
+        parsed = self._parsed
+        return (parsed if parsed is not None else self._parse())["udp"]
 
     @property
     def payload(self) -> bytes:
-        return bytes(self._data[self._parse()["payload_offset"]:])
+        parsed = self._parsed
+        if parsed is None:
+            parsed = self._parse()
+        return bytes(self._data[parsed["payload_offset"]:])
 
     @payload.setter
     def payload(self, value: bytes) -> None:
-        offset = self._parse()["payload_offset"]
-        self._data = self._data[:offset] + bytearray(value)
-        self._parsed = None
+        # headers and their offsets are untouched, so the parse cache
+        # (including the flow key) stays valid
+        parsed = self._parsed
+        if parsed is None:
+            parsed = self._parse()
+        self._data[parsed["payload_offset"]:] = value
 
     def five_tuple(self):
         """(src_ip, dst_ip, src_port, dst_port, proto) or None if not IP."""
@@ -220,6 +254,54 @@ class Packet:
         src_port = l4.src_port if l4 else 0
         dst_port = l4.dst_port if l4 else 0
         return (ipv4.src, ipv4.dst, src_port, dst_port, ipv4.proto)
+
+    def flow_key_bytes(self) -> Optional[bytes]:
+        """The packet's flow identity as 13 packed bytes, or ``None`` if the
+        packet carries no IPv4 header.
+
+        Layout: src_ip(4) dst_ip(4) src_port(2) dst_port(2) proto(1), sliced
+        straight out of the wire bytes — equivalent to (and collision-free
+        with) :meth:`five_tuple`, but far cheaper to hash. Cached inside the
+        parse cache so any byte mutation invalidates it automatically.
+        """
+        parsed = self._parsed
+        if parsed is None:
+            parsed = self._parse()
+        key = parsed.get("flow_key", False)
+        if key is not False:
+            return key
+        ipv4 = parsed["ipv4"]
+        if ipv4 is None:
+            parsed["flow_key"] = None
+            return None
+        if parsed["tcp"] is not None:
+            l4_len = TCPHeader.LENGTH
+        elif parsed["udp"] is not None:
+            l4_len = UDPHeader.LENGTH
+        else:
+            l4_len = 0
+        ip_off = parsed["payload_offset"] - l4_len - IPv4Header.LENGTH
+        raw = self._data
+        addrs = bytes(raw[ip_off + 12:ip_off + 20])
+        ports = (
+            bytes(raw[ip_off + 20:ip_off + 24]) if l4_len else b"\x00\x00\x00\x00"
+        )
+        key = addrs + ports + bytes((ipv4.proto,))
+        parsed["flow_key"] = key
+        return key
+
+    def flow_digest(self) -> int:
+        """CRC32 of :meth:`flow_key_bytes` (0 for non-IP packets), cached in
+        the parse cache. Used for flow-stable hashing (traffic splits, LB)."""
+        parsed = self._parsed
+        if parsed is None:
+            parsed = self._parse()
+        digest = parsed.get("flow_digest")
+        if digest is None:
+            key = self.flow_key_bytes()
+            digest = zlib.crc32(key) if key is not None else 0
+            parsed["flow_digest"] = digest
+        return digest
 
     # -- mutation ---------------------------------------------------------
 
@@ -252,24 +334,61 @@ class Packet:
             offset += UDPHeader.LENGTH
         tail = bytes(self._data[parsed["payload_offset"]:])
         self._data = bytearray(b"".join(pieces) + tail)
-        self._parsed = None
+        # the cached header objects ARE what was just serialized and every
+        # header has a fixed length, so the parse cache stays valid; only
+        # the derived flow identity may have changed (NAT rewrites)
+        parsed.pop("flow_key", None)
+        parsed.pop("flow_digest", None)
 
     def push_nsh(self, spi: int, si: int) -> None:
         """Encapsulate with an NSH header (meta-compiler 'NSHencap')."""
-        header = NSHHeader(spi=spi, si=si)
-        self._data = bytearray(header.pack()) + self._data
-        self._parsed = None
+        self._data[:0] = pack_nsh(spi, si)
+        parsed = self._parsed
+        if parsed is not None:
+            if parsed["nsh"] is None and parsed["eth"] is not None:
+                # prepending 8 bytes shifts every offset but changes no
+                # header content — update the cache instead of re-parsing
+                parsed["nsh"] = _interned_nsh(spi, si)
+                parsed["payload_offset"] += NSHHeader.LENGTH
+            else:
+                self._parsed = None
         self.metadata.spi = spi
         self.metadata.si = si
 
     def pop_nsh(self) -> Optional[NSHHeader]:
-        """Decapsulate the NSH header, if present ('NSHdecap')."""
-        parsed = self._parse()
-        nsh = parsed["nsh"]
-        if nsh is None:
-            return None
-        self._data = self._data[NSHHeader.LENGTH:]
-        self._parsed = None
+        """Decapsulate the NSH header, if present ('NSHdecap').
+
+        When the parse cache is cold this peeks at the first bytes directly
+        (same detection rules as :meth:`_parse`) instead of parsing the whole
+        stack just to strip 8 bytes.
+        """
+        raw = self._data
+        parsed = self._parsed
+        if parsed is not None:
+            nsh = parsed["nsh"]
+            if nsh is None:
+                return None
+        else:
+            if len(raw) < NSHHeader.LENGTH + EthernetHeader.LENGTH:
+                return None
+            if not _looks_like_nsh(raw):
+                return None
+            inner_ethertype = (raw[20] << 8) | raw[21]
+            if inner_ethertype not in (ETHERTYPE_IPV4, ETHERTYPE_VLAN):
+                return None
+            first = int.from_bytes(raw[:4], "big")
+            sp = int.from_bytes(raw[4:8], "big")
+            nsh = NSHHeader(
+                spi=sp >> 8,
+                si=sp & 0xFF,
+                next_proto=first & 0xFF,
+                ttl=(first >> 22) & 0x3F,
+            )
+        del raw[:NSHHeader.LENGTH]
+        if parsed is not None:
+            # inner headers keep their content; only offsets shift left
+            parsed["nsh"] = None
+            parsed["payload_offset"] -= NSHHeader.LENGTH
         self.metadata.spi = nsh.spi
         self.metadata.si = nsh.si
         return nsh
@@ -281,16 +400,23 @@ class Packet:
         if eth is None:
             raise ValueError("cannot push VLAN on a non-Ethernet packet")
         base = NSHHeader.LENGTH if parsed["nsh"] is not None else 0
-        tag = VLANHeader(vid=vid, pcp=pcp, ethertype=eth.ethertype).pack()
+        vlan_hdr = VLANHeader(vid=vid, pcp=pcp, ethertype=eth.ethertype)
         eth_end = base + EthernetHeader.LENGTH
         new_eth = EthernetHeader(dst=eth.dst, src=eth.src, ethertype=ETHERTYPE_VLAN)
         self._data = (
             self._data[:base]
             + bytearray(new_eth.pack())
-            + bytearray(tag)
+            + bytearray(vlan_hdr.pack())
             + self._data[eth_end:]
         )
-        self._parsed = None
+        if parsed["vlan"] is None:
+            # single-tag case: splice the new headers into the cache
+            parsed["eth"] = new_eth
+            parsed["vlan"] = vlan_hdr
+            parsed["payload_offset"] += VLANHeader.LENGTH
+        else:
+            # stacked tags: the parser only models one, so re-parse
+            self._parsed = None
 
     def pop_vlan(self) -> Optional[VLANHeader]:
         """Remove the 802.1Q tag, if present (Detunnel NF)."""
@@ -307,7 +433,9 @@ class Packet:
             + bytearray(new_eth.pack())
             + self._data[eth_end + VLANHeader.LENGTH:]
         )
-        self._parsed = None
+        parsed["eth"] = new_eth
+        parsed["vlan"] = None
+        parsed["payload_offset"] -= VLANHeader.LENGTH
         return vlan
 
     def copy(self) -> "Packet":
@@ -317,6 +445,7 @@ class Packet:
         clone.metadata = PacketMetadata(
             drop_flag=meta.drop_flag,
             branch_decision=meta.branch_decision,
+            seq=meta.seq,
             spi=meta.spi,
             si=meta.si,
             ingress_port=meta.ingress_port,

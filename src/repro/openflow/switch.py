@@ -123,6 +123,16 @@ class OpenFlowRuntime:
         self.tx += 1
         return OFResult(packet=packet, output_port=output_port)
 
+    def process_batch(self, packets: List[Packet]) -> List[OFResult]:
+        """Run a batch through the pipeline, one result per input.
+
+        Rule matching and per-rule counters are inherently per packet
+        (tables may match 5-tuple fields); the batch form exists so callers
+        cross the runtime boundary once per batch.
+        """
+        process = self.process
+        return [process(packet) for packet in packets]
+
     def _index_of(self, table_id: int) -> int:
         for index, table in enumerate(self.tables):
             if table.table_id == table_id:

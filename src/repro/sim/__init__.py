@@ -2,5 +2,13 @@
 
 from repro.sim.testbed import TestbedSimulator, TestbedReport
 from repro.sim.measurement import ChainMeasurement
+from repro.sim.traffic import ChainTrafficReport, TrafficEngine, TrafficReport
 
-__all__ = ["TestbedSimulator", "TestbedReport", "ChainMeasurement"]
+__all__ = [
+    "TestbedSimulator",
+    "TestbedReport",
+    "ChainMeasurement",
+    "TrafficEngine",
+    "TrafficReport",
+    "ChainTrafficReport",
+]

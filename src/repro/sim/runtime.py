@@ -16,9 +16,7 @@ aggregates into :class:`~repro.sim.measurement.PacketTraceResult`.
 
 from __future__ import annotations
 
-import random
-import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bess.module import Pipeline
@@ -27,13 +25,14 @@ from repro.bess.nsh_modules import PortInc, PortOut
 from repro.bess.pipeline import build_bess_pipeline
 from repro.chain.graph import NFChain
 from repro.core.placement import ChainPlacement, Placement
+from repro.core.rates import SWITCH_TRANSIT_US
 from repro.ebpf.nic import SmartNICRuntime, XDPAction
 from repro.exceptions import DataplaneError
 from repro.hw.openflow import OpenFlowSwitchModel
 from repro.hw.platform import Platform
 from repro.hw.topology import Topology
 from repro.metacompiler.compiler import CompiledArtifacts
-from repro.metacompiler.nsh import ServicePath
+from repro.metacompiler.nsh import INITIAL_SI, ServicePath
 from repro.net.packet import Packet
 from repro.obs import MetricsRegistry, get_registry
 from repro.openflow.switch import OpenFlowRuntime, decode_vid, encode_vid
@@ -41,6 +40,11 @@ from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.sim.measurement import HopStat, PacketTraceResult
 
 _MAX_EVENTS = 1000
+
+#: Bound on the per-rack flow-classification cache; reaching it clears the
+#: cache (simple and allocation-free — a rack outliving 64k flows is a
+#: soak test, not a correctness concern).
+_FLOW_CACHE_MAX = 65536
 
 
 @dataclass
@@ -65,7 +69,6 @@ class DeployedRack:
         self.artifacts = artifacts
         self.profiles = profiles or default_profiles()
         self.seed = seed
-        self.rng = random.Random(f"rack/{seed}")
         self.obs = registry if registry is not None else get_registry()
 
         self.paths_by_spi: Dict[int, ServicePath] = {
@@ -77,6 +80,16 @@ class DeployedRack:
             (path.chain_name, tuple(path.node_ids)): path
             for path in artifacts.routing.service_paths
         }
+        #: spi -> {entry_si -> hop index}; kills the per-event linear hop
+        #: scan in the inject loop.
+        self._hop_index: Dict[int, Dict[int, int]] = {
+            path.spi: {hop.entry_si: i for i, hop in enumerate(path.hops)}
+            for path in artifacts.routing.service_paths
+        }
+        #: per-flow classification memo: (chain, vlan vid, 5-tuple) -> path.
+        #: The key covers every packet field the chain-DAG walk reads, so a
+        #: hit is exact, not probabilistic.
+        self._flow_paths: Dict[tuple, ServicePath] = {}
 
         #: device name -> clock used to convert that device's cycles to time.
         self._freq_by_device: Dict[str, float] = {
@@ -112,8 +125,53 @@ class DeployedRack:
             self.of_runtime = OpenFlowRuntime(topology.switch)
             self.of_runtime.install_all(artifacts.openflow_rules)
 
+        #: (spi, entry_si) -> VLAN vid for OF switch hops; replaces the old
+        #: O(paths × hops) ``_of_coordinates`` scan per switch pass with a
+        #: lookup built once here (the OF rule generator already encoded
+        #: these same coordinates, so encoding cannot fail at runtime).
+        self._of_vid: Dict[Tuple[int, int], int] = {}
+        if self.of_runtime is not None:
+            switch_name = topology.switch.name
+            for path in artifacts.routing.service_paths:
+                for hop in path.hops:
+                    if hop.device == switch_name:
+                        self._of_vid[(path.spi, hop.entry_si)] = encode_vid(
+                            path.spi, INITIAL_SI - hop.entry_si
+                        )
+
         #: functional modules for switch-placed NFs, keyed by node id
         self._switch_modules: Dict[str, object] = {}
+
+        #: monotonic per-rack injection sequence (stamped into packet
+        #: metadata; batched device runtimes use it to map emitted packets
+        #: back to their inputs).
+        self._next_seq = 0
+
+        # -- pre-resolved instruments (batch fast path) -------------------
+        # Counter objects are resolved once per device here instead of a
+        # dict-labelled registry lookup per packet per hop.
+        obs = self.obs
+        self._flow_cache_hit = obs.counter(
+            "rack.flow_cache.lookups", result="hit"
+        )
+        self._flow_cache_miss = obs.counter(
+            "rack.flow_cache.lookups", result="miss"
+        )
+        device_names = [topology.switch.name]
+        device_names.extend(self.servers)
+        device_names.extend(self.nics)
+        self._dev_counters: Dict[str, tuple] = {
+            name: (
+                obs.counter("rack.device.packets_in", device=name),
+                obs.counter("rack.device.packets_out", device=name),
+                obs.counter("rack.device.cycles", device=name),
+            )
+            for name in device_names
+        }
+        #: chain name -> dict of pre-resolved chain-scoped instruments
+        self._chain_inst: Dict[str, dict] = {}
+        #: (chain, device, reason) -> (chain-drop counter, device-drop counter)
+        self._drop_counters: Dict[tuple, tuple] = {}
 
     # -- observability helpers ---------------------------------------------------
 
@@ -131,16 +189,90 @@ class DeployedRack:
             "rack.device.drops", device=device, reason=reason
         ).inc()
 
+    def _chain_instruments(self, chain: str) -> dict:
+        """Chain-scoped instruments, resolved once per chain name."""
+        inst = self._chain_inst.get(chain)
+        if inst is None:
+            obs = self.obs
+            inst = self._chain_inst[chain] = {
+                "injected": obs.counter("rack.packets.injected", chain=chain),
+                "delivered": obs.counter(
+                    "rack.packets.delivered", chain=chain
+                ),
+                "latency": obs.histogram("rack.latency_us", chain=chain),
+                "exec_us": obs.histogram(
+                    "rack.latency_component_us", chain=chain,
+                    component="exec_us",
+                ),
+                "bounce_us": obs.histogram(
+                    "rack.latency_component_us", chain=chain,
+                    component="bounce_us",
+                ),
+                "switch_us": obs.histogram(
+                    "rack.latency_component_us", chain=chain,
+                    component="switch_us",
+                ),
+            }
+        return inst
+
+    def _drop_counter_pair(self, chain: str, device: str, reason: str
+                           ) -> tuple:
+        key = (chain, device, reason)
+        pair = self._drop_counters.get(key)
+        if pair is None:
+            pair = self._drop_counters[key] = (
+                self.obs.counter(
+                    "rack.packets.dropped", chain=chain, reason=reason
+                ),
+                self.obs.counter(
+                    "rack.device.drops", device=device, reason=reason
+                ),
+            )
+        return pair
+
+    def _cycles_counter(self, device: str):
+        entry = self._dev_counters.get(device)
+        if entry is not None:
+            return entry[2]
+        return self.obs.counter("rack.device.cycles", device=device)
+
     # -- classification ---------------------------------------------------------
 
     def classify(self, chain_placement: ChainPlacement, packet: Packet
                  ) -> ServicePath:
         """Pick the service path a packet takes through a chain.
 
-        Walks the chain DAG evaluating branch-arm conditions against the
-        packet (vlan tag / 5-tuple fields); unconditional splits choose by
-        a stable flow hash weighted with the operators' split estimates.
-        This is the switch's initial SPI/SI classification (§4.1).
+        Memoized per flow: the chain-DAG walk and branch hash run once per
+        (chain, vlan vid, packed flow key) — covering every field the walk
+        reads — and subsequent packets of the flow hit the cache
+        (``rack.flow_cache.lookups{result=hit|miss}``, mirroring the
+        placement-cache idiom).
+        """
+        vlan = packet.vlan
+        key = (
+            chain_placement.name,
+            vlan.vid if vlan is not None else None,
+            packet.flow_key_bytes(),
+        )
+        path = self._flow_paths.get(key)
+        if path is not None:
+            self._flow_cache_hit.inc()
+            return path
+        self._flow_cache_miss.inc()
+        path = self._classify_walk(chain_placement, packet)
+        if len(self._flow_paths) >= _FLOW_CACHE_MAX:
+            self._flow_paths.clear()
+        self._flow_paths[key] = path
+        return path
+
+    def _classify_walk(self, chain_placement: ChainPlacement, packet: Packet
+                       ) -> ServicePath:
+        """The uncached chain-DAG walk (§4.1).
+
+        Evaluates branch-arm conditions against the packet (vlan tag /
+        5-tuple fields); unconditional splits choose by a stable flow hash
+        weighted with the operators' split estimates. This is the switch's
+        initial SPI/SI classification.
         """
         graph = chain_placement.chain.graph
         node_path: List[str] = []
@@ -162,7 +294,7 @@ class DeployedRack:
             if chosen is None:
                 unconditioned = [e for e in edges if not e.condition]
                 pool = unconditioned or edges
-                digest = zlib.crc32(repr(packet.five_tuple()).encode())
+                digest = packet.flow_digest()
                 total = sum(e.fraction for e in pool)
                 point = (digest % 10_000) / 10_000 * total
                 acc = 0.0
@@ -191,6 +323,8 @@ class DeployedRack:
         dropped anywhere."""
         path = self.classify(chain_placement, packet)
         packet.metadata.chain_id = chain_placement.name
+        packet.metadata.seq = self._next_seq
+        self._next_seq += 1
         self.obs.counter(
             "rack.packets.injected", chain=chain_placement.name
         ).inc()
@@ -207,13 +341,14 @@ class DeployedRack:
                 self._finish(chain_placement, packet, excursions,
                              switch_passes, hops)
                 return packet  # chain complete: egress at the ToR
-            hop_index = _hop_index_for(path, si)
+            hop_index = self._hop_index_for(path, si)
             hop = path.hops[hop_index]
             nxt = path.hop_after(hop_index)
 
             if hop.device == self.topology.switch.name:
                 self._count_device("packets_in", hop.device)
-                survived = self._run_switch_hop(chain_placement, hop, packet)
+                survived = self._run_switch_hop(chain_placement, hop, packet,
+                                                spi)
                 if not survived:
                     reason = ("openflow_rule" if self.of_runtime is not None
                               else "switch_nf")
@@ -260,8 +395,310 @@ class DeployedRack:
             spi, si = nsh.spi, nsh.si
         raise DataplaneError("packet exceeded the rack event budget (loop?)")
 
+    # -- batched fast path --------------------------------------------------------
+
+    def inject_batch(self, chain_placement: ChainPlacement,
+                     packets: List[Packet]) -> List[Optional[Packet]]:
+        """Run a batch of packets through their chain.
+
+        Returns one entry per input, in input order: the delivered packet,
+        or ``None`` where it was dropped. Behaviourally identical to calling
+        :meth:`inject` on each packet in order — same delivered/dropped
+        outcomes, cycle charges, per-hop records, and counter totals — but
+        amortizes classification, hop resolution, device dispatch, and
+        observability updates across the batch.
+
+        The equivalence holds because the batch is partitioned into maximal
+        *consecutive* runs of packets sharing a service path, and each run
+        is processed to completion before the next starts: every module
+        therefore sees packets in global injection order, so per-module RNG
+        streams and NF state evolve exactly as under serial injection.
+        """
+        if not packets:
+            return []
+        name = chain_placement.name
+        classify = self.classify
+        entries = []
+        next_seq = self._next_seq
+        for packet in packets:
+            path = classify(chain_placement, packet)
+            packet.metadata.chain_id = name
+            packet.metadata.seq = next_seq
+            next_seq += 1
+            entries.append((packet, path))
+        self._next_seq = next_seq
+        self._chain_instruments(name)["injected"].inc(len(packets))
+
+        results: Dict[int, Optional[Packet]] = {}
+        start = 0
+        total = len(entries)
+        while start < total:
+            path = entries[start][1]
+            end = start + 1
+            while end < total and entries[end][1] is path:
+                end += 1
+            block = [packet for packet, _ in entries[start:end]]
+            self._run_block(
+                chain_placement, block, path.spi,
+                path.si_of[path.node_ids[0]], 0, 1, results, _MAX_EVENTS,
+            )
+            start = end
+        return [results.get(packet.metadata.seq) for packet, _ in entries]
+
+    def _run_block(self, cp: ChainPlacement, packets: List[Packet],
+                   spi: int, si: int, excursions: int, switch_passes: int,
+                   results: Dict[int, Optional[Packet]], budget: int,
+                   hop_records: Optional[Dict[int, List[dict]]] = None
+                   ) -> None:
+        """Advance one same-service-path run of packets to completion.
+
+        Mirrors :meth:`inject`'s event loop hop for hop, with per-block
+        device dispatch and per-block counter flushes. If survivors of a
+        hop ever diverge in (spi, si), the block re-splits into consecutive
+        same-coordinate runs and recurses, preserving the ordering
+        invariant.
+        """
+        if hop_records is None:
+            hop_records = {p.metadata.seq: [] for p in packets}
+        name = cp.name
+        switch_name = self.topology.switch.name
+        live = packets
+        while budget > 0:
+            budget -= 1
+            path = self.paths_by_spi.get(spi)
+            if path is None:
+                raise DataplaneError(f"unknown SPI {spi}")
+            if si == 0:
+                self._finish_batch(cp, live, excursions, switch_passes,
+                                   hop_records)
+                for packet in live:
+                    results[packet.metadata.seq] = packet
+                return
+            hop_index = self._hop_index_for(path, si)
+            hop = path.hops[hop_index]
+            nxt = path.hop_after(hop_index)
+
+            if hop.device == switch_name:
+                in_c, out_c, _ = self._dev_counters[hop.device]
+                in_c.inc(len(live))
+                outs = self._run_switch_hop_batch(cp, hop, live, spi)
+                survivors = []
+                dropped = 0
+                for packet, out in zip(live, outs):
+                    if out is None:
+                        results[packet.metadata.seq] = None
+                        dropped += 1
+                    else:
+                        hop_records[packet.metadata.seq].append({
+                            "device": hop.device, "platform": hop.platform,
+                            "cycles": 0, "exec_us": 0.0,
+                        })
+                        survivors.append(out)
+                if dropped:
+                    reason = ("openflow_rule" if self.of_runtime is not None
+                              else "switch_nf")
+                    for counter in self._drop_counter_pair(
+                        name, hop.device, reason
+                    ):
+                        counter.inc(dropped)
+                out_c.inc(len(survivors))
+                if not survivors:
+                    return
+                if nxt is None:
+                    self._finish_batch(cp, survivors, excursions,
+                                       switch_passes, hop_records)
+                    for packet in survivors:
+                        results[packet.metadata.seq] = packet
+                    return
+                spi, si = path.spi, nxt.entry_si
+                live = survivors
+                continue
+
+            excursions += 1
+            switch_passes += 1
+            before = [
+                (p.metadata.cycles_consumed, dict(p.metadata.cycles_by_device))
+                for p in live
+            ]
+            in_c, out_c, _ = self._dev_counters[hop.device]
+            in_c.inc(len(live))
+            if hop.platform == Platform.SERVER.value:
+                outs = self._run_server_hop_batch(hop.device, live, spi, si)
+                reason = "server_pipeline"
+            elif hop.platform == Platform.SMARTNIC.value:
+                outs = self._run_nic_hop_batch(hop.device, live, spi, si)
+                reason = "nic_program"
+            else:
+                raise DataplaneError(f"unexpected hop platform {hop.platform}")
+
+            survivors: List[Packet] = []
+            cycle_sink: Dict[str, int] = {}
+            dropped = 0
+            for packet, out, (before_total, before_attr) in zip(
+                live, outs, before
+            ):
+                if out is None:
+                    results[packet.metadata.seq] = None
+                    dropped += 1
+                    continue
+                record = self._attribute_hop(
+                    hop, out, before_total, before_attr, cycle_sink
+                )
+                hop_records[out.metadata.seq].append(record)
+                survivors.append(out)
+            if dropped:
+                for counter in self._drop_counter_pair(
+                    name, hop.device, reason
+                ):
+                    counter.inc(dropped)
+            for device, delta in cycle_sink.items():
+                self._cycles_counter(device).inc(delta)
+            out_c.inc(len(survivors))
+            if not survivors:
+                return
+
+            coords: List[Tuple[int, int]] = []
+            for packet in survivors:
+                nsh = packet.pop_nsh()
+                if nsh is None:
+                    raise DataplaneError(
+                        f"packet returned from {hop.device} without NSH"
+                    )
+                coords.append((nsh.spi, nsh.si))
+            first = coords[0]
+            if all(coord == first for coord in coords):
+                spi, si = first
+                live = survivors
+                continue
+            # Divergent next coordinates: recurse on consecutive
+            # same-coordinate runs so per-module order stays injection order.
+            start = 0
+            count = len(survivors)
+            while start < count:
+                end = start + 1
+                while end < count and coords[end] == coords[start]:
+                    end += 1
+                self._run_block(
+                    cp, survivors[start:end], coords[start][0],
+                    coords[start][1], excursions, switch_passes, results,
+                    budget, hop_records,
+                )
+                start = end
+            return
+        raise DataplaneError("packet exceeded the rack event budget (loop?)")
+
+    def _run_switch_hop_batch(self, cp: ChainPlacement, hop,
+                              packets: List[Packet], spi: int
+                              ) -> List[Optional[Packet]]:
+        """Batched :meth:`_run_switch_hop`; returns one entry per input
+        (the packet, or ``None`` where the switch dropped it)."""
+        if self.of_runtime is not None:
+            vid = self._of_vid[(spi, hop.entry_si)]
+            for packet in packets:
+                if packet.vlan is None:
+                    packet.push_vlan(vid)
+                else:
+                    packet.vlan.vid = vid
+                    packet.commit()
+            of_results = self.of_runtime.process_batch(packets)
+            outs: List[Optional[Packet]] = []
+            for packet, result in zip(packets, of_results):
+                if result.dropped:
+                    outs.append(None)
+                else:
+                    packet.pop_vlan()
+                    outs.append(packet)
+            return outs
+        by_seq: Dict[int, Optional[Packet]] = {
+            packet.metadata.seq: packet for packet in packets
+        }
+        live = packets
+        for nid in hop.node_ids:
+            module = self._switch_module(cp, nid)
+            next_live = [
+                packet for _gate, packet in module.receive_batch(live)
+            ]
+            if len(next_live) != len(live):
+                survived = {packet.metadata.seq for packet in next_live}
+                for packet in live:
+                    if packet.metadata.seq not in survived:
+                        by_seq[packet.metadata.seq] = None
+            live = next_live
+            if not live:
+                break
+        return [by_seq[packet.metadata.seq] for packet in packets]
+
+    def _run_server_hop_batch(self, server: str, packets: List[Packet],
+                              spi: int, si: int) -> List[Optional[Packet]]:
+        runtime = self.servers.get(server)
+        if runtime is None:
+            raise DataplaneError(f"no BESS pipeline deployed on {server}")
+        for packet in packets:
+            packet.push_nsh(spi, si)
+        runtime.pipeline.push_batch(packets, entry=runtime.port_inc.name)
+        emitted = runtime.port_out.drain()
+        by_seq: Dict[int, Packet] = {}
+        for out in emitted:
+            seq = out.metadata.seq
+            if seq in by_seq:
+                raise DataplaneError(
+                    f"{server}: expected one packet out per input, got a "
+                    f"duplicate for seq {seq}"
+                )
+            by_seq[seq] = out
+        outs = [by_seq.pop(packet.metadata.seq, None) for packet in packets]
+        if by_seq:
+            raise DataplaneError(
+                f"{server}: emitted packets matching no input "
+                f"(seqs {sorted(by_seq)})"
+            )
+        return outs
+
+    def _run_nic_hop_batch(self, nic: str, packets: List[Packet],
+                           spi: int, si: int) -> List[Optional[Packet]]:
+        runtime = self.nics.get(nic)
+        if runtime is None:
+            raise DataplaneError(f"no eBPF program loaded on {nic}")
+        for packet in packets:
+            packet.push_nsh(spi, si)
+        return [
+            out if action is XDPAction.TX else None
+            for action, out in runtime.process_batch(packets)
+        ]
+
+    def _finish_batch(self, cp: ChainPlacement, packets: List[Packet],
+                      excursions: int, switch_passes: int,
+                      hop_records: Dict[int, List[dict]]) -> None:
+        """Batched :meth:`_finish` using pre-resolved instruments."""
+        inst = self._chain_instruments(cp.name)
+        inst["delivered"].inc(len(packets))
+        latency_h = inst["latency"]
+        exec_h = inst["exec_us"]
+        bounce_h = inst["bounce_us"]
+        switch_h = inst["switch_us"]
+        for packet in packets:
+            self._stamp_latency(
+                packet, excursions, switch_passes,
+                hop_records[packet.metadata.seq],
+            )
+            fields = packet.metadata.fields
+            latency_h.observe(fields["latency_us"])
+            exec_h.observe(fields["exec_us"])
+            bounce_h.observe(fields["bounce_us"])
+            switch_h.observe(fields["switch_us"])
+
+    def _hop_index_for(self, path: ServicePath, si: int) -> int:
+        hop_index = self._hop_index.get(path.spi, {}).get(si)
+        if hop_index is None:
+            raise DataplaneError(
+                f"SPI {path.spi}: no hop enters at SI {si} "
+                f"(hops at {[h.entry_si for h in path.hops]})"
+            )
+        return hop_index
+
     def _attribute_hop(self, hop, out: Packet, before_total: int,
-                       before_attr: Dict[str, int]) -> dict:
+                       before_attr: Dict[str, int],
+                       cycle_sink: Optional[Dict[str, int]] = None) -> dict:
         """Charge the hop's cycle delta to its device and build the
         per-hop record.
 
@@ -269,6 +706,9 @@ class DeployedRack:
         SmartNIC) arrive already attributed in ``cycles_by_device``; the
         remainder (BESS modules charge ``cycles_consumed`` only) belongs
         to the device the hop ran on.
+
+        ``cycle_sink`` (batch path) accumulates per-device cycle counter
+        increments for one flush per batch instead of one per packet.
         """
         meta = out.metadata
         total_delta = meta.cycles_consumed - before_total
@@ -285,7 +725,10 @@ class DeployedRack:
             delta = cycles - before_attr.get(device, 0)
             if delta:
                 exec_us += delta / self.device_freq(device) * 1e6
-                self._count_device("cycles", device, delta)
+                if cycle_sink is None:
+                    self._count_device("cycles", device, delta)
+                else:
+                    cycle_sink[device] = cycle_sink.get(device, 0) + delta
         return {
             "device": hop.device, "platform": hop.platform,
             "cycles": total_delta, "exec_us": exec_us,
@@ -325,8 +768,6 @@ class DeployedRack:
         ``exec_us`` / ``bounce_us`` / ``switch_us`` and (when provided by
         :meth:`inject`) the per-hop ``hops`` records.
         """
-        from repro.core.rates import SWITCH_TRANSIT_US
-
         meta = packet.metadata
         exec_us = 0.0
         attributed = 0
@@ -347,12 +788,11 @@ class DeployedRack:
         if hops is not None:
             meta.fields["hops"] = hops
 
-    def _run_switch_hop(self, cp: ChainPlacement, hop, packet: Packet) -> bool:
+    def _run_switch_hop(self, cp: ChainPlacement, hop, packet: Packet,
+                        spi: int) -> bool:
         """Execute switch-placed NFs functionally (line-rate pipeline)."""
         if self.of_runtime is not None:
-            vid = encode_vid(
-                *_of_coordinates(self.paths_by_spi, hop)
-            )
+            vid = self._of_vid[(spi, hop.entry_si)]
             if packet.vlan is None:
                 packet.push_vlan(vid)
             else:
@@ -493,14 +933,21 @@ class DeployedRack:
         """
         devices: Dict[str, dict] = {}
 
+        # One pass over the registry: index drop counters by device up
+        # front instead of rescanning every counter per device.
+        drops_by_device: Dict[str, Dict[str, float]] = {}
+        for counter in self.obs.counters():
+            if counter.name != "rack.device.drops":
+                continue
+            labels = dict(counter.labels)
+            device = labels.get("device", "?")
+            drops_by_device.setdefault(device, {})[
+                labels.get("reason", "?")
+            ] = counter.value
+
         def base(name: str, platform: str) -> dict:
-            drops: Dict[str, float] = {}
-            for counter in self.obs.counters():
-                labels = dict(counter.labels)
-                if (counter.name == "rack.device.drops"
-                        and labels.get("device") == name):
-                    drops[labels.get("reason", "?")] = counter.value
             return {
+                "drops": drops_by_device.get(name, {}),
                 "platform": platform,
                 "packets_in": self.obs.counter_value(
                     "rack.device.packets_in", device=name),
@@ -508,7 +955,6 @@ class DeployedRack:
                     "rack.device.packets_out", device=name),
                 "cycles": self.obs.counter_value(
                     "rack.device.cycles", device=name),
-                "drops": drops,
             }
 
         switch = self.topology.switch
@@ -535,16 +981,6 @@ class DeployedRack:
         return devices
 
 
-def _hop_index_for(path: ServicePath, si: int) -> int:
-    for index, hop in enumerate(path.hops):
-        if hop.entry_si == si:
-            return index
-    raise DataplaneError(
-        f"SPI {path.spi}: no hop enters at SI {si} "
-        f"(hops at {[h.entry_si for h in path.hops]})"
-    )
-
-
 def _edge_condition_matches(condition: dict, packet: Packet) -> bool:
     if "vlan_tag" in condition:
         vlan = packet.vlan
@@ -560,18 +996,6 @@ def _edge_condition_matches(condition: dict, packet: Packet) -> bool:
             if key in condition and condition[key] != actual:
                 return False
     return True
-
-
-def _of_coordinates(paths_by_spi: Dict[int, ServicePath], hop
-                    ) -> Tuple[int, int]:
-    """(SPI, path-position) pair matching the OF rule generator's
-    6-bit VLAN encoding (position = INITIAL_SI - entry SI)."""
-    from repro.metacompiler.nsh import INITIAL_SI
-
-    for path in paths_by_spi.values():
-        if hop in path.hops:
-            return path.spi, INITIAL_SI - hop.entry_si
-    raise DataplaneError("hop does not belong to any service path")
 
 
 def _chain_packet(chain: NFChain, index: int) -> Packet:
