@@ -10,6 +10,9 @@ Subcommands mirror an operator's workflow:
   counters, and the per-hop latency breakdown;
 * ``traffic`` — replay high-volume synthesized flows through the rack in
   batches and compare delivered rates against the LP's assignments;
+* ``chaos``   — replay traffic under a seeded fault-injection timeline
+  with the SLO guard reacting (graceful degradation, then auto-replan)
+  and print the per-phase SLO compliance table;
 * ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
 * ``profile`` — print the Table 4 profiling statistics.
 
@@ -120,6 +123,52 @@ def build_parser() -> argparse.ArgumentParser:
                              help="distinct flows synthesized per chain")
     traffic_cmd.add_argument("--batch", type=int, default=64,
                              help="packets per injected batch")
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="replay traffic under a fault timeline with the SLO guard "
+             "(degrade, then auto-replan) and report per-phase compliance",
+    )
+    add_spec_args(chaos_cmd)
+    add_topology_args(chaos_cmd)
+    chaos_cmd.add_argument("--packets", type=int, default=512,
+                           help="packets injected per chain")
+    chaos_cmd.add_argument("--flows", type=int, default=32,
+                           help="distinct flows synthesized per chain")
+    chaos_cmd.add_argument("--batch", type=int, default=32,
+                           help="packets per injected batch")
+    chaos_cmd.add_argument("--timeline", default=None, metavar="FILE",
+                           help="JSON fault timeline ('-' for stdin)")
+    chaos_cmd.add_argument("--fail", action="append", default=[],
+                           metavar="DEV@PKT",
+                           help="fail DEV at packet offset PKT (repeatable)")
+    chaos_cmd.add_argument("--recover", action="append", default=[],
+                           metavar="DEV@PKT",
+                           help="recover DEV at packet offset PKT")
+    chaos_cmd.add_argument("--degrade", action="append", default=[],
+                           metavar="SRV@PKT:FRAC",
+                           help="lose FRAC of SRV's link capacity at PKT")
+    chaos_cmd.add_argument("--lose-cores", action="append", default=[],
+                           metavar="SRV@PKT:N",
+                           help="kill N of SRV's cores at packet offset PKT")
+    chaos_cmd.add_argument("--window", type=int, default=128,
+                           help="guard evaluation window (packets per chain)")
+    chaos_cmd.add_argument("--threshold", type=float, default=1.0,
+                           help="violation threshold as a fraction of t_min")
+    chaos_cmd.add_argument("--max-replans", type=int, default=3,
+                           help="replan budget before the guard gives up")
+    chaos_cmd.add_argument("--no-degrade-first", action="store_true",
+                           help="skip graceful degradation, replan directly")
+    chaos_cmd.add_argument("--seed", type=int, default=23,
+                           help="chaos seed (drop hash + timeline)")
+    chaos_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="also run N-1 replica processes and require "
+                                "byte-identical reports (determinism check)")
+    chaos_cmd.add_argument("--json", action="store_true",
+                           help="emit the report as one JSON document")
+    chaos_cmd.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the report to FILE "
+                                "(.json suffix selects JSON)")
 
     sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
     sweep_cmd.add_argument("chains", type=int, nargs="+",
@@ -374,6 +423,99 @@ def cmd_traffic(args) -> int:
     return 0
 
 
+def _parse_event(value: str, action: str, with_severity: bool):
+    """Decode ``DEV@PKT`` / ``DEV@PKT:SEVERITY`` CLI event shorthand."""
+    from repro.exceptions import FaultInjectionError
+    from repro.sim.faults import FaultEvent
+
+    try:
+        target, _, when = value.partition("@")
+        severity = 1.0
+        if with_severity:
+            offset_text, _, severity_text = when.partition(":")
+            severity = float(severity_text)
+        else:
+            offset_text = when
+        return FaultEvent(
+            at_packet=int(offset_text),
+            action=action,
+            target=target,
+            severity=severity,
+        )
+    except ValueError as exc:
+        shape = "DEV@PKT:SEVERITY" if with_severity else "DEV@PKT"
+        raise FaultInjectionError(
+            f"--{action.replace('_', '-')} wants {shape}, got {value!r}: {exc}"
+        ) from exc
+
+
+def cmd_chaos(args) -> int:
+    from repro.obs import MetricsRegistry, render_text, set_registry
+    from repro.sim.faults import (
+        ChaosSpec,
+        FaultTimeline,
+        GuardConfig,
+        run_chaos_checked,
+    )
+
+    text = _read_spec(args.spec)
+    n_chains = len(chains_from_spec(text))
+    slos = tuple(
+        (slo.t_min, slo.t_max, slo.d_max)
+        for slo in _slos(args, n_chains)
+    )
+    events = []
+    if args.timeline:
+        events.extend(
+            FaultTimeline.parse_json(_read_spec(args.timeline)).events
+        )
+    events.extend(_parse_event(v, "fail", False) for v in args.fail)
+    events.extend(_parse_event(v, "recover", False) for v in args.recover)
+    events.extend(_parse_event(v, "degrade_link", True)
+                  for v in args.degrade)
+    events.extend(_parse_event(v, "lose_cores", True)
+                  for v in args.lose_cores)
+    spec = ChaosSpec(
+        spec_text=text,
+        slos=slos,
+        timeline=FaultTimeline(events=tuple(events), seed=args.seed),
+        packets_per_chain=args.packets,
+        flows_per_chain=args.flows,
+        batch_size=args.batch,
+        guard=GuardConfig(
+            window_packets=args.window,
+            threshold=args.threshold,
+            degrade_first=not args.no_degrade_first,
+            max_replans=args.max_replans,
+        ),
+        seed=args.seed,
+        strategy=args.strategy,
+        with_smartnic=args.smartnic,
+        with_openflow=args.openflow,
+        servers=args.servers,
+        metron=args.metron,
+    )
+    # a fresh registry so the metrics section covers exactly this run
+    registry = set_registry(MetricsRegistry())
+    report = run_chaos_checked(spec, jobs=args.jobs, registry=registry)
+    if args.out:
+        # the artifact is always the deterministic report (no wall-clock
+        # metrics), so repeated CI runs diff clean; write it before any
+        # stdout so a closed pipe downstream cannot lose it
+        artifact = report.to_json() if args.out.endswith(".json") \
+            else report.render() + "\n"
+        with open(args.out, "w") as handle:
+            handle.write(artifact)
+    rendered = report.to_json() if args.json else report.render()
+    print(rendered)
+    if not args.json:
+        print()
+        print("== metrics ==")
+        print(render_text(registry))
+    compliant = all(ph.compliant for ph in report.phases[-1:])
+    return 0 if compliant else 2
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments.runner import SweepSpec, run_sweep
     from repro.experiments.schemes import SCHEMES
@@ -416,6 +558,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "stats": cmd_stats,
     "traffic": cmd_traffic,
+    "chaos": cmd_chaos,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
 }

@@ -36,7 +36,6 @@ from repro.exceptions import PlacementError
 from repro.hw.topology import Topology, default_testbed
 from repro.obs import get_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
-from repro.units import DEFAULT_PACKET_BITS
 
 
 @dataclass
@@ -102,12 +101,25 @@ class PlacementReport:
     fingerprint: Optional[str] = None
 
 
+#: wrapper names that have already warned this process (warn-once policy:
+#: a sweep calling a legacy method per cell should not flood stderr).
+_WARNED: set = set()
+
+
 def _deprecated(old: str) -> None:
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
     warnings.warn(
         f"Placer.{old} is deprecated; use "
         "Placer.solve(PlacementRequest(...)) instead",
         DeprecationWarning, stacklevel=3,
     )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the warn-once latch (test isolation)."""
+    _WARNED.clear()
 
 
 @dataclass

@@ -69,6 +69,24 @@ def estimate_chain_rate(
     return min(limits) if limits else float(switch_rate or 0.0)
 
 
+def server_offered_load(
+    placements: Sequence[ChainPlacement],
+    rates: Dict[str, float],
+    server_name: str,
+) -> float:
+    """Aggregate rate (Mbps) the chains push through one server's NIC.
+
+    Each chain contributes its assigned rate weighted by its per-server
+    NIC traversal multiplicity — the same quantity the rate LP's capacity
+    rows use. The SLO guard compares this against degraded link capacity
+    to size deterministic shortfall drops.
+    """
+    return sum(
+        cp.server_visits.get(server_name, 0.0) * rates.get(cp.name, 0.0)
+        for cp in placements
+    )
+
+
 def analyze_chain(
     chain: NFChain,
     assignment: Dict[str, NodeAssignment],

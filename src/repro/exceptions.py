@@ -74,3 +74,8 @@ class DataplaneError(ReproError):
 
 class TopologyError(ReproError):
     """The rack topology description is invalid."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault timeline is invalid or a chaos run broke an invariant
+    (e.g. replica runs of the same seed diverged)."""

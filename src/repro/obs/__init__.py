@@ -27,9 +27,11 @@ from typing import Iterator, Optional
 from repro.obs.export import render_json, render_text
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_TIMER,
     Timer,
@@ -37,10 +39,12 @@ from repro.obs.metrics import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "Timer",
     "MetricsRegistry",
     "NULL_COUNTER",
+    "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_TIMER",
     "get_registry",

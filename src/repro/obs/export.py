@@ -31,6 +31,9 @@ def render_text(registry: MetricsRegistry) -> str:
         f"{c['name']}{_labels_suffix(c['labels'])}"
         for c in snapshot["counters"]
     ] + [
+        f"{g['name']}{_labels_suffix(g['labels'])}"
+        for g in snapshot.get("gauges", ())
+    ] + [
         f"{h['name']}{_labels_suffix(h['labels'])}"
         for h in snapshot["histograms"]
     ]
@@ -40,6 +43,11 @@ def render_text(registry: MetricsRegistry) -> str:
         value = entry["value"]
         rendered = f"{value:g}" if isinstance(value, float) else str(value)
         lines.append(f"counter    {name:<{width}}  {rendered}")
+    for entry in snapshot.get("gauges", ()):
+        name = f"{entry['name']}{_labels_suffix(entry['labels'])}"
+        value = entry["value"]
+        rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"gauge      {name:<{width}}  {rendered}")
     for entry in snapshot["histograms"]:
         name = f"{entry['name']}{_labels_suffix(entry['labels'])}"
         lines.append(

@@ -47,6 +47,34 @@ class Counter:
         return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
 
 
+class Gauge:
+    """A value that can move both ways (e.g. degraded-mode flags).
+
+    Unlike a :class:`Counter`, merging worker state takes the incoming
+    value as-is (last write wins) — a gauge states *current* condition,
+    not accumulated volume.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
+
+
 class Histogram:
     """Streaming distribution summary with bounded sample retention."""
 
@@ -151,6 +179,22 @@ class _NullCounter:
         pass
 
 
+class _NullGauge:
+    __slots__ = ()
+    name = "null"
+    labels: LabelKey = ()
+    value = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
 class _NullHistogram:
     __slots__ = ()
     name = "null"
@@ -187,6 +231,7 @@ class _NullTimer:
 
 
 NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
 NULL_TIMER = _NullTimer()
 
@@ -204,6 +249,7 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
 
     # -- instrument getters -----------------------------------------------
@@ -216,6 +262,15 @@ class MetricsRegistry:
         if counter is None:
             counter = self._counters[key] = Counter(name, key[1])
         return counter
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
 
     def histogram(self, name: str, **labels) -> Histogram:
         if not self.enabled:
@@ -236,6 +291,9 @@ class MetricsRegistry:
     def counters(self) -> Iterator[Counter]:
         return iter(self._counters.values())
 
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
     def histograms(self) -> Iterator[Histogram]:
         return iter(self._histograms.values())
 
@@ -244,8 +302,14 @@ class MetricsRegistry:
         entry = self._counters.get((name, _label_key(labels)))
         return entry.value if entry is not None else 0
 
+    def gauge_value(self, name: str, **labels) -> float:
+        """Read a gauge without creating it (0 if absent)."""
+        entry = self._gauges.get((name, _label_key(labels)))
+        return entry.value if entry is not None else 0
+
     def reset(self) -> None:
         self._counters.clear()
+        self._gauges.clear()
         self._histograms.clear()
 
     def dump_state(self) -> dict:
@@ -261,6 +325,11 @@ class MetricsRegistry:
                 [c.name, list(c.labels), c.value]
                 for c in sorted(self._counters.values(),
                                 key=lambda c: (c.name, c.labels))
+            ],
+            "gauges": [
+                [g.name, list(g.labels), g.value]
+                for g in sorted(self._gauges.values(),
+                                key=lambda g: (g.name, g.labels))
             ],
             "histograms": [
                 [h.name, list(h.labels), h.count, h.total, h.min, h.max,
@@ -280,6 +349,8 @@ class MetricsRegistry:
         for name, labels, value in state.get("counters", ()):
             if value:
                 self.counter(name, **dict(labels)).inc(value)
+        for name, labels, value in state.get("gauges", ()):
+            self.gauge(name, **dict(labels)).set(value)
         for name, labels, count, total, mn, mx, samples in \
                 state.get("histograms", ()):
             if count:
@@ -294,6 +365,11 @@ class MetricsRegistry:
                 {"name": c.name, "labels": dict(c.labels), "value": c.value}
                 for c in sorted(self._counters.values(),
                                 key=lambda c: (c.name, c.labels))
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for g in sorted(self._gauges.values(),
+                                key=lambda g: (g.name, g.labels))
             ],
             "histograms": [
                 {"name": h.name, "labels": dict(h.labels), **h.summary()}

@@ -3,6 +3,17 @@
 from repro.sim.testbed import TestbedSimulator, TestbedReport
 from repro.sim.measurement import ChainMeasurement
 from repro.sim.traffic import ChainTrafficReport, TrafficEngine, TrafficReport
+from repro.sim.faults import (
+    ChaosEngine,
+    ChaosReport,
+    ChaosSpec,
+    FaultEvent,
+    FaultTimeline,
+    GuardConfig,
+    PhaseReport,
+    run_chaos,
+    run_chaos_checked,
+)
 
 __all__ = [
     "TestbedSimulator",
@@ -11,4 +22,13 @@ __all__ = [
     "TrafficEngine",
     "TrafficReport",
     "ChainTrafficReport",
+    "ChaosEngine",
+    "ChaosReport",
+    "ChaosSpec",
+    "FaultEvent",
+    "FaultTimeline",
+    "GuardConfig",
+    "PhaseReport",
+    "run_chaos",
+    "run_chaos_checked",
 ]

@@ -147,6 +147,18 @@ class DeployedRack:
         #: back to their inputs).
         self._next_seq = 0
 
+        # -- fault state (chaos engineering hooks) ------------------------
+        #: devices currently failed: every packet routed to them is dropped
+        #: with reason ``device_failed`` (the link is down, so the packet
+        #: never arrives — no packets_in / cycles are charged).
+        self._fault_failed: set = set()
+        #: device name -> fraction of its packets dropped with reason
+        #: ``link_degraded`` (capacity shortfall under link degradation or
+        #: core loss). Drops are decided by a deterministic hash of the
+        #: packet's injection sequence, so outcomes are identical across
+        #: repeated runs and across the per-packet/batched paths.
+        self._fault_loss: Dict[str, float] = {}
+
         # -- pre-resolved instruments (batch fast path) -------------------
         # Counter objects are resolved once per device here instead of a
         # dict-labelled registry lookup per packet per hop.
@@ -172,6 +184,58 @@ class DeployedRack:
         self._chain_inst: Dict[str, dict] = {}
         #: (chain, device, reason) -> (chain-drop counter, device-drop counter)
         self._drop_counters: Dict[tuple, tuple] = {}
+
+    # -- fault injection ---------------------------------------------------------
+
+    def set_device_failed(self, device: str, failed: bool = True) -> None:
+        """Fail (or recover) a device: failed devices drop every packet.
+
+        The ToR cannot be failed — it is the rack's coordinator; chaos
+        timelines validate this before the run.
+        """
+        if device == self.topology.switch.name:
+            raise DataplaneError("cannot fail the ToR switch")
+        self.topology.device(device)  # validates existence
+        if failed:
+            self._fault_failed.add(device)
+        else:
+            self._fault_failed.discard(device)
+
+    def set_drop_fraction(self, device: str, fraction: float) -> None:
+        """Drop ``fraction`` of the device's packets (capacity shortfall)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise DataplaneError(
+                f"drop fraction must be within [0, 1], got {fraction}"
+            )
+        if fraction > 0.0:
+            self._fault_loss[device] = fraction
+        else:
+            self._fault_loss.pop(device, None)
+
+    def clear_faults(self) -> None:
+        self._fault_failed.clear()
+        self._fault_loss.clear()
+
+    def _fault_reason(self, device: str, seq: int) -> Optional[str]:
+        """Why a packet headed for ``device`` is dropped, or None.
+
+        The partial-loss decision hashes the packet's injection sequence
+        (never wall clock or a shared RNG stream), so a given (seed, seq)
+        always resolves the same way — the chaos report's determinism
+        across runs and batching modes rests on this.
+        """
+        if device in self._fault_failed:
+            return "device_failed"
+        loss = self._fault_loss.get(device)
+        if not loss:
+            return None
+        x = (seq * 2654435761 + self.seed * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        x ^= x >> 16
+        x = (x * 0x45D9F3B) & 0xFFFFFFFF
+        x ^= x >> 16
+        if x / 4294967296.0 < loss:
+            return "link_degraded"
+        return None
 
     # -- observability helpers ---------------------------------------------------
 
@@ -368,6 +432,10 @@ class DeployedRack:
 
             excursions += 1
             switch_passes += 1
+            fault = self._fault_reason(hop.device, packet.metadata.seq)
+            if fault is not None:
+                self._count_drop(chain_placement.name, hop.device, fault)
+                return None
             before_total = packet.metadata.cycles_consumed
             before_attr = dict(packet.metadata.cycles_by_device)
             self._count_device("packets_in", hop.device)
@@ -516,6 +584,25 @@ class DeployedRack:
 
             excursions += 1
             switch_passes += 1
+            if self._fault_failed or self._fault_loss:
+                fault_drops: Dict[str, int] = {}
+                passed: List[Packet] = []
+                for packet in live:
+                    fault = self._fault_reason(hop.device,
+                                               packet.metadata.seq)
+                    if fault is None:
+                        passed.append(packet)
+                    else:
+                        results[packet.metadata.seq] = None
+                        fault_drops[fault] = fault_drops.get(fault, 0) + 1
+                for fault, count in fault_drops.items():
+                    for counter in self._drop_counter_pair(
+                        name, hop.device, fault
+                    ):
+                        counter.inc(count)
+                if not passed:
+                    return
+                live = passed
             before = [
                 (p.metadata.cycles_consumed, dict(p.metadata.cycles_by_device))
                 for p in live

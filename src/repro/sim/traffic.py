@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.placement import ChainPlacement, Placement
 from repro.net.packet import Packet
@@ -137,6 +137,31 @@ class TrafficEngine:
             _chain_packet(cp.chain, index)
             for index in range(self.flows_per_chain)
         ]
+
+    def replay_batch(self, cp: ChainPlacement, cursor: int,
+                     count: int) -> Tuple[int, int]:
+        """Inject ``count`` packets of ``cp``'s flow cycle from ``cursor``.
+
+        The chaos engine's segment-by-segment injection primitive: packet
+        ``cursor + i`` belongs to flow ``(cursor + i) % flows_per_chain``,
+        exactly the cycling :meth:`run` uses, so resuming a replay after a
+        redeploy continues the same deterministic flow sequence. Returns
+        ``(delivered, new_cursor)``.
+        """
+        delivered = 0
+        injected = 0
+        while injected < count:
+            size = min(self.batch_size, count - injected)
+            batch = [
+                _chain_packet(cp.chain,
+                              (cursor + injected + offset)
+                              % self.flows_per_chain)
+                for offset in range(size)
+            ]
+            outputs = self.rack.inject_batch(cp, batch)
+            delivered += sum(1 for out in outputs if out is not None)
+            injected += size
+        return delivered, cursor + injected
 
     def run(self, packets_per_chain: int = 1024,
             chain_names: Optional[List[str]] = None) -> TrafficReport:

@@ -153,6 +153,40 @@ class TestCacheSemantics:
                 "placement_cache.lookups", result="hit") == 1
 
 
+class TestFailureStateIsolation:
+    """A device failure must change the fingerprint: the cache may never
+    serve a pre-failure placement to a post-failure solve."""
+
+    def test_failed_device_never_served_stale(self, profiles, chains):
+        from repro.core.placer import Placer, PlacementRequest
+
+        topology = default_testbed(with_smartnic=True)
+        cache = PlacementCache()
+        placer = Placer(topology=topology, profiles=profiles, cache=cache)
+
+        healthy = placer.solve(PlacementRequest(chains=chains))
+        assert not healthy.cache_hit
+
+        failed = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",)))
+        # different problem, different fingerprint: a miss, not a stale hit
+        assert not failed.cache_hit
+        assert failed.fingerprint != healthy.fingerprint
+        # the post-failure placement avoids the dead device entirely
+        for cp in failed.placement.chains:
+            assert all(a.device != "agilio0"
+                       for a in cp.assignment.values())
+
+        # repeating each scenario hits its own entry
+        assert placer.solve(PlacementRequest(chains=chains)).cache_hit
+        repeat = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",)))
+        assert repeat.cache_hit
+        for cp in repeat.placement.chains:
+            assert all(a.device != "agilio0"
+                       for a in cp.assignment.values())
+
+
 class TestGlobalCache:
     def test_scoped_cache_swaps_and_restores(self):
         outer = get_cache()

@@ -123,6 +123,16 @@ class TestSolveCaching:
 
 
 class TestDeprecatedWrappers:
+    @pytest.fixture(autouse=True)
+    def rearm_warn_once(self):
+        """Wrappers warn once per process; re-arm so each test sees its
+        warning regardless of suite order."""
+        from repro.core.placer import _reset_deprecation_warnings
+
+        _reset_deprecation_warnings()
+        yield
+        _reset_deprecation_warnings()
+
     def test_place_delegates(self, simple_chains):
         placer = Placer()
         with pytest.warns(DeprecationWarning, match="Placer.place is"):

@@ -48,7 +48,7 @@ class TestPlacerInstrumentation:
         with scoped_registry(MetricsRegistry(enabled=False)) as registry:
             placement = Placer().place(chains)
             assert placement.feasible
-            assert registry.snapshot() == {"counters": [], "histograms": []}
+            assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
 
 
 class TestMetaCompilerInstrumentation:

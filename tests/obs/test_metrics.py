@@ -102,7 +102,7 @@ class TestDisabledRegistry:
         with registry.timer("t"):
             pass
         snapshot = registry.snapshot()
-        assert snapshot == {"counters": [], "histograms": []}
+        assert snapshot == {"counters": [], "gauges": [], "histograms": []}
 
 
 class TestRegistrySwapping:
