@@ -1,0 +1,39 @@
+"""Admission-curve experiment: incremental vs full-resolve admission.
+
+Replays a seeded arrival-only timeline through the lifecycle engine in
+both admission modes and records the resulting curves. Reproduction
+target: admission saturates (some arrivals rejected with the running
+chains untouched), the curve is monotone, and warm-started admission
+does not admit fewer tenants than cold re-solving on this workload.
+"""
+
+from conftest import record_result, run_once
+
+from repro.experiments.lifecycle_curve import lifecycle_admission_curve
+
+N_ARRIVALS = 8
+
+
+def test_admission_curve_shape(benchmark):
+    result = run_once(
+        benchmark, lambda: lifecycle_admission_curve(N_ARRIVALS, seed=23)
+    )
+    record_result("lifecycle_admission_curve", result.print_table())
+
+    assert len(result.incremental) == N_ARRIVALS
+    assert len(result.full) == N_ARRIVALS
+    for points in (result.incremental, result.full):
+        # the rack admits some growth, then saturates
+        assert points[-1].cumulative_accepted >= 2
+        assert any(not p.accepted for p in points)
+        # cumulative admission is monotone and rejections change nothing
+        for prev, cur in zip(points, points[1:]):
+            assert cur.cumulative_accepted >= prev.cumulative_accepted
+            if not cur.accepted:
+                assert cur.cumulative_accepted == prev.cumulative_accepted
+                assert cur.aggregate_mbps == prev.aggregate_mbps
+        for p in points:
+            if not p.accepted:
+                assert p.reason
+    # warm-started admission is not more conservative than cold re-solves
+    assert result.accepted("incremental") >= result.accepted("full")

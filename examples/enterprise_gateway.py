@@ -13,6 +13,7 @@ Run: ``python examples/enterprise_gateway.py``
 from repro import (
     MetaCompiler,
     Placer,
+    PlacementRequest,
     SLO,
     chains_from_spec,
     default_testbed,
@@ -40,7 +41,7 @@ def main() -> None:
         SLO(t_min=gbps(5), t_max=gbps(40)),
     ])
 
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     print(placement.describe())
     print()
 

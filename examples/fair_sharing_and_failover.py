@@ -14,7 +14,13 @@ Three future-work items from the paper, implemented and demonstrated:
 Run: ``python examples/fair_sharing_and_failover.py``
 """
 
-from repro import Placer, PlacerConfig, SLO, chains_from_spec, gbps
+from repro import (
+    Placer,
+    PlacementRequest,
+    SLO,
+    chains_from_spec,
+    gbps,
+)
 from repro.core.lp import solve_rates
 from repro.hw.topology import default_testbed
 
@@ -42,7 +48,7 @@ def show_rates(label, rates, chains):
 def main() -> None:
     chains = chains_from_spec(SPEC, slos=SLOS)
     placer = Placer()
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     print("== burst-headroom policy under NIC contention ==")
     marginal = solve_rates(placement.chains, placer.topology,
                            objective="marginal")
@@ -56,9 +62,10 @@ def main() -> None:
     from repro.experiments.chains import chains_with_delta
 
     canon = chains_with_delta([1, 2, 3], delta=1.0)
-    plain = Placer(topology=default_testbed()).place(canon)
+    plain = Placer(topology=default_testbed()) \
+        .solve(PlacementRequest(chains=canon)).placement
     metron = Placer(topology=default_testbed(metron_steering=True)) \
-        .place(canon)
+        .solve(PlacementRequest(chains=canon)).placement
     print(f"  demux-core rack : marginal {plain.objective_mbps / 1000:.2f} G")
     print(f"  metron steering : marginal {metron.objective_mbps / 1000:.2f} G"
           f"  (demux core freed, LB cycles gone)")
@@ -71,12 +78,16 @@ def main() -> None:
         "chain sync: BPF -> FastEncrypt -> IPv4Fwd",
         slos=[SLO(t_min=gbps(2), t_max=gbps(39))],
     )
-    reserved = nic_placer.place_with_reserve(crypto, reserve_cores=4)
+    reserved = nic_placer.solve(PlacementRequest(
+        chains=crypto, reserve_cores=4,
+    )).placement
     used = reserved.total_cores().get("server0", 0)
     print(f"  with 4 cores reserved: feasible={reserved.feasible}; "
           f"ChaCha rides the SmartNIC, server cores used: {used} "
           f"(reserve untouched)")
-    degraded = nic_placer.replan_after_failure(crypto, "agilio0")
+    degraded = nic_placer.solve(PlacementRequest(
+        chains=crypto, failed_devices=("agilio0",),
+    )).placement
     print(f"  after SmartNIC failure: feasible={degraded.feasible}, "
           f"ChaCha falls back to "
           f"{degraded.total_cores().get('server0', 0)} server cores, "

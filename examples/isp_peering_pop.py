@@ -15,7 +15,13 @@ aggregates, bulk for scavenger traffic). This example:
 Run: ``python examples/isp_peering_pop.py``
 """
 
-from repro import Placer, chains_from_spec, default_testbed, gbps
+from repro import (
+    Placer,
+    PlacementRequest,
+    chains_from_spec,
+    default_testbed,
+    gbps,
+)
 from repro.chain.slo import bulk, elastic_pipe, virtual_pipe
 from repro.net.flows import TrafficAggregate
 from repro.sim.testbed import TestbedSimulator
@@ -54,7 +60,9 @@ def main() -> None:
 
     print("== scheme comparison (marginal throughput = ISP revenue) ==")
     for strategy in ("lemur", "hw-preferred", "sw-preferred", "greedy"):
-        placement = placer.place(chains, strategy=strategy)
+        placement = placer.solve(PlacementRequest(
+            chains=chains, strategy=strategy,
+        )).placement
         if placement.feasible:
             print(
                 f"  {strategy:<13} feasible, marginal "
@@ -64,7 +72,7 @@ def main() -> None:
             print(f"  {strategy:<13} INFEASIBLE ({placement.infeasible_reason})")
     print()
 
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     print("== Lemur placement ==")
     print(placement.describe())
     print()
@@ -82,7 +90,9 @@ def main() -> None:
     print()
 
     print("== SmartNIC failure: reactive re-placement (§7) ==")
-    fallback = placer.replan_after_failure(chains, "agilio0")
+    fallback = placer.solve(PlacementRequest(
+        chains=chains, failed_devices=("agilio0",),
+    )).placement
     print(
         f"  fallback feasible={fallback.feasible}, marginal "
         f"{fallback.objective_mbps / 1000:.2f} Gbps "

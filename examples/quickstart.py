@@ -14,6 +14,7 @@ Run: ``python examples/quickstart.py``
 from repro import (
     MetaCompiler,
     Placer,
+    PlacementRequest,
     SLO,
     chains_from_spec,
     default_testbed,
@@ -40,7 +41,8 @@ def main() -> None:
     topology = default_testbed()
     placer = Placer(topology=topology)
 
-    placement, seconds = placer.place_timed(chains)
+    report = placer.solve(PlacementRequest(chains=chains))
+    placement, seconds = report.placement, report.seconds
     print(f"placement computed in {seconds * 1000:.1f} ms")
     print(placement.describe())
     print()

@@ -295,6 +295,26 @@ class NFGraph:
             walk(entry, [], 1.0)
         return chains
 
+    def same_structure(self, other: "NFGraph") -> bool:
+        """Node/edge equality — same NFs, params, and wiring.
+
+        SLOs live on :class:`NFChain`, not here, so a chain whose SLO was
+        rescaled still reports the same structure; the Placer's incremental
+        path uses this to decide whether an existing chain's NF→device
+        assignment can be pinned across a solve.
+        """
+        if set(self.nodes) != set(other.nodes):
+            return False
+        for nid, node in self.nodes.items():
+            theirs = other.nodes[nid]
+            if node.nf_class != theirs.nf_class or node.params != theirs.params:
+                return False
+        mine = {(e.src, e.dst, repr(e.condition), e.fraction)
+                for e in self.edges}
+        theirs_edges = {(e.src, e.dst, repr(e.condition), e.fraction)
+                        for e in other.edges}
+        return mine == theirs_edges
+
     def nf_multiset(self) -> List[str]:
         """All NF class names in topological order (for reporting)."""
         return [self.nodes[nid].nf_class for nid in self.topological_order()]

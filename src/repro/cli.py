@@ -13,6 +13,9 @@ Subcommands mirror an operator's workflow:
 * ``chaos``   — replay traffic under a seeded fault-injection timeline
   with the SLO guard reacting (graceful degradation, then auto-replan)
   and print the per-phase SLO compliance table;
+* ``lifecycle`` — replay a chain arrival/scale/departure timeline with
+  admission control, incremental placement, and delta redeploy; print
+  per-event admission decisions and the per-phase SLO table;
 * ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
 * ``profile`` — print the Table 4 profiling statistics.
 
@@ -169,6 +172,52 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--out", default=None, metavar="FILE",
                            help="also write the report to FILE "
                                 "(.json suffix selects JSON)")
+
+    lifecycle_cmd = sub.add_parser(
+        "lifecycle",
+        help="replay a chain arrival/scale/departure timeline with "
+             "admission control, incremental placement, and delta "
+             "redeploy; report per-event decisions and per-phase SLOs",
+    )
+    add_spec_args(lifecycle_cmd)
+    add_topology_args(lifecycle_cmd)
+    lifecycle_cmd.add_argument("--packets", type=int, default=256,
+                               help="packets injected per chain per phase")
+    lifecycle_cmd.add_argument("--flows", type=int, default=32,
+                               help="distinct flows synthesized per chain")
+    lifecycle_cmd.add_argument("--batch", type=int, default=32,
+                               help="packets per injected batch")
+    lifecycle_cmd.add_argument("--timeline", default=None, metavar="FILE",
+                               help="JSON lifecycle timeline "
+                                    "('-' for stdin)")
+    lifecycle_cmd.add_argument("--arrive", action="append", default=[],
+                               metavar="NAME@TICK:TMIN[:TMAX]=NFS",
+                               help="admit chain NAME (body NFS, e.g. "
+                                    "'ACL -> IPv4Fwd') at TICK with "
+                                    "t_min TMIN Gbps (repeatable)")
+    lifecycle_cmd.add_argument("--scale", action="append", default=[],
+                               metavar="NAME@TICK:TMIN",
+                               help="rescale NAME's t_min to TMIN Gbps "
+                                    "at TICK")
+    lifecycle_cmd.add_argument("--depart", action="append", default=[],
+                               metavar="NAME@TICK",
+                               help="retire chain NAME at TICK")
+    lifecycle_cmd.add_argument("--random", type=int, default=0, metavar="N",
+                               help="append N seeded random events")
+    lifecycle_cmd.add_argument("--full-resolve", action="store_true",
+                               help="re-solve every event from scratch "
+                                    "instead of warm-starting from the "
+                                    "running placement")
+    lifecycle_cmd.add_argument("--seed", type=int, default=23,
+                               help="lifecycle seed (timeline + rack)")
+    lifecycle_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                               help="also run N-1 replica processes and "
+                                    "require byte-identical reports")
+    lifecycle_cmd.add_argument("--json", action="store_true",
+                               help="emit the report as one JSON document")
+    lifecycle_cmd.add_argument("--out", default=None, metavar="FILE",
+                               help="also write the report to FILE "
+                                    "(.json suffix selects JSON)")
 
     sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
     sweep_cmd.add_argument("chains", type=int, nargs="+",
@@ -419,8 +468,9 @@ def cmd_traffic(args) -> int:
                            flows_per_chain=args.flows,
                            batch_size=args.batch)
     report = engine.run(packets_per_chain=args.packets)
-    print(report.describe())
-    return 0
+    from repro.cli_report import emit_report
+
+    return emit_report(text=report.describe())
 
 
 def _parse_event(value: str, action: str, with_severity: bool):
@@ -498,22 +548,118 @@ def cmd_chaos(args) -> int:
     # a fresh registry so the metrics section covers exactly this run
     registry = set_registry(MetricsRegistry())
     report = run_chaos_checked(spec, jobs=args.jobs, registry=registry)
-    if args.out:
-        # the artifact is always the deterministic report (no wall-clock
-        # metrics), so repeated CI runs diff clean; write it before any
-        # stdout so a closed pipe downstream cannot lose it
-        artifact = report.to_json() if args.out.endswith(".json") \
-            else report.render() + "\n"
-        with open(args.out, "w") as handle:
-            handle.write(artifact)
-    rendered = report.to_json() if args.json else report.render()
-    print(rendered)
-    if not args.json:
-        print()
-        print("== metrics ==")
-        print(render_text(registry))
-    compliant = all(ph.compliant for ph in report.phases[-1:])
-    return 0 if compliant else 2
+    from repro.cli_report import emit_report
+
+    return emit_report(
+        text=report.render(),
+        json_text=report.to_json(),
+        out=args.out,
+        as_json=args.json,
+        sections=(("metrics", render_text(registry)),),
+        ok=all(ph.compliant for ph in report.phases[-1:]),
+    )
+
+
+def _parse_lifecycle_event(value: str, action: str):
+    """Decode the ``NAME@TICK[...]`` lifecycle CLI shorthand.
+
+    Shapes (rates in Gbps, converted to the engine's Mbps):
+    ``--arrive NAME@TICK:TMIN[:TMAX]=NF -> NF``,
+    ``--scale NAME@TICK:TMIN``, ``--depart NAME@TICK``.
+    """
+    from repro.exceptions import LifecycleError
+    from repro.sim.lifecycle import ChainEvent
+
+    shapes = {
+        "arrive": "NAME@TICK:TMIN[:TMAX]=NFS",
+        "scale": "NAME@TICK:TMIN",
+        "depart": "NAME@TICK",
+    }
+    try:
+        spec_body = ""
+        if action == "arrive":
+            value, _, spec_body = value.partition("=")
+            if not spec_body.strip():
+                raise ValueError("missing '=NFS' chain body")
+        name, _, when = value.partition("@")
+        t_min = 0.0
+        t_max = float("inf")
+        if action == "depart":
+            tick = int(when)
+        else:
+            tick_text, _, rates = when.partition(":")
+            tick = int(tick_text)
+            t_min_text, _, t_max_text = rates.partition(":")
+            t_min = gbps(float(t_min_text))
+            if t_max_text:
+                t_max = gbps(float(t_max_text))
+        return ChainEvent(
+            at=tick,
+            action=action,
+            chain=name,
+            spec=f"chain {name}: {spec_body.strip()}" if spec_body else "",
+            t_min_mbps=t_min,
+            t_max_mbps=t_max,
+        )
+    except ValueError as exc:
+        raise LifecycleError(
+            f"--{action} wants {shapes[action]}, got {value!r}: {exc}"
+        ) from exc
+
+
+def cmd_lifecycle(args) -> int:
+    from repro.cli_report import emit_report
+    from repro.obs import MetricsRegistry, render_text, set_registry
+    from repro.sim.lifecycle import (
+        LifecycleSpec,
+        LifecycleTimeline,
+        run_lifecycle_checked,
+    )
+
+    text = _read_spec(args.spec)
+    initial = chains_from_spec(text)
+    slos = tuple(
+        (slo.t_min, slo.t_max, slo.d_max)
+        for slo in _slos(args, len(initial))
+    )
+    events = []
+    if args.timeline:
+        events.extend(
+            LifecycleTimeline.parse_json(_read_spec(args.timeline)).events
+        )
+    events.extend(_parse_lifecycle_event(v, "arrive") for v in args.arrive)
+    events.extend(_parse_lifecycle_event(v, "scale") for v in args.scale)
+    events.extend(_parse_lifecycle_event(v, "depart") for v in args.depart)
+    if args.random:
+        events.extend(LifecycleTimeline.random(
+            args.seed, args.random,
+            base_names=[chain.name for chain in initial],
+        ).events)
+    spec = LifecycleSpec(
+        spec_text=text,
+        slos=slos,
+        timeline=LifecycleTimeline(events=tuple(events), seed=args.seed),
+        packets_per_phase=args.packets,
+        flows_per_chain=args.flows,
+        batch_size=args.batch,
+        seed=args.seed,
+        strategy=args.strategy,
+        full_resolve=args.full_resolve,
+        with_smartnic=args.smartnic,
+        with_openflow=args.openflow,
+        servers=args.servers,
+    )
+    # a fresh registry so the metrics section covers exactly this run
+    registry = set_registry(MetricsRegistry())
+    report = run_lifecycle_checked(spec, jobs=args.jobs, registry=registry)
+    return emit_report(
+        text=report.render(),
+        json_text=report.to_json(),
+        out=args.out,
+        as_json=args.json,
+        sections=(("metrics", render_text(registry)),),
+        ok=all(ph.compliant for ph in report.phases),
+    )
 
 
 def cmd_sweep(args) -> int:
@@ -559,6 +705,7 @@ _COMMANDS = {
     "stats": cmd_stats,
     "traffic": cmd_traffic,
     "chaos": cmd_chaos,
+    "lifecycle": cmd_lifecycle,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
 }

@@ -1,0 +1,51 @@
+"""Shared CLI report emission for ``traffic``, ``chaos``, ``lifecycle``.
+
+Every report-producing subcommand follows the same contract, previously
+duplicated inline per command:
+
+* with ``--out FILE``, the deterministic report artifact is written
+  **before** any stdout, so a closed pipe downstream (e.g. ``| head``)
+  cannot lose it; a ``.json`` suffix selects the JSON document, anything
+  else the rendered text table (with a trailing newline);
+* stdout gets the JSON document under ``--json``, the text table
+  otherwise — followed by any extra text-only sections (metrics dumps);
+* the exit code is 0 when the run's ``ok`` predicate holds, else 2
+  (reserving 1 for hard :class:`~repro.exceptions.ReproError` failures,
+  which ``main`` maps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+def emit_report(
+    *,
+    text: str,
+    json_text: Optional[str] = None,
+    out: Optional[str] = None,
+    as_json: bool = False,
+    sections: Sequence[Tuple[str, str]] = (),
+    ok: bool = True,
+) -> int:
+    """Write/print one subcommand's report and return its exit code.
+
+    ``text`` is the rendered table; ``json_text`` the JSON document (omit
+    it for commands with no JSON form — ``--out file.json`` then falls
+    back to text). ``sections`` are ``(title, body)`` pairs appended to
+    text output only, matching the ``== title ==`` convention.
+    """
+    if out:
+        artifact = json_text if out.endswith(".json") \
+            and json_text is not None else text + "\n"
+        with open(out, "w") as handle:
+            handle.write(artifact)
+    if as_json and json_text is not None:
+        print(json_text)
+    else:
+        print(text)
+        for title, body in sections:
+            print()
+            print(f"== {title} ==")
+            print(body)
+    return 0 if ok else 2

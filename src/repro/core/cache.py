@@ -98,6 +98,28 @@ def placement_fingerprint(
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
+def warm_start_key(base: Placement) -> str:
+    """Digest of a placement's decided pattern + cores (sha256 hex).
+
+    An incremental solve's answer depends on which assignments it pins, so
+    the warm-start base joins the fingerprint via this key. Only the
+    *decisions* (chain name, NF→device assignment, per-subgroup cores)
+    matter; rates and derived estimates are recomputed and deliberately
+    excluded, keeping the key stable across LP re-splits.
+    """
+    payload = canonical(tuple(
+        (
+            cp.name,
+            canonical(cp.assignment),
+            tuple(sorted(
+                (sg.sg_id, sg.server, sg.cores) for sg in cp.subgroups
+            )),
+        )
+        for cp in sorted(base.chains, key=lambda cp: cp.name)
+    ))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
 class PlacementCache:
     """LRU memo of fingerprint -> Placement with copy-on-read semantics."""
 

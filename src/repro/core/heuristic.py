@@ -42,7 +42,7 @@ from repro.exceptions import P4CompileError
 from repro.hw.platform import Platform
 from repro.hw.topology import Topology
 from repro.obs import get_registry
-from repro.p4c.compiler import PISACompiler
+from repro.p4c.compiler import ContextCompiler, PISACompiler
 from repro.profiles.defaults import ProfileDatabase
 from repro.units import DEFAULT_PACKET_BITS
 
@@ -56,6 +56,7 @@ def heuristic_place(
     packet_bits: int = DEFAULT_PACKET_BITS,
     core_policy: str = "lemur",
     strategy_name: str = "lemur",
+    context_pairs: Optional[Sequence] = None,
 ) -> Placement:
     """Run the full three-step heuristic and return the best placement.
 
@@ -63,9 +64,16 @@ def heuristic_place(
     variants, candidate evaluation) is timed into the observability
     registry under ``placer.stage.seconds{stage=...}`` so `repro stats`
     and the §5.3 scaling benchmarks can see where placement time goes.
+
+    ``context_pairs`` — (graph, switch-node-ids) pairs of chains already
+    compiled onto the switch — makes every stage check compile against
+    that pinned program, for incremental solves where switch stages are
+    shared with chains this call is not placing.
     """
     chains = list(chains)
     compiler = _compiler_for(topology)
+    if compiler is not None and context_pairs:
+        compiler = ContextCompiler(compiler.switch, context_pairs)
     registry = get_registry()
 
     with registry.timer("placer.stage.seconds", stage="stage_constraints"):
@@ -94,7 +102,19 @@ def heuristic_place(
             ))
 
     best: Optional[Placement] = None
+    evaluated: set = set()
     for label, assignments in candidates:
+        key = tuple(
+            tuple(sorted((nid, a.platform, a.device) for nid, a in per.items()))
+            for per in assignments
+        )
+        if key in evaluated:
+            # coalescing produced the same assignment as an earlier
+            # candidate (common for small deltas) — the evaluation, its
+            # P4 compile and its rate LP would be identical, so skip it.
+            registry.counter("placer.candidates", label=f"{label}_dup").inc()
+            continue
+        evaluated.add(key)
         with registry.timer("placer.stage.seconds",
                             stage=f"evaluate_{label}"):
             placement = build_placement(

@@ -15,7 +15,7 @@ common finishing steps of §3.2:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.graph import NFChain
 from repro.core.corealloc import allocate_cores
@@ -109,14 +109,12 @@ def build_placement(
             return placement
 
     if check_stages:
-        reason = verify_switch_fit(chain_placements, topology, compiler)
+        reason, stages_used = switch_fit(chain_placements, topology, compiler)
         if reason is not None:
             placement.infeasible_reason = reason
             return placement
-        if hasattr(topology.switch, "num_stages"):
-            placement.switch_stages_used = _stage_count(
-                chain_placements, topology, compiler
-            )
+        if stages_used is not None:
+            placement.switch_stages_used = stages_used
 
     solution = solve_rates(chain_placements, topology)
     if not solution.feasible:
@@ -186,6 +184,20 @@ def verify_switch_fit(
     compiler: Optional[PISACompiler] = None,
 ) -> Optional[str]:
     """Stage/table-order feasibility on the ToR. Returns a reason or None."""
+    return switch_fit(chain_placements, topology, compiler)[0]
+
+
+def switch_fit(
+    chain_placements: Sequence[ChainPlacement],
+    topology: Topology,
+    compiler: Optional[PISACompiler] = None,
+) -> Tuple[Optional[str], Optional[int]]:
+    """Stage/table-order feasibility plus PISA stage usage, one compile.
+
+    Returns ``(infeasibility reason or None, stage count or None)`` so
+    callers that report stage usage (the incremental solve path) do not
+    pay a second full pipeline compile after verification.
+    """
     switch = topology.switch
     if switch.platform is Platform.PISA:
         compiler = compiler or PISACompiler(switch)  # type: ignore[arg-type]
@@ -195,13 +207,13 @@ def verify_switch_fit(
         try:
             result = compiler.compile(pairs)
         except P4CompileError as exc:
-            return f"P4 compilation rejected the placement: {exc}"
+            return f"P4 compilation rejected the placement: {exc}", None
         if not result.fits:
             return (
                 f"pipeline needs {result.stage_count} stages "
                 f"> {compiler.switch.num_stages} available"
-            )
-        return None
+            ), result.stage_count
+        return None, result.stage_count
     if isinstance(switch, OpenFlowSwitchModel):
         used_vids = 0
         for cp in chain_placements:
@@ -214,13 +226,13 @@ def verify_switch_fit(
                 return (
                     f"chain {cp.name}: OpenFlow fixed table order cannot "
                     f"execute {names}"
-                )
+                ), None
             # each chain consumes one VLAN-encoded service path per bounce+1
             used_vids += cp.bounces + 1
         if used_vids >= 2 ** switch.vid_bits:
-            return "VLAN vid space exhausted for SPI/SI encoding"
-        return None
-    return None
+            return "VLAN vid space exhausted for SPI/SI encoding", None
+        return None, None
+    return None, None
 
 
 def _stage_count(

@@ -2,20 +2,24 @@
 
 :class:`Placer` bundles the topology, profile database, and configuration;
 :meth:`Placer.solve` takes a :class:`PlacementRequest` (strategy, failover
-reserve, failed devices) and returns a :class:`PlacementReport` (placement,
-wall-clock seconds, cache provenance). Extensions from the paper's
-discussion section are provided: failure replanning (§7) and precomputed
-placements for time-varying SLOs (§7).
+reserve, failed devices, optional warm-start placement) and returns a
+:class:`PlacementReport` (placement, wall-clock seconds, solve mode, cache
+provenance). Extensions from the paper's discussion section are provided:
+failure replanning (§7) and precomputed placements for time-varying SLOs
+(§7).
 
-The legacy per-scenario methods (``place``, ``place_timed``,
-``place_with_reserve``, ``replan_after_failure``) remain as thin deprecated
-wrappers over ``solve``.
+``solve`` is the only placement entry point. A request carrying
+``base_placement`` takes the *incremental* path: chains already present in
+the base keep their NF→device assignments and core allocations (their
+estimates are merely refreshed, so SLO changes are picked up), only the
+delta chains are placed — against the residual core capacity — and the
+rate LP is re-solved over the combined chain set.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -29,9 +33,13 @@ from repro.core.baselines import (
     sw_preferred_place,
 )
 from repro.core.bruteforce import brute_force_place
-from repro.core.cache import PlacementCache, placement_fingerprint
+from repro.core.cache import (
+    PlacementCache,
+    placement_fingerprint,
+    warm_start_key,
+)
 from repro.core.heuristic import heuristic_place
-from repro.core.placement import Placement
+from repro.core.placement import ChainPlacement, Placement
 from repro.exceptions import PlacementError
 from repro.hw.topology import Topology, default_testbed
 from repro.obs import get_registry
@@ -80,7 +88,10 @@ class PlacementRequest:
     ``reserve_cores`` holds back spare per-server capacity for failover
     (§7); ``failed_devices`` are taken out of service for this solve only
     (§7 failure replanning); ``use_cache`` consults the Placer's placement
-    cache (when one is attached) before solving.
+    cache (when one is attached) before solving. ``base_placement``
+    warm-starts the solve: chains present in the base keep their pattern
+    and cores, only the delta is placed, and the rate LP re-runs over the
+    combined set (the lifecycle engine's arrival/scale/departure path).
     """
 
     chains: Sequence[NFChain]
@@ -88,38 +99,25 @@ class PlacementRequest:
     reserve_cores: int = 0
     failed_devices: Sequence[str] = ()
     use_cache: bool = True
+    base_placement: Optional[Placement] = None
 
 
 @dataclass
 class PlacementReport:
-    """What one solve produced: result, wall clock, cache provenance."""
+    """What one solve produced: result, wall clock, cache provenance.
+
+    ``mode`` records which path ran (``full`` or ``incremental``);
+    ``pinned_chains``/``placed_chains`` break the incremental path down.
+    """
 
     placement: Placement
     seconds: float
     strategy: str
     cache_hit: bool = False
     fingerprint: Optional[str] = None
-
-
-#: wrapper names that have already warned this process (warn-once policy:
-#: a sweep calling a legacy method per cell should not flood stderr).
-_WARNED: set = set()
-
-
-def _deprecated(old: str) -> None:
-    if old in _WARNED:
-        return
-    _WARNED.add(old)
-    warnings.warn(
-        f"Placer.{old} is deprecated; use "
-        "Placer.solve(PlacementRequest(...)) instead",
-        DeprecationWarning, stacklevel=3,
-    )
-
-
-def _reset_deprecation_warnings() -> None:
-    """Re-arm the warn-once latch (test isolation)."""
-    _WARNED.clear()
+    mode: str = "full"
+    pinned_chains: int = 0
+    placed_chains: int = 0
 
 
 @dataclass
@@ -146,7 +144,8 @@ class Placer:
         Applies the request's failure/reserve adjustments to the topology
         for the duration of the solve (state added by this call is rolled
         back afterwards), consults the cache when enabled, runs the
-        selected strategy, and reports wall-clock plus provenance.
+        selected strategy — incrementally when the request carries a
+        ``base_placement`` — and reports wall-clock plus provenance.
         """
         name = request.strategy or self.config.strategy
         fn = _STRATEGIES.get(name)
@@ -156,12 +155,19 @@ class Placer:
             )
         if request.reserve_cores < 0:
             raise PlacementError("reserve_cores must be non-negative")
+        base = request.base_placement
+        if base is not None and not base.feasible:
+            raise PlacementError(
+                "base_placement must be feasible to warm-start a solve"
+            )
+        mode = "incremental" if base is not None else "full"
         registry = get_registry()
         start = time.perf_counter()
         added_failures: List[str] = []
         originals = {s.name: s.reserved_cores for s in self.topology.servers}
         cache_hit = False
         fingerprint: Optional[str] = None
+        pinned = placed = 0
         try:
             for device in request.failed_devices:
                 if device not in self.topology.failed_devices:
@@ -181,21 +187,37 @@ class Placer:
             if cache is not None:
                 # The fingerprint is taken *after* the failure/reserve
                 # adjustments, so those scenario knobs are part of the key.
+                # The chain set itself is always part of the key, so the
+                # active chains at each lifecycle step partition the cache;
+                # a warm start additionally keys on the base's pattern.
+                extra: Tuple = (
+                    "rate_objective", self.config.rate_objective,
+                )
+                if base is not None:
+                    extra += ("warm_start", warm_start_key(base))
                 fingerprint = placement_fingerprint(
                     request.chains, self.topology, self.profiles,
-                    name, self.config.packet_bits,
-                    extra=("rate_objective", self.config.rate_objective),
+                    name, self.config.packet_bits, extra=extra,
                 )
                 cached = cache.get(fingerprint)
                 if cached is not None:
                     placement = cached
                     cache_hit = True
             if not cache_hit:
-                with registry.timer("placer.place.seconds", strategy=name):
-                    placement = fn(
-                        list(request.chains), self.topology, self.profiles,
-                        packet_bits=self.config.packet_bits,
-                    )
+                with registry.timer("placer.solve.seconds",
+                                    strategy=name, mode=mode):
+                    if base is not None:
+                        placement, pinned, placed = self._solve_incremental(
+                            request, base, name, fn
+                        )
+                    else:
+                        with registry.timer("placer.place.seconds",
+                                            strategy=name):
+                            placement = fn(
+                                list(request.chains), self.topology,
+                                self.profiles,
+                                packet_bits=self.config.packet_bits,
+                            )
                     if placement.feasible and \
                             self.config.rate_objective != "marginal":
                         # Rate assignment is a policy over the decided
@@ -227,61 +249,155 @@ class Placer:
             strategy=name,
             cache_hit=cache_hit,
             fingerprint=fingerprint,
+            mode=mode,
+            pinned_chains=pinned,
+            placed_chains=placed,
         )
 
-    # -- deprecated wrappers --------------------------------------------------
-
-    def place(
+    def _solve_incremental(
         self,
-        chains: Sequence[NFChain],
-        strategy: Optional[str] = None,
-    ) -> Placement:
-        """Deprecated: use :meth:`solve`."""
-        _deprecated("place")
-        return self.solve(
-            PlacementRequest(chains=chains, strategy=strategy)
-        ).placement
+        request: PlacementRequest,
+        base: Placement,
+        name: str,
+        fn: Callable[..., Placement],
+    ) -> Tuple[Placement, int, int]:
+        """Warm-started solve: pin unchanged chains, place only the delta.
 
-    def place_timed(
-        self, chains: Sequence[NFChain], strategy: Optional[str] = None
-    ) -> Tuple[Placement, float]:
-        """Deprecated: use :meth:`solve` (the report carries seconds)."""
-        _deprecated("place_timed")
-        report = self.solve(PlacementRequest(chains=chains, strategy=strategy))
-        return report.placement, report.seconds
-
-    def replan_after_failure(
-        self,
-        chains: Sequence[NFChain],
-        failed_device: str,
-        strategy: Optional[str] = None,
-    ) -> Placement:
-        """Deprecated: use :meth:`solve` with ``failed_devices`` (§7).
-
-        If on-path hardware fails, Lemur "can always fall back to using
-        server-based NFs"; the Placer simply re-runs without the device.
+        Chains whose NF graph already appears in ``base`` keep their
+        NF→device assignments — the expensive pattern search is skipped for
+        them. Cores are *not* pinned: pinned chains are first shrunk to the
+        cheapest allocation meeting their t_min (what admission guarantees
+        them), the delta chains run the strategy against the remaining
+        capacity, and the greedy core allocator then re-spends the spare
+        cores over the combined set. Finally the switch program is
+        re-validated and the rate LP re-solved — the only global steps
+        whose answer a delta can change.
         """
-        _deprecated("replan_after_failure")
-        return self.solve(PlacementRequest(
-            chains=chains, strategy=strategy,
-            failed_devices=(failed_device,),
-        )).placement
+        from repro.core.corealloc import (
+            allocate_cores,
+            allocate_minimum,
+            meet_tmin,
+        )
+        from repro.core.pipeline import switch_fit
+        from repro.core.rates import analyze_chain, server_core_usage
+        from repro.core.subgroups import form_subgroups
 
-    def place_with_reserve(
-        self,
-        chains: Sequence[NFChain],
-        reserve_cores: int = 2,
-        strategy: Optional[str] = None,
-    ) -> Placement:
-        """Deprecated: use :meth:`solve` with ``reserve_cores`` (§7).
+        packet_bits = self.config.packet_bits
+        base_by_name = {cp.name: cp for cp in base.chains}
+        pinned_cps: List[ChainPlacement] = []
+        delta_chains: List[NFChain] = []
+        for chain in request.chains:
+            prior = base_by_name.get(chain.name)
+            if prior is None or not chain.graph.same_structure(
+                    prior.chain.graph):
+                delta_chains.append(chain)
+                continue
+            subgroups = form_subgroups(chain, prior.assignment, self.profiles)
+            pinned_cps.append(analyze_chain(
+                chain, dict(prior.assignment), subgroups,
+                self.topology, self.profiles, packet_bits,
+            ))
 
-        "Its Placer can make these decisions ... proactively (perhaps by
-        reserving some spare capacity to ensure fast failover)."
-        """
-        _deprecated("place_with_reserve")
-        return self.solve(PlacementRequest(
-            chains=chains, strategy=strategy, reserve_cores=reserve_cores,
-        )).placement
+        def reject(reason: Optional[str],
+                   extra: Sequence[ChainPlacement] = ()) -> Tuple[
+                       Placement, int, int]:
+            return (
+                Placement(
+                    chains=pinned_cps + list(extra), strategy=name,
+                    infeasible_reason=reason,
+                ),
+                len(pinned_cps), len(delta_chains),
+            )
+
+        if pinned_cps:
+            # Shrink pinned chains to their t_min core floor: admission
+            # guarantees existing chains their SLO minimum, not their
+            # current burst headroom, so the freed cores are what the
+            # delta chains may legitimately claim.
+            floor = allocate_minimum(pinned_cps, self.topology, packet_bits)
+            if floor.feasible:
+                floor = meet_tmin(pinned_cps, self.topology, packet_bits)
+            if not floor.feasible:
+                return reject(floor.reason)
+
+        delta_cps: List[ChainPlacement] = []
+        if delta_chains:
+            # The delta strategy sees only the delta chains, so the
+            # capacity the pinned chains hold must be withheld from it:
+            # server cores via a transient reservation bump, and PISA
+            # stages by compiling delta candidates against the pinned
+            # switch program (stage usage is not additive — same-class
+            # tables share stages — so a numeric budget would be wrong).
+            usage = server_core_usage(pinned_cps)
+            saved = {s.name: s.reserved_cores for s in self.topology.servers}
+            extra: Dict[str, object] = {}
+            if pinned_cps and "context_pairs" in inspect.signature(
+                    fn).parameters:
+                extra["context_pairs"] = [
+                    (cp.chain.graph, cp.switch_node_ids())
+                    for cp in pinned_cps
+                ]
+            try:
+                for server in self.topology.servers:
+                    server.reserved_cores = (
+                        saved[server.name] + usage.get(server.name, 0)
+                    )
+                delta = fn(
+                    delta_chains, self.topology, self.profiles,
+                    packet_bits=packet_bits, **extra,
+                )
+            finally:
+                for server in self.topology.servers:
+                    server.reserved_cores = saved[server.name]
+            if not delta.feasible:
+                return reject(delta.infeasible_reason, delta.chains)
+            delta_cps = delta.chains
+
+        by_name = {cp.name: cp for cp in pinned_cps + delta_cps}
+        combined = [by_name[chain.name] for chain in request.chains]
+        placement = Placement(chains=combined, strategy=name)
+
+        # Re-spend spare cores over the combined set (assignments are
+        # already decided; this only moves core counts, like the full
+        # pipeline's allocation step).
+        allocation = allocate_cores(
+            combined, self.topology, packet_bits, policy="lemur"
+        )
+        if not allocation.feasible:
+            placement.infeasible_reason = allocation.reason
+            return placement, len(pinned_cps), len(delta_chains)
+
+        for cp in combined:
+            if cp.latency_us > cp.chain.slo.d_max:
+                placement.infeasible_reason = (
+                    f"chain {cp.name}: latency {cp.latency_us:.1f} µs "
+                    f"exceeds d_max {cp.chain.slo.d_max:.1f} µs"
+                )
+                return placement, len(pinned_cps), len(delta_chains)
+
+        if delta_chains and "context_pairs" in extra:
+            # The delta strategy verified its candidates compiled together
+            # with the pinned program, so its stage report already covers
+            # the combined switch program — no second full compile needed.
+            placement.switch_stages_used = delta.switch_stages_used
+        else:
+            reason, stages_used = switch_fit(combined, self.topology)
+            if reason is not None:
+                placement.infeasible_reason = reason
+                return placement, len(pinned_cps), len(delta_chains)
+            if stages_used is not None:
+                placement.switch_stages_used = stages_used
+
+        from repro.core.lp import solve_rates
+
+        solution = solve_rates(combined, self.topology)
+        if not solution.feasible:
+            placement.infeasible_reason = solution.reason
+            return placement, len(pinned_cps), len(delta_chains)
+        placement.rates = solution.rates
+        placement.objective_mbps = solution.objective_mbps
+        placement.feasible = True
+        return placement, len(pinned_cps), len(delta_chains)
 
     def precompute_slo_schedule(
         self,

@@ -87,6 +87,21 @@ def server_offered_load(
     )
 
 
+def server_core_usage(
+    placements: Sequence[ChainPlacement],
+) -> Dict[str, int]:
+    """Server name -> cores consumed by these chains' subgroups.
+
+    The Placer's incremental path reserves this much capacity while the
+    delta chains are placed, so pinned chains keep their cores.
+    """
+    usage: Dict[str, int] = {}
+    for cp in placements:
+        for server, cores in cp.cores_used().items():
+            usage[server] = usage.get(server, 0) + cores
+    return usage
+
+
 def analyze_chain(
     chain: NFChain,
     assignment: Dict[str, NodeAssignment],

@@ -76,6 +76,10 @@ class TopologyError(ReproError):
     """The rack topology description is invalid."""
 
 
+class LifecycleError(ReproError):
+    """A chain-lifecycle timeline or run is malformed."""
+
+
 class FaultInjectionError(ReproError):
     """A fault timeline is invalid or a chaos run broke an invariant
     (e.g. replica runs of the same seed diverged)."""

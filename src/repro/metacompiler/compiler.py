@@ -51,6 +51,37 @@ class CompiledArtifacts:
     def service_paths(self) -> List[ServicePath]:
         return self.routing.service_paths
 
+    def device_fingerprints(self, switch_name: str) -> Dict[str, str]:
+        """Digest of each device's generated program, keyed by device name.
+
+        The digest covers exactly what a device executes — the unified P4
+        program or rendered OpenFlow rules for the ToR, the rendered BESS
+        script per server, the XDP source plus NF specs per SmartNIC — so
+        two artifact sets that agree on a device's digest are
+        behaviourally identical there. Delta redeploy
+        (:meth:`repro.sim.runtime.DeployedRack.redeploy`) uses this to
+        skip recompiling/reinstalling unchanged devices.
+        """
+        import hashlib
+
+        def digest(*parts: str) -> str:
+            h = hashlib.sha256()
+            for part in parts:
+                h.update(part.encode())
+                h.update(b"\x00")
+            return h.hexdigest()
+
+        prints: Dict[str, str] = {}
+        if self.p4 is not None:
+            prints[switch_name] = digest("p4", self.p4.program_text)
+        elif self.openflow_text:
+            prints[switch_name] = digest("openflow", self.openflow_text)
+        for server, script in self.bess.items():
+            prints[server] = digest("bess", script.render())
+        for nic, (program, nf_specs) in self.ebpf.items():
+            prints[nic] = digest("ebpf", program.source, repr(nf_specs))
+        return prints
+
     def write_to(self, directory) -> List[str]:
         """Write every generated artifact under ``directory``.
 
@@ -232,7 +263,7 @@ class MetaCompiler:
         strategy: str = "lemur",
     ) -> Tuple[Placement, CompiledArtifacts]:
         """Figure 1 end to end: spec → Placer → meta-compiler."""
-        from repro.core.placer import Placer, PlacerConfig
+        from repro.core.placer import Placer, PlacerConfig, PlacementRequest
 
         chains = chains_from_spec(spec_text, slos)
         placer = Placer(
@@ -240,7 +271,7 @@ class MetaCompiler:
             profiles=self.profiles,
             config=PlacerConfig(strategy=strategy),
         )
-        placement = placer.place(chains)
+        placement = placer.solve(PlacementRequest(chains=chains)).placement
         if not placement.feasible:
             raise CompileError(
                 f"Placer found no feasible placement: "

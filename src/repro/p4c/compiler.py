@@ -329,5 +329,49 @@ class PISACompiler:
         return out
 
 
+class ContextCompiler(PISACompiler):
+    """A :class:`PISACompiler` that prepends an already-placed context.
+
+    Incremental placement pins existing chains and places only a delta;
+    stage usage is not additive across chains (same-class tables pack
+    into shared stages), so the only faithful stage check for a delta
+    candidate is to compile it *together with* the pinned program.
+    Wrapping the compiler makes every existing call site (baseline
+    search, candidate evaluation, switch-fit verification)
+    context-aware without changing their signatures.
+    """
+
+    def __init__(
+        self,
+        switch: Optional[PISASwitch],
+        context: Sequence[Tuple[NFGraph, Set[str]]],
+    ):
+        super().__init__(switch)
+        self.context = list(context)
+        # One incremental search compiles the same delta configuration
+        # more than once (baseline fit probes, candidate evaluation,
+        # final verification) and every compile re-lowers the whole
+        # context — memoize by delta configuration. Keyed on graph
+        # identity: graphs outlive this per-solve compiler.
+        self._memo: Dict[Tuple, CompileResult] = {}
+
+    def compile(
+        self,
+        chain_assignments: Sequence[Tuple[NFGraph, Set[str]]],
+        strategy: str = "compiler",
+    ) -> CompileResult:
+        key = (
+            tuple((id(g), frozenset(ids)) for g, ids in chain_assignments),
+            strategy,
+        )
+        result = self._memo.get(key)
+        if result is None:
+            result = super().compile(
+                self.context + list(chain_assignments), strategy
+            )
+            self._memo[key] = result
+        return result
+
+
 def _index_tree(tree: TreeNode) -> Dict[str, TreeNode]:
     return {node.subgroup.sg_id: node for node in tree.preorder()}

@@ -1,0 +1,840 @@
+"""Online chain lifecycle: arrivals, scaling, departures (§7, online).
+
+A static placement answers "can this chain set meet its SLOs?" once. An
+operator's rack answers it continuously: tenants arrive with an SLO,
+scale their minimum rate, and leave — and every transition must preserve
+the already-admitted chains' guarantees without redeploying the world.
+This module closes that loop:
+
+* :class:`ChainEvent` / :class:`LifecycleTimeline` — a deterministic,
+  seedable schedule of lifecycle events (``arrive`` with a spec + SLO,
+  ``scale`` of t_min, ``depart``) keyed by integer ticks. Events sharing
+  a tick are applied departures-first, so capacity freed at a tick is
+  visible to that tick's admissions.
+* :class:`LifecycleEngine` — replays the timeline against a live
+  :class:`~repro.sim.runtime.DeployedRack` driven by the
+  :class:`~repro.sim.traffic.TrafficEngine`. Each event goes through
+  **admission control**: the proposed chain set is solved incrementally
+  (:class:`~repro.core.placer.PlacementRequest` with ``base_placement``
+  — existing chains keep their NF→device assignments and are only ever
+  shrunk to their t_min floor, never below), and an infeasible solve
+  rejects the event with its binding constraint instead of evicting an
+  admitted chain. Accepted transitions go through the meta-compiler and
+  a **delta redeploy** (:meth:`~repro.sim.runtime.DeployedRack.redeploy`)
+  that rebuilds only devices whose generated programs changed.
+* :class:`AdmissionDecision` / :class:`LifecycleReport` — one typed
+  decision per event (accepted or rejected + reason, solve mode, pin
+  counts, per-device redeploy actions) and a per-phase SLO compliance
+  table whose rendering is byte-identical across repeated runs and
+  ``--jobs`` settings.
+
+Observability: ``lifecycle.events{action=...}``,
+``lifecycle.admission{decision=accepted|rejected}``,
+``lifecycle.evictions_averted`` (rejections whose binding constraint was
+an admitted chain's t_min floor), the ``lifecycle.active_chains`` gauge,
+``placer.solve.seconds{mode=incremental|full}`` timings from the solver,
+and ``rack.redeploy.devices{action=...}`` from the delta redeploy.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.graph import NFChain, chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.cache import PlacementCache
+from repro.core.placer import Placer, PlacerConfig, PlacementRequest
+from repro.exceptions import LifecycleError, PlacementError, SpecError
+from repro.hw.topology import (
+    Topology,
+    default_testbed,
+    multi_server_testbed,
+)
+from repro.metacompiler.compiler import MetaCompiler
+from repro.obs import MetricsRegistry, get_registry
+from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.sim.faults import _SLO_RTOL, PhaseReport
+from repro.sim.runtime import DeployedRack
+from repro.sim.traffic import ChainTrafficReport, TrafficEngine
+
+LIFECYCLE_ACTIONS = ("arrive", "scale", "depart")
+
+#: within a tick, departures free capacity before admissions consume it.
+_ACTION_ORDER = {"depart": 0, "scale": 1, "arrive": 2}
+
+
+# ---------------------------------------------------------------------------
+# timeline
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChainEvent:
+    """One lifecycle transition, fired at integer tick ``at``.
+
+    ``arrive`` carries the chain's DSL ``spec`` (one ``chain <name>: ...``
+    line whose name must equal ``chain``) plus its SLO in Mbps; ``scale``
+    carries the new ``t_min_mbps`` (and optionally a new ``t_max_mbps``);
+    ``depart`` needs only the chain name.
+    """
+
+    at: int
+    action: str
+    chain: str
+    spec: str = ""
+    t_min_mbps: float = 0.0
+    t_max_mbps: float = float("inf")
+    d_max_us: float = float("inf")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.action == "arrive":
+            extra = f" t_min={self.t_min_mbps:g} t_max={self.t_max_mbps:g}"
+        elif self.action == "scale":
+            extra = f" t_min={self.t_min_mbps:g}"
+        return f"t{self.at} {self.action} {self.chain}{extra}"
+
+
+@dataclass(frozen=True)
+class LifecycleTimeline:
+    """An ordered, validated schedule of :class:`ChainEvent`.
+
+    ``seed`` feeds :meth:`random` synthesis and the rack's deterministic
+    drop hash, so (seed, timeline) fully determines a lifecycle run.
+    """
+
+    events: Tuple[ChainEvent, ...] = ()
+    seed: int = 23
+
+    def sorted_events(self) -> List[ChainEvent]:
+        """Events by (tick, depart<scale<arrive, declaration order)."""
+        return [
+            ev for _, ev in sorted(
+                enumerate(self.events),
+                key=lambda pair: (
+                    pair[1].at, _ACTION_ORDER[pair[1].action], pair[0]
+                ),
+            )
+        ]
+
+    def validate(self) -> None:
+        """Reject statically-malformed events (unknown actions, bad SLOs,
+        arrival specs that don't parse or don't match the event name)."""
+        for ev in self.events:
+            if ev.action not in LIFECYCLE_ACTIONS:
+                raise LifecycleError(
+                    f"unknown lifecycle action {ev.action!r}; "
+                    f"choose from {sorted(LIFECYCLE_ACTIONS)}"
+                )
+            if ev.at < 0:
+                raise LifecycleError(
+                    f"event {ev.describe()!r}: tick must be >= 0"
+                )
+            if not ev.chain:
+                raise LifecycleError("every event names a chain")
+            if ev.action == "arrive":
+                if not ev.spec.strip():
+                    raise LifecycleError(
+                        f"arrival of {ev.chain!r} carries no chain spec"
+                    )
+                try:
+                    parsed = chains_from_spec(ev.spec)
+                except SpecError as exc:
+                    raise LifecycleError(
+                        f"arrival spec for {ev.chain!r} does not parse: "
+                        f"{exc}"
+                    ) from exc
+                if len(parsed) != 1 or parsed[0].name != ev.chain:
+                    raise LifecycleError(
+                        f"arrival spec for {ev.chain!r} must declare "
+                        f"exactly that one chain, got "
+                        f"{[c.name for c in parsed]}"
+                    )
+                if ev.t_min_mbps <= 0:
+                    raise LifecycleError(
+                        f"arrival of {ev.chain!r} needs t_min_mbps > 0 "
+                        "(admission is an SLO contract)"
+                    )
+            if ev.action == "scale" and ev.t_min_mbps <= 0:
+                raise LifecycleError(
+                    f"scale of {ev.chain!r} needs the new t_min_mbps > 0"
+                )
+
+    def slo_for(self, event: ChainEvent) -> SLO:
+        return SLO(
+            t_min=event.t_min_mbps,
+            t_max=event.t_max_mbps,
+            d_max=event.d_max_us,
+        )
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "events": [
+                    {
+                        "at": ev.at,
+                        "action": ev.action,
+                        "chain": ev.chain,
+                        "spec": ev.spec,
+                        "t_min_mbps": ev.t_min_mbps,
+                        "t_max_mbps": ev.t_max_mbps,
+                        "d_max_us": ev.d_max_us,
+                    }
+                    for ev in self.events
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+            default=str,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LifecycleTimeline":
+        try:
+            events = tuple(
+                ChainEvent(
+                    at=int(ev["at"]),
+                    action=str(ev["action"]),
+                    chain=str(ev["chain"]),
+                    spec=str(ev.get("spec", "")),
+                    t_min_mbps=float(ev.get("t_min_mbps", 0.0)),
+                    t_max_mbps=float(ev.get("t_max_mbps", float("inf"))),
+                    d_max_us=float(ev.get("d_max_us", float("inf"))),
+                )
+                for ev in payload.get("events", ())
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LifecycleError(f"malformed timeline: {exc}") from exc
+        return cls(events=events, seed=int(payload.get("seed", 23)))
+
+    @classmethod
+    def parse_json(cls, text: str) -> "LifecycleTimeline":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LifecycleError(
+                f"timeline is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_events: int = 8,
+        base_names: Sequence[str] = (),
+        t_min_range: Tuple[float, float] = (300.0, 1500.0),
+    ) -> "LifecycleTimeline":
+        """Synthesize a seeded arrival/scale/departure schedule.
+
+        Only the arguments determine the result. Arrivals draw small
+        linear chains from a fixed NF menu under names ``dyn0, dyn1, …``;
+        scales and departures target chains known to exist at that tick
+        (base chains or earlier arrivals not yet departed), so a random
+        timeline never trips the static validator.
+        """
+        menu = (
+            "Monitor -> IPv4Fwd",
+            "ACL -> IPv4Fwd",
+            "ACL -> Monitor -> IPv4Fwd",
+            "BPF -> IPv4Fwd",
+        )
+        rng = random.Random(seed)
+        alive: List[str] = list(base_names)
+        dynamic: List[str] = []
+        events: List[ChainEvent] = []
+        arrivals = 0
+        for tick in range(1, n_events + 1):
+            candidates = ["arrive"]
+            if dynamic:
+                candidates += ["scale", "depart"]
+            elif alive:
+                candidates += ["scale"]
+            action = rng.choice(candidates)
+            if action == "arrive":
+                name = f"dyn{arrivals}"
+                arrivals += 1
+                body = rng.choice(menu)
+                t_min = round(rng.uniform(*t_min_range), 1)
+                events.append(ChainEvent(
+                    at=tick, action="arrive", chain=name,
+                    spec=f"chain {name}: {body}",
+                    t_min_mbps=t_min,
+                    t_max_mbps=round(t_min * rng.uniform(2.0, 8.0), 1),
+                ))
+                alive.append(name)
+                dynamic.append(name)
+            elif action == "scale":
+                name = rng.choice(alive)
+                events.append(ChainEvent(
+                    at=tick, action="scale", chain=name,
+                    t_min_mbps=round(rng.uniform(*t_min_range), 1),
+                ))
+            else:
+                name = rng.choice(dynamic)
+                events.append(ChainEvent(
+                    at=tick, action="depart", chain=name,
+                ))
+                alive.remove(name)
+                dynamic.remove(name)
+        return cls(events=tuple(events), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# spec
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LifecycleSpec:
+    """A fully-stated, picklable lifecycle experiment.
+
+    Workers rebuild everything from this spec alone, enabling the same
+    replica determinism check the chaos engine runs.
+    """
+
+    spec_text: str
+    #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per initial chain.
+    slos: Tuple[Tuple[float, ...], ...]
+    timeline: LifecycleTimeline = field(default_factory=LifecycleTimeline)
+    packets_per_phase: int = 256
+    flows_per_chain: int = 32
+    batch_size: int = 32
+    seed: int = 23
+    strategy: str = "lemur"
+    #: re-solve every event from scratch instead of warm-starting from the
+    #: current placement (the experiment baseline the incremental path is
+    #: compared against).
+    full_resolve: bool = False
+    with_smartnic: bool = False
+    with_openflow: bool = False
+    servers: int = 0
+
+    def build_topology(self) -> Topology:
+        if self.servers and self.servers > 0:
+            return multi_server_testbed(self.servers)
+        return default_testbed(
+            with_smartnic=self.with_smartnic,
+            with_openflow=self.with_openflow,
+        )
+
+    def build_chains(self) -> List[NFChain]:
+        chains = chains_from_spec(self.spec_text)
+        if len(self.slos) != len(chains):
+            raise LifecycleError(
+                f"spec declares {len(chains)} chains but {len(self.slos)} "
+                "SLOs were provided"
+            )
+        out = []
+        for chain, bounds in zip(chains, self.slos):
+            if not 2 <= len(bounds) <= 3:
+                raise LifecycleError(
+                    "each SLO must be (t_min, t_max) or "
+                    f"(t_min, t_max, d_max); got {bounds!r}"
+                )
+            slo = SLO(t_min=bounds[0], t_max=bounds[1]) if len(bounds) == 2 \
+                else SLO(t_min=bounds[0], t_max=bounds[1], d_max=bounds[2])
+            out.append(chain.with_slo(slo))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# decisions and report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The typed outcome of one lifecycle event's admission check."""
+
+    tick: int
+    action: str
+    chain: str
+    accepted: bool
+    #: the binding constraint for a rejection ("" when accepted) — the
+    #: solver's infeasibility reason, verbatim.
+    reason: str = ""
+    mode: str = "full"
+    pinned: int = 0
+    placed: int = 0
+    cache_hit: bool = False
+    #: per-device delta-redeploy actions (empty on rejection).
+    rebuilt: Tuple[str, ...] = ()
+    reused: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+    #: admission-solve wall clock; excluded from rendered/JSON output so
+    #: reports stay byte-identical, kept for benchmarks.
+    seconds: float = 0.0
+
+    def describe(self) -> str:
+        verdict = "accepted" if self.accepted else f"REJECTED: {self.reason}"
+        solve = f"{self.mode}"
+        if self.mode == "incremental":
+            solve += f" pinned={self.pinned} placed={self.placed}"
+        if self.cache_hit:
+            solve += " warm"
+        redeploy = ""
+        if self.accepted:
+            redeploy = (
+                f"; redeploy rebuilt={len(self.rebuilt)} "
+                f"reused={len(self.reused)} removed={len(self.removed)}"
+            )
+        return (
+            f"t{self.tick} {self.action} {self.chain} -> {verdict} "
+            f"[{solve}{redeploy}]"
+        )
+
+
+@dataclass
+class LifecycleReport:
+    """Everything one lifecycle run produced, rendered deterministically."""
+
+    seed: int
+    decisions: List[AdmissionDecision] = field(default_factory=list)
+    phases: List[PhaseReport] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for d in self.decisions if d.accepted)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for d in self.decisions if not d.accepted)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(row.injected for ph in self.phases for row in ph.chains)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(row.delivered for ph in self.phases for row in ph.chains)
+
+    def phase(self, label: str) -> PhaseReport:
+        for ph in self.phases:
+            if ph.label == label:
+                return ph
+        raise KeyError(label)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "total_injected": self.total_injected,
+            "total_delivered": self.total_delivered,
+            "decisions": [
+                {
+                    "tick": d.tick,
+                    "action": d.action,
+                    "chain": d.chain,
+                    "accepted": d.accepted,
+                    "reason": d.reason,
+                    "mode": d.mode,
+                    "pinned": d.pinned,
+                    "placed": d.placed,
+                    "cache_hit": d.cache_hit,
+                    "rebuilt": list(d.rebuilt),
+                    "reused": list(d.reused),
+                    "removed": list(d.removed),
+                }
+                for d in self.decisions
+            ],
+            "phases": [
+                {
+                    "index": ph.index,
+                    "label": ph.label,
+                    "mode": ph.mode,
+                    "compliant": ph.compliant,
+                    "chains": [
+                        {
+                            "chain": row.chain_name,
+                            "injected": row.injected,
+                            "delivered": row.delivered,
+                            "assigned_mbps": round(row.assigned_mbps, 6),
+                            "delivered_mbps": round(row.delivered_mbps, 6),
+                            "t_min_mbps": round(
+                                ph.t_mins.get(row.chain_name, 0.0), 6
+                            ),
+                            "slo_met": ph.slo_met(row),
+                        }
+                        for row in ph.chains
+                    ],
+                }
+                for ph in self.phases
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """The per-event + per-phase table (byte-identical across runs
+        with the same seed + timeline — no wall-clock quantities)."""
+        lines = [f"lifecycle report (seed={self.seed})"]
+        if self.decisions:
+            lines.append("events:")
+            lines.extend(f"  {d.describe()}" for d in self.decisions)
+        else:
+            lines.append("events: none")
+        lines.append(
+            f"{'phase':<34} {'chain':<12} {'injected':>8} "
+            f"{'delivered':>9} {'assigned':>10} {'delivered':>10} "
+            f"{'t_min':>9} {'slo':>9}"
+        )
+        lines.append(
+            f"{'':<34} {'':<12} {'':>8} {'':>9} "
+            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} {'':>9}"
+        )
+        for ph in self.phases:
+            label = f"{ph.index}:{ph.label}"
+            for row in ph.chains:
+                lines.append(
+                    f"{label:<34} {row.chain_name:<12} "
+                    f"{row.injected:>8} {row.delivered:>9} "
+                    f"{row.assigned_mbps:>10.2f} {row.delivered_mbps:>10.2f} "
+                    f"{ph.t_mins.get(row.chain_name, 0.0):>9.2f} "
+                    f"{'ok' if ph.slo_met(row) else 'VIOLATED':>9}"
+                )
+        lines.append(
+            f"totals: events={len(self.decisions)} "
+            f"accepted={self.accepted} rejected={self.rejected} "
+            f"injected={self.total_injected} "
+            f"delivered={self.total_delivered}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+
+class LifecycleEngine:
+    """Admit, place incrementally, delta-redeploy, and drive traffic."""
+
+    def __init__(
+        self,
+        chains: Sequence[NFChain],
+        timeline: LifecycleTimeline,
+        *,
+        topology: Optional[Topology] = None,
+        profiles: Optional[ProfileDatabase] = None,
+        strategy: str = "lemur",
+        flows_per_chain: int = 32,
+        batch_size: int = 32,
+        seed: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Optional[PlacementCache] = None,
+        full_resolve: bool = False,
+    ):
+        if not chains:
+            raise LifecycleError(
+                "the lifecycle engine needs at least one initial chain "
+                "(an empty rack has nothing to deploy)"
+            )
+        self.initial_chains = list(chains)
+        self.timeline = timeline
+        self.topology = topology or default_testbed()
+        self.profiles = profiles or default_profiles()
+        self.strategy = strategy
+        self.flows_per_chain = flows_per_chain
+        self.batch_size = batch_size
+        self.seed = timeline.seed if seed is None else seed
+        self.obs = registry if registry is not None else get_registry()
+        #: warm-start memo: a repeated (active set, base pattern) admission
+        #: problem fingerprints identically and is served from cache.
+        self.cache = cache if cache is not None else PlacementCache()
+        self.full_resolve = full_resolve
+        timeline.validate()
+
+        self.placer = Placer(
+            topology=self.topology,
+            profiles=self.profiles,
+            config=PlacerConfig(strategy=strategy),
+            cache=self.cache,
+        )
+        self.metacompiler = MetaCompiler(
+            topology=self.topology, profiles=self.profiles
+        )
+
+        # mutable run state
+        self.active: List[NFChain] = []
+        self.placement = None
+        self.rack: Optional[DeployedRack] = None
+        self.traffic: Optional[TrafficEngine] = None
+        self.rates: Dict[str, float] = {}
+
+    # -- admission --------------------------------------------------------------
+
+    def _admit(self, event: ChainEvent,
+               proposed: List[NFChain]) -> AdmissionDecision:
+        """Solve the proposed chain set and, on success, delta-redeploy.
+
+        The engine's state only advances when the solve is feasible; a
+        rejection leaves the running placement, rack, and rates exactly
+        as they were — admitted chains are never evicted to make room.
+        """
+        base = None if self.full_resolve else self.placement
+        mode = "full" if base is None else "incremental"
+        try:
+            report = self.placer.solve(PlacementRequest(
+                chains=proposed,
+                strategy=self.strategy,
+                base_placement=base,
+            ))
+        except PlacementError as exc:
+            return AdmissionDecision(
+                tick=event.at, action=event.action, chain=event.chain,
+                accepted=False, reason=str(exc), mode=mode,
+            )
+        if not report.placement.feasible:
+            return AdmissionDecision(
+                tick=event.at, action=event.action, chain=event.chain,
+                accepted=False,
+                reason=report.placement.infeasible_reason or "infeasible",
+                mode=report.mode,
+                pinned=report.pinned_chains,
+                placed=report.placed_chains,
+                cache_hit=report.cache_hit,
+                seconds=report.seconds,
+            )
+        artifacts = self.metacompiler.compile_placement(report.placement)
+        delta = self.rack.redeploy(artifacts)
+        self.active = proposed
+        self.placement = report.placement
+        self.rates = dict(report.placement.rates)
+        self.traffic.placement = report.placement
+        return AdmissionDecision(
+            tick=event.at, action=event.action, chain=event.chain,
+            accepted=True,
+            mode=report.mode,
+            pinned=report.pinned_chains,
+            placed=report.placed_chains,
+            cache_hit=report.cache_hit,
+            rebuilt=tuple(delta.rebuilt),
+            reused=tuple(delta.reused),
+            removed=tuple(delta.removed),
+            seconds=report.seconds,
+        )
+
+    def _propose(self, event: ChainEvent
+                 ) -> Tuple[Optional[List[NFChain]], str]:
+        """The chain set the event asks for, or a static rejection."""
+        names = {chain.name for chain in self.active}
+        if event.action == "arrive":
+            if event.chain in names:
+                return None, f"chain {event.chain!r} is already active"
+            (chain,) = chains_from_spec(event.spec)
+            chain = chain.with_slo(self.timeline.slo_for(event))
+            return self.active + [chain], ""
+        if event.chain not in names:
+            return None, f"no active chain named {event.chain!r}"
+        if event.action == "depart":
+            proposed = [c for c in self.active if c.name != event.chain]
+            if not proposed:
+                return None, "cannot depart the last active chain"
+            return proposed, ""
+        # scale
+        proposed = []
+        for chain in self.active:
+            if chain.name == event.chain:
+                slo = chain.slo.with_tmin(event.t_min_mbps)
+                if event.t_max_mbps != float("inf"):
+                    slo = replace(slo, t_max=event.t_max_mbps)
+                chain = chain.with_slo(slo)
+            proposed.append(chain)
+        return proposed, ""
+
+    def _process(self, event: ChainEvent) -> AdmissionDecision:
+        self.obs.counter("lifecycle.events", action=event.action).inc()
+        proposed, static_reason = self._propose(event)
+        if proposed is None:
+            decision = AdmissionDecision(
+                tick=event.at, action=event.action, chain=event.chain,
+                accepted=False, reason=static_reason,
+            )
+        else:
+            decision = self._admit(event, proposed)
+        self.obs.counter(
+            "lifecycle.admission",
+            decision="accepted" if decision.accepted else "rejected",
+            action=event.action,
+        ).inc()
+        if not decision.accepted and decision.pinned > 0:
+            # the solve failed while holding admitted chains at their
+            # t_min floor: accepting would have required an eviction
+            self.obs.counter("lifecycle.evictions_averted").inc()
+        self.obs.gauge("lifecycle.active_chains").set(len(self.active))
+        return decision
+
+    # -- the run loop -----------------------------------------------------------
+
+    def run(self, packets_per_phase: int = 256) -> LifecycleReport:
+        if packets_per_phase < 1:
+            raise LifecycleError("packets_per_phase must be >= 1")
+        initial = self.placer.solve(PlacementRequest(
+            chains=self.initial_chains, strategy=self.strategy,
+        ))
+        if not initial.placement.feasible:
+            raise PlacementError(
+                "lifecycle run needs a feasible initial placement: "
+                f"{initial.placement.infeasible_reason}"
+            )
+        self.active = list(self.initial_chains)
+        self.placement = initial.placement
+        self.rates = dict(initial.placement.rates)
+        artifacts = self.metacompiler.compile_placement(initial.placement)
+        self.rack = DeployedRack(
+            self.topology, artifacts, self.profiles,
+            seed=self.seed, registry=self.obs,
+        )
+        self.traffic = TrafficEngine(
+            self.rack, initial.placement,
+            flows_per_chain=self.flows_per_chain,
+            batch_size=self.batch_size,
+        )
+        self.obs.gauge("lifecycle.active_chains").set(len(self.active))
+
+        report = LifecycleReport(seed=self.timeline.seed)
+        cursors: Dict[str, int] = {}
+        self._run_phase(report, "initial", packets_per_phase, cursors)
+
+        pending = self.timeline.sorted_events()
+        while pending:
+            tick = pending[0].at
+            fired: List[ChainEvent] = []
+            while pending and pending[0].at == tick:
+                event = pending.pop(0)
+                report.decisions.append(self._process(event))
+                fired.append(event)
+            label = f"t{tick}:" + "+".join(
+                f"{ev.action}({ev.chain})" for ev in fired
+            )
+            self._run_phase(report, label, packets_per_phase, cursors)
+        return report
+
+    def _run_phase(self, report: LifecycleReport, label: str,
+                   packets_per_phase: int,
+                   cursors: Dict[str, int]) -> None:
+        """Inject one phase of traffic for every active chain and record
+        the per-chain SLO compliance rows."""
+        phase = PhaseReport(
+            index=len(report.phases),
+            label=label,
+            mode="live",
+            start_packet=report.total_injected,
+            t_mins={
+                cp.name: cp.chain.slo.t_min
+                for cp in self.placement.chains
+            },
+        )
+        for cp in self.placement.chains:
+            delivered, cursors[cp.name] = self.traffic.replay_batch(
+                cp, cursors.get(cp.name, 0), packets_per_phase
+            )
+            phase.chains.append(ChainTrafficReport(
+                chain_name=cp.name,
+                flows=self.flows_per_chain,
+                injected=packets_per_phase,
+                delivered=delivered,
+                dropped=packets_per_phase - delivered,
+                wall_seconds=0.0,
+                assigned_mbps=self.rates.get(cp.name, 0.0),
+            ))
+        report.phases.append(phase)
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def run_lifecycle(
+    spec: LifecycleSpec,
+    registry: Optional[MetricsRegistry] = None,
+    cache: Optional[PlacementCache] = None,
+) -> LifecycleReport:
+    """Run one lifecycle experiment from a fully-stated spec."""
+    topology = spec.build_topology()
+    chains = spec.build_chains()
+    timeline = replace(spec.timeline, seed=spec.seed) \
+        if spec.timeline.seed != spec.seed else spec.timeline
+    engine = LifecycleEngine(
+        chains,
+        timeline,
+        topology=topology,
+        strategy=spec.strategy,
+        flows_per_chain=spec.flows_per_chain,
+        batch_size=spec.batch_size,
+        seed=spec.seed,
+        registry=registry,
+        cache=cache,
+        full_resolve=spec.full_resolve,
+    )
+    return engine.run(packets_per_phase=spec.packets_per_phase)
+
+
+def _replica_render(spec: LifecycleSpec) -> str:
+    """Worker entry: run a full replica with isolated instrumentation."""
+    return run_lifecycle(spec, registry=MetricsRegistry()).render()
+
+
+def run_lifecycle_checked(
+    spec: LifecycleSpec,
+    jobs: int = 1,
+    registry: Optional[MetricsRegistry] = None,
+) -> LifecycleReport:
+    """Run a lifecycle experiment, optionally cross-checking determinism.
+
+    With ``jobs > 1``, ``jobs - 1`` replica runs execute in worker
+    processes from the same spec; every replica's rendered report must be
+    byte-identical to the local run's, or the run fails loudly. The
+    returned report is always the local run's, so output is independent
+    of ``jobs``.
+    """
+    report = run_lifecycle(spec, registry=registry)
+    replicas = max(0, jobs - 1)
+    if replicas == 0:
+        return report
+    try:
+        pickle.dumps(spec)
+    except Exception:
+        return report
+    rendered = report.render()
+    with ProcessPoolExecutor(max_workers=replicas) as pool:
+        futures = [
+            pool.submit(_replica_render, spec) for _ in range(replicas)
+        ]
+        for index, future in enumerate(futures):
+            other = future.result()
+            if other != rendered:
+                raise LifecycleError(
+                    f"lifecycle replica {index} diverged from the local "
+                    "run with the same seed and timeline — determinism "
+                    "invariant broken"
+                )
+    return report
+
+
+# re-exported so report consumers need one import; keeps the SLO slack
+# shared with the chaos engine's tables.
+__all__ = [
+    "LIFECYCLE_ACTIONS",
+    "AdmissionDecision",
+    "ChainEvent",
+    "LifecycleEngine",
+    "LifecycleReport",
+    "LifecycleSpec",
+    "LifecycleTimeline",
+    "run_lifecycle",
+    "run_lifecycle_checked",
+    "_SLO_RTOL",
+]

@@ -48,6 +48,47 @@ _FLOW_CACHE_MAX = 65536
 
 
 @dataclass
+class RunResult:
+    """One :meth:`DeployedRack.run` call's outcome.
+
+    ``outputs`` has one entry per injected packet, in input order: the
+    delivered packet, or ``None`` where it was dropped.
+    """
+
+    outputs: List[Optional[Packet]]
+
+    @property
+    def delivered(self) -> int:
+        return sum(1 for packet in self.outputs if packet is not None)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.outputs) - self.delivered
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    def __iter__(self):
+        return iter(self.outputs)
+
+
+@dataclass
+class RedeployResult:
+    """What one :meth:`DeployedRack.redeploy` call touched.
+
+    Devices whose generated program digest is unchanged are ``reused``:
+    their runtimes — including stateful NF tables and seeded RNG streams
+    — survive the redeploy untouched. Only ``rebuilt`` devices get a
+    fresh runtime, and ``removed`` devices (no longer hosting any
+    subgroup) are torn down.
+    """
+
+    rebuilt: List[str]
+    reused: List[str]
+    removed: List[str]
+
+
+@dataclass
 class _ServerRuntime:
     pipeline: Pipeline
     port_inc: PortInc
@@ -66,30 +107,9 @@ class DeployedRack:
         registry: Optional[MetricsRegistry] = None,
     ):
         self.topology = topology
-        self.artifacts = artifacts
         self.profiles = profiles or default_profiles()
         self.seed = seed
         self.obs = registry if registry is not None else get_registry()
-
-        self.paths_by_spi: Dict[int, ServicePath] = {
-            path.spi: path for path in artifacts.routing.service_paths
-        }
-        #: (chain name, node-id route) -> service path; replaces the old
-        #: O(paths × packets) linear scan in :meth:`classify`.
-        self._path_by_route: Dict[Tuple[str, Tuple[str, ...]], ServicePath] = {
-            (path.chain_name, tuple(path.node_ids)): path
-            for path in artifacts.routing.service_paths
-        }
-        #: spi -> {entry_si -> hop index}; kills the per-event linear hop
-        #: scan in the inject loop.
-        self._hop_index: Dict[int, Dict[int, int]] = {
-            path.spi: {hop.entry_si: i for i, hop in enumerate(path.hops)}
-            for path in artifacts.routing.service_paths
-        }
-        #: per-flow classification memo: (chain, vlan vid, 5-tuple) -> path.
-        #: The key covers every packet field the chain-DAG walk reads, so a
-        #: hit is exact, not probabilistic.
-        self._flow_paths: Dict[tuple, ServicePath] = {}
 
         #: device name -> clock used to convert that device's cycles to time.
         self._freq_by_device: Dict[str, float] = {
@@ -104,40 +124,15 @@ class DeployedRack:
 
         self.servers: Dict[str, _ServerRuntime] = {}
         for server_name, ir in artifacts.bess.items():
-            pipeline, port_inc, port_out, _sched = build_bess_pipeline(
-                ir, self.profiles, seed=seed,
-                freq_hz=topology.server(server_name).freq_hz,
-            )
-            self.servers[server_name] = _ServerRuntime(
-                pipeline=pipeline, port_inc=port_inc, port_out=port_out
-            )
+            self.servers[server_name] = self._build_server(server_name, ir)
 
         self.nics: Dict[str, SmartNICRuntime] = {}
         for nic_name, (program, nf_specs) in artifacts.ebpf.items():
-            runtime = SmartNICRuntime(
-                topology.smartnic(nic_name), self.profiles, seed=seed
-            )
-            runtime.load(program, nf_specs)
-            self.nics[nic_name] = runtime
+            self.nics[nic_name] = self._build_nic(nic_name, program, nf_specs)
 
         self.of_runtime: Optional[OpenFlowRuntime] = None
         if isinstance(topology.switch, OpenFlowSwitchModel):
-            self.of_runtime = OpenFlowRuntime(topology.switch)
-            self.of_runtime.install_all(artifacts.openflow_rules)
-
-        #: (spi, entry_si) -> VLAN vid for OF switch hops; replaces the old
-        #: O(paths × hops) ``_of_coordinates`` scan per switch pass with a
-        #: lookup built once here (the OF rule generator already encoded
-        #: these same coordinates, so encoding cannot fail at runtime).
-        self._of_vid: Dict[Tuple[int, int], int] = {}
-        if self.of_runtime is not None:
-            switch_name = topology.switch.name
-            for path in artifacts.routing.service_paths:
-                for hop in path.hops:
-                    if hop.device == switch_name:
-                        self._of_vid[(path.spi, hop.entry_si)] = encode_vid(
-                            path.spi, INITIAL_SI - hop.entry_si
-                        )
+            self.of_runtime = self._build_of_switch(artifacts)
 
         #: functional modules for switch-placed NFs, keyed by node id
         self._switch_modules: Dict[str, object] = {}
@@ -169,21 +164,166 @@ class DeployedRack:
         self._flow_cache_miss = obs.counter(
             "rack.flow_cache.lookups", result="miss"
         )
-        device_names = [topology.switch.name]
-        device_names.extend(self.servers)
-        device_names.extend(self.nics)
-        self._dev_counters: Dict[str, tuple] = {
-            name: (
-                obs.counter("rack.device.packets_in", device=name),
-                obs.counter("rack.device.packets_out", device=name),
-                obs.counter("rack.device.cycles", device=name),
-            )
-            for name in device_names
-        }
+        self._dev_counters: Dict[str, tuple] = {}
+        self._ensure_dev_counters(
+            [topology.switch.name, *self.servers, *self.nics]
+        )
         #: chain name -> dict of pre-resolved chain-scoped instruments
         self._chain_inst: Dict[str, dict] = {}
         #: (chain, device, reason) -> (chain-drop counter, device-drop counter)
         self._drop_counters: Dict[tuple, tuple] = {}
+
+        self._install_routing(artifacts)
+
+    # -- device builders & delta redeploy ----------------------------------------
+
+    def _build_server(self, server_name: str, ir) -> _ServerRuntime:
+        pipeline, port_inc, port_out, _sched = build_bess_pipeline(
+            ir, self.profiles, seed=self.seed,
+            freq_hz=self.topology.server(server_name).freq_hz,
+        )
+        return _ServerRuntime(
+            pipeline=pipeline, port_inc=port_inc, port_out=port_out
+        )
+
+    def _build_nic(self, nic_name: str, program, nf_specs) -> SmartNICRuntime:
+        runtime = SmartNICRuntime(
+            self.topology.smartnic(nic_name), self.profiles, seed=self.seed
+        )
+        runtime.load(program, nf_specs)
+        return runtime
+
+    def _build_of_switch(self, artifacts: CompiledArtifacts) -> OpenFlowRuntime:
+        runtime = OpenFlowRuntime(self.topology.switch)
+        runtime.install_all(artifacts.openflow_rules)
+        return runtime
+
+    def _install_routing(self, artifacts: CompiledArtifacts) -> None:
+        """Point the rack's routing state at ``artifacts``.
+
+        Rebuilding these lookup tables is cheap (linear in service paths)
+        and always done on redeploy; the expensive per-device runtimes are
+        handled separately so unchanged ones can be reused.
+        """
+        self.artifacts = artifacts
+        self.paths_by_spi: Dict[int, ServicePath] = {
+            path.spi: path for path in artifacts.routing.service_paths
+        }
+        #: (chain name, node-id route) -> service path; replaces the old
+        #: O(paths × packets) linear scan in :meth:`classify`.
+        self._path_by_route: Dict[Tuple[str, Tuple[str, ...]], ServicePath] = {
+            (path.chain_name, tuple(path.node_ids)): path
+            for path in artifacts.routing.service_paths
+        }
+        #: spi -> {entry_si -> hop index}; kills the per-event linear hop
+        #: scan in the inject loop.
+        self._hop_index: Dict[int, Dict[int, int]] = {
+            path.spi: {hop.entry_si: i for i, hop in enumerate(path.hops)}
+            for path in artifacts.routing.service_paths
+        }
+        #: per-flow classification memo: (chain, vlan vid, 5-tuple) -> path.
+        #: The key covers every packet field the chain-DAG walk reads, so a
+        #: hit is exact, not probabilistic.
+        self._flow_paths: Dict[tuple, ServicePath] = {}
+
+        #: (spi, entry_si) -> VLAN vid for OF switch hops; replaces the old
+        #: O(paths × hops) ``_of_coordinates`` scan per switch pass with a
+        #: lookup built once here (the OF rule generator already encoded
+        #: these same coordinates, so encoding cannot fail at runtime).
+        self._of_vid: Dict[Tuple[int, int], int] = {}
+        if self.of_runtime is not None:
+            switch_name = self.topology.switch.name
+            for path in artifacts.routing.service_paths:
+                for hop in path.hops:
+                    if hop.device == switch_name:
+                        self._of_vid[(path.spi, hop.entry_si)] = encode_vid(
+                            path.spi, INITIAL_SI - hop.entry_si
+                        )
+
+    def _ensure_dev_counters(self, names) -> None:
+        obs = self.obs
+        for name in names:
+            if name not in self._dev_counters:
+                self._dev_counters[name] = (
+                    obs.counter("rack.device.packets_in", device=name),
+                    obs.counter("rack.device.packets_out", device=name),
+                    obs.counter("rack.device.cycles", device=name),
+                )
+
+    def redeploy(self, artifacts: CompiledArtifacts) -> RedeployResult:
+        """Install a new artifact set, rebuilding only changed devices.
+
+        Per-device program digests (:meth:`CompiledArtifacts.\
+device_fingerprints`) decide what happens to each device:
+
+        * digest unchanged → the existing runtime is **reused** as-is,
+          preserving stateful NF tables and seeded RNG streams — no
+          recompile, no reinstall;
+        * digest changed or device newly hosts work → a fresh runtime is
+          **built** from the new artifacts;
+        * device no longer hosts any subgroup → its runtime is
+          **removed**.
+
+        Rack-global routing tables (service paths, hop indices, the flow
+        classification memo) are always refreshed — they are cheap and
+        must match the new artifact set. Fault state and the injection
+        sequence counter survive, so a chaos timeline can span redeploys.
+        Per-device counts land on the observability counter
+        ``rack.redeploy.devices{action=rebuilt|reused|removed}``.
+        """
+        switch_name = self.topology.switch.name
+        old = self.artifacts.device_fingerprints(switch_name)
+        new = artifacts.device_fingerprints(switch_name)
+        rebuilt: List[str] = []
+        reused: List[str] = []
+        removed: List[str] = []
+
+        for name, ir in artifacts.bess.items():
+            if name in self.servers and old.get(name) == new[name]:
+                reused.append(name)
+            else:
+                self.servers[name] = self._build_server(name, ir)
+                rebuilt.append(name)
+        for name in [n for n in self.servers if n not in artifacts.bess]:
+            del self.servers[name]
+            removed.append(name)
+
+        for name, (program, nf_specs) in artifacts.ebpf.items():
+            if name in self.nics and old.get(name) == new[name]:
+                reused.append(name)
+            else:
+                self.nics[name] = self._build_nic(name, program, nf_specs)
+                rebuilt.append(name)
+        for name in [n for n in self.nics if n not in artifacts.ebpf]:
+            del self.nics[name]
+            removed.append(name)
+
+        if new.get(switch_name) != old.get(switch_name):
+            # reloading the ToR program resets switch-placed NF state
+            self._switch_modules.clear()
+            if isinstance(self.topology.switch, OpenFlowSwitchModel):
+                self.of_runtime = self._build_of_switch(artifacts)
+            if new.get(switch_name) is not None:
+                rebuilt.append(switch_name)
+            else:
+                removed.append(switch_name)
+        elif new.get(switch_name) is not None:
+            reused.append(switch_name)
+
+        self._install_routing(artifacts)
+        self._ensure_dev_counters([switch_name, *self.servers, *self.nics])
+        for action, names in (
+            ("rebuilt", rebuilt), ("reused", reused), ("removed", removed)
+        ):
+            if names:
+                self.obs.counter(
+                    "rack.redeploy.devices", action=action
+                ).inc(len(names))
+        return RedeployResult(
+            rebuilt=sorted(rebuilt),
+            reused=sorted(reused),
+            removed=sorted(removed),
+        )
 
     # -- fault injection ---------------------------------------------------------
 
@@ -244,14 +384,6 @@ class DeployedRack:
 
     def _count_device(self, counter: str, device: str, n: int = 1) -> None:
         self.obs.counter(f"rack.device.{counter}", device=device).inc(n)
-
-    def _count_drop(self, chain: str, device: str, reason: str) -> None:
-        self.obs.counter(
-            "rack.packets.dropped", chain=chain, reason=reason
-        ).inc()
-        self.obs.counter(
-            "rack.device.drops", device=device, reason=reason
-        ).inc()
 
     def _chain_instruments(self, chain: str) -> dict:
         """Chain-scoped instruments, resolved once per chain name."""
@@ -381,109 +513,25 @@ class DeployedRack:
 
     # -- event loop ---------------------------------------------------------------
 
-    def inject(self, chain_placement: ChainPlacement, packet: Packet
-               ) -> Optional[Packet]:
-        """Run one packet through its chain; returns it on egress, None if
-        dropped anywhere."""
-        path = self.classify(chain_placement, packet)
-        packet.metadata.chain_id = chain_placement.name
-        packet.metadata.seq = self._next_seq
-        self._next_seq += 1
-        self.obs.counter(
-            "rack.packets.injected", chain=chain_placement.name
-        ).inc()
-        spi, si = path.spi, path.si_of[path.node_ids[0]]
-        excursions = 0
-        switch_passes = 1
-        hops: List[dict] = []
+    def run(self, chain_placement: ChainPlacement,
+            packets: List[Packet]) -> RunResult:
+        """Run packets through their chain; the single injection entry point.
 
-        for _ in range(_MAX_EVENTS):
-            path = self.paths_by_spi.get(spi)
-            if path is None:
-                raise DataplaneError(f"unknown SPI {spi}")
-            if si == 0:
-                self._finish(chain_placement, packet, excursions,
-                             switch_passes, hops)
-                return packet  # chain complete: egress at the ToR
-            hop_index = self._hop_index_for(path, si)
-            hop = path.hops[hop_index]
-            nxt = path.hop_after(hop_index)
+        ``outputs`` has one entry per input, in input order: the delivered
+        packet, or ``None`` where it was dropped. Classification, hop
+        resolution, device dispatch, and observability updates are
+        amortized across the batch; a single packet is simply a batch of
+        one.
 
-            if hop.device == self.topology.switch.name:
-                self._count_device("packets_in", hop.device)
-                survived = self._run_switch_hop(chain_placement, hop, packet,
-                                                spi)
-                if not survived:
-                    reason = ("openflow_rule" if self.of_runtime is not None
-                              else "switch_nf")
-                    self._count_drop(chain_placement.name, hop.device, reason)
-                    return None
-                self._count_device("packets_out", hop.device)
-                hops.append({
-                    "device": hop.device, "platform": hop.platform,
-                    "cycles": 0, "exec_us": 0.0,
-                })
-                if nxt is None:
-                    self._finish(chain_placement, packet, excursions,
-                                 switch_passes, hops)
-                    return packet
-                spi, si = path.spi, nxt.entry_si
-                continue
-
-            excursions += 1
-            switch_passes += 1
-            fault = self._fault_reason(hop.device, packet.metadata.seq)
-            if fault is not None:
-                self._count_drop(chain_placement.name, hop.device, fault)
-                return None
-            before_total = packet.metadata.cycles_consumed
-            before_attr = dict(packet.metadata.cycles_by_device)
-            self._count_device("packets_in", hop.device)
-            if hop.platform == Platform.SERVER.value:
-                out = self._run_server_hop(hop.device, packet, spi, si)
-                reason = "server_pipeline"
-            elif hop.platform == Platform.SMARTNIC.value:
-                out = self._run_nic_hop(hop.device, packet, spi, si)
-                reason = "nic_program"
-            else:
-                raise DataplaneError(f"unexpected hop platform {hop.platform}")
-            if out is None:
-                self._count_drop(chain_placement.name, hop.device, reason)
-                return None
-            self._count_device("packets_out", hop.device)
-            hops.append(self._attribute_hop(
-                hop, out, before_total, before_attr
-            ))
-            packet = out
-            nsh = packet.pop_nsh()
-            if nsh is None:
-                raise DataplaneError(
-                    f"packet returned from {hop.device} without NSH"
-                )
-            spi, si = nsh.spi, nsh.si
-        raise DataplaneError("packet exceeded the rack event budget (loop?)")
-
-    # -- batched fast path --------------------------------------------------------
-
-    def inject_batch(self, chain_placement: ChainPlacement,
-                     packets: List[Packet]) -> List[Optional[Packet]]:
-        """Run a batch of packets through their chain.
-
-        Returns one entry per input, in input order: the delivered packet,
-        or ``None`` where it was dropped. Behaviourally identical to calling
-        :meth:`inject` on each packet in order — same delivered/dropped
-        outcomes, cycle charges, per-hop records, and counter totals — but
-        amortizes classification, hop resolution, device dispatch, and
-        observability updates across the batch.
-
-        The equivalence holds because the batch is partitioned into maximal
-        *consecutive* runs of packets sharing a service path, and each run
-        is processed to completion before the next starts: every module
-        therefore sees packets in global injection order, so per-module RNG
-        streams and NF state evolve exactly as under serial injection.
+        Per-packet semantics are batch-size independent: the batch is
+        partitioned into maximal *consecutive* runs of packets sharing a
+        service path, and each run is processed to completion before the
+        next starts, so every module sees packets in global injection
+        order and per-module RNG streams and NF state evolve exactly as
+        under serial injection.
         """
         if not packets:
-            return []
+            return RunResult(outputs=[])
         name = chain_placement.name
         classify = self.classify
         entries = []
@@ -511,7 +559,22 @@ class DeployedRack:
                 path.si_of[path.node_ids[0]], 0, 1, results, _MAX_EVENTS,
             )
             start = end
-        return [results.get(packet.metadata.seq) for packet, _ in entries]
+        return RunResult(outputs=[
+            results.get(packet.metadata.seq) for packet, _ in entries
+        ])
+
+    # -- legacy entry points (thin delegates, kept for one release) ----------------
+
+    def inject(self, chain_placement: ChainPlacement, packet: Packet
+               ) -> Optional[Packet]:
+        """Run one packet through its chain: :meth:`run` with a batch of
+        one. Returns the packet on egress, ``None`` if dropped anywhere."""
+        return self.run(chain_placement, [packet]).outputs[0]
+
+    def inject_batch(self, chain_placement: ChainPlacement,
+                     packets: List[Packet]) -> List[Optional[Packet]]:
+        """Batched injection: see :meth:`run` (this returns its outputs)."""
+        return self.run(chain_placement, packets).outputs
 
     def _run_block(self, cp: ChainPlacement, packets: List[Packet],
                    spi: int, si: int, excursions: int, switch_passes: int,
@@ -821,22 +884,6 @@ class DeployedRack:
             "cycles": total_delta, "exec_us": exec_us,
         }
 
-    def _finish(self, chain_placement: ChainPlacement, packet: Packet,
-                excursions: int, switch_passes: int,
-                hops: Optional[List[dict]] = None) -> None:
-        """Stamp latency and record the delivery in the registry."""
-        self._stamp_latency(packet, excursions, switch_passes, hops)
-        name = chain_placement.name
-        self.obs.counter("rack.packets.delivered", chain=name).inc()
-        fields = packet.metadata.fields
-        self.obs.histogram("rack.latency_us", chain=name).observe(
-            fields["latency_us"]
-        )
-        for component in ("exec_us", "bounce_us", "switch_us"):
-            self.obs.histogram(
-                "rack.latency_component_us", chain=name, component=component
-            ).observe(fields[component])
-
     def _stamp_latency(self, packet: Packet, excursions: int,
                        switch_passes: int,
                        hops: Optional[List[dict]] = None) -> None:
@@ -875,28 +922,6 @@ class DeployedRack:
         if hops is not None:
             meta.fields["hops"] = hops
 
-    def _run_switch_hop(self, cp: ChainPlacement, hop, packet: Packet,
-                        spi: int) -> bool:
-        """Execute switch-placed NFs functionally (line-rate pipeline)."""
-        if self.of_runtime is not None:
-            vid = self._of_vid[(spi, hop.entry_si)]
-            if packet.vlan is None:
-                packet.push_vlan(vid)
-            else:
-                packet.vlan.vid = vid
-                packet.commit()
-            result = self.of_runtime.process(packet)
-            if result.dropped:
-                return False
-            packet.pop_vlan()
-            return True
-        for nid in hop.node_ids:
-            module = self._switch_module(cp, nid)
-            outputs = module.receive(packet)
-            if not outputs:
-                return False
-        return True
-
     def _switch_module(self, cp: ChainPlacement, node_id: str):
         module = self._switch_modules.get(node_id)
         if module is None:
@@ -913,33 +938,6 @@ class DeployedRack:
             module.database = None
             self._switch_modules[node_id] = module
         return module
-
-    def _run_server_hop(self, server: str, packet: Packet,
-                        spi: int, si: int) -> Optional[Packet]:
-        runtime = self.servers.get(server)
-        if runtime is None:
-            raise DataplaneError(f"no BESS pipeline deployed on {server}")
-        packet.push_nsh(spi, si)
-        runtime.pipeline.push(packet, entry=runtime.port_inc.name)
-        emitted = runtime.port_out.drain()
-        if not emitted:
-            return None
-        if len(emitted) != 1:
-            raise DataplaneError(
-                f"{server}: expected one packet out, got {len(emitted)}"
-            )
-        return emitted[0]
-
-    def _run_nic_hop(self, nic: str, packet: Packet,
-                     spi: int, si: int) -> Optional[Packet]:
-        runtime = self.nics.get(nic)
-        if runtime is None:
-            raise DataplaneError(f"no eBPF program loaded on {nic}")
-        packet.push_nsh(spi, si)
-        action, out = runtime.process(packet)
-        if action is not XDPAction.TX:
-            return None
-        return out
 
     # -- tracing ------------------------------------------------------------------
 

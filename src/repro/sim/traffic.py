@@ -2,7 +2,7 @@
 
 The :class:`TrafficEngine` synthesizes a per-chain flow set inside each
 chain's traffic aggregate, replays ``packets_per_chain`` packets over those
-flows through :meth:`DeployedRack.inject_batch`, and reports what the
+flows through :meth:`DeployedRack.run`, and reports what the
 deployed rack achieved: simulator packets/second, delivery fraction, and
 the delivered rate against the LP's per-chain rate assignment
 (``Placement.rates``) — the same quantity Figure 2's measured bars are
@@ -158,8 +158,7 @@ class TrafficEngine:
                               % self.flows_per_chain)
                 for offset in range(size)
             ]
-            outputs = self.rack.inject_batch(cp, batch)
-            delivered += sum(1 for out in outputs if out is not None)
+            delivered += self.rack.run(cp, batch).delivered
             injected += size
         return delivered, cursor + injected
 
@@ -186,8 +185,7 @@ class TrafficEngine:
                               % self.flows_per_chain)
                 for offset in range(size)
             ]
-            outputs = self.rack.inject_batch(cp, batch)
-            delivered += sum(1 for out in outputs if out is not None)
+            delivered += self.rack.run(cp, batch).delivered
             injected += size
         wall = time.perf_counter() - started
         return ChainTrafficReport(

@@ -1,83 +1,31 @@
-"""Legacy Placer wrappers: each warns exactly once; solve never warns."""
-
-import warnings
+"""The legacy Placer wrappers are gone: solve is the only entry point."""
 
 import pytest
 
-from repro.core.placer import (
-    Placer,
-    PlacementRequest,
-    _reset_deprecation_warnings,
-)
-from repro.hw.topology import default_testbed
+from repro.core import placer as placer_module
+from repro.core.placer import Placer, PlacementRequest
+
+REMOVED = ("place", "place_timed", "place_with_reserve",
+           "replan_after_failure")
 
 
-@pytest.fixture(autouse=True)
-def rearm_warn_once():
-    """The warn-once latch is process-global; re-arm it per test."""
-    _reset_deprecation_warnings()
-    yield
-    _reset_deprecation_warnings()
+class TestWrappersRemoved:
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_old_entry_points_are_gone(self, name):
+        assert not hasattr(Placer, name), (
+            f"Placer.{name} was removed in the solve() migration and must "
+            "not come back"
+        )
 
-
-def _deprecation_count(caught):
-    return sum(
-        1 for w in caught if issubclass(w.category, DeprecationWarning)
-    )
-
-
-class TestWarnOnce:
-    def test_each_wrapper_warns_exactly_once(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True))
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            placer.place(simple_chains)
-            placer.place(simple_chains)
-            placer.place(simple_chains)
-        assert _deprecation_count(caught) == 1
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            placer.place_timed(simple_chains)
-            placer.place_timed(simple_chains)
-        assert _deprecation_count(caught) == 1
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            placer.replan_after_failure(simple_chains, "agilio0")
-            placer.replan_after_failure(simple_chains, "agilio0")
-        assert _deprecation_count(caught) == 1
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            placer.place_with_reserve(simple_chains, reserve_cores=1)
-            placer.place_with_reserve(simple_chains, reserve_cores=1)
-        assert _deprecation_count(caught) == 1
-
-    def test_wrappers_warn_independently(self, simple_chains):
-        """One wrapper's warning does not consume another's."""
-        placer = Placer()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            placer.place(simple_chains)
-            placer.place_timed(simple_chains)
-        assert _deprecation_count(caught) == 2
-
-    def test_warning_names_the_replacement(self, simple_chains):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            Placer().place(simple_chains)
-        (warning,) = [
-            w for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert "Placer.place is deprecated" in str(warning.message)
-        assert "solve(PlacementRequest" in str(warning.message)
+    def test_deprecation_machinery_is_gone(self):
+        for leftover in ("_WARNED", "_deprecated",
+                         "_reset_deprecation_warnings"):
+            assert not hasattr(placer_module, leftover)
 
     def test_solve_stays_warning_free(self, simple_chains):
-        placer = Placer()
-        with warnings.catch_warnings(record=True) as caught:
+        import warnings
+
+        with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            report = placer.solve(PlacementRequest(chains=simple_chains))
+            report = Placer().solve(PlacementRequest(chains=simple_chains))
         assert report.placement.feasible
-        assert _deprecation_count(caught) == 0

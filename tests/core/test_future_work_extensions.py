@@ -8,7 +8,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
 from repro.core.lp import solve_rates
-from repro.core.placer import Placer, PlacerConfig
+from repro.core.placer import Placer, PlacerConfig, PlacementRequest
 from repro.exceptions import PlacementError
 from repro.hw.topology import default_testbed
 from repro.profiles.defaults import default_profiles
@@ -120,7 +120,9 @@ class TestMaxMinFairness:
             profiles=profiles,
             config=PlacerConfig(rate_objective="max_min"),
         )
-        placement = placer.place(simple_chains)
+        placement = placer.solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
         assert placement.feasible
 
 
@@ -161,8 +163,12 @@ class TestMetronSteering:
 class TestFailoverReserve:
     def test_reserve_shrinks_budget(self, profiles, simple_chains):
         placer = Placer(profiles=profiles)
-        reserved = placer.place_with_reserve(simple_chains, reserve_cores=5)
-        unreserved = placer.place(simple_chains)
+        reserved = placer.solve(PlacementRequest(
+            chains=simple_chains, reserve_cores=5,
+        )).placement
+        unreserved = placer.solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
         assert reserved.feasible
         assert reserved.total_cores()["server0"] <= 10  # 15 - 5
         assert unreserved.total_cores()["server0"] > 10
@@ -170,15 +176,21 @@ class TestFailoverReserve:
     def test_topology_restored_after_reserve(self, profiles, simple_chains):
         placer = Placer(profiles=profiles)
         before = placer.topology.servers[0].reserved_cores
-        placer.place_with_reserve(simple_chains, reserve_cores=3)
+        placer.solve(PlacementRequest(
+            chains=simple_chains, reserve_cores=3,
+        ))
         assert placer.topology.servers[0].reserved_cores == before
 
     def test_excessive_reserve_rejected(self, profiles, simple_chains):
         placer = Placer(profiles=profiles)
         with pytest.raises(PlacementError):
-            placer.place_with_reserve(simple_chains, reserve_cores=16)
+            placer.solve(PlacementRequest(
+                chains=simple_chains, reserve_cores=16,
+            ))
         with pytest.raises(PlacementError):
-            placer.place_with_reserve(simple_chains, reserve_cores=-1)
+            placer.solve(PlacementRequest(
+                chains=simple_chains, reserve_cores=-1,
+            ))
 
     def test_reserve_survives_failover(self, profiles):
         """The point of the reserve: a placement decided with spare cores
@@ -189,6 +201,8 @@ class TestFailoverReserve:
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(4), t_max=gbps(39))],
         )
-        placer.place_with_reserve(chains, reserve_cores=4)
-        fallback = placer.replan_after_failure(chains, "agilio0")
+        placer.solve(PlacementRequest(chains=chains, reserve_cores=4))
+        fallback = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",),
+        )).placement
         assert fallback.feasible

@@ -7,7 +7,12 @@ from repro.chain.slo import SLO
 from repro.core.ablations import no_core_allocation_place, no_profiling_place
 from repro.core.bruteforce import brute_force_place
 from repro.core.milp import milp_place
-from repro.core.placer import Placer, PlacerConfig, available_strategies
+from repro.core.placer import (
+    Placer,
+    PlacerConfig,
+    PlacementRequest,
+    available_strategies,
+)
 from repro.exceptions import PlacementError
 from repro.experiments.chains import chains_with_delta
 from repro.hw.topology import default_testbed
@@ -23,27 +28,35 @@ def profiles():
 class TestPlacerAPI:
     def test_default_strategy_is_lemur(self, simple_chains):
         placer = Placer()
-        placement = placer.place(simple_chains)
+        placement = placer.solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
         assert placement.feasible
         assert placement.strategy == "lemur"
 
     def test_all_strategies_run(self, simple_chains):
         placer = Placer()
         for strategy in available_strategies():
-            placement = placer.place(simple_chains, strategy=strategy)
+            placement = placer.solve(PlacementRequest(
+                chains=simple_chains, strategy=strategy,
+            )).placement
             assert placement is not None
 
     def test_unknown_strategy_raises(self, simple_chains):
         with pytest.raises(PlacementError):
-            Placer().place(simple_chains, strategy="quantum")
+            Placer().solve(PlacementRequest(
+                chains=simple_chains, strategy="quantum",
+            ))
 
-    def test_place_timed(self, simple_chains):
-        placement, seconds = Placer().place_timed(simple_chains)
-        assert placement.feasible
-        assert seconds > 0
+    def test_solve_reports_wall_clock(self, simple_chains):
+        report = Placer().solve(PlacementRequest(chains=simple_chains))
+        assert report.placement.feasible
+        assert report.seconds > 0
 
     def test_describe_readable(self, simple_chains):
-        placement = Placer().place(simple_chains)
+        placement = Placer().solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
         text = placement.describe()
         assert "alpha" in text and "beta" in text
         assert "pisa" in text
@@ -143,7 +156,9 @@ class TestAblations:
 class TestExtensions:
     def test_failure_replan(self, simple_chains):
         placer = Placer(topology=default_testbed(with_smartnic=True))
-        placement = placer.replan_after_failure(simple_chains, "agilio0")
+        placement = placer.solve(PlacementRequest(
+            chains=simple_chains, failed_devices=("agilio0",),
+        )).placement
         assert placement.feasible
         # topology restored afterwards
         assert "agilio0" not in placer.topology.failed_devices

@@ -122,47 +122,92 @@ class TestSolveCaching:
         assert not b.cache_hit
 
 
-class TestDeprecatedWrappers:
-    @pytest.fixture(autouse=True)
-    def rearm_warn_once(self):
-        """Wrappers warn once per process; re-arm so each test sees its
-        warning regardless of suite order."""
-        from repro.core.placer import _reset_deprecation_warnings
+class TestIncrementalSolve:
+    def _arrival(self, base_chains, extra_spec, extra_slo):
+        from repro.chain.graph import chains_from_spec
 
-        _reset_deprecation_warnings()
-        yield
-        _reset_deprecation_warnings()
+        (new_chain,) = chains_from_spec(extra_spec, slos=[extra_slo])
+        return list(base_chains) + [new_chain]
 
-    def test_place_delegates(self, simple_chains):
+    def test_arrival_pins_existing_assignments(self, simple_chains):
+        from repro.chain.slo import SLO
+        from repro.units import gbps
+
         placer = Placer()
-        with pytest.warns(DeprecationWarning, match="Placer.place is"):
-            placement = placer.place(simple_chains)
-        report = placer.solve(PlacementRequest(chains=simple_chains))
-        assert placement.feasible == report.placement.feasible
-        assert placement.rates == report.placement.rates
+        base = placer.solve(PlacementRequest(chains=simple_chains))
+        grown = self._arrival(
+            simple_chains, "chain gamma: Monitor -> IPv4Fwd",
+            SLO(t_min=gbps(0.5), t_max=gbps(30)),
+        )
+        report = placer.solve(PlacementRequest(
+            chains=grown, base_placement=base.placement,
+        ))
+        assert report.mode == "incremental"
+        assert report.pinned_chains == len(simple_chains)
+        assert report.placed_chains == 1
+        assert report.placement.feasible
+        by_name = {cp.name: cp for cp in report.placement.chains}
+        for cp in base.placement.chains:
+            assert by_name[cp.name].assignment == cp.assignment
+        for cp in report.placement.chains:
+            assert report.placement.rates[cp.name] >= \
+                cp.chain.slo.t_min - 1e-6
 
-    def test_place_timed_delegates(self, simple_chains):
-        with pytest.warns(DeprecationWarning, match="place_timed"):
-            placement, seconds = Placer().place_timed(simple_chains)
-        assert placement.feasible
-        assert seconds > 0
-
-    def test_place_with_reserve_delegates(self, simple_chains):
+    def test_departure_reuses_pattern_and_resolves_rates(self, simple_chains):
         placer = Placer()
-        with pytest.warns(DeprecationWarning, match="place_with_reserve"):
-            placement = placer.place_with_reserve(simple_chains,
-                                                  reserve_cores=2)
-        direct = placer.solve(PlacementRequest(
-            chains=simple_chains, reserve_cores=2,
-        )).placement
-        assert placement.rates == direct.rates
+        base = placer.solve(PlacementRequest(chains=simple_chains)).placement
+        report = placer.solve(PlacementRequest(
+            chains=simple_chains[:1], base_placement=base,
+        ))
+        assert report.mode == "incremental"
+        assert report.placed_chains == 0
+        assert report.placement.feasible
+        (cp,) = report.placement.chains
+        base_cp = next(b for b in base.chains if b.name == cp.name)
+        assert cp.assignment == base_cp.assignment
+        # the departed chain's capacity is released to the survivor
+        assert report.placement.rates[cp.name] >= base.rates[cp.name] - 1e-6
 
-    def test_replan_after_failure_delegates(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True))
-        with pytest.warns(DeprecationWarning, match="replan_after_failure"):
-            placement = placer.replan_after_failure(simple_chains, "agilio0")
-        direct = placer.solve(PlacementRequest(
-            chains=simple_chains, failed_devices=("agilio0",),
-        )).placement
-        assert placement.rates == direct.rates
-        assert "agilio0" not in placer.topology.failed_devices
+    def test_scale_keeps_assignment_updates_lp(self, simple_chains):
+        placer = Placer()
+        base = placer.solve(PlacementRequest(chains=simple_chains)).placement
+        scaled = [simple_chains[0].with_slo(
+            simple_chains[0].slo.with_tmin(simple_chains[0].slo.t_min * 2)
+        )] + list(simple_chains[1:])
+        report = placer.solve(PlacementRequest(
+            chains=scaled, base_placement=base,
+        ))
+        assert report.mode == "incremental"
+        assert report.placed_chains == 0  # same structure: still pinned
+        assert report.placement.feasible
+        name = simple_chains[0].name
+        assert report.placement.rates[name] >= \
+            simple_chains[0].slo.t_min * 2 - 1e-6
+
+    def test_infeasible_base_rejected(self, simple_chains):
+        from repro.core.placement import Placement
+
+        with pytest.raises(PlacementError):
+            Placer().solve(PlacementRequest(
+                chains=simple_chains,
+                base_placement=Placement(chains=[], feasible=False),
+            ))
+
+    def test_full_solve_unaffected(self, simple_chains):
+        report = Placer().solve(PlacementRequest(chains=simple_chains))
+        assert report.mode == "full"
+        assert report.pinned_chains == 0 and report.placed_chains == 0
+
+    def test_warm_start_partitions_cache_key(self, simple_chains):
+        placer = Placer(cache=PlacementCache())
+        base = placer.solve(PlacementRequest(chains=simple_chains))
+        warm = placer.solve(PlacementRequest(
+            chains=simple_chains, base_placement=base.placement,
+        ))
+        assert warm.fingerprint != base.fingerprint
+        assert not warm.cache_hit
+        again = placer.solve(PlacementRequest(
+            chains=simple_chains, base_placement=base.placement,
+        ))
+        assert again.cache_hit
+        assert again.fingerprint == warm.fingerprint

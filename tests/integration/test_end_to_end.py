@@ -9,6 +9,7 @@ import pytest
 from repro import (
     MetaCompiler,
     Placer,
+    PlacementRequest,
     SLO,
     chains_from_spec,
     default_testbed,
@@ -85,7 +86,9 @@ class TestCrossComponentInvariants:
     def test_rates_never_exceed_estimates(self, profiles):
         for delta in (0.5, 1.0):
             chains = chains_with_delta([1, 2, 3], delta=delta)
-            placement = Placer(profiles=profiles).place(chains)
+            placement = Placer(profiles=profiles).solve(
+                PlacementRequest(chains=chains)
+            ).placement
             assert placement.feasible
             for cp in placement.chains:
                 assert placement.rates[cp.name] <= cp.estimated_rate + 1e-6
@@ -93,7 +96,7 @@ class TestCrossComponentInvariants:
     def test_nic_capacity_respected_by_rates(self, profiles):
         chains = chains_with_delta([1, 2, 3], delta=1.0)
         placer = Placer(profiles=profiles)
-        placement = placer.place(chains)
+        placement = placer.solve(PlacementRequest(chains=chains)).placement
         load = sum(
             cp.server_visits.get("server0", 0.0) * placement.rates[cp.name]
             for cp in placement.chains
@@ -102,7 +105,9 @@ class TestCrossComponentInvariants:
 
     def test_switch_stage_budget_respected(self, profiles):
         chains = chains_with_delta([1, 2, 3, 4], delta=0.5)
-        placement = Placer(profiles=profiles).place(chains)
+        placement = Placer(profiles=profiles).solve(
+            PlacementRequest(chains=chains)
+        ).placement
         assert placement.feasible
         assert placement.switch_stages_used is not None
         assert placement.switch_stages_used <= 12
@@ -138,7 +143,7 @@ class TestMeasurementShape:
     def test_aggregate_close_to_lp_rates(self, profiles):
         chains = chains_with_delta([2, 3], delta=1.0)
         placer = Placer(profiles=profiles)
-        placement = placer.place(chains)
+        placement = placer.solve(PlacementRequest(chains=chains)).placement
         sim = TestbedSimulator(topology=placer.topology, profiles=profiles)
         report = sim.run(placement)
         assert report.aggregate_throughput_mbps == pytest.approx(

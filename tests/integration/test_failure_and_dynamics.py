@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
-from repro.core.placer import Placer
+from repro.core.placer import Placer, PlacementRequest
 from repro.hw.platform import Platform
 from repro.hw.topology import default_testbed, multi_server_testbed
 from repro.metacompiler.compiler import MetaCompiler
@@ -27,12 +27,14 @@ class TestSmartNICFailure:
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
         )
-        healthy = placer.place(chains)
+        healthy = placer.solve(PlacementRequest(chains=chains)).placement
         assert any(
             a.platform is Platform.SMARTNIC
             for a in healthy.chains[0].assignment.values()
         )
-        degraded = placer.replan_after_failure(chains, "agilio0")
+        degraded = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",),
+        )).placement
         assert degraded.feasible
         assert all(
             a.platform is not Platform.SMARTNIC
@@ -50,7 +52,9 @@ class TestSmartNICFailure:
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
         )
-        degraded = placer.replan_after_failure(chains, "agilio0")
+        degraded = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",),
+        )).placement
         meta = MetaCompiler(topology=topology, profiles=profiles)
         artifacts = meta.compile_placement(degraded)
         rack = DeployedRack(topology, artifacts, profiles)
@@ -69,7 +73,9 @@ class TestReplanFailedSetRestoration:
             slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
         )
         topology.mark_failed("server2")
-        placer.replan_after_failure(chains, "server1")
+        placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("server1",),
+        ))
         # the transient server1 failure is rolled back...
         assert "server1" not in topology.failed_devices
         # ...but server2, failed before the call, must stay failed
@@ -83,7 +89,9 @@ class TestReplanFailedSetRestoration:
             slos=[SLO(t_min=gbps(1), t_max=gbps(39))],
         )
         topology.mark_failed("agilio0")
-        degraded = placer.replan_after_failure(chains, "agilio0")
+        degraded = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("agilio0",),
+        )).placement
         assert degraded.feasible
         assert "agilio0" in topology.failed_devices
 
@@ -98,9 +106,11 @@ class TestServerFailure:
             slos=[SLO(t_min=gbps(1), t_max=gbps(30)),
                   SLO(t_min=gbps(0.3), t_max=gbps(30))],
         )
-        healthy = placer.place(chains)
+        healthy = placer.solve(PlacementRequest(chains=chains)).placement
         assert healthy.feasible
-        degraded = placer.replan_after_failure(chains, "server1")
+        degraded = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("server1",),
+        )).placement
         assert degraded.feasible
         for cp in degraded.chains:
             for sg in cp.subgroups:
@@ -113,9 +123,11 @@ class TestServerFailure:
         topology = multi_server_testbed(2)
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_with_delta([1, 2, 3], delta=1.0, profiles=profiles)
-        healthy = placer.place(chains)
+        healthy = placer.solve(PlacementRequest(chains=chains)).placement
         assert healthy.feasible
-        degraded = placer.replan_after_failure(chains, "server1")
+        degraded = placer.solve(PlacementRequest(
+            chains=chains, failed_devices=("server1",),
+        )).placement
         assert not degraded.feasible
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
-from repro.core.placer import Placer
+from repro.core.placer import Placer, PlacementRequest
 from repro.hw.topology import default_testbed
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import scoped_registry
@@ -23,7 +23,9 @@ def chains():
 class TestPlacerInstrumentation:
     def test_place_records_timings_and_counts(self, chains):
         with scoped_registry() as registry:
-            placement = Placer().place(chains)
+            placement = Placer().solve(
+                PlacementRequest(chains=chains)
+            ).placement
             assert placement.feasible
             wall = registry.histogram(
                 "placer.place.seconds", strategy="lemur"
@@ -46,7 +48,9 @@ class TestPlacerInstrumentation:
         from repro.obs import MetricsRegistry
 
         with scoped_registry(MetricsRegistry(enabled=False)) as registry:
-            placement = Placer().place(chains)
+            placement = Placer().solve(
+                PlacementRequest(chains=chains)
+            ).placement
             assert placement.feasible
             assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
 
@@ -57,7 +61,9 @@ class TestMetaCompilerInstrumentation:
             topology = default_testbed()
             profiles = default_profiles()
             placer = Placer(topology=topology, profiles=profiles)
-            placement = placer.place(chains)
+            placement = placer.solve(
+                PlacementRequest(chains=chains)
+            ).placement
             meta = MetaCompiler(topology=topology, profiles=profiles)
             artifacts = meta.compile_placement(placement)
             platforms = {

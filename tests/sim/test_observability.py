@@ -5,7 +5,7 @@ import pytest
 
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
-from repro.core.placer import Placer
+from repro.core.placer import Placer, PlacementRequest
 from repro.hw.platform import Platform
 from repro.hw.topology import default_testbed
 from repro.metacompiler.compiler import MetaCompiler
@@ -26,7 +26,7 @@ def deploy(spec, profiles, topology=None, slos=None):
         spec, slos=slos or [SLO(t_min=gbps(1), t_max=gbps(20))]
     )
     placer = Placer(topology=topology, profiles=profiles)
-    placement = placer.place(chains)
+    placement = placer.solve(PlacementRequest(chains=chains)).placement
     assert placement.feasible
     meta = MetaCompiler(topology=topology, profiles=profiles)
     artifacts = meta.compile_placement(placement)
