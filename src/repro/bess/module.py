@@ -42,6 +42,16 @@ class Module:
 
     nf_class: Optional[str] = None
 
+    #: Whether the columnar dataplane may *probe* this module: run one
+    #: representative clone through it and replay the observed effect across
+    #: a whole column of byte-identical packets. Safe only when
+    #: :meth:`process` is replayable — identical input bytes/metadata always
+    #: produce identical output, and module state depends on the set of
+    #: distinct inputs seen, never on the call count (so stateful NFs like
+    #: NAT/LB/Monitor and per-packet counters like UrlFilter stay False and
+    #: take the scalar fallback).
+    vector_safe: bool = False
+
     def __init__(
         self,
         name: str,

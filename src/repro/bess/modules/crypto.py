@@ -44,6 +44,9 @@ _STREAM_CACHE_MAX = 4096
 class _XCryptBase(Module):
     """Shared XOR-keystream machinery."""
 
+    # The payload rewrite is a pure function of (nonce, payload); the memo
+    # keys on the distinct inputs seen, never on the call count.
+    vector_safe = True
     default_key = b"lemur-aes-cbc-128"
 
     def __init__(self, *args, **kwargs):

@@ -27,6 +27,7 @@ class ACLModule(Module):
     """
 
     nf_class = "ACL"
+    vector_safe = True  # pure function of the packet bytes
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -89,6 +90,7 @@ class BPFModule(Module):
     """
 
     nf_class = "BPF"
+    vector_safe = True  # classification is a pure function of the bytes
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -147,6 +149,8 @@ class UrlFilterModule(Module):
     """
 
     nf_class = "UrlFilter"
+    # NOT vector_safe: ``matches`` increments once per dropped packet, so
+    # replaying one probe across a column would under-count it.
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

@@ -15,6 +15,7 @@ class TunnelModule(Module):
     """Push a VLAN tag (Table 3). ``vid`` parameter, default 100."""
 
     nf_class = "Tunnel"
+    vector_safe = True
 
     def process(self, packet: Packet):
         vid = int(self.params.get("vid", 100))
@@ -27,6 +28,7 @@ class DetunnelModule(Module):
     """Pop the VLAN tag (no-op when untagged)."""
 
     nf_class = "Detunnel"
+    vector_safe = True
 
     def process(self, packet: Packet):
         packet.pop_vlan()
@@ -44,6 +46,7 @@ class IPv4FwdModule(Module):
     """
 
     nf_class = "IPv4Fwd"
+    vector_safe = True  # LPM is pure; route table is immutable
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -95,6 +98,7 @@ class NATModule(Module):
     """
 
     nf_class = "NAT"
+    # NOT vector_safe: first-seen port allocation is call-count state.
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -158,6 +162,7 @@ class LBModule(Module):
     """
 
     nf_class = "LB"
+    # NOT vector_safe: per-flow backend pinning is first-seen state.
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

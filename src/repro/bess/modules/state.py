@@ -22,6 +22,7 @@ class MonitorModule(Module):
     """Per-flow statistics (Table 3): packet/byte counters per 5-tuple."""
 
     nf_class = "Monitor"
+    # NOT vector_safe (inherits False): per-packet state evolution.
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -59,6 +60,7 @@ class LimiterModule(Module):
     """
 
     nf_class = "Limiter"
+    # NOT vector_safe (inherits False): per-packet state evolution.
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -97,6 +99,7 @@ class DedupModule(Module):
     """
 
     nf_class = "Dedup"
+    # NOT vector_safe (inherits False): per-packet state evolution.
 
     CHUNK = 64
     TOKEN_MAGIC = b"\xde\xd0"

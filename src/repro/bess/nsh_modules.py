@@ -20,6 +20,8 @@ from repro.profiles.defaults import DEMUX_LB_CYCLES, NSH_ENCAP_DECAP_CYCLES
 class PortInc(Module):
     """Pulls packets from a NIC port in poll mode (entry point)."""
 
+    vector_safe = True
+
     def process(self, packet: Packet):
         packet.metadata.ingress_port = int(self.params.get("port", 0))
         return [(0, packet)]
@@ -28,6 +30,8 @@ class PortInc(Module):
 class PortOut(Module):
     """Pushes packets to the NIC (exit point); collects them for the
     testbed simulator."""
+
+    vector_safe = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -45,6 +49,8 @@ class PortOut(Module):
 class NSHDecap(Module):
     """Strips NSH and records SPI/SI in metadata (custom module, §A.1.2)."""
 
+    vector_safe = True
+
     def process(self, packet: Packet):
         packet.pop_nsh()
         packet.metadata.cycles_consumed += NSH_ENCAP_DECAP_CYCLES // 2
@@ -59,6 +65,8 @@ class NSHEncap(Module):
     ``spi``/``si`` parameters set fixed values; when absent, the values
     already in packet metadata are used (set by the subgroup's exit code).
     """
+
+    vector_safe = True
 
     def process(self, packet: Packet):
         spi = self.params.get("spi", packet.metadata.spi)
@@ -84,6 +92,8 @@ class SubgroupDemux(Module):
     Output gates are allocated with :meth:`register`, one per (spi, si)
     target, with ``instances`` consecutive gates for replicated subgroups.
     """
+
+    vector_safe = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -124,6 +134,8 @@ class SubgroupDemux(Module):
 class SubgroupMux(Module):
     """Funnels replicated instances back into one stream before encap."""
 
+    vector_safe = True
+
     def process(self, packet: Packet):
         return [(0, packet)]
 
@@ -138,6 +150,8 @@ class SIUpdate(Module):
     service paths. Fixed ``next_spi``/``next_si`` params override; with
     neither, SI simply decrements.
     """
+
+    vector_safe = True
 
     def process(self, packet: Packet):
         next_map = self.params.get("next_map")

@@ -126,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="distinct flows synthesized per chain")
     traffic_cmd.add_argument("--batch", type=int, default=64,
                              help="packets per injected batch")
+    traffic_cmd.add_argument("--vectorized", action="store_true",
+                             help="use the columnar fast path "
+                                  "(bit-identical to scalar replay)")
+    traffic_cmd.add_argument("--shards", type=int, default=1,
+                             help="replay chains across N worker processes "
+                                  "(deterministic metrics merge-back)")
 
     chaos_cmd = sub.add_parser(
         "chaos",
@@ -466,7 +472,9 @@ def cmd_traffic(args) -> int:
     rack = DeployedRack(topology, artifacts, placer.profiles)
     engine = TrafficEngine(rack, placement,
                            flows_per_chain=args.flows,
-                           batch_size=args.batch)
+                           batch_size=args.batch,
+                           vectorized=args.vectorized,
+                           shards=args.shards)
     report = engine.run(packets_per_chain=args.packets)
     from repro.cli_report import emit_report
 

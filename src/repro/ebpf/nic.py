@@ -68,6 +68,26 @@ class SmartNICRuntime:
             module.database = None
             self._nf_modules[index] = module
 
+    def route_entry(self, spi: int, si: int) -> Optional[tuple]:
+        """Resolve one demux route to ``(module, next_spi, next_si,
+        nic_cycles)``, or ``None`` when the program drops that coordinate.
+
+        The batched path and the columnar probe share this resolution so
+        their drop/forward decisions cannot diverge.
+        """
+        if self.program is None:
+            raise DataplaneError(f"{self.nic.name}: no program loaded")
+        route = self.program.demux.get((spi, si))
+        if route is None:
+            return None
+        section_index, next_spi, next_si, _exits = route
+        module = self._nf_modules.get(section_index)
+        if module is None:
+            return None
+        nf_class, _params = self._nf_specs[section_index]
+        nic_cycles = int(self.profiles.nic_cycles(nf_class) or 0)
+        return (module, next_spi, next_si, nic_cycles)
+
     def process(self, packet: Packet) -> Tuple[XDPAction, Packet]:
         """Run one packet through the XDP hook."""
         if self.program is None:
@@ -119,7 +139,6 @@ class SmartNICRuntime:
         if self.program is None:
             raise DataplaneError(f"{self.nic.name}: no program loaded")
         self.rx += len(packets)
-        demux = self.program.demux
         nic_name = self.nic.name
         route_cache: Dict[Tuple[int, int], Optional[tuple]] = {}
         results: List[Tuple[XDPAction, Packet]] = []
@@ -135,21 +154,7 @@ class SmartNICRuntime:
             key = (nsh.spi, nsh.si)
             entry = route_cache.get(key, False)
             if entry is False:
-                route = demux.get(key)
-                if route is None:
-                    entry = None
-                else:
-                    section_index, next_spi, next_si, _exits = route
-                    module = self._nf_modules.get(section_index)
-                    if module is None:
-                        entry = None
-                    else:
-                        nf_class, _params = self._nf_specs[section_index]
-                        nic_cycles = int(
-                            self.profiles.nic_cycles(nf_class) or 0
-                        )
-                        entry = (module, next_spi, next_si, nic_cycles)
-                route_cache[key] = entry
+                entry = route_cache[key] = self.route_entry(*key)
             if entry is None:
                 drops += 1
                 results.append((XDPAction.DROP, packet))

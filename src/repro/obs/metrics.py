@@ -99,6 +99,40 @@ class Histogram:
         if len(self._samples) < SAMPLE_CAP:
             self._samples.append(value)
 
+    def observe_many(self, values) -> None:
+        """Observe a whole batch, bit-identical to observing serially.
+
+        ``total`` must match a sequential ``total += v`` left fold exactly
+        (the batch-equivalence oracle compares registry dumps), so the sum
+        uses ``np.add.accumulate`` — a strict left-to-right recurrence —
+        rather than ``np.sum``'s pairwise reduction.
+        """
+        values = list(values) if not hasattr(values, "__len__") else values
+        n = len(values)
+        if n == 0:
+            return
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            for value in values:
+                self.observe(float(value))
+            return
+        arr = np.asarray(values, dtype=np.float64)
+        self.count += n
+        acc = np.empty(n + 1, dtype=np.float64)
+        acc[0] = self.total
+        acc[1:] = arr
+        self.total = float(np.add.accumulate(acc)[-1])
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if self.min is None or lo < self.min:
+            self.min = lo
+        if self.max is None or hi > self.max:
+            self.max = hi
+        room = SAMPLE_CAP - len(self._samples)
+        if room > 0:
+            self._samples.extend(arr[:room].tolist())
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -206,6 +240,9 @@ class _NullHistogram:
     mean = 0.0
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
     def merge(self, count, total, minimum, maximum, samples) -> None:

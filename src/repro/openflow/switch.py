@@ -63,6 +63,11 @@ class OpenFlowRuntime:
         self.rx = 0
         self.tx = 0
         self.drops = 0
+        #: When set (columnar probe), every rule match appends
+        #: ``(rule, len(packet) at match time)`` so the probe can undo the
+        #: counters :meth:`FlowTable.lookup` charged and replay them
+        #: arithmetically across a whole column.
+        self._match_trace: Optional[List[Tuple[FlowRule, int]]] = None
 
     def table(self, table_id: int) -> FlowTable:
         for table in self.tables:
@@ -87,6 +92,10 @@ class OpenFlowRuntime:
             rule = table.lookup(packet)
             next_index = table_index + 1
             if rule is not None:
+                if self._match_trace is not None:
+                    # packet length is still the match-time length here —
+                    # header-mutating actions run below
+                    self._match_trace.append((rule, len(packet)))
                 stop = False
                 for action in rule.actions:
                     kind = action[0]

@@ -1,0 +1,264 @@
+"""Columnar (structure-of-arrays) packet batches for the vectorized dataplane.
+
+The scalar dataplane moves :class:`~repro.net.packet.Packet` objects one
+attribute at a time; at high volume the Python object walk dominates. A
+:class:`PacketColumns` batch instead keeps **one frozen template packet per
+flow signature** plus numpy arrays for everything that is per-packet: the
+flow signature, injection sequence, cycle charges (total and per device),
+NSH ``(spi, si)`` labels, and per-hop cycle/latency columns. Because every
+packet of a signature is byte-identical, a service-path hop only has to be
+*probed* once per (device, coordinates, template-bytes) — the runtime runs
+one clone through the real platform runtime, records the per-module counter
+deltas and the transformed output template, and then replays the effect
+across the whole column arithmetically (see
+:meth:`repro.sim.runtime.DeployedRack.run_columns`).
+
+Divergent, stateful, or payload-mutating NFs fall back transparently:
+:meth:`materialize_packets` rebuilds real ``Packet`` objects mid-flight and
+the scalar block loop takes over, bit-identical to a scalar run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+
+def vector_fault_mask(seq: np.ndarray, seed: int, loss: float) -> np.ndarray:
+    """Vectorized :meth:`DeployedRack._fault_reason` partial-loss decision.
+
+    Bit-exact uint64 replication of the scalar hash: the mask is a
+    power-of-two truncation (so modular wrap-around is harmless) and the
+    final ``x / 2**32`` is exact in float64 for any 32-bit ``x``.
+    """
+    x = (seq.astype(np.uint64) * np.uint64(2654435761)
+         + np.uint64((seed * 40503 + 0x9E3779B9) & 0xFFFFFFFFFFFFFFFF))
+    x &= np.uint64(0xFFFFFFFF)
+    x ^= x >> np.uint64(16)
+    x = (x * np.uint64(0x45D9F3B)) & np.uint64(0xFFFFFFFF)
+    x ^= x >> np.uint64(16)
+    return (x.astype(np.float64) / 4294967296.0) < loss
+
+
+@dataclass
+class HopColumn:
+    """Per-hop record column: the vectorized ``hops`` metadata entry."""
+
+    device: str
+    platform: str
+    cycles: np.ndarray
+    exec_us: np.ndarray
+
+    def take(self, index) -> "HopColumn":
+        return HopColumn(self.device, self.platform,
+                         self.cycles[index], self.exec_us[index])
+
+
+class PacketColumns:
+    """A batch of packets in structure-of-arrays form.
+
+    ``templates`` maps flow signature -> the *current* frozen template
+    packet for that flow (replaced wholesale as hops transform it; never
+    mutated in place). The arrays are aligned per packet:
+
+    * ``sig``: flow signature of each packet (``int64``)
+    * ``seq``: rack injection sequence (``int64``; assigned by the rack)
+    * ``spi`` / ``si``: current NSH service-path labels (``int64``)
+    * ``cycles``: total cycles charged so far (``int64``)
+    * ``device_cycles``: device name -> per-packet cycles on that device's
+      clock, in first-charge order (``device_order``)
+    * ``hops``: one :class:`HopColumn` per completed hop
+    """
+
+    __slots__ = ("templates", "sig", "seq", "spi", "si", "cycles",
+                 "device_order", "device_cycles", "hops")
+
+    def __init__(self, templates: Dict[int, Packet], sig: np.ndarray,
+                 seq: Optional[np.ndarray] = None):
+        n = len(sig)
+        self.templates = templates
+        self.sig = np.asarray(sig, dtype=np.int64)
+        self.seq = (seq if seq is not None
+                    else np.zeros(n, dtype=np.int64))
+        self.spi = np.zeros(n, dtype=np.int64)
+        self.si = np.zeros(n, dtype=np.int64)
+        self.cycles = np.zeros(n, dtype=np.int64)
+        self.device_order: List[str] = []
+        self.device_cycles: Dict[str, np.ndarray] = {}
+        self.hops: List[HopColumn] = []
+
+    @classmethod
+    def for_flows(cls, flows: Sequence[Packet],
+                  sig: Sequence[int]) -> "PacketColumns":
+        """Batch ``len(sig)`` packets over a flow-template set: packet ``i``
+        is (virtually) a clone of ``flows[sig[i]]``."""
+        templates = {index: packet for index, packet in enumerate(flows)}
+        return cls(templates, np.asarray(sig, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.sig)
+
+    # -- derived columns (gathered from the current templates) -------------
+
+    def _gather(self, fn, dtype) -> np.ndarray:
+        values = {s: fn(t) for s, t in self.templates.items()}
+        return np.asarray([values[int(s)] for s in self.sig], dtype=dtype)
+
+    def lengths(self) -> np.ndarray:
+        """Current wire length of each packet."""
+        return self._gather(len, np.int64)
+
+    def ttls(self) -> np.ndarray:
+        """Current IPv4 TTL of each packet (0 where not IPv4)."""
+        return self._gather(
+            lambda t: t.ipv4.ttl if t.ipv4 is not None else 0, np.int64)
+
+    def flow_digests(self) -> np.ndarray:
+        """CRC32 flow digest of each packet."""
+        return self._gather(lambda t: t.flow_digest(), np.uint64)
+
+    def flow_keys(self) -> np.ndarray:
+        """Packed 13-byte flow keys (empty bytes where not IPv4)."""
+        return self._gather(
+            lambda t: t.flow_key_bytes() or b"", np.dtype("S13"))
+
+    # -- restructuring ------------------------------------------------------
+
+    def slice(self, start: int, end: int) -> "PacketColumns":
+        """A consecutive sub-block (templates are shared copy-on-write:
+        the dict is copied, the frozen packets are not)."""
+        return self._rebuild(slice(start, end))
+
+    def compress(self, mask: np.ndarray) -> "PacketColumns":
+        """Keep only the packets where ``mask`` is True."""
+        return self._rebuild(mask)
+
+    def _rebuild(self, index) -> "PacketColumns":
+        out = PacketColumns(dict(self.templates), self.sig[index],
+                            self.seq[index])
+        out.spi = self.spi[index]
+        out.si = self.si[index]
+        out.cycles = self.cycles[index]
+        out.device_order = list(self.device_order)
+        out.device_cycles = {
+            device: arr[index] for device, arr in self.device_cycles.items()
+        }
+        out.hops = [hop.take(index) for hop in self.hops]
+        return out
+
+    def charge_device(self, device: str, delta: np.ndarray) -> None:
+        """Accumulate per-packet cycles on ``device``'s clock."""
+        existing = self.device_cycles.get(device)
+        if existing is None:
+            self.device_order.append(device)
+            self.device_cycles[device] = delta.astype(np.int64)
+        else:
+            self.device_cycles[device] = existing + delta
+
+    # -- scalar bridge ------------------------------------------------------
+
+    def materialize_packets(self, chain_id: Optional[str] = None):
+        """Rebuild real ``Packet`` objects (plus their per-hop records) so
+        the scalar block loop can take over mid-flight."""
+        packets: List[Packet] = []
+        hop_records: Dict[int, List[dict]] = {}
+        for i in range(len(self.sig)):
+            packet = self.templates[int(self.sig[i])].copy()
+            meta = packet.metadata
+            meta.seq = int(self.seq[i])
+            if chain_id is not None:
+                meta.chain_id = chain_id
+            meta.cycles_consumed = int(self.cycles[i])
+            meta.cycles_by_device = {
+                device: int(self.device_cycles[device][i])
+                for device in self.device_order
+                if self.device_cycles[device][i]
+            }
+            hop_records[meta.seq] = [
+                {"device": hop.device, "platform": hop.platform,
+                 "cycles": int(hop.cycles[i]),
+                 "exec_us": float(hop.exec_us[i])}
+                for hop in self.hops
+            ]
+            packets.append(packet)
+        return packets, hop_records
+
+
+@dataclass
+class _FinishedBlock:
+    """A delivered block plus its latency columns (stamped lazily)."""
+
+    columns: PacketColumns
+    exec_us: np.ndarray
+    latency_us: np.ndarray
+    bounce_us: float
+    switch_us: float
+
+
+@dataclass
+class ColumnarRunResult:
+    """One :meth:`DeployedRack.run_columns` call's outcome.
+
+    Delivery counts are available without materializing packets (the hot
+    path the benchmarks measure); :meth:`materialize` rebuilds the full
+    per-packet ``RunResult`` view for equivalence checks and tracing.
+    """
+
+    chain_id: str
+    count: int
+    seq_base: int
+    #: seq -> delivered packet or None, for packets that went through the
+    #: scalar fallback bridge.
+    scalar: Dict[int, Optional[Packet]] = field(default_factory=dict)
+    blocks: List[_FinishedBlock] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        columnar = sum(len(block.columns) for block in self.blocks)
+        scalar = sum(1 for p in self.scalar.values() if p is not None)
+        return columnar + scalar
+
+    @property
+    def dropped(self) -> int:
+        return self.count - self.delivered
+
+    def __len__(self) -> int:
+        return self.count
+
+    def materialize(self) -> List[Optional[Packet]]:
+        """Per-packet outputs in injection order (``None`` = dropped)."""
+        outputs: List[Optional[Packet]] = [None] * self.count
+        for seq, packet in self.scalar.items():
+            outputs[seq - self.seq_base] = packet
+        for block in self.blocks:
+            cols = block.columns
+            for i in range(len(cols)):
+                seq = int(cols.seq[i])
+                packet = cols.templates[int(cols.sig[i])].copy()
+                meta = packet.metadata
+                meta.seq = seq
+                meta.chain_id = self.chain_id
+                meta.cycles_consumed = int(cols.cycles[i])
+                meta.cycles_by_device = {
+                    device: int(cols.device_cycles[device][i])
+                    for device in cols.device_order
+                    if cols.device_cycles[device][i]
+                }
+                fields = dict(meta.fields)
+                fields["exec_us"] = float(block.exec_us[i])
+                fields["bounce_us"] = block.bounce_us
+                fields["switch_us"] = block.switch_us
+                fields["latency_us"] = float(block.latency_us[i])
+                fields["hops"] = [
+                    {"device": hop.device, "platform": hop.platform,
+                     "cycles": int(hop.cycles[i]),
+                     "exec_us": float(hop.exec_us[i])}
+                    for hop in cols.hops
+                ]
+                meta.fields = fields
+                outputs[seq - self.seq_base] = packet
+        return outputs

@@ -16,12 +16,14 @@ aggregates into :class:`~repro.sim.measurement.PacketTraceResult`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.bess.module import Pipeline
 from repro.bess.modules import make_nf_module
-from repro.bess.nsh_modules import PortInc, PortOut
+from repro.bess.nsh_modules import PortInc, PortOut, SubgroupDemux
 from repro.bess.pipeline import build_bess_pipeline
 from repro.chain.graph import NFChain
 from repro.core.placement import ChainPlacement, Placement
@@ -37,7 +39,15 @@ from repro.net.packet import Packet
 from repro.obs import MetricsRegistry, get_registry
 from repro.openflow.switch import OpenFlowRuntime, decode_vid, encode_vid
 from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.sim.columns import (
+    ColumnarRunResult,
+    HopColumn,
+    PacketColumns,
+    _FinishedBlock,
+    vector_fault_mask,
+)
 from repro.sim.measurement import HopStat, PacketTraceResult
+from repro.units import SIM_PACKET_BYTES
 
 _MAX_EVENTS = 1000
 
@@ -95,6 +105,45 @@ class _ServerRuntime:
     port_out: PortOut
 
 
+@dataclass
+class _HopProbe:
+    """One probed (device, coordinates, template-bytes) hop outcome.
+
+    The columnar dataplane runs a single clone of a flow's template through
+    the real platform runtime, then undoes every counter the run charged.
+    What remains is this record: the transformed output template, the next
+    service-path coordinates, and the counter deltas to replay — multiplied
+    by however many packets of that signature traverse the hop.
+    """
+
+    survived: bool
+    template: Optional[Packet] = None
+    next_spi: int = 0
+    next_si: int = 0
+    #: fixed per-packet ``cycles_consumed`` delta (infra charges like NSH
+    #: encap/decap; RNG-sampled NF costs are replayed per packet instead)
+    pkt_cycles: int = 0
+    #: (module, rx, tx, dropped, cycles) counter deltas, one probe's worth
+    module_deltas: List[tuple] = field(default_factory=list)
+    #: modules that drew one RNG cost sample for the probe packet — the
+    #: column replay must draw once per member packet in arrival order
+    rng_modules: List[object] = field(default_factory=list)
+    #: (rx, tx, drops, cycles_charged) runtime-level deltas (OF/NIC)
+    runtime_deltas: Tuple[int, int, int, int] = (0, 0, 0, 0)
+    #: (FlowRule, match-time packet length) pairs the OF pipeline matched
+    of_rules: List[tuple] = field(default_factory=list)
+
+
+def _freeze_template(packet: Packet) -> Packet:
+    """Normalize a probe output into a flow template: per-packet charges
+    live in the columns, never on the shared template."""
+    meta = packet.metadata
+    meta.seq = None
+    meta.cycles_consumed = 0
+    meta.cycles_by_device = {}
+    return packet
+
+
 class DeployedRack:
     """A rack with compiled artifacts installed on every device."""
 
@@ -136,6 +185,13 @@ class DeployedRack:
 
         #: functional modules for switch-placed NFs, keyed by node id
         self._switch_modules: Dict[str, object] = {}
+
+        #: columnar probe memo: (kind, device, spi, si, template bytes) ->
+        #: :class:`_HopProbe`; cleared whenever routing changes.
+        self._hop_probes: Dict[tuple, _HopProbe] = {}
+        #: (server, spi, si) -> is every pipeline module reachable at those
+        #: coordinates vector-safe? (static closure walk, memoized)
+        self._route_safety: Dict[tuple, bool] = {}
 
         #: monotonic per-rack injection sequence (stamped into packet
         #: metadata; batched device runtimes use it to map emitted packets
@@ -225,6 +281,11 @@ class DeployedRack:
         #: The key covers every packet field the chain-DAG walk reads, so a
         #: hit is exact, not probabilistic.
         self._flow_paths: Dict[tuple, ServicePath] = {}
+
+        # columnar memos bind probe outcomes to the installed programs and
+        # routes; any artifact change invalidates them wholesale
+        self._hop_probes.clear()
+        self._route_safety.clear()
 
         #: (spi, entry_si) -> VLAN vid for OF switch hops; replaces the old
         #: O(paths × hops) ``_of_coordinates`` scan per switch pass with a
@@ -575,6 +636,675 @@ device_fingerprints`) decide what happens to each device:
                      packets: List[Packet]) -> List[Optional[Packet]]:
         """Batched injection: see :meth:`run` (this returns its outputs)."""
         return self.run(chain_placement, packets).outputs
+
+    # -- columnar (vectorized) event loop ------------------------------------------
+
+    def run_columns(self, chain_placement: ChainPlacement,
+                    columns: PacketColumns) -> ColumnarRunResult:
+        """Columnar counterpart of :meth:`run` — the vectorized fast path.
+
+        ``columns`` is consumed: its sequence/label arrays are assigned in
+        place. Counter-for-counter and bit-for-bit equivalent to cloning
+        the templates and calling :meth:`run`: each hop through vector-safe
+        code is *probed* once per (device, coordinates, template bytes) —
+        one real clone through the platform runtime — and the observed
+        effect is replayed across the whole column arithmetically.
+        Anything the probe model cannot express (stateful NFs, multi-emit
+        pipelines, classification-cache pressure) falls back to the scalar
+        block loop via :meth:`PacketColumns.materialize_packets`.
+        """
+        name = chain_placement.name
+        n = len(columns)
+        seq_base = self._next_seq
+        result = ColumnarRunResult(chain_id=name, count=n, seq_base=seq_base)
+        if n == 0:
+            return result
+        uniq, first_pos = np.unique(columns.sig, return_index=True)
+        usigs = [int(s) for s in uniq]
+        dirty = any(
+            columns.templates[s].metadata.cycles_consumed
+            or columns.templates[s].metadata.cycles_by_device
+            or columns.templates[s].metadata.drop_flag
+            for s in usigs
+        )
+        if dirty or len(self._flow_paths) + len(usigs) >= _FLOW_CACHE_MAX:
+            # pre-charged templates and a classification cache about to
+            # clear mid-batch are scalar-path territory: replicate exactly
+            packets, _records = columns.materialize_packets()
+            scalar_run = self.run(chain_placement, packets)
+            result.scalar = {
+                seq_base + i: packet
+                for i, packet in enumerate(scalar_run.outputs)
+            }
+            return result
+        path_of: Dict[int, ServicePath] = {}
+        for pos in np.argsort(first_pos).tolist():
+            sig = usigs[pos]
+            path_of[sig] = self.classify(
+                chain_placement, columns.templates[sig]
+            )
+        # classify() counted one hit-or-miss per distinct flow; the other
+        # packets of each flow are cache hits by definition
+        clones = n - len(usigs)
+        if clones:
+            self._flow_cache_hit.inc(clones)
+        columns.seq = np.arange(seq_base, seq_base + n, dtype=np.int64)
+        self._next_seq = seq_base + n
+        self._chain_instruments(name)["injected"].inc(n)
+
+        # partition into maximal consecutive same-service-path runs, as the
+        # scalar loop does, so module state/RNG evolve in injection order
+        paths: List[ServicePath] = []
+        path_ids: Dict[int, int] = {}
+        pid_of_sig: Dict[int, int] = {}
+        for sig in usigs:
+            path = path_of[sig]
+            pid = path_ids.get(id(path))
+            if pid is None:
+                pid = path_ids[id(path)] = len(paths)
+                paths.append(path)
+            pid_of_sig[sig] = pid
+        pid_uniq = np.asarray([pid_of_sig[s] for s in usigs])
+        pid_arr = pid_uniq[np.searchsorted(uniq, columns.sig)]
+        change = np.flatnonzero(pid_arr[1:] != pid_arr[:-1]) + 1
+        bounds = [0, *change.tolist(), n]
+        single = len(bounds) == 2
+        for b0, b1 in zip(bounds, bounds[1:]):
+            path = paths[int(pid_arr[b0])]
+            block = columns if single else columns.slice(b0, b1)
+            self._run_block_columns(
+                chain_placement, block, path.spi,
+                path.si_of[path.node_ids[0]], 0, 1, result, _MAX_EVENTS,
+            )
+        return result
+
+    def _run_block_columns(self, cp: ChainPlacement, cols: PacketColumns,
+                           spi: int, si: int, excursions: int,
+                           switch_passes: int, result: ColumnarRunResult,
+                           budget: int) -> None:
+        """Columnar :meth:`_run_block`: the same hop loop, whole-column ops.
+
+        Probes run *before* any counter or fault-state side effect, so a
+        non-vectorizable discovery can still hand the block to the scalar
+        loop at the top of the current hop with nothing double-counted.
+        """
+        name = cp.name
+        switch_name = self.topology.switch.name
+        while budget > 0:
+            budget -= 1
+            path = self.paths_by_spi.get(spi)
+            if path is None:
+                raise DataplaneError(f"unknown SPI {spi}")
+            if si == 0:
+                self._finish_columns(cp, cols, excursions, switch_passes,
+                                     result)
+                return
+            cols.spi.fill(spi)
+            cols.si.fill(si)
+            hop_index = self._hop_index_for(path, si)
+            hop = path.hops[hop_index]
+            nxt = path.hop_after(hop_index)
+
+            if hop.device == switch_name:
+                probes = self._probe_column_switch(cp, hop, cols, spi, si)
+                if probes is None:
+                    self._fallback_block_columns(
+                        cp, cols, spi, si, excursions, switch_passes,
+                        result, budget + 1,
+                    )
+                    return
+                uniq, inv = np.unique(cols.sig, return_inverse=True)
+                usigs = [int(s) for s in uniq]
+                in_c, out_c, _ = self._dev_counters[hop.device]
+                in_c.inc(len(cols))
+                self._replay_probes(probes, usigs, np.bincount(inv),
+                                    runtime=self.of_runtime)
+                surv = np.asarray(
+                    [probes[s].survived for s in usigs], dtype=bool
+                )[inv]
+                dropped = len(cols) - int(surv.sum())
+                if dropped:
+                    reason = ("openflow_rule" if self.of_runtime is not None
+                              else "switch_nf")
+                    for counter in self._drop_counter_pair(
+                        name, hop.device, reason
+                    ):
+                        counter.inc(dropped)
+                    cols = cols.compress(surv)
+                out_c.inc(len(cols))
+                if not len(cols):
+                    return
+                live_sigs = {int(s) for s in cols.sig}
+                for sig in live_sigs:
+                    cols.templates[sig] = probes[sig].template
+                if any(probes[s].pkt_cycles for s in live_sigs):
+                    u2, i2 = np.unique(cols.sig, return_inverse=True)
+                    charged = np.asarray(
+                        [probes[int(s)].pkt_cycles for s in u2],
+                        dtype=np.int64,
+                    )[i2]
+                    cols.cycles = cols.cycles + charged
+                cols.hops.append(HopColumn(
+                    hop.device, hop.platform,
+                    np.zeros(len(cols), dtype=np.int64),
+                    np.zeros(len(cols), dtype=np.float64),
+                ))
+                if nxt is None:
+                    self._finish_columns(cp, cols, excursions,
+                                         switch_passes, result)
+                    return
+                spi, si = path.spi, nxt.entry_si
+                continue
+
+            # -- server / SmartNIC hop ------------------------------------
+            # float-order corner: revisiting a device would interleave with
+            # earlier charges in cycles_by_device insertion order; rare
+            # enough to take the scalar path
+            revisit = hop.device in cols.device_cycles
+            if hop.platform == Platform.SERVER.value:
+                server_rt = self.servers.get(hop.device)
+                if (revisit or server_rt is None
+                        or not self._server_route_safe(hop.device, spi, si)):
+                    self._fallback_block_columns(
+                        cp, cols, spi, si, excursions, switch_passes,
+                        result, budget + 1,
+                    )
+                    return
+                reason = "server_pipeline"
+                runtime = None
+            elif hop.platform == Platform.SMARTNIC.value:
+                runtime = self.nics.get(hop.device)
+                loaded = runtime is not None and runtime.program is not None
+                entry = runtime.route_entry(spi, si) if loaded else None
+                if (revisit or not loaded
+                        or (entry is not None
+                            and not entry[0].vector_safe)):
+                    self._fallback_block_columns(
+                        cp, cols, spi, si, excursions, switch_passes,
+                        result, budget + 1,
+                    )
+                    return
+                reason = "nic_program"
+            else:
+                raise DataplaneError(
+                    f"unexpected hop platform {hop.platform}"
+                )
+
+            probes = {}
+            for sig in {int(s) for s in cols.sig}:
+                if runtime is None:
+                    probe = self._probe_server_sig(
+                        server_rt, hop.device, spi, si, cols.templates[sig]
+                    )
+                else:
+                    probe = self._probe_nic_sig(
+                        runtime, hop.device, spi, si, cols.templates[sig]
+                    )
+                if probe is None:
+                    self._fallback_block_columns(
+                        cp, cols, spi, si, excursions, switch_passes,
+                        result, budget + 1,
+                    )
+                    return
+                probes[sig] = probe
+
+            excursions += 1
+            switch_passes += 1
+            if self._fault_failed or self._fault_loss:
+                if hop.device in self._fault_failed:
+                    for counter in self._drop_counter_pair(
+                        name, hop.device, "device_failed"
+                    ):
+                        counter.inc(len(cols))
+                    return
+                loss = self._fault_loss.get(hop.device)
+                if loss:
+                    drop = vector_fault_mask(cols.seq, self.seed, loss)
+                    ndrop = int(drop.sum())
+                    if ndrop:
+                        for counter in self._drop_counter_pair(
+                            name, hop.device, "link_degraded"
+                        ):
+                            counter.inc(ndrop)
+                        cols = cols.compress(~drop)
+                        if not len(cols):
+                            return
+
+            in_c, out_c, _ = self._dev_counters[hop.device]
+            in_c.inc(len(cols))
+            uniq, inv = np.unique(cols.sig, return_inverse=True)
+            usigs = [int(s) for s in uniq]
+            self._replay_probes(probes, usigs, np.bincount(inv),
+                                runtime=runtime)
+            charged = np.asarray(
+                [probes[s].pkt_cycles for s in usigs], dtype=np.int64
+            )[inv]
+            if any(probes[s].rng_modules for s in usigs):
+                charged = charged + self._replay_rng(
+                    probes, [int(s) for s in cols.sig]
+                )
+            surv = np.asarray(
+                [probes[s].survived for s in usigs], dtype=bool
+            )[inv]
+            n_surv = int(surv.sum())
+            dropped = len(cols) - n_surv
+            if dropped:
+                for counter in self._drop_counter_pair(
+                    name, hop.device, reason
+                ):
+                    counter.inc(dropped)
+            charged_surv = charged[surv] if dropped else charged
+            total = int(charged_surv.sum())
+            if total:
+                self._cycles_counter(hop.device).inc(total)
+            out_c.inc(n_surv)
+            if not n_surv:
+                return
+            if dropped:
+                cols = cols.compress(surv)
+            cols.cycles = cols.cycles + charged_surv
+            cols.charge_device(hop.device, charged_surv)
+            freq = self.device_freq(hop.device)
+            cols.hops.append(HopColumn(
+                hop.device, hop.platform, charged_surv,
+                charged_surv / freq * 1e6,
+            ))
+            u2, i2 = np.unique(cols.sig, return_inverse=True)
+            usigs2 = [int(s) for s in u2]
+            for sig in usigs2:
+                cols.templates[sig] = probes[sig].template
+            nspi = np.asarray(
+                [probes[s].next_spi for s in usigs2], dtype=np.int64
+            )[i2]
+            nsi = np.asarray(
+                [probes[s].next_si for s in usigs2], dtype=np.int64
+            )[i2]
+            if len(usigs2) == 1 or bool(
+                np.all((nspi == nspi[0]) & (nsi == nsi[0]))
+            ):
+                spi, si = int(nspi[0]), int(nsi[0])
+                continue
+            # Divergent next coordinates: recurse on consecutive
+            # same-coordinate runs, as the scalar loop does.
+            change = np.flatnonzero(
+                (nspi[1:] != nspi[:-1]) | (nsi[1:] != nsi[:-1])
+            ) + 1
+            bounds = [0, *change.tolist(), len(cols)]
+            for b0, b1 in zip(bounds, bounds[1:]):
+                self._run_block_columns(
+                    cp, cols.slice(b0, b1), int(nspi[b0]), int(nsi[b0]),
+                    excursions, switch_passes, result, budget,
+                )
+            return
+        raise DataplaneError("packet exceeded the rack event budget (loop?)")
+
+    def _fallback_block_columns(self, cp: ChainPlacement,
+                                cols: PacketColumns, spi: int, si: int,
+                                excursions: int, switch_passes: int,
+                                result: ColumnarRunResult,
+                                budget: int) -> None:
+        """Materialize the column and let the scalar block loop take over
+        mid-flight (state so far — cycles, hop records — comes along)."""
+        packets, hop_records = cols.materialize_packets(chain_id=cp.name)
+        self._run_block(cp, packets, spi, si, excursions, switch_passes,
+                        result.scalar, budget, hop_records)
+
+    def _replay_probes(self, probes: Dict[int, _HopProbe],
+                       usigs: List[int], counts: np.ndarray,
+                       runtime=None) -> None:
+        """Replay probe counter deltas across the column: one signature's
+        probe effect, multiplied by its packet multiplicity."""
+        for sig, k in zip(usigs, counts.tolist()):
+            probe = probes[sig]
+            for m, rx_d, tx_d, dr_d, cy_d in probe.module_deltas:
+                m.rx_packets += rx_d * k
+                m.tx_packets += tx_d * k
+                m.dropped_packets += dr_d * k
+                m.cycles_charged += cy_d * k
+            if runtime is not None:
+                rx_d, tx_d, dr_d, cy_d = probe.runtime_deltas
+                runtime.rx += rx_d * k
+                runtime.tx += tx_d * k
+                runtime.drops += dr_d * k
+                if cy_d:
+                    runtime.cycles_charged += cy_d * k
+            for rule, match_len in probe.of_rules:
+                rule.packets += k
+                rule.bytes += match_len * k
+
+    def _replay_rng(self, probes: Dict[int, _HopProbe],
+                    sig_list: List[int]) -> np.ndarray:
+        """Per-packet RNG cost draws, replayed in block arrival order.
+
+        Each module's stream must advance exactly as under scalar
+        injection: one ``uniform(low, worst)`` draw per packet that reaches
+        it, in the order the packets arrive. ``low + (worst - low) * r``
+        with ``r`` pulled from the module's own RNG reproduces
+        ``random.Random.uniform`` bit-for-bit, and the float64 elementwise
+        arithmetic matches the scalar expression exactly.
+        """
+        extra = np.zeros(len(sig_list), dtype=np.int64)
+        plan: Dict[int, List[int]] = {}
+        owners: Dict[int, object] = {}
+        for i, sig in enumerate(sig_list):
+            for module in probes[sig].rng_modules:
+                key = id(module)
+                members = plan.get(key)
+                if members is None:
+                    members = plan[key] = []
+                    owners[key] = module
+                members.append(i)
+        for key, members in plan.items():
+            module = owners[key]
+            low, worst = module._cost_bounds()
+            span = worst - low
+            rand = module._rng.random
+            draws = np.asarray([rand() for _ in members], dtype=np.float64)
+            charged = (low + span * draws).astype(np.int64)
+            module.cycles_charged += int(charged.sum())
+            extra[np.asarray(members, dtype=np.intp)] += charged
+        return extra
+
+    # -- columnar hop probes -------------------------------------------------------
+
+    def _remember_probe(self, key: tuple, probe: _HopProbe) -> _HopProbe:
+        if len(self._hop_probes) >= _FLOW_CACHE_MAX:
+            self._hop_probes.clear()
+        self._hop_probes[key] = probe
+        return probe
+
+    def _probe_column_switch(self, cp: ChainPlacement, hop,
+                             cols: PacketColumns, spi: int, si: int
+                             ) -> Optional[Dict[int, _HopProbe]]:
+        """Probe a switch hop for every signature in the column, or None
+        when any part of it is not vectorizable."""
+        if self.of_runtime is None:
+            for nid in hop.node_ids:
+                if not self._switch_module(cp, nid).vector_safe:
+                    return None
+        probes: Dict[int, _HopProbe] = {}
+        for sig in {int(s) for s in cols.sig}:
+            template = cols.templates[sig]
+            if self.of_runtime is not None:
+                probe = self._probe_of_sig(hop, spi, si, template)
+            else:
+                probe = self._probe_pisa_sig(cp, hop, spi, si, template)
+            if probe is None:
+                return None
+            probes[sig] = probe
+        return probes
+
+    def _probe_of_sig(self, hop, spi: int, si: int,
+                      template: Packet) -> Optional[_HopProbe]:
+        key = ("of", hop.device, spi, si, template.data)
+        probe = self._hop_probes.get(key)
+        if probe is not None:
+            return probe
+        of = self.of_runtime
+        vid = self._of_vid[(spi, si)]
+        clone = template.copy()
+        if clone.vlan is None:
+            clone.push_vlan(vid)
+        else:
+            clone.vlan.vid = vid
+            clone.commit()
+        snap = (of.rx, of.tx, of.drops)
+        trace: List[tuple] = []
+        of._match_trace = trace
+        try:
+            of_result = of.process(clone)
+        finally:
+            of._match_trace = None
+        runtime_deltas = (
+            of.rx - snap[0], of.tx - snap[1], of.drops - snap[2], 0
+        )
+        of.rx, of.tx, of.drops = snap
+        for rule, match_len in trace:
+            rule.packets -= 1
+            rule.bytes -= match_len
+        if of_result.dropped:
+            probe = _HopProbe(survived=False)
+        else:
+            out = of_result.packet
+            out.pop_vlan()
+            probe = _HopProbe(survived=True, template=_freeze_template(out))
+        probe.runtime_deltas = runtime_deltas
+        probe.of_rules = list(trace)
+        return self._remember_probe(key, probe)
+
+    def _probe_pisa_sig(self, cp: ChainPlacement, hop, spi: int, si: int,
+                        template: Packet) -> Optional[_HopProbe]:
+        key = ("sw", hop.device, spi, si, template.data)
+        probe = self._hop_probes.get(key)
+        if probe is not None:
+            return probe
+        modules = [self._switch_module(cp, nid) for nid in hop.node_ids]
+        snaps = [
+            (m.rx_packets, m.tx_packets, m.dropped_packets, m.cycles_charged)
+            for m in modules
+        ]
+        clone = template.copy()
+        live = [clone]
+        for module in modules:
+            if not live:
+                break
+            live = [pkt for _gate, pkt in module.receive_batch(live)]
+        module_deltas = []
+        for module, snap in zip(modules, snaps):
+            deltas = (
+                module.rx_packets - snap[0],
+                module.tx_packets - snap[1],
+                module.dropped_packets - snap[2],
+                module.cycles_charged - snap[3],
+            )
+            if any(deltas):
+                module_deltas.append((module, *deltas))
+            (module.rx_packets, module.tx_packets,
+             module.dropped_packets, module.cycles_charged) = snap
+        if len(live) > 1:
+            return None  # multi-emit switch NFs take the scalar path
+        if live:
+            out = live[0]
+            pkt_cycles = out.metadata.cycles_consumed
+            probe = _HopProbe(survived=True,
+                              template=_freeze_template(out),
+                              pkt_cycles=pkt_cycles)
+        else:
+            probe = _HopProbe(survived=False)
+        probe.module_deltas = module_deltas
+        return self._remember_probe(key, probe)
+
+    def _probe_server_sig(self, server_rt: _ServerRuntime, server: str,
+                          spi: int, si: int,
+                          template: Packet) -> Optional[_HopProbe]:
+        key = ("srv", server, spi, si, template.data)
+        probe = self._hop_probes.get(key)
+        if probe is not None:
+            return probe
+        modules = list(server_rt.pipeline.modules.values())
+        snaps = [
+            (m.rx_packets, m.tx_packets, m.dropped_packets,
+             m.cycles_charged, m.database)
+            for m in modules
+        ]
+        # database=None makes account() a no-op, so the probe cannot
+        # advance any module's RNG stream; fixed infra charges (NSH
+        # encap/decap, demux LB) still land in cycles_consumed and the
+        # counter diffs below.
+        for module in modules:
+            module.database = None
+        pending = server_rt.port_out.drain()
+        clone = template.copy()
+        clone.push_nsh(spi, si)
+        try:
+            server_rt.pipeline.push_batch(
+                [clone], entry=server_rt.port_inc.name
+            )
+            emitted = server_rt.port_out.drain()
+        finally:
+            if pending:
+                server_rt.port_out.emitted = (
+                    pending + server_rt.port_out.emitted
+                )
+            module_deltas = []
+            rng_modules = []
+            replayable = True
+            for module, snap in zip(modules, snaps):
+                deltas = (
+                    module.rx_packets - snap[0],
+                    module.tx_packets - snap[1],
+                    module.dropped_packets - snap[2],
+                    module.cycles_charged - snap[3],
+                )
+                if any(deltas):
+                    module_deltas.append((module, *deltas))
+                    if snap[4] is not None and module.nf_class is not None \
+                            and deltas[0]:
+                        if deltas[0] != 1:
+                            replayable = False  # revisit loops: scalar path
+                        rng_modules.append(module)
+                (module.rx_packets, module.tx_packets,
+                 module.dropped_packets, module.cycles_charged) = snap[:4]
+                module.database = snap[4]
+        if not replayable or len(emitted) > 1:
+            return None
+        if emitted:
+            out = emitted[0]
+            nsh = out.pop_nsh()
+            if nsh is None:
+                return None  # let the scalar path raise faithfully
+            pkt_cycles = out.metadata.cycles_consumed
+            probe = _HopProbe(survived=True,
+                              template=_freeze_template(out),
+                              next_spi=nsh.spi, next_si=nsh.si,
+                              pkt_cycles=pkt_cycles)
+        else:
+            probe = _HopProbe(survived=False)
+        probe.module_deltas = module_deltas
+        probe.rng_modules = rng_modules
+        return self._remember_probe(key, probe)
+
+    def _probe_nic_sig(self, runtime: SmartNICRuntime, nic: str, spi: int,
+                       si: int, template: Packet) -> Optional[_HopProbe]:
+        key = ("nic", nic, spi, si, template.data)
+        probe = self._hop_probes.get(key)
+        if probe is not None:
+            return probe
+        entry = runtime.route_entry(spi, si)
+        module = entry[0] if entry is not None else None
+        msnap = None
+        if module is not None:
+            msnap = (module.rx_packets, module.tx_packets,
+                     module.dropped_packets, module.cycles_charged)
+        rsnap = (runtime.rx, runtime.tx, runtime.drops,
+                 runtime.cycles_charged)
+        clone = template.copy()
+        clone.push_nsh(spi, si)
+        action, out = runtime.process_batch([clone])[0]
+        module_deltas = []
+        if module is not None:
+            deltas = (
+                module.rx_packets - msnap[0],
+                module.tx_packets - msnap[1],
+                module.dropped_packets - msnap[2],
+                module.cycles_charged - msnap[3],
+            )
+            if any(deltas):
+                module_deltas.append((module, *deltas))
+            (module.rx_packets, module.tx_packets,
+             module.dropped_packets, module.cycles_charged) = msnap
+        runtime_deltas = (
+            runtime.rx - rsnap[0], runtime.tx - rsnap[1],
+            runtime.drops - rsnap[2], runtime.cycles_charged - rsnap[3],
+        )
+        runtime.rx, runtime.tx, runtime.drops, runtime.cycles_charged = rsnap
+        if action is XDPAction.TX:
+            nsh = out.pop_nsh()
+            if nsh is None:
+                return None
+            pkt_cycles = out.metadata.cycles_consumed
+            probe = _HopProbe(survived=True,
+                              template=_freeze_template(out),
+                              next_spi=nsh.spi, next_si=nsh.si,
+                              pkt_cycles=pkt_cycles)
+        else:
+            probe = _HopProbe(survived=False)
+        probe.module_deltas = module_deltas
+        probe.runtime_deltas = runtime_deltas
+        return self._remember_probe(key, probe)
+
+    def _server_route_safe(self, server: str, spi: int, si: int) -> bool:
+        """Can a (server, coordinates) hop be probe-replayed?
+
+        A static walk of the pipeline subgraph reachable at those
+        coordinates, memoized. It runs *before* any probe: pushing even one
+        clone through an unsafe module (say NAT) would already mutate its
+        state, so safety must be decided without touching the pipeline.
+        """
+        key = (server, spi, si)
+        cached = self._route_safety.get(key)
+        if cached is not None:
+            return cached
+        runtime = self.servers[server]
+        safe = True
+        stack: List[object] = [runtime.port_inc]
+        seen: set = set()
+        while stack:
+            module = stack.pop()
+            if id(module) in seen:
+                continue
+            seen.add(id(module))
+            if not module.vector_safe:
+                safe = False
+                break
+            if isinstance(module, SubgroupDemux):
+                # only the gates this (spi, si) can take; a missing route
+                # is a clean drop, which the probe replays fine
+                route = module._routes.get((spi, si))
+                gates = []
+                if route is not None:
+                    base_gate, instances = route
+                    gates = range(base_gate, base_gate + instances)
+            else:
+                gates = list(module._ogates)
+            for gate in gates:
+                downstream = module.downstream(gate)
+                if downstream is not None:
+                    stack.append(downstream)
+        self._route_safety[key] = safe
+        return safe
+
+    def _finish_columns(self, cp: ChainPlacement, cols: PacketColumns,
+                        excursions: int, switch_passes: int,
+                        result: ColumnarRunResult) -> None:
+        """Columnar :meth:`_finish_batch`: latency columns + histograms."""
+        inst = self._chain_instruments(cp.name)
+        n = len(cols)
+        inst["delivered"].inc(n)
+        exec_us = np.zeros(n, dtype=np.float64)
+        attributed = np.zeros(n, dtype=np.int64)
+        for device in cols.device_order:
+            arr = cols.device_cycles[device]
+            exec_us = exec_us + arr / self.device_freq(device) * 1e6
+            attributed = attributed + arr
+        unattributed = cols.cycles - attributed
+        over = unattributed > 0
+        if bool(over.any()):
+            exec_us[over] = (
+                exec_us[over]
+                + unattributed[over] / self._fallback_freq * 1e6
+            )
+        bounce_us = excursions * self.topology.bounce_rtt_us
+        switch_us = switch_passes * SWITCH_TRANSIT_US
+        latency_us = exec_us + bounce_us + switch_us
+        inst["latency"].observe_many(latency_us)
+        inst["exec_us"].observe_many(exec_us)
+        inst["bounce_us"].observe_many(np.full(n, bounce_us))
+        inst["switch_us"].observe_many(np.full(n, switch_us))
+        result.blocks.append(_FinishedBlock(
+            columns=cols, exec_us=exec_us, latency_us=latency_us,
+            bounce_us=bounce_us, switch_us=switch_us,
+        ))
 
     def _run_block(self, cp: ChainPlacement, packets: List[Packet],
                    spi: int, si: int, excursions: int, switch_passes: int,
@@ -1102,5 +1832,5 @@ def _chain_packet(chain: NFChain, index: int) -> Packet:
         dst_port=aggregate.dst_port or 80,
         proto=aggregate.proto or 6,
         payload=payload,
-        total_bytes=512,
+        total_bytes=SIM_PACKET_BYTES,
     )

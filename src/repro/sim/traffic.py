@@ -2,26 +2,45 @@
 
 The :class:`TrafficEngine` synthesizes a per-chain flow set inside each
 chain's traffic aggregate, replays ``packets_per_chain`` packets over those
-flows through :meth:`DeployedRack.run`, and reports what the
-deployed rack achieved: simulator packets/second, delivery fraction, and
-the delivered rate against the LP's per-chain rate assignment
-(``Placement.rates``) — the same quantity Figure 2's measured bars are
-drawn from.
+flows through :meth:`DeployedRack.run` (or the columnar
+:meth:`DeployedRack.run_columns` when ``vectorized=True``), and reports
+what the deployed rack achieved: simulator packets/second, delivery
+fraction, and the delivered rate against the LP's per-chain rate
+assignment (``Placement.rates``) — the same quantity Figure 2's measured
+bars are drawn from.
+
+Measurement discipline: flow templates are synthesized **once** per chain
+(:meth:`TrafficEngine.synthesize_flows`) and cheap clones cycle through
+the rack, with only the rack work inside the timed region — reported
+walls measure the dataplane, not Python packet construction. The
+aggregate :attr:`TrafficReport.achieved_pps` uses the whole-run wall
+clock, so concurrent shards (``shards=N``) report real throughput rather
+than a sum of per-chain walls.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.placement import ChainPlacement, Placement
+from repro.hw.topology import Topology
+from repro.metacompiler.compiler import CompiledArtifacts
 from repro.net.packet import Packet
+from repro.obs import scoped_registry
+from repro.profiles.defaults import ProfileDatabase
+from repro.sim.columns import PacketColumns
 from repro.sim.runtime import DeployedRack, _chain_packet
+from repro.units import SIM_PACKET_BITS
 
-#: packet size used for rate conversion — matches the synthesized packets'
-#: ``total_bytes`` in :func:`repro.sim.runtime._chain_packet`.
-PACKET_BITS = 512 * 8
+#: packet size used for rate conversion — derived from the single source
+#: of truth in :mod:`repro.units`, which also sizes the synthesized
+#: packets' ``total_bytes`` in :func:`repro.sim.runtime._chain_packet`.
+PACKET_BITS = SIM_PACKET_BITS
 
 
 @dataclass
@@ -33,6 +52,8 @@ class ChainTrafficReport:
     injected: int
     delivered: int
     dropped: int
+    #: wall-clock spent in rack work for this chain (packet construction
+    #: happens outside the timed region).
     wall_seconds: float
     #: the LP's rate assignment for this chain (Mbps); 0 when unassigned.
     assigned_mbps: float
@@ -61,6 +82,13 @@ class TrafficReport:
     """Aggregate of one :meth:`TrafficEngine.run` invocation."""
 
     chains: List[ChainTrafficReport] = field(default_factory=list)
+    #: wall-clock of the whole run() invocation — the denominator for
+    #: aggregate throughput. With shards the per-chain walls overlap in
+    #: time, so summing them would overstate elapsed time; this is the
+    #: real start-to-finish duration.
+    run_wall_seconds: float = 0.0
+    #: per-shard replay walls (empty for an unsharded run).
+    shard_walls: List[float] = field(default_factory=list)
 
     @property
     def injected(self) -> int:
@@ -72,13 +100,17 @@ class TrafficReport:
 
     @property
     def wall_seconds(self) -> float:
+        """Total rack-work wall summed over chains (overlaps under
+        shards; use :attr:`run_wall_seconds` for elapsed time)."""
         return sum(c.wall_seconds for c in self.chains)
 
     @property
     def achieved_pps(self) -> float:
-        if self.wall_seconds <= 0:
+        """Aggregate throughput against the whole-run wall clock."""
+        wall = self.run_wall_seconds or self.wall_seconds
+        if wall <= 0:
             return 0.0
-        return self.injected / self.wall_seconds
+        return self.injected / wall
 
     @property
     def aggregate_delivered_mbps(self) -> float:
@@ -108,22 +140,96 @@ class TrafficReport:
             f"{self.aggregate_assigned_mbps:>9.0f} "
             f"{self.aggregate_delivered_mbps:>10.0f}"
         )
+        if self.shard_walls:
+            walls = ", ".join(f"{w:.2f}s" for w in self.shard_walls)
+            lines.append(
+                f"shards: {len(self.shard_walls)} (replay walls: {walls}; "
+                f"run wall: {self.run_wall_seconds:.2f}s)"
+            )
         return "\n".join(lines)
 
 
+@dataclass
+class _ShardTask:
+    """One worker's share of a sharded replay (must be picklable)."""
+
+    shard_index: int
+    chain_names: List[str]
+    packets_per_chain: int
+    topology: Topology
+    artifacts: CompiledArtifacts
+    profiles: ProfileDatabase
+    placement: Placement
+    seed: int
+    flows_per_chain: int
+    batch_size: int
+    vectorized: bool
+
+
+def _run_traffic_shard(task: _ShardTask) -> Tuple[int, list, dict, float]:
+    """Pool entry point: rebuild the rack from its compiled artifacts under
+    a fresh scoped registry and replay this shard's chains.
+
+    Ships back ``(shard index, chain rows, registry dump, replay wall)``;
+    the parent merges the observability state in shard-index order so
+    nothing recorded in a worker is lost to process isolation (the same
+    contract as :mod:`repro.experiments.parallel`).
+    """
+    with scoped_registry() as registry:
+        rack = DeployedRack(
+            task.topology, task.artifacts, task.profiles,
+            seed=task.seed, registry=registry,
+        )
+        engine = TrafficEngine(
+            rack, task.placement,
+            flows_per_chain=task.flows_per_chain,
+            batch_size=task.batch_size,
+            vectorized=task.vectorized,
+        )
+        started = time.perf_counter()
+        rows = [
+            engine._run_chain(cp, task.packets_per_chain)
+            for cp in task.placement.chains
+            if cp.name in task.chain_names
+        ]
+        wall = time.perf_counter() - started
+        state = registry.dump_state()
+    return task.shard_index, rows, state, wall
+
+
 class TrafficEngine:
-    """Replay synthesized flow sets through a deployed rack in batches."""
+    """Replay synthesized flow sets through a deployed rack in batches.
+
+    ``vectorized=True`` switches injection to the columnar fast path
+    (:meth:`DeployedRack.run_columns`): one :class:`PacketColumns` batch
+    per injection instead of per-packet clones — bit-identical outcomes,
+    an order of magnitude more packets per second.
+
+    ``shards=N`` replays chains over ``N`` worker processes (round-robin
+    by chain), each rebuilding the rack from the same compiled artifacts
+    and seed; per-worker metrics merge back deterministically. Delivery
+    outcomes are shard-count invariant; walls and pps reflect the
+    parallelism.
+    """
 
     def __init__(self, rack: DeployedRack, placement: Placement, *,
-                 flows_per_chain: int = 64, batch_size: int = 64):
+                 flows_per_chain: int = 64, batch_size: int = 64,
+                 vectorized: bool = False, shards: int = 1):
         if flows_per_chain < 1:
             raise ValueError("flows_per_chain must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.rack = rack
         self.placement = placement
         self.flows_per_chain = flows_per_chain
         self.batch_size = batch_size
+        self.vectorized = vectorized
+        self.shards = shards
+        #: chain name -> (chain object, synthesized flow templates); the
+        #: chain object guards against a redeployed chain of the same name.
+        self._flows: Dict[str, tuple] = {}
 
     def synthesize_flows(self, cp: ChainPlacement) -> List[Packet]:
         """One template packet per flow, all inside the chain's aggregate.
@@ -131,12 +237,19 @@ class TrafficEngine:
         Flow keys vary by source address and source port (the same scheme
         :meth:`DeployedRack.trace_chains` uses), so repeated replay of a
         flow exercises the rack's per-flow classification cache the way a
-        real traffic mix would.
+        real traffic mix would. Synthesized once per chain and memoized:
+        replay cycles cheap clones of these templates (the templates
+        themselves are never injected, so they stay pristine).
         """
-        return [
+        cached = self._flows.get(cp.name)
+        if cached is not None and cached[0] is cp.chain:
+            return cached[1]
+        flows = [
             _chain_packet(cp.chain, index)
             for index in range(self.flows_per_chain)
         ]
+        self._flows[cp.name] = (cp.chain, flows)
+        return flows
 
     def replay_batch(self, cp: ChainPlacement, cursor: int,
                      count: int) -> Tuple[int, int]:
@@ -148,46 +261,77 @@ class TrafficEngine:
         redeploy continues the same deterministic flow sequence. Returns
         ``(delivered, new_cursor)``.
         """
+        flows = self.synthesize_flows(cp)
+        n_flows = len(flows)
         delivered = 0
         injected = 0
         while injected < count:
             size = min(self.batch_size, count - injected)
-            batch = [
-                _chain_packet(cp.chain,
-                              (cursor + injected + offset)
-                              % self.flows_per_chain)
-                for offset in range(size)
-            ]
-            delivered += self.rack.run(cp, batch).delivered
+            base = cursor + injected
+            if self.vectorized:
+                sig = [(base + offset) % n_flows for offset in range(size)]
+                delivered += self.rack.run_columns(
+                    cp, PacketColumns.for_flows(flows, sig)
+                ).delivered
+            else:
+                batch = [
+                    flows[(base + offset) % n_flows].copy()
+                    for offset in range(size)
+                ]
+                delivered += self.rack.run(cp, batch).delivered
             injected += size
         return delivered, cursor + injected
 
     def run(self, packets_per_chain: int = 1024,
             chain_names: Optional[List[str]] = None) -> TrafficReport:
         """Inject ``packets_per_chain`` packets per chain, in batches."""
+        selected = [
+            cp for cp in self.placement.chains
+            if chain_names is None or cp.name in chain_names
+        ]
         report = TrafficReport()
-        for cp in self.placement.chains:
-            if chain_names is not None and cp.name not in chain_names:
-                continue
-            report.chains.append(self._run_chain(cp, packets_per_chain))
+        started = time.perf_counter()
+        if self.shards > 1 and len(selected) > 1:
+            report.chains, report.shard_walls = self._run_sharded(
+                selected, packets_per_chain
+            )
+        else:
+            report.chains = [
+                self._run_chain(cp, packets_per_chain) for cp in selected
+            ]
+        report.run_wall_seconds = time.perf_counter() - started
         return report
 
     def _run_chain(self, cp: ChainPlacement,
                    packets_per_chain: int) -> ChainTrafficReport:
+        """Replay one chain; only rack work lands in the timed region."""
+        flows = self.synthesize_flows(cp)
+        n_flows = len(flows)
+        run_columns = self.rack.run_columns
+        run = self.rack.run
         delivered = 0
         injected = 0
-        started = time.perf_counter()
+        wall = 0.0
         while injected < packets_per_chain:
             size = min(self.batch_size, packets_per_chain - injected)
-            batch = [
-                # cycle the flow set: packet i belongs to flow i % flows
-                _chain_packet(cp.chain, (injected + offset)
-                              % self.flows_per_chain)
-                for offset in range(size)
-            ]
-            delivered += self.rack.run(cp, batch).delivered
+            # cycle the flow set: packet i belongs to flow i % flows
+            if self.vectorized:
+                sig = [
+                    (injected + offset) % n_flows for offset in range(size)
+                ]
+                started = time.perf_counter()
+                columns = PacketColumns.for_flows(flows, sig)
+                delivered += run_columns(cp, columns).delivered
+                wall += time.perf_counter() - started
+            else:
+                batch = [
+                    flows[(injected + offset) % n_flows].copy()
+                    for offset in range(size)
+                ]
+                started = time.perf_counter()
+                delivered += run(cp, batch).delivered
+                wall += time.perf_counter() - started
             injected += size
-        wall = time.perf_counter() - started
         return ChainTrafficReport(
             chain_name=cp.name,
             flows=min(self.flows_per_chain, packets_per_chain),
@@ -197,3 +341,57 @@ class TrafficEngine:
             wall_seconds=wall,
             assigned_mbps=self.placement.rates.get(cp.name, 0.0),
         )
+
+    def _run_sharded(self, selected: List[ChainPlacement],
+                     packets_per_chain: int
+                     ) -> Tuple[List[ChainTrafficReport], List[float]]:
+        """Round-robin the chains over worker processes and merge back."""
+        shard_names: List[List[str]] = [[] for _ in range(self.shards)]
+        for index, cp in enumerate(selected):
+            shard_names[index % self.shards].append(cp.name)
+        shard_names = [names for names in shard_names if names]
+        rack = self.rack
+        tasks = [
+            _ShardTask(
+                shard_index=index,
+                chain_names=names,
+                packets_per_chain=packets_per_chain,
+                topology=rack.topology,
+                artifacts=rack.artifacts,
+                profiles=rack.profiles,
+                placement=self.placement,
+                seed=rack.seed,
+                flows_per_chain=self.flows_per_chain,
+                batch_size=self.batch_size,
+                vectorized=self.vectorized,
+            )
+            for index, names in enumerate(shard_names)
+        ]
+        try:
+            pickle.dumps(tasks)
+        except Exception:
+            warnings.warn(
+                "traffic shard tasks are not picklable (ad-hoc topology or "
+                "profiles?); falling back to single-process replay",
+                RuntimeWarning, stacklevel=3,
+            )
+            return (
+                [self._run_chain(cp, packets_per_chain) for cp in selected],
+                [],
+            )
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            futures = [
+                pool.submit(_run_traffic_shard, task) for task in tasks
+            ]
+            outcomes = [future.result() for future in futures]
+        # deterministic merge-back: shard-index order, then placement order
+        outcomes.sort(key=lambda outcome: outcome[0])
+        registry = rack.obs
+        rows_by_name: Dict[str, ChainTrafficReport] = {}
+        shard_walls: List[float] = []
+        for _index, rows, state, shard_wall in outcomes:
+            registry.merge_state(state)
+            shard_walls.append(shard_wall)
+            for row in rows:
+                rows_by_name[row.chain_name] = row
+        return [rows_by_name[cp.name] for cp in selected], shard_walls

@@ -16,6 +16,15 @@ DEFAULT_PACKET_BYTES = 1500
 #: Bits per default packet.
 DEFAULT_PACKET_BITS = DEFAULT_PACKET_BYTES * 8
 
+#: Size of the packets the simulator's traffic synthesis emits
+#: (:func:`repro.sim.runtime._chain_packet`). This is the single source of
+#: truth for every delivered-Mbps conversion the traffic engine reports;
+#: ``repro.sim.traffic.PACKET_BITS`` derives from it.
+SIM_PACKET_BYTES = 512
+
+#: Bits per synthesized simulator packet.
+SIM_PACKET_BITS = SIM_PACKET_BYTES * 8
+
 
 def mbps(value: float) -> float:
     """Identity, for readability at call sites: ``mbps(40_000)``."""

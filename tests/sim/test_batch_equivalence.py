@@ -18,6 +18,7 @@ from repro.hw.topology import default_testbed
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
+from repro.sim.columns import PacketColumns
 from repro.sim.runtime import DeployedRack, _chain_packet
 from repro.units import gbps
 
@@ -137,6 +138,102 @@ def test_empty_batch_is_noop():
     before = registry.dump_state()
     assert rack.inject_batch(cp, []) == []
     assert registry.dump_state() == before
+
+
+def _target_device(rack):
+    """A device on the chain's path to fault: prefer a NIC, else a server."""
+    if rack.nics:
+        return next(iter(rack.nics))
+    return next(iter(rack.servers))
+
+
+def _scalar_vs_columnar(spec, topo_kwargs, slo, seed, *, n_flows=6, reps=8,
+                        fault=None):
+    """Drive identical racks through the scalar batch path and the
+    columnar path and assert bit-identity on every observable surface."""
+    n_packets = n_flows * reps
+    scalar_rack, scalar_cp, scalar_registry = _deploy(
+        spec, topo_kwargs, slo, seed)
+    vector_rack, vector_cp, vector_registry = _deploy(
+        spec, topo_kwargs, slo, seed)
+    if fault == "loss":
+        scalar_rack.set_drop_fraction(_target_device(scalar_rack), 0.35)
+        vector_rack.set_drop_fraction(_target_device(vector_rack), 0.35)
+    elif fault == "failed":
+        scalar_rack.set_device_failed(_target_device(scalar_rack))
+        vector_rack.set_device_failed(_target_device(vector_rack))
+
+    scalar_out = scalar_rack.inject_batch(
+        scalar_cp,
+        [_chain_packet(scalar_cp.chain, i % n_flows) for i in range(n_packets)],
+    )
+    flows = [_chain_packet(vector_cp.chain, i) for i in range(n_flows)]
+    columns = PacketColumns.for_flows(
+        flows, [i % n_flows for i in range(n_packets)])
+    vector_out = vector_rack.run_columns(vector_cp, columns).materialize()
+
+    assert len(vector_out) == n_packets
+    for index, (a, b) in enumerate(zip(scalar_out, vector_out)):
+        assert (a is None) == (b is None), f"packet {index} outcome differs"
+        if a is None:
+            continue
+        assert a.data == b.data, f"packet {index} bytes differ"
+        assert a.metadata.cycles_consumed == b.metadata.cycles_consumed
+        assert a.metadata.cycles_by_device == b.metadata.cycles_by_device
+        assert a.metadata.processed_by == b.metadata.processed_by
+        assert dict(a.metadata.fields) == dict(b.metadata.fields)
+    assert scalar_registry.dump_state() == vector_registry.dump_state()
+    assert scalar_rack.device_stats() == vector_rack.device_stats()
+
+
+@pytest.mark.parametrize("seed", [7, 23, 101])
+@pytest.mark.parametrize(
+    "label,spec,topo_kwargs,slo",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_columnar_matches_scalar(label, spec, topo_kwargs, slo, seed):
+    """Vectorized tier: the columnar fast path is bit-identical to the
+    scalar batch path across all three platforms — including the branchy
+    chain (divergence re-split) and the stateful chain (scalar fallback)."""
+    _scalar_vs_columnar(spec, topo_kwargs, slo, seed)
+
+
+@pytest.mark.parametrize("fault", ["loss", "failed"])
+@pytest.mark.parametrize(
+    "label,spec,topo_kwargs,slo",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_columnar_matches_scalar_under_faults(label, spec, topo_kwargs, slo,
+                                              fault):
+    """Active ``set_drop_fraction`` / ``set_device_failed`` faults hit the
+    columnar path through the same seeded per-packet hash as the scalar
+    path, so drops land on the same sequence numbers."""
+    _scalar_vs_columnar(spec, topo_kwargs, slo, seed=23, fault=fault)
+
+
+def test_columnar_interleaves_with_scalar():
+    """Mixing scalar and columnar injections on one rack keeps sequence
+    numbering, flow-cache, and RNG state aligned with an all-scalar twin."""
+    _label, spec, topo_kwargs, slo = SCENARIOS[2]
+    rack_a, cp_a, reg_a = _deploy(spec, topo_kwargs, slo, seed=23)
+    rack_b, cp_b, reg_b = _deploy(spec, topo_kwargs, slo, seed=23)
+
+    flows_a = [_chain_packet(cp_a.chain, i) for i in range(4)]
+    flows_b = [_chain_packet(cp_b.chain, i) for i in range(4)]
+    sig = [i % 4 for i in range(24)]
+    mixed = rack_a.inject_batch(cp_a, [flows_a[s].copy() for s in sig])
+    mixed += rack_a.run_columns(
+        cp_a, PacketColumns.for_flows(flows_a, sig)).materialize()
+    scalar = rack_b.inject_batch(cp_b, [flows_b[s].copy() for s in sig * 2])
+
+    for a, b in zip(mixed, scalar):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.data == b.data
+            assert a.metadata.cycles_consumed == b.metadata.cycles_consumed
+    assert reg_a.dump_state() == reg_b.dump_state()
 
 
 def test_flow_cache_hits_on_repeated_flows():

@@ -103,6 +103,135 @@ def test_describe_renders_totals():
     assert "a" in text.split()
 
 
+def _delivery_key(report):
+    """The shard-count-invariant part of a report (walls and pps are not)."""
+    return [
+        (c.chain_name, c.flows, c.injected, c.delivered, c.dropped,
+         c.assigned_mbps)
+        for c in report.chains
+    ]
+
+
+def test_vectorized_matches_scalar():
+    """``vectorized=True`` swaps in the columnar fast path; delivery
+    outcomes and the whole metrics registry stay bit-identical."""
+    spec = "chain a: Encrypt -> IPv4Fwd\nchain b: ACL -> IPv4Fwd"
+    slos = [SLO(t_min=gbps(1), t_max=gbps(20))] * 2
+    rack_s, placement_s, reg_s = _deploy(spec, slos)
+    rack_v, placement_v, reg_v = _deploy(spec, slos)
+    scalar = TrafficEngine(rack_s, placement_s, flows_per_chain=8,
+                           batch_size=32).run(packets_per_chain=128)
+    vector = TrafficEngine(rack_v, placement_v, flows_per_chain=8,
+                           batch_size=32, vectorized=True
+                           ).run(packets_per_chain=128)
+    assert _delivery_key(scalar) == _delivery_key(vector)
+    assert reg_s.dump_state() == reg_v.dump_state()
+
+
+def test_replay_batch_vectorized_matches_scalar():
+    rack_s, placement_s, reg_s = _deploy(
+        "chain a: Encrypt -> IPv4Fwd", [SLO(t_min=gbps(1), t_max=gbps(20))])
+    rack_v, placement_v, reg_v = _deploy(
+        "chain a: Encrypt -> IPv4Fwd", [SLO(t_min=gbps(1), t_max=gbps(20))])
+    scalar = TrafficEngine(rack_s, placement_s, flows_per_chain=8,
+                           batch_size=16)
+    vector = TrafficEngine(rack_v, placement_v, flows_per_chain=8,
+                           batch_size=16, vectorized=True)
+    cursor_s = cursor_v = 0
+    delivered_s = delivered_v = 0
+    for count in (40, 24, 8):
+        d, cursor_s = scalar.replay_batch(placement_s.chains[0], cursor_s,
+                                          count)
+        delivered_s += d
+        d, cursor_v = vector.replay_batch(placement_v.chains[0], cursor_v,
+                                          count)
+        delivered_v += d
+    assert (delivered_s, cursor_s) == (delivered_v, cursor_v)
+    assert reg_s.dump_state() == reg_v.dump_state()
+
+
+def test_flow_templates_synthesized_once():
+    """Satellite fix: flow synthesis happens once per chain; replay cycles
+    clones of the memoized templates and never mutates them."""
+    rack, placement, _ = _deploy(
+        "chain a: Encrypt -> IPv4Fwd", [SLO(t_min=gbps(1), t_max=gbps(20))])
+    engine = TrafficEngine(rack, placement, flows_per_chain=4, batch_size=16)
+    cp = placement.chains[0]
+    first = engine.synthesize_flows(cp)
+    assert engine.synthesize_flows(cp) is first
+    snapshot = [bytes(flow.data) for flow in first]
+    engine.run(packets_per_chain=64)
+    assert engine.synthesize_flows(cp) is first
+    assert [bytes(flow.data) for flow in first] == snapshot
+
+
+def test_achieved_pps_uses_run_wall_clock():
+    """Satellite fix: the aggregate pps denominator is the whole-run wall,
+    not the sum of per-chain walls (which overlap under shards)."""
+    from repro.sim.traffic import ChainTrafficReport, TrafficReport
+
+    chains = [
+        ChainTrafficReport(chain_name=name, flows=4, injected=1000,
+                           delivered=1000, dropped=0, wall_seconds=2.0,
+                           assigned_mbps=100.0)
+        for name in ("a", "b")
+    ]
+    report = TrafficReport(chains=chains, run_wall_seconds=2.5)
+    # 2000 packets over 2.5s elapsed — NOT over the 4s summed walls
+    assert report.achieved_pps == pytest.approx(2000 / 2.5)
+    assert report.wall_seconds == pytest.approx(4.0)
+    # without a recorded run wall (legacy construction) fall back to the sum
+    legacy = TrafficReport(chains=chains)
+    assert legacy.achieved_pps == pytest.approx(2000 / 4.0)
+
+
+def test_chain_wall_excludes_packet_construction():
+    """Per-chain walls time rack work only; they never exceed the whole
+    run's elapsed time."""
+    rack, placement, _ = _deploy(
+        "chain a: Encrypt -> IPv4Fwd", [SLO(t_min=gbps(1), t_max=gbps(20))])
+    engine = TrafficEngine(rack, placement, flows_per_chain=8, batch_size=32)
+    report = engine.run(packets_per_chain=256)
+    assert report.run_wall_seconds > 0
+    assert report.wall_seconds <= report.run_wall_seconds
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_run_is_delivery_invariant(shards):
+    """Satellite: the same report (delivery fields) at --shards 1/2/4."""
+    spec = ("chain a: Encrypt -> IPv4Fwd\nchain b: ACL -> IPv4Fwd\n"
+            "chain c: NAT -> IPv4Fwd\nchain d: BPF -> IPv4Fwd")
+    slos = [SLO(t_min=gbps(1), t_max=gbps(20))] * 4
+
+    rack_1, placement_1, _ = _deploy(spec, slos)
+    serial = TrafficEngine(rack_1, placement_1, flows_per_chain=8,
+                           batch_size=32, vectorized=True
+                           ).run(packets_per_chain=128)
+
+    rack_n, placement_n, reg_n = _deploy(spec, slos)
+    sharded = TrafficEngine(rack_n, placement_n, flows_per_chain=8,
+                            batch_size=32, vectorized=True, shards=shards
+                            ).run(packets_per_chain=128)
+
+    assert _delivery_key(serial) == _delivery_key(sharded)
+    assert len(sharded.shard_walls) == min(shards, 4)
+    assert sharded.run_wall_seconds > 0
+    # per-worker metrics merged back into the parent registry
+    injected = sum(
+        c.value for c in reg_n.counters()
+        if c.name == "rack.packets.injected"
+    )
+    assert injected == 4 * 128
+    assert "shards:" in sharded.describe()
+
+
+def test_sharded_engine_rejects_bad_config():
+    rack, placement, _ = _deploy(
+        "chain a: Encrypt -> IPv4Fwd", [SLO(t_min=gbps(1), t_max=gbps(20))])
+    with pytest.raises(ValueError):
+        TrafficEngine(rack, placement, shards=0)
+
+
 def test_traffic_cli_smoke(tmp_path, capsys):
     from repro.cli import main
 
@@ -116,3 +245,19 @@ def test_traffic_cli_smoke(tmp_path, capsys):
     assert code == 0
     assert "total" in out
     assert "64" in out
+
+
+def test_traffic_cli_vectorized_sharded(tmp_path, capsys):
+    from repro.cli import main
+
+    spec = tmp_path / "two.lemur"
+    spec.write_text("chain a: Encrypt -> IPv4Fwd\nchain b: ACL -> IPv4Fwd\n")
+    code = main([
+        "traffic", str(spec), "--tmin", "1", "--tmax", "20",
+        "--packets", "64", "--flows", "8", "--batch", "16",
+        "--vectorized", "--shards", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "total" in out
+    assert "shards: 2" in out

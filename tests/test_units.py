@@ -33,6 +33,15 @@ class TestRateConversions:
     def test_default_packet_constants(self):
         assert DEFAULT_PACKET_BITS == DEFAULT_PACKET_BYTES * 8 == 12000
 
+    def test_sim_packet_constants_single_source(self):
+        # the simulator's synthesized packets and every rate conversion on
+        # them must agree on one size (satellite of the columnar PR)
+        from repro.sim import traffic
+        from repro.units import SIM_PACKET_BITS, SIM_PACKET_BYTES
+
+        assert SIM_PACKET_BITS == SIM_PACKET_BYTES * 8 == 4096
+        assert traffic.PACKET_BITS == SIM_PACKET_BITS
+
     def test_cycles_to_rate(self):
         # f/c pps at 1500B: 1.7e9/17000 = 100kpps = 1200 Mbps
         assert cycles_to_rate_mbps(17_000, 1.7e9) == pytest.approx(1200.0)
