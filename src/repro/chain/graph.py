@@ -409,3 +409,39 @@ def chains_from_spec(
         slo = slo_list[index] if index < len(slo_list) else SLO()
         chains.append(NFChain(graph=graph, slo=slo))
     return chains
+
+
+def chains_with_slos(
+    spec_text: str,
+    slos: Iterable[Tuple[float, ...]],
+    *,
+    error: type = GraphError,
+    vocabulary: Optional[Vocabulary] = None,
+) -> List[NFChain]:
+    """Parse a spec and attach one positional SLO tuple per chain.
+
+    Each tuple is ``(t_min, t_max)`` or ``(t_min, t_max, d_max)``. The
+    count must match the spec's chain count exactly — an experiment that
+    silently defaulted a chain to best-effort would report vacuous SLO
+    compliance. ``error`` selects the exception type so every experiment
+    spec (chaos, lifecycle, traffic, serve) raises in its own family
+    while sharing this one validator.
+    """
+    slo_list = list(slos)
+    chains = chains_from_spec(spec_text, vocabulary=vocabulary)
+    if len(slo_list) != len(chains):
+        raise error(
+            f"spec declares {len(chains)} chains but {len(slo_list)} "
+            "SLOs were provided"
+        )
+    out: List[NFChain] = []
+    for chain, bounds in zip(chains, slo_list):
+        if not 2 <= len(bounds) <= 3:
+            raise error(
+                "each SLO must be (t_min, t_max) or "
+                f"(t_min, t_max, d_max); got {bounds!r}"
+            )
+        slo = SLO(t_min=bounds[0], t_max=bounds[1]) if len(bounds) == 2 \
+            else SLO(t_min=bounds[0], t_max=bounds[1], d_max=bounds[2])
+        out.append(chain.with_slo(slo))
+    return out

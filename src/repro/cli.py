@@ -16,8 +16,16 @@ Subcommands mirror an operator's workflow:
 * ``lifecycle`` — replay a chain arrival/scale/departure timeline with
   admission control, incremental placement, and delta redeploy; print
   per-event admission decisions and the per-phase SLO table;
+* ``serve``   — run the always-on control-plane daemon: a live rack
+  behind a typed HTTP command API (arrive/scale/depart/fault/snapshot)
+  with a journal + checkpoint crash-recovery story;
 * ``sweep``   — regenerate a Figure-2-style δ panel at the terminal;
 * ``profile`` — print the Table 4 profiling statistics.
+
+Exit codes are uniform across the report-producing subcommands:
+0 — success, every SLO predicate held; 2 — the run completed but SLOs
+were violated (or the placement was infeasible); 1 — usage or internal
+error.
 
 Example::
 
@@ -46,11 +54,19 @@ from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
 
+#: shared --help epilog: the uniform exit-code contract.
+_EXIT_CODES = (
+    "exit codes: 0 success (SLOs met); 2 SLO non-compliance or "
+    "infeasible placement; 1 usage or internal error"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Lemur reproduction: place and compile NF chains "
                     "across heterogeneous hardware.",
+        epilog=_EXIT_CODES,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -117,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     traffic_cmd = sub.add_parser(
         "traffic",
         help="replay high-volume synthesized traffic through the rack",
+        epilog=_EXIT_CODES,
     )
     add_spec_args(traffic_cmd)
     add_topology_args(traffic_cmd)
@@ -132,11 +149,19 @@ def build_parser() -> argparse.ArgumentParser:
     traffic_cmd.add_argument("--shards", type=int, default=1,
                              help="replay chains across N worker processes "
                                   "(deterministic metrics merge-back)")
+    traffic_cmd.add_argument("--seed", type=int, default=23,
+                             help="rack drop-hash seed")
+    traffic_cmd.add_argument("--json", action="store_true",
+                             help="emit the report as one JSON document")
+    traffic_cmd.add_argument("--out", default=None, metavar="FILE",
+                             help="also write the report to FILE "
+                                  "(.json suffix selects JSON)")
 
     chaos_cmd = sub.add_parser(
         "chaos",
         help="replay traffic under a fault timeline with the SLO guard "
              "(degrade, then auto-replan) and report per-phase compliance",
+        epilog=_EXIT_CODES,
     )
     add_spec_args(chaos_cmd)
     add_topology_args(chaos_cmd)
@@ -184,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a chain arrival/scale/departure timeline with "
              "admission control, incremental placement, and delta "
              "redeploy; report per-event decisions and per-phase SLOs",
+        epilog=_EXIT_CODES,
     )
     add_spec_args(lifecycle_cmd)
     add_topology_args(lifecycle_cmd)
@@ -224,6 +250,42 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle_cmd.add_argument("--out", default=None, metavar="FILE",
                                help="also write the report to FILE "
                                     "(.json suffix selects JSON)")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the always-on control-plane daemon: typed HTTP command "
+             "API over a live rack, with journal + checkpoint crash "
+             "recovery (restart on the same --state-dir to recover)",
+        epilog=_EXIT_CODES,
+    )
+    add_spec_args(serve_cmd)
+    add_topology_args(serve_cmd)
+    serve_cmd.add_argument("--state-dir", required=True, metavar="DIR",
+                           help="journal/checkpoint directory; restarting "
+                                "on a populated DIR crash-recovers the "
+                                "rack before accepting commands")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="HTTP bind address")
+    serve_cmd.add_argument("--port", type=int, default=0,
+                           help="HTTP port (default: an ephemeral port, "
+                                "printed in the ready line)")
+    serve_cmd.add_argument("--packets", type=int, default=64,
+                           help="packets injected per chain per applied "
+                                "command (one deterministic phase each)")
+    serve_cmd.add_argument("--flows", type=int, default=32,
+                           help="distinct flows synthesized per chain")
+    serve_cmd.add_argument("--batch", type=int, default=32,
+                           help="packets per injected batch")
+    serve_cmd.add_argument("--seed", type=int, default=23,
+                           help="rack drop-hash seed")
+    serve_cmd.add_argument("--checkpoint-every", type=int, default=8,
+                           help="checkpoint the rack every N applied "
+                                "commands (0: only at graceful shutdown)")
+    serve_cmd.add_argument("--json", action="store_true",
+                           help="emit the final report as JSON at exit")
+    serve_cmd.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the final report to FILE "
+                                "(.json suffix selects JSON)")
 
     sweep_cmd = sub.add_parser("sweep", help="run a Figure-2-style δ panel")
     sweep_cmd.add_argument("chains", type=int, nargs="+",
@@ -456,29 +518,37 @@ def cmd_stats(args) -> int:
 
 
 def cmd_traffic(args) -> int:
-    from repro.sim.runtime import DeployedRack
-    from repro.sim.traffic import TrafficEngine
-
-    chains = _load_chains(args)
-    topology = _topology(args)
-    placer = Placer(topology=topology, profiles=default_profiles(),
-                    config=PlacerConfig(strategy=args.strategy))
-    placement = placer.solve(PlacementRequest(chains=chains)).placement
-    if not placement.feasible:
-        print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
-        return 2
-    meta = MetaCompiler(topology=topology, profiles=placer.profiles)
-    artifacts = meta.compile_placement(placement)
-    rack = DeployedRack(topology, artifacts, placer.profiles)
-    engine = TrafficEngine(rack, placement,
-                           flows_per_chain=args.flows,
-                           batch_size=args.batch,
-                           vectorized=args.vectorized,
-                           shards=args.shards)
-    report = engine.run(packets_per_chain=args.packets)
     from repro.cli_report import emit_report
+    from repro.exceptions import PlacementError
+    from repro.sim.traffic import TrafficSpec, run_traffic
 
-    return emit_report(text=report.describe())
+    text = _read_spec(args.spec)
+    n_chains = len(chains_from_spec(text))
+    slos = tuple(
+        (slo.t_min, slo.t_max, slo.d_max)
+        for slo in _slos(args, n_chains)
+    )
+    spec = TrafficSpec(
+        spec_text=text,
+        slos=slos,
+        packets_per_chain=args.packets,
+        flows_per_chain=args.flows,
+        batch_size=args.batch,
+        vectorized=args.vectorized,
+        shards=args.shards,
+        seed=args.seed,
+        strategy=args.strategy,
+        with_smartnic=args.smartnic,
+        with_openflow=args.openflow,
+        servers=args.servers,
+        metron=args.metron,
+    )
+    try:
+        report = run_traffic(spec)
+    except PlacementError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    return emit_report(report, out=args.out, as_json=args.json)
 
 
 def _parse_event(value: str, action: str, with_severity: bool):
@@ -559,12 +629,10 @@ def cmd_chaos(args) -> int:
     from repro.cli_report import emit_report
 
     return emit_report(
-        text=report.render(),
-        json_text=report.to_json(),
+        report,
         out=args.out,
         as_json=args.json,
         sections=(("metrics", render_text(registry)),),
-        ok=all(ph.compliant for ph in report.phases[-1:]),
     )
 
 
@@ -661,13 +729,46 @@ def cmd_lifecycle(args) -> int:
     registry = set_registry(MetricsRegistry())
     report = run_lifecycle_checked(spec, jobs=args.jobs, registry=registry)
     return emit_report(
-        text=report.render(),
-        json_text=report.to_json(),
+        report,
         out=args.out,
         as_json=args.json,
         sections=(("metrics", render_text(registry)),),
-        ok=all(ph.compliant for ph in report.phases),
     )
+
+
+def cmd_serve(args) -> int:
+    from repro.cli_report import emit_report
+    from repro.serve import ServeConfig, run_server
+
+    text = _read_spec(args.spec)
+    n_chains = len(chains_from_spec(text))
+    slos = tuple(
+        (slo.t_min, slo.t_max, slo.d_max)
+        for slo in _slos(args, n_chains)
+    )
+    config = ServeConfig(
+        spec_text=text,
+        slos=slos,
+        packets_per_phase=args.packets,
+        flows_per_chain=args.flows,
+        batch_size=args.batch,
+        seed=args.seed,
+        strategy=args.strategy,
+        checkpoint_every=args.checkpoint_every,
+        with_smartnic=args.smartnic,
+        with_openflow=args.openflow,
+        servers=args.servers,
+    )
+
+    def ready(url: str) -> None:
+        # the machine-parsable ready line the smoke harness waits for
+        print(f"repro-serve listening on {url}", flush=True)
+
+    report = run_server(
+        config, args.state_dir,
+        host=args.host, port=args.port, ready=ready,
+    )
+    return emit_report(report, out=args.out, as_json=args.json)
 
 
 def cmd_sweep(args) -> int:
@@ -714,6 +815,7 @@ _COMMANDS = {
     "traffic": cmd_traffic,
     "chaos": cmd_chaos,
     "lifecycle": cmd_lifecycle,
+    "serve": cmd_serve,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
 }
@@ -721,7 +823,12 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 0 for --help and 2 for usage errors; 2 is
+        # reserved for SLO non-compliance, so usage errors map to 1.
+        return 0 if not exc.code else 1
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

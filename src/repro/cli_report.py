@@ -1,51 +1,77 @@
-"""Shared CLI report emission for ``traffic``, ``chaos``, ``lifecycle``.
+"""Shared CLI report emission for ``traffic``/``chaos``/``lifecycle``/``serve``.
 
-Every report-producing subcommand follows the same contract, previously
-duplicated inline per command:
+Every report-producing subcommand speaks the same :class:`Report`
+protocol — ``as_dict``/``to_json`` for the machine form, ``render`` for
+the table, ``ok`` for the SLO verdict — so emission is one function with
+no per-report special-casing:
 
 * with ``--out FILE``, the deterministic report artifact is written
   **before** any stdout, so a closed pipe downstream (e.g. ``| head``)
   cannot lose it; a ``.json`` suffix selects the JSON document, anything
   else the rendered text table (with a trailing newline);
-* stdout gets the JSON document under ``--json``, the text table
+* stdout gets the JSON document under ``--json``, the rendered table
   otherwise — followed by any extra text-only sections (metrics dumps);
-* the exit code is 0 when the run's ``ok`` predicate holds, else 2
+* the exit code is 0 when the report's ``ok`` predicate holds, else 2
   (reserving 1 for hard :class:`~repro.exceptions.ReproError` failures,
   which ``main`` maps).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+
+@runtime_checkable
+class Report(Protocol):
+    """What a subcommand's result must offer to be emitted.
+
+    Implemented by :class:`~repro.sim.traffic.TrafficReport`,
+    :class:`~repro.sim.faults.ChaosReport`,
+    :class:`~repro.sim.lifecycle.LifecycleReport`, and
+    :class:`~repro.serve.daemon.ServeReport`.
+    """
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON-ready form (no wall-clock quantities)."""
+        ...
+
+    def to_json(self) -> str:
+        """``as_dict`` as one indented, key-sorted JSON document."""
+        ...
+
+    def render(self) -> str:
+        """The human-readable table."""
+        ...
+
+    @property
+    def ok(self) -> bool:
+        """The SLO verdict driving the exit code (0 ok, 2 violated)."""
+        ...
 
 
 def emit_report(
+    report: Report,
     *,
-    text: str,
-    json_text: Optional[str] = None,
     out: Optional[str] = None,
     as_json: bool = False,
     sections: Sequence[Tuple[str, str]] = (),
-    ok: bool = True,
 ) -> int:
     """Write/print one subcommand's report and return its exit code.
 
-    ``text`` is the rendered table; ``json_text`` the JSON document (omit
-    it for commands with no JSON form — ``--out file.json`` then falls
-    back to text). ``sections`` are ``(title, body)`` pairs appended to
-    text output only, matching the ``== title ==`` convention.
+    ``sections`` are ``(title, body)`` pairs appended to text output
+    only, matching the ``== title ==`` convention.
     """
     if out:
-        artifact = json_text if out.endswith(".json") \
-            and json_text is not None else text + "\n"
+        artifact = report.to_json() if out.endswith(".json") \
+            else report.render() + "\n"
         with open(out, "w") as handle:
             handle.write(artifact)
-    if as_json and json_text is not None:
-        print(json_text)
+    if as_json:
+        print(report.to_json())
     else:
-        print(text)
+        print(report.render())
         for title, body in sections:
             print()
             print(f"== {title} ==")
             print(body)
-    return 0 if ok else 2
+    return 0 if report.ok else 2

@@ -83,3 +83,15 @@ class LifecycleError(ReproError):
 class FaultInjectionError(ReproError):
     """A fault timeline is invalid or a chaos run broke an invariant
     (e.g. replica runs of the same seed diverged)."""
+
+
+class TrafficError(ReproError):
+    """A traffic-replay experiment spec is malformed."""
+
+
+class ServeError(ReproError):
+    """The control-plane daemon was misconfigured or broke an invariant."""
+
+
+class CommandError(ServeError):
+    """A serve command payload is malformed (bad type/fields/values)."""

@@ -1,0 +1,614 @@
+"""The always-on control-plane daemon behind ``repro serve``.
+
+One :class:`ServeDaemon` owns one live rack. A single asyncio worker
+task (:meth:`ServeDaemon._worker_loop`) is the only code that touches
+the :class:`~repro.sim.admission.AdmissionCore`; concurrent tenants —
+HTTP handler threads, in-process callers, tests — submit typed commands
+through :meth:`ServeDaemon.submit` and an :class:`asyncio.Queue`, so
+every mutation is serialized without locks. Admission routes through the
+incremental ``Placer.solve(base_placement=...)`` path with delta
+redeploy, exactly as the batch lifecycle engine does (the two share the
+core).
+
+Durability and recovery (see :mod:`repro.serve.journal`):
+
+* every applied mutating command is journaled (fsync) *before* the
+  client is acknowledged, and the rack state checkpoints every
+  ``checkpoint_every`` commands plus at graceful shutdown;
+* a killed daemon restarts by loading the checkpoint and replaying the
+  journal suffix through the same deterministic core, reconstructing a
+  byte-identical rack — same placements, same replay cursors, same
+  injection sequence, same
+  :meth:`~repro.sim.admission.AdmissionCore.state_digest` — so
+  subsequent admission decisions and traffic phases are byte-identical
+  to an uninterrupted run.
+
+The daemon's configuration is persisted to ``config.json`` inside the
+state directory on first start and verified on every restart: recovery
+against a different chain set or seed would replay the journal into a
+different rack, so a mismatch fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chain.graph import NFChain, chains_with_slos
+from repro.exceptions import (
+    CommandError,
+    FaultInjectionError,
+    ReproError,
+    ServeError,
+    TopologyError,
+)
+from repro.hw.topology import (
+    Topology,
+    default_testbed,
+    multi_server_testbed,
+)
+from repro.obs import MetricsRegistry
+from repro.serve.commands import (
+    STATUS_APPLIED,
+    STATUS_ERROR,
+    STATUS_INVALID,
+    STATUS_REJECTED,
+    Command,
+    CommandOutcome,
+    InjectFault,
+    Snapshot,
+    parse_command,
+)
+from repro.serve.journal import CheckpointStore, Journal
+from repro.sim.admission import AdmissionCore, AdmissionDecision
+from repro.sim.faults import PhaseReport
+
+_QueueItem = Optional[Tuple[Command, "asyncio.Future[CommandOutcome]"]]
+
+
+# ---------------------------------------------------------------------------
+# config
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """A fully-stated daemon configuration (the recovery contract).
+
+    Everything that shapes the deterministic state evolution lives here;
+    (config, applied-command sequence) fully determines the rack. The
+    config is persisted alongside the journal and verified on restart.
+    """
+
+    spec_text: str
+    #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per initial chain.
+    slos: Tuple[Tuple[float, ...], ...]
+    packets_per_phase: int = 64
+    flows_per_chain: int = 32
+    batch_size: int = 32
+    seed: int = 23
+    strategy: str = "lemur"
+    #: checkpoint every N applied commands; 0 disables periodic
+    #: checkpoints (recovery then replays the full journal).
+    checkpoint_every: int = 8
+    with_smartnic: bool = False
+    with_openflow: bool = False
+    servers: int = 0
+
+    def validate(self) -> None:
+        if self.packets_per_phase < 1:
+            raise ServeError("packets_per_phase must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ServeError("checkpoint_every must be >= 0")
+
+    def build_topology(self) -> Topology:
+        if self.servers and self.servers > 0:
+            return multi_server_testbed(self.servers)
+        return default_testbed(
+            with_smartnic=self.with_smartnic,
+            with_openflow=self.with_openflow,
+        )
+
+    def build_chains(self) -> List[NFChain]:
+        return chains_with_slos(self.spec_text, self.slos,
+                                error=ServeError)
+
+    def as_dict(self) -> dict:
+        return {
+            "spec_text": self.spec_text,
+            "slos": [list(bounds) for bounds in self.slos],
+            "packets_per_phase": self.packets_per_phase,
+            "flows_per_chain": self.flows_per_chain,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "checkpoint_every": self.checkpoint_every,
+            "with_smartnic": self.with_smartnic,
+            "with_openflow": self.with_openflow,
+            "servers": self.servers,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    _FIELDS = frozenset({
+        "spec_text", "slos", "packets_per_phase", "flows_per_chain",
+        "batch_size", "seed", "strategy", "checkpoint_every",
+        "with_smartnic", "with_openflow", "servers",
+    })
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "ServeConfig":
+        if not isinstance(payload, dict):
+            raise ServeError(
+                f"serve config must be an object, "
+                f"got {type(payload).__name__}"
+            )
+        unknown = set(payload) - cls._FIELDS
+        if unknown:
+            raise ServeError(
+                f"serve config carries unknown fields {sorted(unknown)}"
+            )
+        try:
+            return cls(
+                spec_text=str(payload["spec_text"]),
+                slos=tuple(
+                    tuple(float(x) for x in bounds)
+                    for bounds in payload["slos"]
+                ),
+                packets_per_phase=int(payload.get("packets_per_phase", 64)),
+                flows_per_chain=int(payload.get("flows_per_chain", 32)),
+                batch_size=int(payload.get("batch_size", 32)),
+                seed=int(payload.get("seed", 23)),
+                strategy=str(payload.get("strategy", "lemur")),
+                checkpoint_every=int(payload.get("checkpoint_every", 8)),
+                with_smartnic=bool(payload.get("with_smartnic", False)),
+                with_openflow=bool(payload.get("with_openflow", False)),
+                servers=int(payload.get("servers", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"malformed serve config: {exc}") from exc
+
+    @classmethod
+    def parse_json(cls, text: str) -> "ServeConfig":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"serve config is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServeReport:
+    """Everything the daemon did, rendered deterministically.
+
+    ``recovered`` records whether this process restarted from persisted
+    state; it is deliberately excluded from :meth:`as_dict` and
+    :meth:`render` so a recovered run's report is byte-identical to an
+    uninterrupted run's — the crash-recovery invariant the smoke test
+    asserts.
+    """
+
+    seed: int
+    seq: int = 0
+    #: journaled wire records ``{"seq": N, "command": {...}}``, in order.
+    commands: List[dict] = field(default_factory=list)
+    decisions: List[AdmissionDecision] = field(default_factory=list)
+    phases: List[PhaseReport] = field(default_factory=list)
+    recovered: bool = False
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for d in self.decisions if d.accepted)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for d in self.decisions if not d.accepted)
+
+    @property
+    def ok(self) -> bool:
+        """SLO compliance across every phase (the exit-code predicate)."""
+        return all(ph.compliant for ph in self.phases)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(row.injected for ph in self.phases for row in ph.chains)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(row.delivered for ph in self.phases for row in ph.chains)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "seq": self.seq,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "total_injected": self.total_injected,
+            "total_delivered": self.total_delivered,
+            "commands": list(self.commands),
+            "decisions": [d.as_dict() for d in self.decisions],
+            "phases": [
+                {
+                    "index": ph.index,
+                    "label": ph.label,
+                    "compliant": ph.compliant,
+                    "chains": [
+                        {
+                            "chain": row.chain_name,
+                            "injected": row.injected,
+                            "delivered": row.delivered,
+                            "assigned_mbps": round(row.assigned_mbps, 6),
+                            "delivered_mbps": round(row.delivered_mbps, 6),
+                            "t_min_mbps": round(
+                                ph.t_mins.get(row.chain_name, 0.0), 6
+                            ),
+                            "slo_met": ph.slo_met(row),
+                        }
+                        for row in ph.chains
+                    ],
+                }
+                for ph in self.phases
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"control-plane report (seed={self.seed}, seq={self.seq})"]
+        if self.commands:
+            lines.append("commands:")
+            by_seq = {d.tick: d for d in self.decisions}
+            for record in self.commands:
+                seq = record["seq"]
+                kind = record["command"].get("kind", "?")
+                decision = by_seq.get(seq)
+                if decision is not None:
+                    lines.append(f"  s{seq} {decision.describe()}")
+                else:
+                    cmd = record["command"]
+                    lines.append(
+                        f"  s{seq} {kind} "
+                        f"{cmd.get('action', '')}"
+                        f"({cmd.get('target', cmd.get('chain', ''))}) "
+                        f"-> applied"
+                    )
+        else:
+            lines.append("commands: none")
+        lines.append(
+            f"{'phase':<34} {'chain':<12} {'injected':>8} "
+            f"{'delivered':>9} {'assigned':>10} {'delivered':>10} "
+            f"{'t_min':>9} {'slo':>9}"
+        )
+        lines.append(
+            f"{'':<34} {'':<12} {'':>8} {'':>9} "
+            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} {'':>9}"
+        )
+        for ph in self.phases:
+            label = f"{ph.index}:{ph.label}"
+            for row in ph.chains:
+                lines.append(
+                    f"{label:<34} {row.chain_name:<12} "
+                    f"{row.injected:>8} {row.delivered:>9} "
+                    f"{row.assigned_mbps:>10.2f} {row.delivered_mbps:>10.2f} "
+                    f"{ph.t_mins.get(row.chain_name, 0.0):>9.2f} "
+                    f"{'ok' if ph.slo_met(row) else 'VIOLATED':>9}"
+                )
+        lines.append(
+            f"totals: commands={len(self.commands)} "
+            f"accepted={self.accepted} rejected={self.rejected} "
+            f"injected={self.total_injected} "
+            f"delivered={self.total_delivered}"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# daemon
+# ---------------------------------------------------------------------------
+
+
+class ServeDaemon:
+    """The rack-owner worker: one live rack, one serialized mutation
+    stream, journaled and checkpointed for crash recovery."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        state_dir: Union[str, Path],
+        *,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        config.validate()
+        self.config = config
+        self.state_dir = Path(state_dir)
+        self.journal = Journal(self.state_dir / "journal.jsonl")
+        self.checkpoints = CheckpointStore(self.state_dir / "checkpoint.pkl")
+        #: the daemon owns its registry (it is checkpointed with the
+        #: core, so recovered metrics equal the uninterrupted run's).
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+
+        self.core: Optional[AdmissionCore] = None
+        self.seq = 0
+        self.commands: List[dict] = []
+        self.decisions: List[AdmissionDecision] = []
+        self.phases: List[PhaseReport] = []
+        self.recovered = False
+        self._replaying = False
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[_QueueItem]"] = None
+        self._worker: Optional["asyncio.Task[None]"] = None
+        self.shutdown_requested: Optional[asyncio.Event] = None
+
+    # -- startup / recovery --------------------------------------------------
+
+    def _persist_or_verify_config(self) -> None:
+        path = self.state_dir / "config.json"
+        if path.exists():
+            stored = ServeConfig.parse_json(
+                path.read_text(encoding="utf-8")
+            )
+            if stored != self.config:
+                raise ServeError(
+                    f"state dir {self.state_dir} was created with a "
+                    "different configuration; replaying its journal "
+                    "against this one would rebuild a different rack "
+                    "(pass a fresh --state-dir or the original flags)"
+                )
+            return
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.config.to_json() + "\n", encoding="utf-8")
+
+    def _bootstrap(self) -> None:
+        """Day-0: cold solve + deploy of the configured chain set."""
+        self.core = AdmissionCore(
+            self.config.build_chains(),
+            topology=self.config.build_topology(),
+            strategy=self.config.strategy,
+            flows_per_chain=self.config.flows_per_chain,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+            registry=self.registry,
+        )
+        self.core.bootstrap()
+        self.phases.append(self.core.run_phase(
+            "initial", self.config.packets_per_phase,
+            index=0, start_packet=0,
+        ))
+
+    def _recover_or_bootstrap(self) -> None:
+        checkpoint = self.checkpoints.load()
+        had_state = checkpoint is not None or self.journal.path.exists()
+        if checkpoint is not None:
+            self.seq = int(checkpoint["seq"])
+            self.core = checkpoint["core"]
+            self.commands = list(checkpoint["commands"])
+            self.decisions = list(checkpoint["decisions"])
+            self.phases = list(checkpoint["phases"])
+            self.registry = self.core.obs
+        else:
+            self._bootstrap()
+        # replay the journal suffix through the deterministic core
+        self._replaying = True
+        try:
+            for record in self.journal.replay(after=self.seq):
+                command = parse_command(record["command"])
+                outcome = self._apply_mutation(command)
+                if outcome.seq != record["seq"] or outcome.status not in (
+                    STATUS_APPLIED, STATUS_REJECTED,
+                ):
+                    raise ServeError(
+                        f"journal replay diverged at seq {record['seq']}: "
+                        f"got seq={outcome.seq} status={outcome.status} "
+                        f"({outcome.error or 'no error'}) — state dir "
+                        "does not match its configuration"
+                    )
+        finally:
+            self._replaying = False
+        self.recovered = had_state
+
+    async def start(self) -> None:
+        """Persist/verify config, recover or bootstrap, start the worker."""
+        self._loop = asyncio.get_running_loop()
+        self._persist_or_verify_config()
+        self._recover_or_bootstrap()
+        self._queue = asyncio.Queue()
+        self.shutdown_requested = asyncio.Event()
+        self._worker = asyncio.create_task(
+            self._worker_loop(), name="rack-owner"
+        )
+
+    # -- the serialized mutation path ---------------------------------------
+
+    async def submit(self, command: Command) -> CommandOutcome:
+        """Enqueue one command for the rack-owner worker; await its
+        typed outcome. Safe to call from any task; HTTP threads bridge
+        here via ``asyncio.run_coroutine_threadsafe``."""
+        if self._queue is None:
+            raise ServeError("daemon is not started")
+        future: "asyncio.Future[CommandOutcome]" = \
+            self._loop.create_future()
+        await self._queue.put((command, future))
+        return await future
+
+    async def _worker_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                break
+            command, future = item
+            try:
+                outcome = self._handle(command)
+            except ReproError as exc:
+                outcome = CommandOutcome(
+                    seq=self.seq, kind=getattr(command, "kind", "?"),
+                    status=STATUS_INVALID, error=str(exc),
+                    digest=self._digest(),
+                )
+            except Exception as exc:  # noqa: BLE001 — the daemon survives
+                outcome = CommandOutcome(
+                    seq=self.seq, kind=getattr(command, "kind", "?"),
+                    status=STATUS_ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                    digest=self._digest(),
+                )
+            if not future.done():
+                future.set_result(outcome)
+
+    def _digest(self) -> str:
+        return self.core.state_digest() if self.core is not None else ""
+
+    def _handle(self, command: Command) -> CommandOutcome:
+        try:
+            command.validate()
+        except CommandError as exc:
+            return CommandOutcome(
+                seq=self.seq, kind=command.kind, status=STATUS_INVALID,
+                error=str(exc), digest=self._digest(),
+            )
+        if isinstance(command, Snapshot):
+            return CommandOutcome(
+                seq=self.seq, kind=command.kind, status=STATUS_APPLIED,
+                digest=self._digest(), snapshot=self.state_snapshot(),
+            )
+        return self._apply_mutation(command)
+
+    def _apply_mutation(self, command: Command) -> CommandOutcome:
+        """Apply one mutating command: advance the core, run its traffic
+        phase, journal, maybe checkpoint, acknowledge. Also the journal
+        replay path (which skips the journal/checkpoint writes)."""
+        seq = self.seq + 1
+        decision: Optional[AdmissionDecision] = None
+        if isinstance(command, InjectFault):
+            try:
+                self.core.apply_fault(
+                    command.action, command.target, command.severity
+                )
+            except (FaultInjectionError, TopologyError) as exc:
+                # dynamic validation failure: no state changed, no seq
+                # consumed, nothing journaled
+                return CommandOutcome(
+                    seq=self.seq, kind=command.kind,
+                    status=STATUS_INVALID, error=str(exc),
+                    digest=self._digest(),
+                )
+            status = STATUS_APPLIED
+        else:
+            decision = self.core.process(command.to_event(at=seq))
+            status = STATUS_APPLIED if decision.accepted \
+                else STATUS_REJECTED
+        # rejections consume a sequence number and are journaled too:
+        # the rejection decision is part of the report the recovery
+        # invariant reproduces.
+        self.seq = seq
+        record = {"seq": seq, "command": command.as_dict()}
+        self.commands.append(record)
+        if decision is not None:
+            self.decisions.append(decision)
+        self.phases.append(self.core.run_phase(
+            f"s{seq}:{command.describe()}",
+            self.config.packets_per_phase,
+            index=len(self.phases),
+            start_packet=sum(
+                row.injected for ph in self.phases for row in ph.chains
+            ),
+        ))
+        if not self._replaying:
+            self.journal.append(seq, record["command"])
+            every = self.config.checkpoint_every
+            if every and seq % every == 0:
+                self.checkpoint()
+        return CommandOutcome(
+            seq=seq, kind=command.kind, status=status,
+            decision=decision, digest=self._digest(),
+        )
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Pickle the full daemon state (core incl. rack + registry,
+        report history) atomically."""
+        self.checkpoints.save({
+            "seq": self.seq,
+            "core": self.core,
+            "commands": list(self.commands),
+            "decisions": list(self.decisions),
+            "phases": list(self.phases),
+        })
+
+    # -- introspection -------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """A consistent, JSON-safe view of the control-plane state."""
+        core = self.core
+        return {
+            "seq": self.seq,
+            "digest": self._digest(),
+            "recovered": self.recovered,
+            "active": [
+                {
+                    "chain": c.name,
+                    "t_min_mbps": c.slo.t_min,
+                    "t_max_mbps": (
+                        c.slo.t_max
+                        if c.slo.t_max != float("inf") else None
+                    ),
+                }
+                for c in core.active
+            ],
+            "rates": {
+                name: round(rate, 6)
+                for name, rate in sorted(core.rates.items())
+            },
+            "placement": (
+                core.placement.describe() if core.placement else ""
+            ),
+            "faults": dict(sorted(core.fault_state.items())),
+            "commands": len(self.commands),
+            "phases": len(self.phases),
+        }
+
+    def report(self) -> ServeReport:
+        return ServeReport(
+            seed=self.config.seed,
+            seq=self.seq,
+            commands=list(self.commands),
+            decisions=list(self.decisions),
+            phases=list(self.phases),
+            recovered=self.recovered,
+        )
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (the HTTP front-end calls this
+        via ``loop.call_soon_threadsafe``)."""
+        if self.shutdown_requested is not None:
+            self.shutdown_requested.set()
+
+    # -- shutdown ------------------------------------------------------------
+
+    async def stop(self, *, checkpoint: bool = True) -> None:
+        """Drain pending commands, stop the worker, final checkpoint."""
+        if self._queue is None:
+            return
+        await self._queue.put(None)
+        await self._worker
+        self._queue = None
+        self._worker = None
+        if checkpoint and self.core is not None:
+            self.checkpoint()
+
+
+__all__ = ["ServeConfig", "ServeDaemon", "ServeReport"]

@@ -39,8 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.chain.graph import NFChain, chains_from_spec
-from repro.chain.slo import SLO
+from repro.chain.graph import NFChain, chains_with_slos
 from repro.core.cache import PlacementCache
 from repro.core.lp import solve_rates
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
@@ -56,6 +55,7 @@ from repro.obs import MetricsRegistry, get_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.sim.runtime import DeployedRack
 from repro.sim.traffic import ChainTrafficReport, TrafficEngine
+from repro.units import SLO_RTOL
 
 #: actions a timeline event may carry; ``severity`` means the fraction of
 #: link capacity lost for ``degrade_link`` and the number of cores lost
@@ -75,9 +75,9 @@ _SERVER_ACTIONS = frozenset(
     {"degrade_link", "restore_link", "lose_cores", "restore_cores"}
 )
 
-#: relative slack applied to SLO comparisons so LP rates that sit exactly
-#: on t_min don't flap on float rounding.
-_SLO_RTOL = 1e-9
+#: backwards-compatible alias — the constant lives in :mod:`repro.units`
+#: so traffic reports can share it without importing the chaos engine.
+_SLO_RTOL = SLO_RTOL
 
 
 # ---------------------------------------------------------------------------
@@ -178,21 +178,40 @@ class FaultTimeline:
             sort_keys=True,
         )
 
+    #: the exhaustive wire fields; anything else is rejected so schema
+    #: typos fail loudly instead of silently defaulting.
+    _EVENT_FIELDS = frozenset({"at_packet", "action", "target", "severity"})
+    _TOP_FIELDS = frozenset({"seed", "events"})
+
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultTimeline":
+        if not isinstance(payload, dict):
+            raise FaultInjectionError(
+                f"timeline must be an object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - cls._TOP_FIELDS
+        if unknown:
+            raise FaultInjectionError(
+                f"timeline carries unknown fields {sorted(unknown)}"
+            )
         try:
-            events = tuple(
-                FaultEvent(
+            events = []
+            for ev in payload.get("events", ()):
+                bad = set(ev) - cls._EVENT_FIELDS
+                if bad:
+                    raise FaultInjectionError(
+                        f"timeline event carries unknown fields "
+                        f"{sorted(bad)}"
+                    )
+                events.append(FaultEvent(
                     at_packet=int(ev["at_packet"]),
                     action=str(ev["action"]),
                     target=str(ev["target"]),
                     severity=float(ev.get("severity", 1.0)),
-                )
-                for ev in payload.get("events", ())
-            )
+                ))
         except (KeyError, TypeError, ValueError) as exc:
             raise FaultInjectionError(f"malformed timeline: {exc}") from exc
-        return cls(events=events, seed=int(payload.get("seed", 23)))
+        return cls(events=tuple(events), seed=int(payload.get("seed", 23)))
 
     @classmethod
     def parse_json(cls, text: str) -> "FaultTimeline":
@@ -299,23 +318,8 @@ class ChaosSpec:
         )
 
     def build_chains(self) -> List[NFChain]:
-        chains = chains_from_spec(self.spec_text)
-        if len(self.slos) != len(chains):
-            raise FaultInjectionError(
-                f"spec declares {len(chains)} chains but {len(self.slos)} "
-                "SLOs were provided"
-            )
-        out = []
-        for chain, bounds in zip(chains, self.slos):
-            if not 2 <= len(bounds) <= 3:
-                raise FaultInjectionError(
-                    "each SLO must be (t_min, t_max) or "
-                    f"(t_min, t_max, d_max); got {bounds!r}"
-                )
-            slo = SLO(t_min=bounds[0], t_max=bounds[1]) if len(bounds) == 2 \
-                else SLO(t_min=bounds[0], t_max=bounds[1], d_max=bounds[2])
-            out.append(chain.with_slo(slo))
-        return out
+        return chains_with_slos(self.spec_text, self.slos,
+                                error=FaultInjectionError)
 
 
 # ---------------------------------------------------------------------------
@@ -367,6 +371,16 @@ class ChaosReport:
     @property
     def total_delivered(self) -> int:
         return sum(row.delivered for ph in self.phases for row in ph.chains)
+
+    @property
+    def ok(self) -> bool:
+        """Exit-code predicate: SLO compliance where the run *ended up*.
+
+        Only the final phase counts — transient violations mid-timeline
+        are exactly what the guard exists to repair, so the run is judged
+        on the state it settled into.
+        """
+        return all(ph.compliant for ph in self.phases[-1:])
 
     def phase(self, label: str) -> PhaseReport:
         for ph in self.phases:
@@ -510,6 +524,34 @@ class ChaosEngine:
         self.rack: Optional[DeployedRack] = None
         self.traffic: Optional[TrafficEngine] = None
         self.rates: Dict[str, float] = {}
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "ChaosSpec",
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Optional[PlacementCache] = None,
+    ) -> "ChaosEngine":
+        """Build an engine from a fully-stated :class:`ChaosSpec`.
+
+        The spec's seed wins over the timeline's, so one knob controls
+        the whole run (timeline synthesis and the rack's drop hash).
+        """
+        timeline = replace(spec.timeline, seed=spec.seed) \
+            if spec.timeline.seed != spec.seed else spec.timeline
+        return cls(
+            spec.build_chains(),
+            timeline,
+            topology=spec.build_topology(),
+            guard=spec.guard,
+            strategy=spec.strategy,
+            flows_per_chain=spec.flows_per_chain,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            registry=registry,
+            cache=cache,
+        )
 
     # -- deploy / redeploy ----------------------------------------------------
 
@@ -848,22 +890,7 @@ def run_chaos(
     cache: Optional[PlacementCache] = None,
 ) -> ChaosReport:
     """Run one chaos experiment from a fully-stated spec."""
-    topology = spec.build_topology()
-    chains = spec.build_chains()
-    timeline = replace(spec.timeline, seed=spec.seed) \
-        if spec.timeline.seed != spec.seed else spec.timeline
-    engine = ChaosEngine(
-        chains,
-        timeline,
-        topology=topology,
-        guard=spec.guard,
-        strategy=spec.strategy,
-        flows_per_chain=spec.flows_per_chain,
-        batch_size=spec.batch_size,
-        seed=spec.seed,
-        registry=registry,
-        cache=cache,
-    )
+    engine = ChaosEngine.from_spec(spec, registry=registry, cache=cache)
     return engine.run(packets_per_chain=spec.packets_per_chain)
 
 

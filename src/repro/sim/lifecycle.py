@@ -45,24 +45,26 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.chain.graph import NFChain, chains_from_spec
+from repro.chain.graph import NFChain, chains_from_spec, chains_with_slos
 from repro.chain.slo import SLO
 from repro.core.cache import PlacementCache
-from repro.core.placer import Placer, PlacerConfig, PlacementRequest
-from repro.exceptions import LifecycleError, PlacementError, SpecError
+from repro.exceptions import LifecycleError, SpecError
 from repro.hw.topology import (
     Topology,
     default_testbed,
     multi_server_testbed,
 )
-from repro.metacompiler.compiler import MetaCompiler
-from repro.obs import MetricsRegistry, get_registry
-from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.obs import MetricsRegistry
+from repro.profiles.defaults import ProfileDatabase
+from repro.sim.admission import (
+    LIFECYCLE_ACTIONS,
+    AdmissionCore,
+    AdmissionDecision,
+    ChainEvent,
+)
 from repro.sim.faults import _SLO_RTOL, PhaseReport
 from repro.sim.runtime import DeployedRack
-from repro.sim.traffic import ChainTrafficReport, TrafficEngine
-
-LIFECYCLE_ACTIONS = ("arrive", "scale", "depart")
+from repro.sim.traffic import TrafficEngine
 
 #: within a tick, departures free capacity before admissions consume it.
 _ACTION_ORDER = {"depart": 0, "scale": 1, "arrive": 2}
@@ -71,33 +73,6 @@ _ACTION_ORDER = {"depart": 0, "scale": 1, "arrive": 2}
 # ---------------------------------------------------------------------------
 # timeline
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ChainEvent:
-    """One lifecycle transition, fired at integer tick ``at``.
-
-    ``arrive`` carries the chain's DSL ``spec`` (one ``chain <name>: ...``
-    line whose name must equal ``chain``) plus its SLO in Mbps; ``scale``
-    carries the new ``t_min_mbps`` (and optionally a new ``t_max_mbps``);
-    ``depart`` needs only the chain name.
-    """
-
-    at: int
-    action: str
-    chain: str
-    spec: str = ""
-    t_min_mbps: float = 0.0
-    t_max_mbps: float = float("inf")
-    d_max_us: float = float("inf")
-
-    def describe(self) -> str:
-        extra = ""
-        if self.action == "arrive":
-            extra = f" t_min={self.t_min_mbps:g} t_max={self.t_max_mbps:g}"
-        elif self.action == "scale":
-            extra = f" t_min={self.t_min_mbps:g}"
-        return f"t{self.at} {self.action} {self.chain}{extra}"
 
 
 @dataclass(frozen=True)
@@ -166,11 +141,7 @@ class LifecycleTimeline:
                 )
 
     def slo_for(self, event: ChainEvent) -> SLO:
-        return SLO(
-            t_min=event.t_min_mbps,
-            t_max=event.t_max_mbps,
-            d_max=event.d_max_us,
-        )
+        return event.slo()
 
     # -- (de)serialization --------------------------------------------------
 
@@ -196,11 +167,35 @@ class LifecycleTimeline:
             default=str,
         )
 
+    #: the exhaustive wire fields; anything else is rejected so schema
+    #: typos fail loudly instead of silently defaulting.
+    _EVENT_FIELDS = frozenset({
+        "at", "action", "chain", "spec",
+        "t_min_mbps", "t_max_mbps", "d_max_us",
+    })
+    _TOP_FIELDS = frozenset({"seed", "events"})
+
     @classmethod
     def from_dict(cls, payload: dict) -> "LifecycleTimeline":
+        if not isinstance(payload, dict):
+            raise LifecycleError(
+                f"timeline must be an object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - cls._TOP_FIELDS
+        if unknown:
+            raise LifecycleError(
+                f"timeline carries unknown fields {sorted(unknown)}"
+            )
         try:
-            events = tuple(
-                ChainEvent(
+            events = []
+            for ev in payload.get("events", ()):
+                bad = set(ev) - cls._EVENT_FIELDS
+                if bad:
+                    raise LifecycleError(
+                        f"timeline event carries unknown fields "
+                        f"{sorted(bad)}"
+                    )
+                events.append(ChainEvent(
                     at=int(ev["at"]),
                     action=str(ev["action"]),
                     chain=str(ev["chain"]),
@@ -208,12 +203,10 @@ class LifecycleTimeline:
                     t_min_mbps=float(ev.get("t_min_mbps", 0.0)),
                     t_max_mbps=float(ev.get("t_max_mbps", float("inf"))),
                     d_max_us=float(ev.get("d_max_us", float("inf"))),
-                )
-                for ev in payload.get("events", ())
-            )
+                ))
         except (KeyError, TypeError, ValueError) as exc:
             raise LifecycleError(f"malformed timeline: {exc}") from exc
-        return cls(events=events, seed=int(payload.get("seed", 23)))
+        return cls(events=tuple(events), seed=int(payload.get("seed", 23)))
 
     @classmethod
     def parse_json(cls, text: str) -> "LifecycleTimeline":
@@ -327,70 +320,13 @@ class LifecycleSpec:
         )
 
     def build_chains(self) -> List[NFChain]:
-        chains = chains_from_spec(self.spec_text)
-        if len(self.slos) != len(chains):
-            raise LifecycleError(
-                f"spec declares {len(chains)} chains but {len(self.slos)} "
-                "SLOs were provided"
-            )
-        out = []
-        for chain, bounds in zip(chains, self.slos):
-            if not 2 <= len(bounds) <= 3:
-                raise LifecycleError(
-                    "each SLO must be (t_min, t_max) or "
-                    f"(t_min, t_max, d_max); got {bounds!r}"
-                )
-            slo = SLO(t_min=bounds[0], t_max=bounds[1]) if len(bounds) == 2 \
-                else SLO(t_min=bounds[0], t_max=bounds[1], d_max=bounds[2])
-            out.append(chain.with_slo(slo))
-        return out
+        return chains_with_slos(self.spec_text, self.slos,
+                                error=LifecycleError)
 
 
 # ---------------------------------------------------------------------------
-# decisions and report
+# report (decisions live in repro.sim.admission, shared with the daemon)
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class AdmissionDecision:
-    """The typed outcome of one lifecycle event's admission check."""
-
-    tick: int
-    action: str
-    chain: str
-    accepted: bool
-    #: the binding constraint for a rejection ("" when accepted) — the
-    #: solver's infeasibility reason, verbatim.
-    reason: str = ""
-    mode: str = "full"
-    pinned: int = 0
-    placed: int = 0
-    cache_hit: bool = False
-    #: per-device delta-redeploy actions (empty on rejection).
-    rebuilt: Tuple[str, ...] = ()
-    reused: Tuple[str, ...] = ()
-    removed: Tuple[str, ...] = ()
-    #: admission-solve wall clock; excluded from rendered/JSON output so
-    #: reports stay byte-identical, kept for benchmarks.
-    seconds: float = 0.0
-
-    def describe(self) -> str:
-        verdict = "accepted" if self.accepted else f"REJECTED: {self.reason}"
-        solve = f"{self.mode}"
-        if self.mode == "incremental":
-            solve += f" pinned={self.pinned} placed={self.placed}"
-        if self.cache_hit:
-            solve += " warm"
-        redeploy = ""
-        if self.accepted:
-            redeploy = (
-                f"; redeploy rebuilt={len(self.rebuilt)} "
-                f"reused={len(self.reused)} removed={len(self.removed)}"
-            )
-        return (
-            f"t{self.tick} {self.action} {self.chain} -> {verdict} "
-            f"[{solve}{redeploy}]"
-        )
 
 
 @dataclass
@@ -408,6 +344,11 @@ class LifecycleReport:
     @property
     def rejected(self) -> int:
         return sum(1 for d in self.decisions if not d.accepted)
+
+    @property
+    def ok(self) -> bool:
+        """SLO compliance across every phase (the exit-code predicate)."""
+        return all(ph.compliant for ph in self.phases)
 
     @property
     def total_injected(self) -> int:
@@ -430,23 +371,7 @@ class LifecycleReport:
             "rejected": self.rejected,
             "total_injected": self.total_injected,
             "total_delivered": self.total_delivered,
-            "decisions": [
-                {
-                    "tick": d.tick,
-                    "action": d.action,
-                    "chain": d.chain,
-                    "accepted": d.accepted,
-                    "reason": d.reason,
-                    "mode": d.mode,
-                    "pinned": d.pinned,
-                    "placed": d.placed,
-                    "cache_hit": d.cache_hit,
-                    "rebuilt": list(d.rebuilt),
-                    "reused": list(d.reused),
-                    "removed": list(d.removed),
-                }
-                for d in self.decisions
-            ],
+            "decisions": [d.as_dict() for d in self.decisions],
             "phases": [
                 {
                     "index": ph.index,
@@ -518,7 +443,13 @@ class LifecycleReport:
 
 
 class LifecycleEngine:
-    """Admit, place incrementally, delta-redeploy, and drive traffic."""
+    """Admit, place incrementally, delta-redeploy, and drive traffic.
+
+    A thin timeline-replay front-end over the shared
+    :class:`~repro.sim.admission.AdmissionCore` (the serve daemon is the
+    other front-end): the engine orders events into ticks and phases,
+    the core owns the rack and every admission decision.
+    """
 
     def __init__(
         self,
@@ -535,177 +466,96 @@ class LifecycleEngine:
         cache: Optional[PlacementCache] = None,
         full_resolve: bool = False,
     ):
-        if not chains:
-            raise LifecycleError(
-                "the lifecycle engine needs at least one initial chain "
-                "(an empty rack has nothing to deploy)"
-            )
-        self.initial_chains = list(chains)
         self.timeline = timeline
-        self.topology = topology or default_testbed()
-        self.profiles = profiles or default_profiles()
-        self.strategy = strategy
-        self.flows_per_chain = flows_per_chain
-        self.batch_size = batch_size
-        self.seed = timeline.seed if seed is None else seed
-        self.obs = registry if registry is not None else get_registry()
-        #: warm-start memo: a repeated (active set, base pattern) admission
-        #: problem fingerprints identically and is served from cache.
-        self.cache = cache if cache is not None else PlacementCache()
-        self.full_resolve = full_resolve
         timeline.validate()
-
-        self.placer = Placer(
-            topology=self.topology,
-            profiles=self.profiles,
-            config=PlacerConfig(strategy=strategy),
-            cache=self.cache,
+        self.core = AdmissionCore(
+            chains,
+            topology=topology,
+            profiles=profiles,
+            strategy=strategy,
+            flows_per_chain=flows_per_chain,
+            batch_size=batch_size,
+            seed=timeline.seed if seed is None else seed,
+            registry=registry,
+            cache=cache,
+            full_resolve=full_resolve,
         )
-        self.metacompiler = MetaCompiler(
-            topology=self.topology, profiles=self.profiles
-        )
 
-        # mutable run state
-        self.active: List[NFChain] = []
-        self.placement = None
-        self.rack: Optional[DeployedRack] = None
-        self.traffic: Optional[TrafficEngine] = None
-        self.rates: Dict[str, float] = {}
+    @classmethod
+    def from_spec(
+        cls,
+        spec: LifecycleSpec,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        cache: Optional[PlacementCache] = None,
+    ) -> "LifecycleEngine":
+        """Build an engine from a fully-stated :class:`LifecycleSpec`.
 
-    # -- admission --------------------------------------------------------------
-
-    def _admit(self, event: ChainEvent,
-               proposed: List[NFChain]) -> AdmissionDecision:
-        """Solve the proposed chain set and, on success, delta-redeploy.
-
-        The engine's state only advances when the solve is feasible; a
-        rejection leaves the running placement, rack, and rates exactly
-        as they were — admitted chains are never evicted to make room.
+        The spec's seed wins over the timeline's, so one knob controls
+        the whole run (timeline synthesis and the rack's drop hash).
         """
-        base = None if self.full_resolve else self.placement
-        mode = "full" if base is None else "incremental"
-        try:
-            report = self.placer.solve(PlacementRequest(
-                chains=proposed,
-                strategy=self.strategy,
-                base_placement=base,
-            ))
-        except PlacementError as exc:
-            return AdmissionDecision(
-                tick=event.at, action=event.action, chain=event.chain,
-                accepted=False, reason=str(exc), mode=mode,
-            )
-        if not report.placement.feasible:
-            return AdmissionDecision(
-                tick=event.at, action=event.action, chain=event.chain,
-                accepted=False,
-                reason=report.placement.infeasible_reason or "infeasible",
-                mode=report.mode,
-                pinned=report.pinned_chains,
-                placed=report.placed_chains,
-                cache_hit=report.cache_hit,
-                seconds=report.seconds,
-            )
-        artifacts = self.metacompiler.compile_placement(report.placement)
-        delta = self.rack.redeploy(artifacts)
-        self.active = proposed
-        self.placement = report.placement
-        self.rates = dict(report.placement.rates)
-        self.traffic.placement = report.placement
-        return AdmissionDecision(
-            tick=event.at, action=event.action, chain=event.chain,
-            accepted=True,
-            mode=report.mode,
-            pinned=report.pinned_chains,
-            placed=report.placed_chains,
-            cache_hit=report.cache_hit,
-            rebuilt=tuple(delta.rebuilt),
-            reused=tuple(delta.reused),
-            removed=tuple(delta.removed),
-            seconds=report.seconds,
+        timeline = replace(spec.timeline, seed=spec.seed) \
+            if spec.timeline.seed != spec.seed else spec.timeline
+        return cls(
+            spec.build_chains(),
+            timeline,
+            topology=spec.build_topology(),
+            strategy=spec.strategy,
+            flows_per_chain=spec.flows_per_chain,
+            batch_size=spec.batch_size,
+            seed=spec.seed,
+            registry=registry,
+            cache=cache,
+            full_resolve=spec.full_resolve,
         )
 
-    def _propose(self, event: ChainEvent
-                 ) -> Tuple[Optional[List[NFChain]], str]:
-        """The chain set the event asks for, or a static rejection."""
-        names = {chain.name for chain in self.active}
-        if event.action == "arrive":
-            if event.chain in names:
-                return None, f"chain {event.chain!r} is already active"
-            (chain,) = chains_from_spec(event.spec)
-            chain = chain.with_slo(self.timeline.slo_for(event))
-            return self.active + [chain], ""
-        if event.chain not in names:
-            return None, f"no active chain named {event.chain!r}"
-        if event.action == "depart":
-            proposed = [c for c in self.active if c.name != event.chain]
-            if not proposed:
-                return None, "cannot depart the last active chain"
-            return proposed, ""
-        # scale
-        proposed = []
-        for chain in self.active:
-            if chain.name == event.chain:
-                slo = chain.slo.with_tmin(event.t_min_mbps)
-                if event.t_max_mbps != float("inf"):
-                    slo = replace(slo, t_max=event.t_max_mbps)
-                chain = chain.with_slo(slo)
-            proposed.append(chain)
-        return proposed, ""
+    # read-only views onto the core's state, kept for callers that
+    # introspect a finished engine (tests, benchmarks, experiments)
+    @property
+    def initial_chains(self) -> List[NFChain]:
+        return self.core.initial_chains
 
-    def _process(self, event: ChainEvent) -> AdmissionDecision:
-        self.obs.counter("lifecycle.events", action=event.action).inc()
-        proposed, static_reason = self._propose(event)
-        if proposed is None:
-            decision = AdmissionDecision(
-                tick=event.at, action=event.action, chain=event.chain,
-                accepted=False, reason=static_reason,
-            )
-        else:
-            decision = self._admit(event, proposed)
-        self.obs.counter(
-            "lifecycle.admission",
-            decision="accepted" if decision.accepted else "rejected",
-            action=event.action,
-        ).inc()
-        if not decision.accepted and decision.pinned > 0:
-            # the solve failed while holding admitted chains at their
-            # t_min floor: accepting would have required an eviction
-            self.obs.counter("lifecycle.evictions_averted").inc()
-        self.obs.gauge("lifecycle.active_chains").set(len(self.active))
-        return decision
+    @property
+    def topology(self) -> Topology:
+        return self.core.topology
+
+    @property
+    def active(self) -> List[NFChain]:
+        return self.core.active
+
+    @property
+    def placement(self):
+        return self.core.placement
+
+    @property
+    def rack(self) -> Optional[DeployedRack]:
+        return self.core.rack
+
+    @property
+    def traffic(self) -> Optional[TrafficEngine]:
+        return self.core.traffic
+
+    @property
+    def rates(self) -> Dict[str, float]:
+        return self.core.rates
+
+    @property
+    def cache(self) -> PlacementCache:
+        return self.core.cache
 
     # -- the run loop -----------------------------------------------------------
 
     def run(self, packets_per_phase: int = 256) -> LifecycleReport:
         if packets_per_phase < 1:
             raise LifecycleError("packets_per_phase must be >= 1")
-        initial = self.placer.solve(PlacementRequest(
-            chains=self.initial_chains, strategy=self.strategy,
-        ))
-        if not initial.placement.feasible:
-            raise PlacementError(
-                "lifecycle run needs a feasible initial placement: "
-                f"{initial.placement.infeasible_reason}"
-            )
-        self.active = list(self.initial_chains)
-        self.placement = initial.placement
-        self.rates = dict(initial.placement.rates)
-        artifacts = self.metacompiler.compile_placement(initial.placement)
-        self.rack = DeployedRack(
-            self.topology, artifacts, self.profiles,
-            seed=self.seed, registry=self.obs,
-        )
-        self.traffic = TrafficEngine(
-            self.rack, initial.placement,
-            flows_per_chain=self.flows_per_chain,
-            batch_size=self.batch_size,
-        )
-        self.obs.gauge("lifecycle.active_chains").set(len(self.active))
+        core = self.core
+        core.bootstrap()
 
         report = LifecycleReport(seed=self.timeline.seed)
-        cursors: Dict[str, int] = {}
-        self._run_phase(report, "initial", packets_per_phase, cursors)
+        report.phases.append(core.run_phase(
+            "initial", packets_per_phase,
+            index=0, start_packet=0,
+        ))
 
         pending = self.timeline.sorted_events()
         while pending:
@@ -713,43 +563,17 @@ class LifecycleEngine:
             fired: List[ChainEvent] = []
             while pending and pending[0].at == tick:
                 event = pending.pop(0)
-                report.decisions.append(self._process(event))
+                report.decisions.append(core.process(event))
                 fired.append(event)
             label = f"t{tick}:" + "+".join(
                 f"{ev.action}({ev.chain})" for ev in fired
             )
-            self._run_phase(report, label, packets_per_phase, cursors)
-        return report
-
-    def _run_phase(self, report: LifecycleReport, label: str,
-                   packets_per_phase: int,
-                   cursors: Dict[str, int]) -> None:
-        """Inject one phase of traffic for every active chain and record
-        the per-chain SLO compliance rows."""
-        phase = PhaseReport(
-            index=len(report.phases),
-            label=label,
-            mode="live",
-            start_packet=report.total_injected,
-            t_mins={
-                cp.name: cp.chain.slo.t_min
-                for cp in self.placement.chains
-            },
-        )
-        for cp in self.placement.chains:
-            delivered, cursors[cp.name] = self.traffic.replay_batch(
-                cp, cursors.get(cp.name, 0), packets_per_phase
-            )
-            phase.chains.append(ChainTrafficReport(
-                chain_name=cp.name,
-                flows=self.flows_per_chain,
-                injected=packets_per_phase,
-                delivered=delivered,
-                dropped=packets_per_phase - delivered,
-                wall_seconds=0.0,
-                assigned_mbps=self.rates.get(cp.name, 0.0),
+            report.phases.append(core.run_phase(
+                label, packets_per_phase,
+                index=len(report.phases),
+                start_packet=report.total_injected,
             ))
-        report.phases.append(phase)
+        return report
 
 
 # ---------------------------------------------------------------------------
@@ -763,22 +587,7 @@ def run_lifecycle(
     cache: Optional[PlacementCache] = None,
 ) -> LifecycleReport:
     """Run one lifecycle experiment from a fully-stated spec."""
-    topology = spec.build_topology()
-    chains = spec.build_chains()
-    timeline = replace(spec.timeline, seed=spec.seed) \
-        if spec.timeline.seed != spec.seed else spec.timeline
-    engine = LifecycleEngine(
-        chains,
-        timeline,
-        topology=topology,
-        strategy=spec.strategy,
-        flows_per_chain=spec.flows_per_chain,
-        batch_size=spec.batch_size,
-        seed=spec.seed,
-        registry=registry,
-        cache=cache,
-        full_resolve=spec.full_resolve,
-    )
+    engine = LifecycleEngine.from_spec(spec, registry=registry, cache=cache)
     return engine.run(packets_per_phase=spec.packets_per_phase)
 
 

@@ -20,6 +20,7 @@ than a sum of per-chain walls.
 
 from __future__ import annotations
 
+import json
 import pickle
 import time
 import warnings
@@ -27,15 +28,22 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.chain.graph import NFChain, chains_with_slos
 from repro.core.placement import ChainPlacement, Placement
-from repro.hw.topology import Topology
-from repro.metacompiler.compiler import CompiledArtifacts
+from repro.core.placer import Placer, PlacerConfig, PlacementRequest
+from repro.exceptions import PlacementError, TrafficError
+from repro.hw.topology import (
+    Topology,
+    default_testbed,
+    multi_server_testbed,
+)
+from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
 from repro.net.packet import Packet
-from repro.obs import scoped_registry
-from repro.profiles.defaults import ProfileDatabase
+from repro.obs import MetricsRegistry, scoped_registry
+from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.sim.columns import PacketColumns
 from repro.sim.runtime import DeployedRack, _chain_packet
-from repro.units import SIM_PACKET_BITS
+from repro.units import SIM_PACKET_BITS, SLO_RTOL
 
 #: packet size used for rate conversion — derived from the single source
 #: of truth in :mod:`repro.units`, which also sizes the synthesized
@@ -57,10 +65,19 @@ class ChainTrafficReport:
     wall_seconds: float
     #: the LP's rate assignment for this chain (Mbps); 0 when unassigned.
     assigned_mbps: float
+    #: the chain's SLO minimum rate (Mbps); 0 means best-effort.
+    t_min_mbps: float = 0.0
 
     @property
     def delivered_fraction(self) -> float:
         return self.delivered / self.injected if self.injected else 0.0
+
+    @property
+    def slo_met(self) -> bool:
+        """Delivered rate at or above the SLO floor (with float slack)."""
+        if self.t_min_mbps <= 0.0 or self.injected == 0:
+            return True
+        return self.delivered_mbps >= self.t_min_mbps * (1.0 - SLO_RTOL)
 
     @property
     def achieved_pps(self) -> float:
@@ -120,25 +137,62 @@ class TrafficReport:
     def aggregate_assigned_mbps(self) -> float:
         return sum(c.assigned_mbps for c in self.chains)
 
+    @property
+    def ok(self) -> bool:
+        """SLO compliance across every chain (the exit-code predicate)."""
+        return all(c.slo_met for c in self.chains)
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON form (wall-clock quantities excluded)."""
+        return {
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "ok": self.ok,
+            "chains": [
+                {
+                    "chain": c.chain_name,
+                    "flows": c.flows,
+                    "injected": c.injected,
+                    "delivered": c.delivered,
+                    "assigned_mbps": round(c.assigned_mbps, 6),
+                    "delivered_mbps": round(c.delivered_mbps, 6),
+                    "t_min_mbps": round(c.t_min_mbps, 6),
+                    "slo_met": c.slo_met,
+                }
+                for c in self.chains
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        return self.describe()
+
     def describe(self) -> str:
         """Human-readable table for the ``repro traffic`` subcommand."""
         lines = [
             f"{'chain':<12} {'flows':>5} {'injected':>9} {'delivered':>9} "
-            f"{'pps':>10} {'assigned':>9} {'delivered':>10}",
+            f"{'pps':>10} {'assigned':>9} {'delivered':>10} "
+            f"{'t_min':>9} {'slo':>9}",
             f"{'':<12} {'':>5} {'':>9} {'':>9} "
-            f"{'':>10} {'Mbps':>9} {'Mbps':>10}",
+            f"{'':>10} {'Mbps':>9} {'Mbps':>10} {'Mbps':>9} {'':>9}",
         ]
         for c in self.chains:
             lines.append(
                 f"{c.chain_name:<12} {c.flows:>5} {c.injected:>9} "
                 f"{c.delivered:>9} {c.achieved_pps:>10.0f} "
-                f"{c.assigned_mbps:>9.0f} {c.delivered_mbps:>10.0f}"
+                f"{c.assigned_mbps:>9.0f} {c.delivered_mbps:>10.0f} "
+                f"{c.t_min_mbps:>9.0f} "
+                f"{'ok' if c.slo_met else 'VIOLATED':>9}"
             )
         lines.append(
             f"{'total':<12} {'':>5} {self.injected:>9} {self.delivered:>9} "
             f"{self.achieved_pps:>10.0f} "
             f"{self.aggregate_assigned_mbps:>9.0f} "
-            f"{self.aggregate_delivered_mbps:>10.0f}"
+            f"{self.aggregate_delivered_mbps:>10.0f} "
+            f"{'':>9} "
+            f"{'ok' if self.ok else 'VIOLATED':>9}"
         )
         if self.shard_walls:
             walls = ", ".join(f"{w:.2f}s" for w in self.shard_walls)
@@ -147,6 +201,46 @@ class TrafficReport:
                 f"run wall: {self.run_wall_seconds:.2f}s)"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A fully-stated, picklable traffic replay.
+
+    The same shape as :class:`~repro.sim.faults.ChaosSpec` and
+    :class:`~repro.sim.lifecycle.LifecycleSpec`: everything needed to
+    rebuild the topology, chains, placement, and rack lives in the spec,
+    so :func:`run_traffic` is a pure function of it.
+    """
+
+    spec_text: str
+    #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per chain in spec
+    #: order; the delay bound defaults to unbounded when omitted.
+    slos: Tuple[Tuple[float, ...], ...]
+    packets_per_chain: int = 2048
+    flows_per_chain: int = 64
+    batch_size: int = 64
+    vectorized: bool = False
+    shards: int = 1
+    seed: int = 23
+    strategy: str = "lemur"
+    with_smartnic: bool = False
+    with_openflow: bool = False
+    servers: int = 0
+    metron: bool = False
+
+    def build_topology(self) -> Topology:
+        if self.servers and self.servers > 0:
+            return multi_server_testbed(self.servers)
+        return default_testbed(
+            with_smartnic=self.with_smartnic,
+            with_openflow=self.with_openflow,
+            metron_steering=self.metron,
+        )
+
+    def build_chains(self) -> List[NFChain]:
+        return chains_with_slos(self.spec_text, self.slos,
+                                error=TrafficError)
 
 
 @dataclass
@@ -230,6 +324,33 @@ class TrafficEngine:
         #: chain name -> (chain object, synthesized flow templates); the
         #: chain object guards against a redeployed chain of the same name.
         self._flows: Dict[str, tuple] = {}
+
+    @classmethod
+    def from_spec(cls, spec: TrafficSpec, *,
+                  registry: Optional[MetricsRegistry] = None
+                  ) -> "TrafficEngine":
+        """Place, compile, and deploy ``spec``'s chains; return a ready
+        engine. Raises :class:`PlacementError` when no placement fits."""
+        topology = spec.build_topology()
+        chains = spec.build_chains()
+        placer = Placer(topology=topology, profiles=default_profiles(),
+                        config=PlacerConfig(strategy=spec.strategy))
+        placement = placer.solve(PlacementRequest(chains=chains)).placement
+        if not placement.feasible:
+            raise PlacementError(
+                "traffic replay needs a feasible placement: "
+                f"{placement.infeasible_reason}"
+            )
+        artifacts = MetaCompiler(
+            topology=topology, profiles=placer.profiles
+        ).compile_placement(placement)
+        rack = DeployedRack(topology, artifacts, placer.profiles,
+                            seed=spec.seed, registry=registry)
+        return cls(rack, placement,
+                   flows_per_chain=spec.flows_per_chain,
+                   batch_size=spec.batch_size,
+                   vectorized=spec.vectorized,
+                   shards=spec.shards)
 
     def synthesize_flows(self, cp: ChainPlacement) -> List[Packet]:
         """One template packet per flow, all inside the chain's aggregate.
@@ -340,6 +461,7 @@ class TrafficEngine:
             dropped=injected - delivered,
             wall_seconds=wall,
             assigned_mbps=self.placement.rates.get(cp.name, 0.0),
+            t_min_mbps=cp.chain.slo.t_min,
         )
 
     def _run_sharded(self, selected: List[ChainPlacement],
@@ -395,3 +517,12 @@ class TrafficEngine:
             for row in rows:
                 rows_by_name[row.chain_name] = row
         return [rows_by_name[cp.name] for cp in selected], shard_walls
+
+
+def run_traffic(
+    spec: TrafficSpec,
+    registry: Optional[MetricsRegistry] = None,
+) -> TrafficReport:
+    """Run one high-volume replay from a fully-stated spec."""
+    engine = TrafficEngine.from_spec(spec, registry=registry)
+    return engine.run(packets_per_chain=spec.packets_per_chain)

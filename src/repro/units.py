@@ -26,6 +26,12 @@ SIM_PACKET_BYTES = 512
 SIM_PACKET_BITS = SIM_PACKET_BYTES * 8
 
 
+#: Relative slack applied to SLO rate comparisons so LP rates that sit
+#: exactly on t_min don't flap on float rounding. Shared by the chaos
+#: guard, the lifecycle/serve phase tables, and the traffic report.
+SLO_RTOL = 1e-9
+
+
 def mbps(value: float) -> float:
     """Identity, for readability at call sites: ``mbps(40_000)``."""
     return float(value)

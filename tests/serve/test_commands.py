@@ -1,0 +1,142 @@
+"""Typed command/outcome wire forms: strict parsing, round-trips, schemas."""
+
+import pytest
+
+from repro.exceptions import CommandError
+from repro.serve.commands import (
+    MUTATING_KINDS,
+    STATUS_APPLIED,
+    Arrive,
+    CommandOutcome,
+    Depart,
+    InjectFault,
+    Scale,
+    Snapshot,
+    command_schemas,
+    parse_command,
+)
+
+ROUND_TRIP = [
+    Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+           t_min_mbps=500.0),
+    Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+           t_min_mbps=500.0, t_max_mbps=4000.0, d_max_us=250.0),
+    Scale(chain="enterprise", t_min_mbps=1500.0),
+    Scale(chain="enterprise", t_min_mbps=1500.0, t_max_mbps=9000.0),
+    Depart(chain="enterprise"),
+    InjectFault(action="fail", target="server0"),
+    InjectFault(action="degrade_link", target="server0", severity=0.4),
+    Snapshot(),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "command", ROUND_TRIP, ids=lambda c: repr(c)[:48]
+    )
+    def test_as_dict_parse_identity(self, command):
+        assert parse_command(command.as_dict()) == command
+
+    def test_infinities_are_omitted(self):
+        wire = Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+                      t_min_mbps=500.0).as_dict()
+        assert "t_max_mbps" not in wire
+        assert "d_max_us" not in wire
+
+    def test_default_severity_is_omitted(self):
+        wire = InjectFault(action="fail", target="server0").as_dict()
+        assert "severity" not in wire
+
+
+class TestStrictParsing:
+    def test_non_object_rejected(self):
+        with pytest.raises(CommandError, match="must be an object"):
+            parse_command(["arrive"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CommandError, match="unknown command kind"):
+            parse_command({"kind": "explode"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CommandError, match="unknown fields"):
+            parse_command({"kind": "depart", "chain": "a", "force": True})
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(CommandError, match="missing required"):
+            parse_command({"kind": "arrive", "chain": "dyn0"})
+
+    def test_mistyped_field_rejected(self):
+        with pytest.raises(CommandError, match="malformed"):
+            parse_command({"kind": "scale", "chain": "a",
+                           "t_min_mbps": "plenty"})
+
+    def test_semantic_validation_runs(self):
+        with pytest.raises(CommandError, match="t_min_mbps > 0"):
+            parse_command({"kind": "scale", "chain": "a",
+                           "t_min_mbps": -3.0})
+
+    def test_arrive_spec_must_declare_the_chain(self):
+        with pytest.raises(CommandError, match="exactly"):
+            Arrive(chain="dyn0", spec="chain other: ACL -> IPv4Fwd",
+                   t_min_mbps=500.0).validate()
+
+    def test_fault_action_vocabulary(self):
+        with pytest.raises(CommandError, match="unknown action"):
+            InjectFault(action="lose_cores", target="server0").validate()
+
+    def test_degrade_severity_bounds(self):
+        with pytest.raises(CommandError, match="severity"):
+            InjectFault(action="degrade_link", target="server0",
+                        severity=1.5).validate()
+
+
+class TestOutcome:
+    def test_round_trip(self):
+        outcome = CommandOutcome(
+            seq=7, kind="depart", status=STATUS_APPLIED,
+            digest="abc123",
+        )
+        assert CommandOutcome.from_dict(outcome.as_dict()) == outcome
+
+    def test_snapshot_payload_survives(self):
+        outcome = CommandOutcome(
+            seq=0, kind="snapshot", status=STATUS_APPLIED,
+            snapshot={"seq": 0, "active": []},
+        )
+        back = CommandOutcome.from_dict(outcome.as_dict())
+        assert back.snapshot == {"seq": 0, "active": []}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CommandError, match="unknown fields"):
+            CommandOutcome.from_dict(
+                {"seq": 1, "kind": "depart", "status": "applied",
+                 "extra": 1}
+            )
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(CommandError, match="status"):
+            CommandOutcome.from_dict(
+                {"seq": 1, "kind": "depart", "status": "maybe"}
+            )
+
+    def test_http_status_mapping(self):
+        assert CommandOutcome.http_status("applied") == 200
+        assert CommandOutcome.http_status("rejected") == 409
+        assert CommandOutcome.http_status("invalid") == 400
+        assert CommandOutcome.http_status("error") == 500
+        assert CommandOutcome.http_status("garbage") == 500
+
+
+class TestSchemas:
+    def test_every_kind_has_a_strict_schema(self):
+        schemas = command_schemas()["commands"]
+        assert set(schemas) == set(MUTATING_KINDS) | {"snapshot"}
+        for kind, schema in schemas.items():
+            assert schema["additionalProperties"] is False
+            assert schema["properties"]["kind"] == {"const": kind}
+            assert "kind" in schema["required"]
+
+    def test_outcome_schema_is_strict(self):
+        outcome = command_schemas()["outcome"]
+        assert outcome["additionalProperties"] is False
+        assert set(outcome["required"]) == {"seq", "kind", "status"}

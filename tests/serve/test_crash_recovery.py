@@ -1,0 +1,84 @@
+"""Crash recovery: checkpoint + journal replay rebuild a byte-identical rack.
+
+The acceptance invariant for the control-plane daemon: kill it at an
+arbitrary applied-command boundary, restart it on the same state dir,
+finish the remaining commands — and the final report must be
+byte-identical to an uninterrupted run's, because recovery replays the
+acknowledged command prefix through the same deterministic core.
+"""
+
+import pytest
+
+from repro.serve import Arrive, Depart, InjectFault, Scale
+
+COMMANDS = [
+    Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+           t_min_mbps=500.0, t_max_mbps=4000.0),
+    Scale(chain="enterprise", t_min_mbps=1500.0),
+    InjectFault(action="degrade_link", target="server0", severity=0.4),
+    Depart(chain="dyn0"),
+    InjectFault(action="restore_link", target="server0"),
+]
+
+
+@pytest.mark.parametrize("checkpoint_every", [2, 0],
+                         ids=["checkpointed", "journal-only"])
+@pytest.mark.parametrize("kill_after", [1, 3, 5])
+def test_recovered_report_is_byte_identical(make_config, drive, tmp_path,
+                                            checkpoint_every, kill_after):
+    config = make_config(checkpoint_every=checkpoint_every)
+
+    # the uninterrupted reference run
+    ref_daemon, ref_outcomes = drive(
+        config, tmp_path / "reference", COMMANDS
+    )
+    reference = ref_daemon.report()
+
+    # the crashed run: SIGKILL analogue after `kill_after` acked commands
+    crashed, partial = drive(
+        config, tmp_path / "crashed", COMMANDS[:kill_after], crash=True
+    )
+
+    # restart on the same state dir: checkpoint load + journal replay
+    recovered, remaining = drive(
+        config, tmp_path / "crashed", COMMANDS[kill_after:]
+    )
+    assert recovered.recovered is True
+
+    # the recovered daemon resumed at the right sequence with the same
+    # state digest the reference run had at that boundary
+    assert remaining[0].seq == kill_after + 1 if remaining else True
+    for ref, got in zip(ref_outcomes[kill_after:], remaining):
+        assert got.seq == ref.seq
+        assert got.status == ref.status
+        assert got.digest == ref.digest
+
+    report = recovered.report()
+    assert report.recovered is True
+    # `recovered` is excluded from the serialized report: byte-identical
+    assert report.to_json() == reference.to_json()
+    assert report.render() == reference.render()
+
+
+def test_recovery_is_invisible_midstream(make_config, drive, tmp_path):
+    """Commands after recovery decide exactly as without the crash —
+    including a rejection, which must replay as a rejection."""
+    config = make_config()
+    commands = [
+        Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+               t_min_mbps=500.0),
+        Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+               t_min_mbps=500.0),  # duplicate: rejected, still journaled
+        Scale(chain="dyn0", t_min_mbps=700.0),
+    ]
+    ref_daemon, _ = drive(config, tmp_path / "reference", commands)
+    drive(config, tmp_path / "crashed", commands[:2], crash=True)
+    recovered, _ = drive(config, tmp_path / "crashed", commands[2:])
+    assert recovered.report().to_json() == ref_daemon.report().to_json()
+    # the replayed rejection is part of the recovered report
+    assert recovered.report().rejected == 1
+
+
+def test_fresh_state_dir_is_not_recovered(config, drive, tmp_path):
+    daemon, _ = drive(config, tmp_path / "state", [])
+    assert daemon.recovered is False

@@ -1,0 +1,159 @@
+"""The rack-owner daemon: serialized mutations, journaling, reporting."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ServeError
+from repro.serve import (
+    Arrive,
+    Depart,
+    InjectFault,
+    Journal,
+    Scale,
+    ServeConfig,
+    ServeDaemon,
+    Snapshot,
+)
+from repro.serve.commands import (
+    STATUS_APPLIED,
+    STATUS_ERROR,
+    STATUS_INVALID,
+    STATUS_REJECTED,
+)
+
+ARRIVE = Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
+                t_min_mbps=500.0, t_max_mbps=4000.0)
+
+
+class TestMutations:
+    def test_day0_day2_flow(self, config, drive, tmp_path):
+        daemon, outcomes = drive(config, tmp_path / "state", [
+            ARRIVE,
+            Scale(chain="dyn0", t_min_mbps=800.0),
+            InjectFault(action="degrade_link", target="server0",
+                        severity=0.4),
+            InjectFault(action="restore_link", target="server0"),
+            Depart(chain="dyn0"),
+        ])
+        assert [o.status for o in outcomes] == [STATUS_APPLIED] * 5
+        assert [o.seq for o in outcomes] == [1, 2, 3, 4, 5]
+        # lifecycle commands carry the core's decision verbatim
+        assert outcomes[0].decision.accepted
+        assert outcomes[0].decision.chain == "dyn0"
+        assert outcomes[2].decision is None  # fault probes have none
+        report = daemon.report()
+        assert report.seq == 5
+        assert report.accepted == 3
+        # one deterministic phase per applied command + the bootstrap one
+        assert len(report.phases) == 6
+        assert report.phases[0].label == "initial"
+        assert report.phases[1].label == "s1:arrive(dyn0)"
+
+    def test_rejection_consumes_seq_and_is_journaled(self, config, drive,
+                                                     tmp_path):
+        daemon, outcomes = drive(config, tmp_path / "state", [
+            ARRIVE,
+            ARRIVE,  # duplicate name: admission refuses it
+        ])
+        assert outcomes[0].status == STATUS_APPLIED
+        assert outcomes[1].status == STATUS_REJECTED
+        assert outcomes[1].seq == 2
+        assert not outcomes[1].decision.accepted
+        journal = Journal(tmp_path / "state" / "journal.jsonl")
+        assert [r["seq"] for r in journal.replay()] == [1, 2]
+
+    def test_invalid_fault_target_consumes_no_seq(self, config, drive,
+                                                  tmp_path):
+        daemon, outcomes = drive(config, tmp_path / "state", [
+            InjectFault(action="fail", target="no-such-device"),
+        ])
+        assert outcomes[0].status == STATUS_INVALID
+        assert outcomes[0].seq == 0
+        assert not (tmp_path / "state" / "journal.jsonl").exists()
+
+    def test_statically_invalid_command_consumes_no_seq(self, config,
+                                                        drive, tmp_path):
+        daemon, outcomes = drive(config, tmp_path / "state", [
+            Depart(chain=""),
+        ])
+        assert outcomes[0].status == STATUS_INVALID
+        assert daemon.seq == 0
+
+    def test_snapshot_reads_without_journaling(self, config, drive,
+                                               tmp_path):
+        daemon, outcomes = drive(config, tmp_path / "state", [
+            ARRIVE,
+            Snapshot(),
+        ])
+        snap = outcomes[1]
+        assert snap.status == STATUS_APPLIED
+        assert snap.seq == 1  # the current head, not a new seq
+        assert snap.snapshot["seq"] == 1
+        assert {c["chain"] for c in snap.snapshot["active"]} == {
+            "enterprise", "residential", "dyn0",
+        }
+        journal = Journal(tmp_path / "state" / "journal.jsonl")
+        assert [r["seq"] for r in journal.replay()] == [1]
+
+    def test_worker_survives_internal_errors(self, config, tmp_path):
+        async def _run():
+            daemon = ServeDaemon(config, tmp_path / "state")
+            await daemon.start()
+            real_core = daemon.core
+            daemon.core = None  # sabotage: the next mutation raises
+            broken = await daemon.submit(Depart(chain="enterprise"))
+            daemon.core = real_core
+            # the worker is still alive and answering
+            snap = await daemon.submit(Snapshot())
+            await daemon.stop(checkpoint=False)
+            return broken, snap
+
+        broken, snap = asyncio.run(_run())
+        assert broken.status == STATUS_ERROR
+        assert "AttributeError" in broken.error
+        assert snap.status == STATUS_APPLIED
+
+
+class TestConfig:
+    def test_round_trip(self, config):
+        assert ServeConfig.parse_json(config.to_json()) == config
+
+    def test_unknown_field_rejected(self, config):
+        payload = json.loads(config.to_json())
+        payload["turbo"] = True
+        with pytest.raises(ServeError, match="unknown fields"):
+            ServeConfig.from_dict(payload)
+
+    def test_config_is_persisted_and_verified(self, config, make_config,
+                                              drive, tmp_path):
+        drive(config, tmp_path / "state", [])
+        stored = ServeConfig.parse_json(
+            (tmp_path / "state" / "config.json").read_text()
+        )
+        assert stored == config
+        with pytest.raises(ServeError, match="different configuration"):
+            drive(make_config(seed=99), tmp_path / "state", [])
+
+    def test_validate_bounds(self, make_config):
+        with pytest.raises(ServeError):
+            make_config(packets_per_phase=0).validate()
+        with pytest.raises(ServeError):
+            make_config(checkpoint_every=-1).validate()
+
+
+class TestReport:
+    def test_render_and_protocol_surface(self, config, drive, tmp_path):
+        daemon, _ = drive(config, tmp_path / "state", [ARRIVE])
+        report = daemon.report()
+        text = report.render()
+        assert "control-plane report" in text
+        assert "s1 t1 arrive dyn0 -> accepted" in text
+        assert report.ok is True
+        doc = json.loads(report.to_json())
+        assert doc["seq"] == 1
+        assert doc["commands"][0]["command"]["kind"] == "arrive"
+        # recovered is process metadata, not run output (the recovery
+        # invariant compares as_dict across restarts)
+        assert "recovered" not in doc

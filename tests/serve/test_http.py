@@ -1,0 +1,116 @@
+"""The stdlib HTTP front-end: routes, status mapping, shutdown."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.serve import run_server
+
+
+def _request(url, payload=None):
+    """Return ``(http status, decoded JSON body)`` for GET or POST."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_http_round_trip(config, tmp_path):
+    ready = threading.Event()
+    url = {}
+    result = {}
+
+    def on_ready(server_url):
+        url["base"] = server_url
+        ready.set()
+
+    def serve():
+        result["report"] = run_server(
+            config, tmp_path / "state", ready=on_ready
+        )
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    try:
+        assert ready.wait(120), "daemon never became ready"
+        base = url["base"]
+
+        code, health = _request(base + "/v1/health")
+        assert code == 200
+        assert health["seq"] == 0
+        assert health["recovered"] is False
+
+        code, schema = _request(base + "/v1/schema")
+        assert code == 200
+        assert set(schema["commands"]) == {
+            "arrive", "scale", "depart", "inject_fault", "snapshot",
+        }
+
+        # applied -> 200 with the admission decision verbatim
+        code, body = _request(base + "/v1/commands", {
+            "kind": "arrive", "chain": "dyn0",
+            "spec": "chain dyn0: ACL -> IPv4Fwd", "t_min_mbps": 500.0,
+        })
+        assert code == 200
+        assert body["status"] == "applied"
+        assert body["seq"] == 1
+        assert body["decision"]["accepted"] is True
+
+        # admission rejection -> 409, still consuming a sequence number
+        code, body = _request(base + "/v1/commands", {
+            "kind": "arrive", "chain": "dyn0",
+            "spec": "chain dyn0: ACL -> IPv4Fwd", "t_min_mbps": 500.0,
+        })
+        assert code == 409
+        assert body["status"] == "rejected"
+        assert body["seq"] == 2
+        assert body["decision"]["reason"]
+
+        # wire-strictness -> 400 before reaching the daemon
+        code, body = _request(base + "/v1/commands", {
+            "kind": "arrive", "chain": "x", "spec": "chain x: ACL",
+            "t_min_mbps": 1.0, "turbo": True,
+        })
+        assert code == 400
+        assert "unknown fields" in body["error"]
+
+        code, body = _request(base + "/v1/commands", {"kind": "warp"})
+        assert code == 400
+
+        # consistent snapshot through the serialized queue
+        code, body = _request(base + "/v1/state")
+        assert code == 200
+        assert body["snapshot"]["seq"] == 2
+        assert "dyn0" in {
+            c["chain"] for c in body["snapshot"]["active"]
+        }
+
+        code, metrics = _request(base + "/v1/metrics")
+        assert code == 200
+        assert "counters" in metrics
+
+        code, report = _request(base + "/v1/report")
+        assert code == 200
+        assert report["seq"] == 2
+
+        code, body = _request(base + "/v1/nowhere")
+        assert code == 404
+
+        code, body = _request(base + "/v1/shutdown", {})
+        assert code == 200
+    finally:
+        thread.join(timeout=120)
+    assert not thread.is_alive()
+
+    final = result["report"]
+    assert final.seq == 2
+    assert final.accepted == 1
+    assert final.rejected == 1

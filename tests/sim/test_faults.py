@@ -57,6 +57,22 @@ class TestFaultTimeline:
                 {"events": [{"action": "fail"}]}  # missing at_packet
             ))
 
+    def test_parse_rejects_unknown_fields(self):
+        doc = json.loads(FaultTimeline(events=(
+            FaultEvent(at_packet=1, action="fail", target="server0"),
+        )).to_json())
+        top = dict(doc, blast_radius=3)
+        with pytest.raises(FaultInjectionError, match="unknown fields"):
+            FaultTimeline.from_dict(top)
+        event = dict(doc)
+        event["events"] = [dict(doc["events"][0], jitter=0.1)]
+        with pytest.raises(FaultInjectionError, match="unknown fields"):
+            FaultTimeline.from_dict(event)
+
+    def test_parse_rejects_non_object(self):
+        with pytest.raises(FaultInjectionError):
+            FaultTimeline.parse_json("[1, 2]")
+
     def test_validate_rejects_bad_events(self):
         topology = default_testbed(with_smartnic=True)
 

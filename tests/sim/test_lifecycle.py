@@ -55,6 +55,21 @@ class TestTimeline:
         again = LifecycleTimeline.parse_json(timeline.to_json())
         assert again == timeline
 
+    def test_parse_rejects_unknown_fields(self):
+        import json
+
+        doc = json.loads(LifecycleTimeline(events=(GAMMA,)).to_json())
+        with pytest.raises(LifecycleError, match="unknown fields"):
+            LifecycleTimeline.from_dict(dict(doc, tempo=1))
+        bad_event = dict(doc)
+        bad_event["events"] = [dict(doc["events"][0], priority=2)]
+        with pytest.raises(LifecycleError, match="unknown fields"):
+            LifecycleTimeline.from_dict(bad_event)
+
+    def test_parse_rejects_non_object(self):
+        with pytest.raises(LifecycleError):
+            LifecycleTimeline.parse_json("42")
+
     def test_same_tick_orders_departures_first(self):
         timeline = LifecycleTimeline(events=(
             ChainEvent(at=1, action="arrive", chain="dyn0",

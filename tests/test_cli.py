@@ -142,3 +142,68 @@ class TestSweepProfile:
         out = capsys.readouterr().out
         assert code == 0
         assert "NAT (12000 entries)" in out
+
+
+class TestTrafficCLI:
+    def test_ok_run_exit_zero(self, spec_file, capsys):
+        code = main(["traffic", spec_file, "--tmin", "1", "1",
+                     "--packets", "64", "--flows", "8", "--batch", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t_min" in out and "slo" in out
+        assert "VIOLATED" not in out
+
+    def test_infeasible_exit_two(self, spec_file, capsys):
+        code = main(["traffic", spec_file, "--tmin", "90", "90",
+                     "--packets", "64", "--flows", "8", "--batch", "8"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "infeasible" in err
+
+    def test_json_document(self, spec_file, capsys):
+        import json
+
+        code = main(["traffic", spec_file, "--tmin", "1", "1",
+                     "--packets", "64", "--flows", "8", "--batch", "8",
+                     "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["ok"] is True
+        assert {c["chain"] for c in doc["chains"]} == {"a", "b"}
+        assert all(c["slo_met"] for c in doc["chains"])
+
+    def test_out_file(self, spec_file, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        code = main(["traffic", spec_file, "--tmin", "1", "1",
+                     "--packets", "64", "--flows", "8", "--batch", "8",
+                     "--out", str(out)])
+        import json
+
+        assert code == 0
+        assert json.loads(out.read_text())["ok"] is True
+
+
+class TestExitCodes:
+    """The documented contract: 0 ok, 2 SLO non-compliance, 1 errors."""
+
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "exit codes" in capsys.readouterr().out
+
+    def test_usage_error_exits_one(self, capsys):
+        assert main(["warp-speed"]) == 1
+
+    def test_missing_argument_exits_one(self, capsys):
+        assert main(["traffic"]) == 1
+
+    def test_slo_violation_exits_two(self, capsys):
+        from repro.cli_report import emit_report
+        from repro.sim.traffic import ChainTrafficReport, TrafficReport
+
+        violated = TrafficReport(chains=[ChainTrafficReport(
+            chain_name="a", flows=1, injected=10, delivered=5, dropped=5,
+            wall_seconds=0.1, assigned_mbps=100.0, t_min_mbps=100.0,
+        )])
+        assert not violated.ok
+        assert emit_report(violated) == 2
+        assert "VIOLATED" in capsys.readouterr().out
