@@ -1,0 +1,119 @@
+"""Steady-state phase latency: persistent worker runtime vs per-run pools.
+
+A long-running control plane (``repro serve``) replays many *short*
+traffic phases against the same deployed chains — the regime where the
+per-run ``ProcessPoolExecutor`` is dominated by fixed costs it pays
+every phase: pool spawn/teardown, re-pickling the full
+``(topology, artifacts, profiles, placement)`` bundle into every task,
+and a from-scratch rack deploy in every worker. The persistent
+:class:`~repro.runtime.pool.WorkerPool` pays each of those once: workers
+stay alive across phases, artifacts ship by fingerprint at most once per
+worker, and the deployed rack is reset (warm) instead of rebuilt.
+
+This benchmark replays ``PHASES`` consecutive short phases through the
+same :class:`~repro.sim.traffic.TrafficEngine` three ways — single
+process (reference), a throwaway pool per phase (``--pool per-run``),
+and the persistent pool (``--pool keep``) — and records per-phase
+latency. Reproduction targets: the persistent pool is >= 5x faster than
+the per-run pool over the whole phase train, with byte-identical
+delivery outcomes phase for phase.
+
+``STEADY_BENCH_PHASES`` overrides the phase count.
+"""
+
+import os
+import time
+
+from conftest import record_result, run_once
+
+from repro.obs import MetricsRegistry
+from repro.runtime.pool import shutdown_pool
+from repro.sim.traffic import TrafficEngine, TrafficSpec
+
+#: two independent chains, one per shard — phases small enough that the
+#: per-phase fixed costs, not the replay itself, dominate.
+SPEC = "\n".join([
+    "chain c1: ACL -> NAT",
+    "chain c2: NAT -> IPv4Fwd",
+])
+SLOS = ((100.0, 200.0), (100.0, 200.0))
+PHASES = int(os.environ.get("STEADY_BENCH_PHASES", "20"))
+PACKETS = 8
+FLOWS = 4
+BATCH = 32
+SHARDS = 2
+
+
+def _phase_train(pool, shards=SHARDS):
+    """Replay ``PHASES`` short phases; returns (reports, registry, wall)."""
+    shutdown_pool()
+    registry = MetricsRegistry()
+    engine = TrafficEngine.from_spec(
+        TrafficSpec(
+            spec_text=SPEC, slos=SLOS, packets_per_chain=PACKETS,
+            flows_per_chain=FLOWS, batch_size=BATCH, vectorized=True,
+            shards=shards, pool=pool,
+        ),
+        registry=registry,
+    )
+    reports = []
+    started = time.perf_counter()
+    for _phase in range(PHASES):
+        reports.append(engine.run(packets_per_chain=PACKETS))
+    wall = time.perf_counter() - started
+    shutdown_pool()
+    return [report.to_json() for report in reports], registry, wall
+
+
+def _rack_builds(registry):
+    return {
+        counter["labels"]["mode"]: counter["value"]
+        for counter in registry.snapshot()["counters"]
+        if counter["name"] == "runtime.rack_builds"
+    }
+
+
+def test_steady_state_phase_latency(benchmark):
+    def run():
+        serial = _phase_train("per-run", shards=1)
+        per_run = _phase_train("per-run")
+        keep = _phase_train("keep")
+        return serial, per_run, keep
+
+    serial, per_run, keep = run_once(benchmark, run)
+    serial_reports, _, serial_wall = serial
+    per_run_reports, _, per_run_wall = per_run
+    keep_reports, keep_registry, keep_wall = keep
+    speedup = per_run_wall / keep_wall
+    builds = _rack_builds(keep_registry)
+
+    lines = [
+        "steady-state phase latency — persistent worker runtime vs "
+        "per-run pools",
+        f"{PHASES} consecutive phases, {len(SLOS)} chains x "
+        f"{PACKETS} packets, {SHARDS} shards",
+        "",
+        f"{'mode':24s} {'total':>9s} {'per phase':>11s} {'vs per-run':>11s}",
+        f"{'single process':24s} {serial_wall:8.3f}s "
+        f"{1000 * serial_wall / PHASES:9.2f}ms "
+        f"{per_run_wall / serial_wall:10.2f}x",
+        f"{'per-run pool':24s} {per_run_wall:8.3f}s "
+        f"{1000 * per_run_wall / PHASES:9.2f}ms {'1.00x':>11s}",
+        f"{'persistent pool':24s} {keep_wall:8.3f}s "
+        f"{1000 * keep_wall / PHASES:9.2f}ms {speedup:10.2f}x",
+        "",
+        "warm rack reuse: "
+        + ", ".join(f"{mode}={count}"
+                    for mode, count in sorted(builds.items())),
+    ]
+    record_result("steady_state", "\n".join(lines))
+
+    # identical delivery outcomes, phase for phase, across all three modes
+    assert keep_reports == per_run_reports == serial_reports
+
+    # the persistent pool deployed cold once, then reused warm racks
+    assert builds.get("cold", 0) >= 1
+    assert builds.get("warm", 0) >= PHASES - 1
+
+    # reproduction target: >= 5x over the per-run pool on the phase train
+    assert speedup >= 5.0

@@ -183,17 +183,33 @@ def _pickling_ok(cells: Sequence[SweepCell]) -> bool:
         return False
 
 
+def _pooled_outcomes(cells: Sequence[SweepCell],
+                     jobs: int) -> List[CellOutcome]:
+    """Dispatch the grid over the persistent worker pool."""
+    from repro.runtime.pool import PoolCall, get_pool
+
+    worker_pool = get_pool(jobs)
+    return worker_pool.dispatch(
+        [PoolCall(_cell_worker, cell) for cell in cells]
+    )
+
+
 def run_cells(
-    cells: Sequence[SweepCell], jobs: int = 1
+    cells: Sequence[SweepCell], jobs: int = 1, pool: str = "keep"
 ) -> List["ExperimentResult"]:
     """Execute a grid of cells, serially or over a process pool.
 
     Results come back in cell-index order regardless of completion order,
     and per-worker metrics are merged into the parent registry in that
-    same deterministic order. Falls back to serial execution (with a
-    warning) when the grid is not picklable — e.g. lambda schemes or an
-    ad-hoc topology factory.
+    same deterministic order. ``pool="keep"`` (the default) reuses the
+    process-wide persistent :class:`~repro.runtime.pool.WorkerPool`;
+    ``pool="per-run"`` spawns a throwaway executor. Falls back to serial
+    execution (with a warning) when the grid is not picklable — e.g.
+    lambda schemes or an ad-hoc topology factory.
     """
+    from repro.exceptions import WorkerPoolError
+    from repro.runtime.pool import in_worker
+
     registry = get_registry()
     if jobs > 1 and len(cells) > 1 and not _pickling_ok(cells):
         warnings.warn(
@@ -204,7 +220,7 @@ def run_cells(
         jobs = 1
 
     outcomes: List[CellOutcome] = []
-    if jobs <= 1 or len(cells) <= 1:
+    if jobs <= 1 or len(cells) <= 1 or in_worker():
         for cell in cells:
             result, seconds = _timed_execute(cell)
             outcomes.append(CellOutcome(
@@ -212,9 +228,23 @@ def run_cells(
                 seconds=seconds, worker=os.getpid(),
             ))
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_cell_worker, cell) for cell in cells]
-            outcomes = [future.result() for future in futures]
+        if pool == "keep":
+            try:
+                outcomes = _pooled_outcomes(cells, jobs)
+            except WorkerPoolError as exc:
+                warnings.warn(
+                    f"persistent worker pool dispatch failed ({exc}); "
+                    "falling back to a per-run pool",
+                    RuntimeWarning, stacklevel=2,
+                )
+                outcomes = []
+        if not outcomes:
+            workers = min(jobs, os.cpu_count() or 1, len(cells))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                futures = [
+                    executor.submit(_cell_worker, cell) for cell in cells
+                ]
+                outcomes = [future.result() for future in futures]
 
     outcomes.sort(key=lambda o: o.index)
     per_worker_seconds: Dict[int, float] = {}

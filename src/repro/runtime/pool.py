@@ -1,0 +1,410 @@
+"""The persistent worker pool behind every parallel execution path.
+
+Every parallel caller used to spawn a fresh ``ProcessPoolExecutor`` per
+run — traffic shards, sweep cells, chaos/lifecycle replica cross-checks,
+and the serve daemon's per-command phases each paid pool-spawn plus task
+re-pickling plus a from-scratch rack rebuild in every worker, which is
+exactly the overhead that dominates short, repeated phases under a
+long-running control plane. :class:`WorkerPool` keeps a small set of
+worker *processes* alive for the lifetime of the parent:
+
+* **dispatch** is a synchronous fan-out of ``(fn, arg)`` tasks over the
+  workers, with results restored to submission order — the same
+  deterministic-merge contract the per-run pools had;
+* **affinity** pins all tasks that share a key to one worker in FIFO
+  order, which is what lets a serve session keep cumulative rack state
+  in a single worker across commands;
+* **payload planning** (:meth:`plan` + :meth:`needs_payload`) lets
+  callers ship a heavy artifact bundle to each worker exactly once and
+  send only its fingerprint afterwards — workers cache the bundle and
+  the deployed rack (see :mod:`repro.runtime.rackcache`).
+
+Workers are daemonic, survive across dispatches, watch for parent death
+(a SIGKILLed parent cannot close them down gracefully), and are respawned
+transparently if one dies — respawn clears the parent's shipped-payload
+bookkeeping so the fingerprint protocol stays sound. Results travel over
+a dedicated pipe per worker rather than one shared queue: a shared queue
+guards its pipe with a cross-process semaphore, and a worker killed in
+the instant between writing a result and releasing that semaphore would
+poison the queue for every respawned worker (POSIX semaphores are not
+released on process death). One writer per pipe needs no lock, and a
+dead worker's pipe EOFs, which doubles as instant death detection.
+
+Parent-side observability: ``runtime.workers`` gauge,
+``runtime.tasks{kind}`` counter, ``runtime.dispatch.seconds{kind}``
+latency histogram, ``runtime.pool.restarts`` counter. Worker-side rack
+cache counters (``runtime.rack_builds{mode}``) ride back inside each
+task's registry dump where the caller merges state.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from multiprocessing import connection as mp_connection
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.exceptions import WorkerPoolError
+from repro.obs import get_registry
+
+#: how long a worker sleeps on an empty queue before re-checking that its
+#: parent is still alive (seconds).
+_ORPHAN_POLL_SECONDS = 5.0
+
+#: how long the parent waits between liveness checks while collecting.
+_COLLECT_POLL_SECONDS = 1.0
+
+
+def _pool_context():
+    """Prefer fork (cheap spawn, inherited imports) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def default_worker_count(requested: Optional[int] = None) -> int:
+    """Cap a requested worker count at the machine's core count."""
+    cores = os.cpu_count() or 1
+    if requested is None or requested < 1:
+        return cores
+    return max(1, min(requested, cores))
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (no nested pools there)."""
+    return _IN_WORKER
+
+
+def _worker_main(index: int, parent_pid: int, task_q, result_conn) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    while True:
+        try:
+            item = task_q.get(timeout=_ORPHAN_POLL_SECONDS)
+        except queue_mod.Empty:
+            if os.getppid() != parent_pid:
+                return  # orphaned by a killed parent
+            continue
+        if item is None:
+            return
+        job_id, fn, arg = item
+        try:
+            result = fn(arg)
+            # Pickle eagerly so serialization failures surface as this
+            # task's error instead of corrupting the result stream.
+            payload = pickle.dumps((True, result))
+        except BaseException as exc:  # noqa: BLE001 — workers must survive
+            payload = pickle.dumps((False, (
+                type(exc).__name__, str(exc), traceback.format_exc(),
+            )))
+        try:
+            result_conn.send_bytes(pickle.dumps((job_id, payload)))
+        except (BrokenPipeError, OSError):
+            return  # parent went away
+
+
+@dataclass
+class PoolCall:
+    """One task of a dispatch wave."""
+
+    fn: Callable
+    arg: object
+    #: tasks sharing an affinity key run on one worker, in FIFO order.
+    affinity: Optional[str] = None
+    #: explicit worker index (from :meth:`WorkerPool.plan`); overrides
+    #: affinity and round-robin.
+    worker: Optional[int] = None
+
+
+class _RemoteTaskError(Exception):
+    """Internal wrapper for a worker-side exception (re-raised typed)."""
+
+    def __init__(self, name: str, message: str, trace: str):
+        super().__init__(f"{name}: {message}")
+        self.name = name
+        self.message = message
+        self.trace = trace
+
+
+class WorkerPool:
+    """A long-lived pool of worker processes with deterministic dispatch."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = default_worker_count(max_workers)
+        self._ctx = _pool_context()
+        #: parent-side read end of each worker's private result pipe.
+        self._result_conns: List[object] = []
+        self._task_qs: List[object] = []
+        self._procs: List[object] = []
+        self._rr = 0
+        self._next_job = 0
+        self._affinity: Dict[str, int] = {}
+        #: worker index -> artifact fingerprints already shipped there.
+        self._shipped: Dict[int, Set[str]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def _spawn(self, index: int) -> None:
+        task_q = self._ctx.Queue()
+        recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, os.getpid(), task_q, send_conn),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        # Drop the parent's copy of the write end so the pipe EOFs the
+        # moment the worker dies.
+        send_conn.close()
+        if index < len(self._procs):
+            self._close_conn(self._result_conns[index])
+            self._result_conns[index] = recv_conn
+            self._task_qs[index] = task_q
+            self._procs[index] = proc
+        else:
+            self._result_conns.append(recv_conn)
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+        self._shipped[index] = set()
+
+    @staticmethod
+    def _close_conn(conn) -> None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise WorkerPoolError("worker pool is shut down")
+        while len(self._procs) < self.max_workers:
+            self._spawn(len(self._procs))
+        for index, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                get_registry().counter("runtime.pool.restarts").inc()
+                self._spawn(index)
+        get_registry().gauge("runtime.workers").set(len(self._procs))
+
+    def shutdown(self) -> None:
+        """Stop every worker; the pool cannot be used afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for task_q in self._task_qs:
+            try:
+                task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._result_conns:
+            self._close_conn(conn)
+        self._procs.clear()
+        self._task_qs.clear()
+        self._result_conns.clear()
+        self._shipped.clear()
+        get_registry().gauge("runtime.workers").set(0)
+
+    # -- payload planning ----------------------------------------------------
+
+    def plan(self, count: int,
+             affinity: Optional[str] = None) -> List[int]:
+        """Worker indices the next ``count`` tasks would land on.
+
+        With ``affinity`` every slot is the pinned worker; otherwise the
+        assignment is round-robin from the current cursor. Dispatch the
+        planned calls with explicit ``worker=`` to make the plan binding.
+        """
+        with self._lock:
+            self._ensure_workers()
+            if affinity is not None:
+                return [self._pin(affinity)] * count
+            start = self._rr
+            self._rr += count
+            return [(start + i) % self.max_workers for i in range(count)]
+
+    def _pin(self, affinity: str) -> int:
+        """The worker an affinity key is (or becomes) pinned to."""
+        pinned = self._affinity.get(affinity)
+        if pinned is None:
+            pinned = self._rr % self.max_workers
+            self._rr += 1
+            self._affinity[affinity] = pinned
+        return pinned
+
+    def needs_payload(self, worker: int, fingerprint: str) -> bool:
+        """True when ``worker`` has not yet been shipped ``fingerprint``.
+
+        Marks it shipped optimistically; on a worker restart the shipped
+        set is cleared, and the worker-side cache raises a typed stale
+        error the caller resolves by re-dispatching with the payload.
+        """
+        with self._lock:
+            shipped = self._shipped.setdefault(worker, set())
+            if fingerprint in shipped:
+                return False
+            shipped.add(fingerprint)
+            return True
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, calls: Sequence[PoolCall], *,
+                 return_exceptions: bool = False,
+                 timeout: Optional[float] = None) -> List[object]:
+        """Run ``calls`` across the workers; results in submission order.
+
+        Tasks with the same affinity key (or the same explicit worker)
+        execute sequentially in submission order on one worker; the rest
+        spread round-robin. With ``return_exceptions`` worker-side errors
+        come back as :class:`WorkerPoolError` instances in the result
+        slots instead of raising on the first failure.
+        """
+        if not calls:
+            return []
+        registry = get_registry()
+        kind = calls[0].fn.__name__
+        started = time.perf_counter()
+        with self._lock:
+            self._ensure_workers()
+            jobs: Dict[int, int] = {}  # job id -> result slot
+            for slot, call in enumerate(calls):
+                if call.worker is not None:
+                    index = call.worker % len(self._procs)
+                elif call.affinity is not None:
+                    index = self._pin(call.affinity)
+                else:
+                    index = self._rr % self.max_workers
+                    self._rr += 1
+                job_id = self._next_job
+                self._next_job += 1
+                jobs[job_id] = slot
+                self._task_qs[index].put((job_id, call.fn, call.arg))
+            registry.counter("runtime.tasks", kind=kind).inc(len(calls))
+            results: List[object] = [None] * len(calls)
+            outcomes = self._collect(jobs, results, timeout)
+        registry.histogram(
+            "runtime.dispatch.seconds", kind=kind
+        ).observe(time.perf_counter() - started)
+        if not return_exceptions:
+            for outcome in outcomes:
+                if isinstance(outcome, WorkerPoolError):
+                    raise outcome
+        return outcomes
+
+    def _collect(self, jobs: Dict[int, int], results: List[object],
+                 timeout: Optional[float]) -> List[object]:
+        pending = set(jobs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while pending:
+            ready = mp_connection.wait(
+                self._result_conns, timeout=_COLLECT_POLL_SECONDS
+            )
+            if not ready:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise WorkerPoolError(
+                        f"pool dispatch timed out with {len(pending)} "
+                        "tasks outstanding"
+                    ) from None
+                continue
+            for conn in ready:
+                try:
+                    job_id, payload = pickle.loads(conn.recv_bytes())
+                except (EOFError, OSError):
+                    # EOF: the worker died (possibly mid-message).
+                    index = self._result_conns.index(conn)
+                    raise WorkerPoolError(
+                        f"worker {index} died mid-dispatch "
+                        f"({len(pending)} tasks outstanding)"
+                    ) from None
+                if job_id not in jobs:  # pragma: no cover - stale result
+                    continue
+                pending.discard(job_id)
+                ok, value = pickle.loads(payload)
+                if ok:
+                    results[jobs[job_id]] = value
+                else:
+                    name, message, trace = value
+                    error = WorkerPoolError(
+                        f"worker task failed: {name}: {message}"
+                    )
+                    error.remote_type = name
+                    error.remote_trace = trace
+                    results[jobs[job_id]] = error
+        return results
+
+    def call(self, fn: Callable, arg: object, *,
+             affinity: Optional[str] = None) -> object:
+        """Dispatch a single task and return its result (or raise)."""
+        return self.dispatch([PoolCall(fn, arg, affinity=affinity)])[0]
+
+
+# ---------------------------------------------------------------------------
+# process-wide shared pool
+# ---------------------------------------------------------------------------
+
+_shared_pool: Optional[WorkerPool] = None
+
+
+def get_pool(max_workers: Optional[int] = None) -> WorkerPool:
+    """The process-wide persistent pool (created on first use).
+
+    ``max_workers`` only grows the pool (capped at the core count);
+    an existing larger pool is reused as-is. Raises inside a pool worker
+    — nested pools are forbidden, callers should run serially there.
+    """
+    global _shared_pool
+    if in_worker():
+        raise WorkerPoolError(
+            "nested worker pools are not allowed inside a pool worker"
+        )
+    if _shared_pool is None or not _shared_pool.alive:
+        _shared_pool = WorkerPool(max_workers)
+    elif max_workers is not None:
+        wanted = default_worker_count(max_workers)
+        if wanted > _shared_pool.max_workers:
+            _shared_pool.max_workers = wanted
+    return _shared_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; atexit)."""
+    global _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+        _shared_pool = None
+
+
+atexit.register(shutdown_pool)
+
+__all__ = [
+    "PoolCall",
+    "WorkerPool",
+    "default_worker_count",
+    "get_pool",
+    "in_worker",
+    "shutdown_pool",
+]

@@ -1,0 +1,352 @@
+"""Worker-side caches: artifact bundles, warm racks, and serve sessions.
+
+Everything in this module below :func:`bundle_fingerprint` executes inside
+a pool worker process (module-level state is per-worker). Two caching
+regimes coexist:
+
+* **Warm racks** (:func:`rack_for`) — shared, slot-keyed racks for
+  stateless-per-dispatch callers (traffic shards). A cache hit calls
+  :meth:`DeployedRack.reset_state`, so every dispatch observes a
+  just-deployed rack and results stay byte-identical with the per-run
+  pools; a fingerprint change applies :meth:`DeployedRack.redeploy`
+  (per-device delta) before the reset instead of rebuilding the rack
+  object wholesale. ``runtime.rack_builds{mode=cold|warm|delta}`` counts
+  what happened, recorded in the dispatch's scoped registry so the
+  parent's merge sees it.
+
+* **Sessions** (:func:`session_call`) — dedicated, *cumulative* racks for
+  the serve daemon. A session rack mirrors exactly the rack an in-process
+  daemon would own: state persists across phases, redeploys are deltas
+  that preserve stateful-NF state on unchanged devices, fault probes
+  apply in command order, and the rack can be pickled out for a
+  checkpoint and restored after a crash. All ops for one session ride the
+  same pool affinity key, so they execute FIFO on one worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import WorkerPoolError
+from repro.obs import scoped_registry
+from repro.sim.runtime import DeployedRack
+
+#: bounded worker-side caches (racks/bundles/sessions are few but heavy).
+_MAX_BUNDLES = 8
+_MAX_RACKS = 4
+_MAX_SESSIONS = 4
+
+
+class StaleArtifactsError(WorkerPoolError):
+    """The worker lacks a fingerprint's payload (restart raced the parent's
+    shipped-set bookkeeping); re-dispatch with the payload attached."""
+
+
+def bundle_fingerprint(payload_bytes: bytes) -> str:
+    """Canonical fingerprint of a pickled (topology, artifacts, profiles)
+    bundle — the worker cache key and the ship-once protocol token."""
+    return hashlib.sha256(payload_bytes).hexdigest()
+
+
+@dataclass
+class ArtifactBundle:
+    """A deployable artifact set, shipped by value exactly once per worker.
+
+    ``payload`` is the pickled ``(topology, artifacts, profiles)`` tuple
+    (``None`` when the parent believes this worker already caches the
+    fingerprint).
+    """
+
+    fingerprint: str
+    payload: Optional[bytes] = None
+
+
+# -- worker-side state (per worker process) ---------------------------------
+
+_bundles: "OrderedDict[str, tuple]" = OrderedDict()
+_racks: "OrderedDict[tuple, list]" = OrderedDict()
+_sessions: "OrderedDict[str, _Session]" = OrderedDict()
+
+
+def _trim(cache: OrderedDict, limit: int) -> None:
+    while len(cache) > limit:
+        cache.popitem(last=False)
+
+
+def resolve_bundle(bundle: ArtifactBundle) -> tuple:
+    """The worker's cached unpickled payload for a fingerprint.
+
+    Traffic bundles are ``(topology, artifacts, profiles, placement)``;
+    session bundles omit the trailing placement. :func:`rack_for` only
+    touches the leading three elements, so both shapes share the cache.
+    """
+    hit = _bundles.get(bundle.fingerprint)
+    if hit is not None:
+        _bundles.move_to_end(bundle.fingerprint)
+        return hit
+    if bundle.payload is None:
+        raise StaleArtifactsError(
+            f"worker has no artifacts for fingerprint "
+            f"{bundle.fingerprint[:12]} (restarted worker?); "
+            "re-dispatch with the payload"
+        )
+    resolved = pickle.loads(bundle.payload)
+    _bundles[bundle.fingerprint] = resolved
+    _trim(_bundles, _MAX_BUNDLES)
+    return resolved
+
+
+def rack_for(slot: str, bundle: ArtifactBundle, seed: int,
+             registry) -> DeployedRack:
+    """A deployed rack for ``(slot, seed)``, warm when possible.
+
+    * no cached rack → **cold**: deploy from the (cached or shipped)
+      artifact bundle;
+    * cached rack, same fingerprint → **warm**: reset to just-deployed
+      state (fresh NF/RNG state, fresh instruments on ``registry``);
+    * cached rack, different fingerprint → **delta**: per-device
+      :meth:`~repro.sim.runtime.DeployedRack.redeploy` against the new
+      artifacts, then the same reset — the stale rack is never reused
+      as-is.
+    """
+    key = (slot, seed)
+    entry = _racks.get(key)
+    if entry is None:
+        topology, artifacts, profiles = resolve_bundle(bundle)[:3]
+        rack = DeployedRack(topology, artifacts, profiles, seed=seed,
+                            registry=registry)
+        mode = "cold"
+        _racks[key] = [bundle.fingerprint, rack]
+    else:
+        _racks.move_to_end(key)
+        if entry[0] == bundle.fingerprint:
+            rack = entry[1]
+            rack.reset_state(registry=registry)
+            mode = "warm"
+        else:
+            artifacts = resolve_bundle(bundle)[1]
+            rack = entry[1]
+            rack.redeploy(artifacts)
+            rack.reset_state(registry=registry)
+            entry[0] = bundle.fingerprint
+            mode = "delta"
+    _trim(_racks, _MAX_RACKS)
+    registry.counter("runtime.rack_builds", mode=mode).inc()
+    return rack
+
+
+# ---------------------------------------------------------------------------
+# pooled traffic shards
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PooledShardTask:
+    """One worker's share of a pooled sharded replay."""
+
+    shard_index: int
+    chain_names: List[str]
+    packets_per_chain: int
+    #: carries the placement as its fourth payload element, so per-phase
+    #: tasks ship only the fingerprint plus a few scalars.
+    bundle: ArtifactBundle
+    seed: int
+    flows_per_chain: int
+    batch_size: int
+    vectorized: bool
+    #: optional shared-memory descriptor carrying the flow-signature
+    #: schedule column (key ``"sig"``) every chain replays.
+    sig_shm: Optional[object] = None
+
+
+def run_traffic_shard(task: PooledShardTask) -> Tuple[int, list, dict, float]:
+    """Pool entry point: replay this shard's chains on a warm rack.
+
+    Same contract as the per-run ``_run_traffic_shard``: ships back
+    ``(shard index, chain rows, registry dump, replay wall)`` so the
+    parent merges observability state in shard-index order.
+    """
+    import time
+
+    from repro.sim.traffic import TrafficEngine
+
+    sig_schedule = None
+    handle = None
+    if task.sig_shm is not None:
+        arrays, handle = task.sig_shm.attach()
+        sig_schedule = arrays.get("sig")
+    try:
+        with scoped_registry() as registry:
+            placement = resolve_bundle(task.bundle)[3]
+            rack = rack_for("traffic", task.bundle, task.seed, registry)
+            engine = TrafficEngine(
+                rack, placement,
+                flows_per_chain=task.flows_per_chain,
+                batch_size=task.batch_size,
+                vectorized=task.vectorized,
+            )
+            started = time.perf_counter()
+            rows = [
+                engine._run_chain(cp, task.packets_per_chain,
+                                  sig_schedule=sig_schedule)
+                for cp in placement.chains
+                if cp.name in task.chain_names
+            ]
+            wall = time.perf_counter() - started
+            state = registry.dump_state()
+    finally:
+        if task.sig_shm is not None:
+            task.sig_shm.detach(handle)
+    return task.shard_index, rows, state, wall
+
+
+# ---------------------------------------------------------------------------
+# serve sessions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Session:
+    """One serve daemon's live rack inside this worker."""
+
+    rack: DeployedRack
+    placement: object
+    flows_per_chain: int
+    batch_size: int
+    engine: object = None
+
+
+@dataclass
+class SessionTask:
+    """One serialized operation against a serve session."""
+
+    session: str
+    op: str  # build | restore | redeploy | fault | phase | fetch | drop
+    bundle: Optional[ArtifactBundle] = None
+    placement: object = None
+    artifacts: object = None
+    rack_bytes: Optional[bytes] = None
+    seed: int = 23
+    flows_per_chain: int = 32
+    batch_size: int = 32
+    action: str = ""
+    target: str = ""
+    severity: float = 1.0
+    cursors: Dict[str, int] = field(default_factory=dict)
+    packets_per_chain: int = 0
+
+
+def _session(task: SessionTask) -> "_Session":
+    session = _sessions.get(task.session)
+    if session is None:
+        raise WorkerPoolError(
+            f"unknown serve session {task.session!r} (worker restarted?); "
+            "the daemon must rebuild it from a checkpoint"
+        )
+    _sessions.move_to_end(task.session)
+    return session
+
+
+def _session_engine(session: "_Session"):
+    from repro.sim.traffic import TrafficEngine
+
+    if session.engine is None:
+        session.engine = TrafficEngine(
+            session.rack, session.placement,
+            flows_per_chain=session.flows_per_chain,
+            batch_size=session.batch_size,
+        )
+    session.engine.placement = session.placement
+    return session.engine
+
+
+def session_call(task: SessionTask) -> Tuple[object, Optional[dict]]:
+    """Apply one session op; returns ``(result, registry dump or None)``.
+
+    Ops that touch instruments (build/redeploy/phase) run under a scoped
+    registry whose state the daemon merges back, so pooled serve metrics
+    match the in-process mode counter for counter.
+    """
+    op = task.op
+    if op == "build":
+        with scoped_registry() as registry:
+            topology, artifacts, profiles = resolve_bundle(task.bundle)
+            rack = DeployedRack(topology, artifacts, profiles,
+                                seed=task.seed, registry=registry)
+            state = registry.dump_state()
+        _sessions[task.session] = _Session(
+            rack=rack, placement=task.placement,
+            flows_per_chain=task.flows_per_chain,
+            batch_size=task.batch_size,
+        )
+        _trim(_sessions, _MAX_SESSIONS)
+        return rack._next_seq, state
+    if op == "restore":
+        rack = pickle.loads(task.rack_bytes)
+        _sessions[task.session] = _Session(
+            rack=rack, placement=task.placement,
+            flows_per_chain=task.flows_per_chain,
+            batch_size=task.batch_size,
+        )
+        _trim(_sessions, _MAX_SESSIONS)
+        return rack._next_seq, None
+    if op == "drop":
+        _sessions.pop(task.session, None)
+        return None, None
+
+    session = _session(task)
+    if op == "redeploy":
+        with scoped_registry() as registry:
+            session.rack.rebind_registry(registry)
+            delta = session.rack.redeploy(task.artifacts)
+            state = registry.dump_state()
+        session.placement = task.placement
+        return delta, state
+    if op == "fault":
+        rack = session.rack
+        if task.action == "fail":
+            rack.set_device_failed(task.target)
+        elif task.action == "recover":
+            rack.set_device_failed(task.target, False)
+        elif task.action == "degrade_link":
+            rack.set_drop_fraction(task.target, task.severity)
+        elif task.action == "restore_link":
+            rack.set_drop_fraction(task.target, 0.0)
+        else:
+            raise WorkerPoolError(
+                f"unknown session fault action {task.action!r}"
+            )
+        return None, None
+    if op == "phase":
+        with scoped_registry() as registry:
+            session.rack.rebind_registry(registry)
+            engine = _session_engine(session)
+            delivered: Dict[str, int] = {}
+            cursors = dict(task.cursors)
+            for cp in session.placement.chains:
+                count, cursors[cp.name] = engine.replay_batch(
+                    cp, cursors.get(cp.name, 0), task.packets_per_chain
+                )
+                delivered[cp.name] = count
+            state = registry.dump_state()
+        return (delivered, cursors, session.rack._next_seq), state
+    if op == "fetch":
+        return pickle.dumps(session.rack), None
+    raise WorkerPoolError(f"unknown session op {op!r}")
+
+
+__all__ = [
+    "ArtifactBundle",
+    "PooledShardTask",
+    "SessionTask",
+    "StaleArtifactsError",
+    "bundle_fingerprint",
+    "rack_for",
+    "resolve_bundle",
+    "run_traffic_shard",
+    "session_call",
+]

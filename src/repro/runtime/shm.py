@@ -1,0 +1,194 @@
+"""Shared-memory transport for columnar numpy payloads.
+
+The persistent worker runtime moves :class:`~repro.sim.columns.PacketColumns`
+inputs to workers through one ``multiprocessing.shared_memory`` segment per
+dispatch instead of pickling the arrays into the task payload: the parent
+packs the arrays once (:meth:`ShmArrays.pack`), the picklable descriptor —
+segment name plus per-array dtype/shape/offset — rides in the task, and the
+worker attaches zero-copy views (:meth:`ShmArrays.attach`). The parent
+unlinks the segment after the dispatch wave completes.
+
+Fallback rules: when the platform has no usable shared memory (the
+``SharedMemory`` constructor raising at pack time), or when the payload
+is too small for a segment to beat a pickle (``shm_open`` + ``mmap`` +
+unlink cost milliseconds; below :data:`SHM_MIN_BYTES` the copy is
+cheaper than the mapping), the payload degrades to an in-band pickle of
+the same arrays — workers never need to know which transport carried
+the bytes (:meth:`ShmArrays.arrays` hides it).
+
+Observability: ``runtime.shm.bytes`` (gauge — bytes currently sitting in
+live segments) and ``runtime.shm.segments`` / ``runtime.shm.fallbacks``
+counters, all on the parent registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import get_registry
+
+try:  # pragma: no cover - exercised indirectly; import always works on 3.8+
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - ancient/exotic platform
+    _shm = None
+
+#: payloads smaller than this ride inline — a shared segment costs a
+#: few syscall round trips (create, attach, unlink) that only amortise
+#: over large columns.
+SHM_MIN_BYTES = 64 * 1024
+
+
+def _align(offset: int, alignment: int = 64) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def _suppress_tracking(open_segment):
+    """Run ``open_segment()`` without resource_tracker registration."""
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover - exotic platform
+        return open_segment()
+    original = resource_tracker.register
+
+    def _register(name, rtype):
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = _register
+    try:
+        return open_segment()
+    finally:
+        resource_tracker.register = original
+
+
+@dataclass
+class ShmArrays:
+    """A picklable descriptor for a dict of numpy arrays.
+
+    Exactly one of ``segment``/``inline`` carries the bytes: ``segment``
+    names a ``SharedMemory`` block (zero-copy attach), ``inline`` is the
+    pickle fallback. ``fields`` stores ``(key, dtype-str, shape, offset)``
+    per array, in pack order.
+    """
+
+    fields: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    total_bytes: int
+    segment: Optional[str] = None
+    inline: Optional[bytes] = None
+    #: parent-side handle, never pickled to workers (see __getstate__).
+    _owner: object = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_owner"] = None
+        return state
+
+    # -- parent side --------------------------------------------------------
+
+    @classmethod
+    def pack(cls, arrays: Dict[str, np.ndarray], *,
+             min_bytes: int = SHM_MIN_BYTES) -> "ShmArrays":
+        """Copy ``arrays`` into one shared segment (or the inline fallback)."""
+        fields: List[Tuple[str, str, Tuple[int, ...], int]] = []
+        offset = 0
+        contiguous = {
+            key: np.ascontiguousarray(arr) for key, arr in arrays.items()
+        }
+        for key, arr in contiguous.items():
+            offset = _align(offset)
+            fields.append((key, arr.dtype.str, tuple(arr.shape), offset))
+            offset += arr.nbytes
+        total = max(offset, 1)
+        registry = get_registry()
+        if _shm is None or total < min_bytes:
+            segment = None
+        else:
+            try:
+                segment = _shm.SharedMemory(create=True, size=total)
+            except (OSError, ValueError):
+                segment = None
+        if segment is None:
+            reason = "small" if total < min_bytes else "platform"
+            registry.counter("runtime.shm.fallbacks", reason=reason).inc()
+            payload = bytearray(total)
+            for (key, dtype, shape, off), arr in zip(
+                fields, contiguous.values()
+            ):
+                payload[off:off + arr.nbytes] = arr.tobytes()
+            return cls(fields=tuple(fields), total_bytes=total,
+                       inline=bytes(payload))
+        for (key, dtype, shape, off), arr in zip(
+            fields, contiguous.values()
+        ):
+            view = np.ndarray(shape, dtype=dtype,
+                              buffer=segment.buf, offset=off)
+            view[...] = arr
+        registry.counter("runtime.shm.segments").inc()
+        registry.gauge("runtime.shm.bytes").inc(total)
+        return cls(fields=tuple(fields), total_bytes=total,
+                   segment=segment.name, _owner=segment)
+
+    def release(self) -> None:
+        """Parent-side teardown: close and unlink the live segment."""
+        owner = self._owner
+        if owner is None:
+            return
+        self._owner = None
+        get_registry().gauge("runtime.shm.bytes").dec(self.total_bytes)
+        try:
+            owner.close()
+            owner.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - racy OS
+            pass
+
+    # -- worker side --------------------------------------------------------
+
+    def attach(self) -> Tuple[Dict[str, np.ndarray], Optional[object]]:
+        """Open the segment and return ``(arrays, handle)``.
+
+        The arrays are zero-copy views over the shared buffer; the caller
+        must keep ``handle`` alive while using them and pass it to
+        :meth:`detach` afterwards. The inline fallback returns copies and a
+        ``None`` handle.
+        """
+        if self.segment is None:
+            buffer = self.inline or b""
+            handle = None
+        else:
+            # The parent owns the segment's lifecycle. Attaching normally
+            # registers the name with the (fork-shared) resource tracker a
+            # second time, which the parent's unlink then double-removes —
+            # so suppress registration for the duration of the open.
+            handle = _suppress_tracking(
+                lambda: _shm.SharedMemory(name=self.segment)
+            )
+            buffer = handle.buf
+        arrays = {
+            key: np.ndarray(shape, dtype=dtype, buffer=buffer, offset=off)
+            for key, dtype, shape, off in self.fields
+        }
+        return arrays, handle
+
+    @staticmethod
+    def detach(handle: Optional[object]) -> None:
+        """Worker-side teardown for a handle returned by :meth:`attach`."""
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover - racy OS
+                pass
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Attach, copy out, and detach — for callers that want owned
+        arrays rather than views (the descriptor may be released by the
+        parent as soon as the dispatch completes)."""
+        views, handle = self.attach()
+        owned = {key: np.array(view) for key, view in views.items()}
+        ShmArrays.detach(handle)
+        return owned
+
+
+__all__ = ["ShmArrays"]

@@ -97,12 +97,19 @@ class ServeConfig:
     with_smartnic: bool = False
     with_openflow: bool = False
     servers: int = 0
+    #: rack-execution policy: ``"keep"`` hosts the live rack in a
+    #: persistent worker-pool session (warm across commands), ``"per-run"``
+    #: keeps it in-process. Part of the recovery contract because the
+    #: checkpoint layout differs (pooled cores carry fetched rack bytes).
+    pool: str = "keep"
 
     def validate(self) -> None:
         if self.packets_per_phase < 1:
             raise ServeError("packets_per_phase must be >= 1")
         if self.checkpoint_every < 0:
             raise ServeError("checkpoint_every must be >= 0")
+        if self.pool not in ("keep", "per-run"):
+            raise ServeError("pool must be 'keep' or 'per-run'")
 
     def build_topology(self) -> Topology:
         if self.servers and self.servers > 0:
@@ -129,6 +136,7 @@ class ServeConfig:
             "with_smartnic": self.with_smartnic,
             "with_openflow": self.with_openflow,
             "servers": self.servers,
+            "pool": self.pool,
         }
 
     def to_json(self) -> str:
@@ -137,7 +145,7 @@ class ServeConfig:
     _FIELDS = frozenset({
         "spec_text", "slos", "packets_per_phase", "flows_per_chain",
         "batch_size", "seed", "strategy", "checkpoint_every",
-        "with_smartnic", "with_openflow", "servers",
+        "with_smartnic", "with_openflow", "servers", "pool",
     })
 
     @classmethod
@@ -168,6 +176,7 @@ class ServeConfig:
                 with_smartnic=bool(payload.get("with_smartnic", False)),
                 with_openflow=bool(payload.get("with_openflow", False)),
                 servers=int(payload.get("servers", 0)),
+                pool=str(payload.get("pool", "keep")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(f"malformed serve config: {exc}") from exc
@@ -382,6 +391,7 @@ class ServeDaemon:
             batch_size=self.config.batch_size,
             seed=self.config.seed,
             registry=self.registry,
+            pool=self.config.pool,
         )
         self.core.bootstrap()
         self.phases.append(self.core.run_phase(
@@ -399,6 +409,9 @@ class ServeDaemon:
             self.decisions = list(checkpoint["decisions"])
             self.phases = list(checkpoint["phases"])
             self.registry = self.core.obs
+            # a pooled core's rack was fetched into the checkpoint; push
+            # it back into a fresh worker session before journal replay
+            self.core.reattach()
         else:
             self._bootstrap()
         # replay the journal suffix through the deterministic core
@@ -540,7 +553,9 @@ class ServeDaemon:
 
     def checkpoint(self) -> None:
         """Pickle the full daemon state (core incl. rack + registry,
-        report history) atomically."""
+        report history) atomically. A pooled core first fetches its rack
+        out of the worker session so the checkpoint stays self-contained."""
+        self.core.prepare_checkpoint()
         self.checkpoints.save({
             "seq": self.seq,
             "core": self.core,

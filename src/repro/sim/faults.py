@@ -903,6 +903,7 @@ def run_chaos_checked(
     spec: ChaosSpec,
     jobs: int = 1,
     registry: Optional[MetricsRegistry] = None,
+    pool: str = "keep",
 ) -> ChaosReport:
     """Run a chaos experiment, optionally cross-checking determinism.
 
@@ -910,7 +911,8 @@ def run_chaos_checked(
     processes from the same spec; every replica's rendered report must be
     byte-identical to the local run's, or the run fails loudly. The
     returned report is always the local run's, so output is independent
-    of ``jobs``.
+    of ``jobs``. ``pool="keep"`` (default) runs replicas on the shared
+    persistent worker pool; ``"per-run"`` spawns a throwaway executor.
     """
     report = run_chaos(spec, registry=registry)
     replicas = max(0, jobs - 1)
@@ -923,16 +925,43 @@ def run_chaos_checked(
         # fall back to the already-computed serial result.
         return report
     rendered = report.render()
-    with ProcessPoolExecutor(max_workers=replicas) as pool:
-        futures = [
-            pool.submit(_replica_render, spec) for _ in range(replicas)
-        ]
-        for index, future in enumerate(futures):
-            other = future.result()
-            if other != rendered:
-                raise FaultInjectionError(
-                    f"chaos replica {index} diverged from the local run "
-                    "with the same seed and timeline — determinism "
-                    "invariant broken"
-                )
+    renders = _replica_renders(spec, replicas, pool)
+    for index, other in enumerate(renders):
+        if other != rendered:
+            raise FaultInjectionError(
+                f"chaos replica {index} diverged from the local run "
+                "with the same seed and timeline — determinism "
+                "invariant broken"
+            )
     return report
+
+
+def _replica_renders(spec: ChaosSpec, replicas: int,
+                     pool: str) -> List[str]:
+    """Render ``replicas`` independent runs of ``spec`` in workers."""
+    import os
+    import warnings
+
+    from repro.exceptions import WorkerPoolError
+    from repro.runtime.pool import PoolCall, get_pool, in_worker
+
+    if in_worker():
+        return [_replica_render(spec) for _ in range(replicas)]
+    if pool == "keep":
+        try:
+            worker_pool = get_pool(replicas)
+            return worker_pool.dispatch(
+                [PoolCall(_replica_render, spec) for _ in range(replicas)]
+            )
+        except WorkerPoolError as exc:
+            warnings.warn(
+                f"persistent worker pool dispatch failed ({exc}); "
+                "falling back to a per-run pool",
+                RuntimeWarning, stacklevel=3,
+            )
+    workers = min(replicas, os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [
+            executor.submit(_replica_render, spec) for _ in range(replicas)
+        ]
+        return [future.result() for future in futures]

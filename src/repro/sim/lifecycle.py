@@ -600,6 +600,7 @@ def run_lifecycle_checked(
     spec: LifecycleSpec,
     jobs: int = 1,
     registry: Optional[MetricsRegistry] = None,
+    pool: str = "keep",
 ) -> LifecycleReport:
     """Run a lifecycle experiment, optionally cross-checking determinism.
 
@@ -607,7 +608,8 @@ def run_lifecycle_checked(
     processes from the same spec; every replica's rendered report must be
     byte-identical to the local run's, or the run fails loudly. The
     returned report is always the local run's, so output is independent
-    of ``jobs``.
+    of ``jobs``. ``pool="keep"`` (default) runs replicas on the shared
+    persistent worker pool; ``"per-run"`` spawns a throwaway executor.
     """
     report = run_lifecycle(spec, registry=registry)
     replicas = max(0, jobs - 1)
@@ -618,19 +620,45 @@ def run_lifecycle_checked(
     except Exception:
         return report
     rendered = report.render()
-    with ProcessPoolExecutor(max_workers=replicas) as pool:
-        futures = [
-            pool.submit(_replica_render, spec) for _ in range(replicas)
-        ]
-        for index, future in enumerate(futures):
-            other = future.result()
-            if other != rendered:
-                raise LifecycleError(
-                    f"lifecycle replica {index} diverged from the local "
-                    "run with the same seed and timeline — determinism "
-                    "invariant broken"
-                )
+    for index, other in enumerate(_replica_renders(spec, replicas, pool)):
+        if other != rendered:
+            raise LifecycleError(
+                f"lifecycle replica {index} diverged from the local "
+                "run with the same seed and timeline — determinism "
+                "invariant broken"
+            )
     return report
+
+
+def _replica_renders(spec: LifecycleSpec, replicas: int,
+                     pool: str) -> List[str]:
+    """Render ``replicas`` independent runs of ``spec`` in workers."""
+    import os
+    import warnings
+
+    from repro.exceptions import WorkerPoolError
+    from repro.runtime.pool import PoolCall, get_pool, in_worker
+
+    if in_worker():
+        return [_replica_render(spec) for _ in range(replicas)]
+    if pool == "keep":
+        try:
+            worker_pool = get_pool(replicas)
+            return worker_pool.dispatch(
+                [PoolCall(_replica_render, spec) for _ in range(replicas)]
+            )
+        except WorkerPoolError as exc:
+            warnings.warn(
+                f"persistent worker pool dispatch failed ({exc}); "
+                "falling back to a per-run pool",
+                RuntimeWarning, stacklevel=3,
+            )
+    workers = min(replicas, os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        futures = [
+            executor.submit(_replica_render, spec) for _ in range(replicas)
+        ]
+        return [future.result() for future in futures]
 
 
 # re-exported so report consumers need one import; keeps the SLO slack

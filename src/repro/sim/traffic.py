@@ -21,17 +21,20 @@ than a sum of per-chain walls.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.chain.graph import NFChain, chains_with_slos
 from repro.core.placement import ChainPlacement, Placement
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
-from repro.exceptions import PlacementError, TrafficError
+from repro.exceptions import PlacementError, TrafficError, WorkerPoolError
 from repro.hw.topology import (
     Topology,
     default_testbed,
@@ -41,6 +44,7 @@ from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
 from repro.net.packet import Packet
 from repro.obs import MetricsRegistry, scoped_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.runtime.pool import in_worker
 from repro.sim.columns import PacketColumns
 from repro.sim.runtime import DeployedRack, _chain_packet
 from repro.units import SIM_PACKET_BITS, SLO_RTOL
@@ -228,6 +232,10 @@ class TrafficSpec:
     with_openflow: bool = False
     servers: int = 0
     metron: bool = False
+    #: worker-pool policy for sharded replay: ``"keep"`` reuses the
+    #: process-wide persistent pool (warm racks, shm transport),
+    #: ``"per-run"`` spawns a throwaway executor per run.
+    pool: str = "keep"
 
     def build_topology(self) -> Topology:
         if self.servers and self.servers > 0:
@@ -308,22 +316,29 @@ class TrafficEngine:
 
     def __init__(self, rack: DeployedRack, placement: Placement, *,
                  flows_per_chain: int = 64, batch_size: int = 64,
-                 vectorized: bool = False, shards: int = 1):
+                 vectorized: bool = False, shards: int = 1,
+                 pool: str = "keep"):
         if flows_per_chain < 1:
             raise ValueError("flows_per_chain must be >= 1")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if pool not in ("keep", "per-run"):
+            raise ValueError("pool must be 'keep' or 'per-run'")
         self.rack = rack
         self.placement = placement
         self.flows_per_chain = flows_per_chain
         self.batch_size = batch_size
         self.vectorized = vectorized
         self.shards = shards
+        self.pool = pool
         #: chain name -> (chain object, synthesized flow templates); the
         #: chain object guards against a redeployed chain of the same name.
         self._flows: Dict[str, tuple] = {}
+        #: identity-keyed (parts, payload, fingerprint) memo for
+        #: :meth:`_pooled_bundle`.
+        self._bundle_cache: Optional[tuple] = None
 
     @classmethod
     def from_spec(cls, spec: TrafficSpec, *,
@@ -350,7 +365,8 @@ class TrafficEngine:
                    flows_per_chain=spec.flows_per_chain,
                    batch_size=spec.batch_size,
                    vectorized=spec.vectorized,
-                   shards=spec.shards)
+                   shards=spec.shards,
+                   pool=spec.pool)
 
     def synthesize_flows(self, cp: ChainPlacement) -> List[Packet]:
         """One template packet per flow, all inside the chain's aggregate.
@@ -423,11 +439,22 @@ class TrafficEngine:
         report.run_wall_seconds = time.perf_counter() - started
         return report
 
-    def _run_chain(self, cp: ChainPlacement,
-                   packets_per_chain: int) -> ChainTrafficReport:
-        """Replay one chain; only rack work lands in the timed region."""
+    def _run_chain(self, cp: ChainPlacement, packets_per_chain: int,
+                   sig_schedule: Optional[Sequence[int]] = None
+                   ) -> ChainTrafficReport:
+        """Replay one chain; only rack work lands in the timed region.
+
+        ``sig_schedule`` optionally supplies the precomputed flow-cycle
+        signature column (``i % flows_per_chain`` for packet ``i``) as an
+        array — the pooled sharded path passes a zero-copy view over a
+        shared-memory segment so workers skip rebuilding it per batch.
+        The values are identical to the inline computation by
+        construction, so outcomes do not depend on the transport.
+        """
         flows = self.synthesize_flows(cp)
         n_flows = len(flows)
+        if sig_schedule is not None and len(sig_schedule) < packets_per_chain:
+            sig_schedule = None
         run_columns = self.rack.run_columns
         run = self.rack.run
         delivered = 0
@@ -437,9 +464,13 @@ class TrafficEngine:
             size = min(self.batch_size, packets_per_chain - injected)
             # cycle the flow set: packet i belongs to flow i % flows
             if self.vectorized:
-                sig = [
-                    (injected + offset) % n_flows for offset in range(size)
-                ]
+                if sig_schedule is not None:
+                    sig = sig_schedule[injected:injected + size]
+                else:
+                    sig = [
+                        (injected + offset) % n_flows
+                        for offset in range(size)
+                    ]
                 started = time.perf_counter()
                 columns = PacketColumns.for_flows(flows, sig)
                 delivered += run_columns(cp, columns).delivered
@@ -464,6 +495,25 @@ class TrafficEngine:
             t_min_mbps=cp.chain.slo.t_min,
         )
 
+    def _pooled_bundle(self) -> Tuple[bytes, str]:
+        """The pickled ``(topology, artifacts, profiles, placement)``
+        bundle plus its fingerprint, cached while those exact objects are
+        still installed (a redeploy swaps them, invalidating by identity
+        — the cache holds strong references, so ids cannot be reused)."""
+        from repro.runtime.rackcache import bundle_fingerprint
+
+        parts = (self.rack.topology, self.rack.artifacts,
+                 self.rack.profiles, self.placement)
+        cached = self._bundle_cache
+        if cached is not None and all(
+            old is new for old, new in zip(cached[0], parts)
+        ):
+            return cached[1], cached[2]
+        payload = pickle.dumps(parts)
+        fingerprint = bundle_fingerprint(payload)
+        self._bundle_cache = (parts, payload, fingerprint)
+        return payload, fingerprint
+
     def _run_sharded(self, selected: List[ChainPlacement],
                      packets_per_chain: int
                      ) -> Tuple[List[ChainTrafficReport], List[float]]:
@@ -473,6 +523,32 @@ class TrafficEngine:
             shard_names[index % self.shards].append(cp.name)
         shard_names = [names for names in shard_names if names]
         rack = self.rack
+        if self.pool == "keep" and not in_worker():
+            try:
+                payload, fingerprint = self._pooled_bundle()
+            except Exception:
+                warnings.warn(
+                    "traffic shard tasks are not picklable (ad-hoc "
+                    "topology or profiles?); falling back to "
+                    "single-process replay",
+                    RuntimeWarning, stacklevel=3,
+                )
+                return (
+                    [self._run_chain(cp, packets_per_chain)
+                     for cp in selected],
+                    [],
+                )
+            try:
+                outcomes = self._dispatch_pooled(
+                    shard_names, packets_per_chain, payload, fingerprint
+                )
+                return self._merge_shards(outcomes, selected)
+            except WorkerPoolError as exc:
+                warnings.warn(
+                    f"persistent worker pool dispatch failed ({exc}); "
+                    "falling back to a per-run pool",
+                    RuntimeWarning, stacklevel=3,
+                )
         tasks = [
             _ShardTask(
                 shard_index=index,
@@ -501,14 +577,97 @@ class TrafficEngine:
                 [self._run_chain(cp, packets_per_chain) for cp in selected],
                 [],
             )
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(_run_traffic_shard, task) for task in tasks
             ]
             outcomes = [future.result() for future in futures]
+        return self._merge_shards(outcomes, selected)
+
+    def _dispatch_pooled(self, shard_names: List[List[str]],
+                         packets_per_chain: int,
+                         payload: bytes, fingerprint: str) -> List[tuple]:
+        """Fan the shards over the persistent pool.
+
+        Artifacts ship by fingerprint: the pickled
+        ``(topology, artifacts, profiles, placement)`` bundle travels to
+        each worker at most once, afterwards only its sha256 rides in the
+        task and the worker reuses (or delta-redeploys) its cached warm
+        rack. A worker that lost its cache (respawn) answers with a typed
+        stale error and the shard is re-dispatched once with the payload
+        attached. The vectorized flow-signature schedule crosses over
+        shared memory (inline below the shm size threshold).
+        """
+        from repro.runtime.pool import PoolCall, get_pool
+        from repro.runtime.rackcache import (
+            ArtifactBundle,
+            PooledShardTask,
+            run_traffic_shard,
+        )
+        from repro.runtime.shm import ShmArrays
+
+        rack = self.rack
+        worker_pool = get_pool(len(shard_names))
+        workers = worker_pool.plan(len(shard_names))
+        shm = None
+        if self.vectorized:
+            schedule = (
+                np.arange(packets_per_chain, dtype=np.int64)
+                % self.flows_per_chain
+            )
+            shm = ShmArrays.pack({"sig": schedule})
+        try:
+            calls = []
+            for index, (names, worker) in enumerate(
+                zip(shard_names, workers)
+            ):
+                ship = worker_pool.needs_payload(worker, fingerprint)
+                calls.append(PoolCall(
+                    run_traffic_shard,
+                    PooledShardTask(
+                        shard_index=index,
+                        chain_names=names,
+                        packets_per_chain=packets_per_chain,
+                        bundle=ArtifactBundle(
+                            fingerprint, payload if ship else None
+                        ),
+                        seed=rack.seed,
+                        flows_per_chain=self.flows_per_chain,
+                        batch_size=self.batch_size,
+                        vectorized=self.vectorized,
+                        sig_shm=shm,
+                    ),
+                    worker=worker,
+                ))
+            outcomes = worker_pool.dispatch(calls, return_exceptions=True)
+            retries = []
+            for slot, outcome in enumerate(outcomes):
+                if not isinstance(outcome, WorkerPoolError):
+                    continue
+                remote = getattr(outcome, "remote_type", "")
+                if remote != "StaleArtifactsError":
+                    raise outcome
+                call = calls[slot]
+                call.arg.bundle = ArtifactBundle(fingerprint, payload)
+                retries.append((slot, call))
+            if retries:
+                redone = worker_pool.dispatch(
+                    [call for _slot, call in retries]
+                )
+                for (slot, _call), outcome in zip(retries, redone):
+                    outcomes[slot] = outcome
+        finally:
+            if shm is not None:
+                shm.release()
+        return outcomes
+
+    def _merge_shards(self, outcomes: List[tuple],
+                      selected: List[ChainPlacement]
+                      ) -> Tuple[List[ChainTrafficReport], List[float]]:
         # deterministic merge-back: shard-index order, then placement order
-        outcomes.sort(key=lambda outcome: outcome[0])
-        registry = rack.obs
+        outcomes = sorted(outcomes, key=lambda outcome: outcome[0])
+        registry = self.rack.obs
         rows_by_name: Dict[str, ChainTrafficReport] = {}
         shard_walls: List[float] = []
         for _index, rows, state, shard_wall in outcomes:
