@@ -95,6 +95,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="split burst headroom max-min fairly instead "
                             "of maximizing aggregate marginal throughput")
 
+    def add_latency_args(p):
+        p.add_argument("--queueing", choices=("none", "mm1"),
+                       default="none",
+                       help="utilization-dependent queueing delay model "
+                            "stamped on every forwarded packet "
+                            "(default: none, fixed costs only)")
+        p.add_argument("--objective",
+                       choices=("throughput", "tail_latency"),
+                       default="throughput",
+                       help="placement objective: 'tail_latency' caps "
+                            "per-device utilization so queueing delay "
+                            "stays bounded and rejects chains whose "
+                            "queueing-aware tail exceeds their d_max")
+        p.add_argument("--latency-slo", type=float, default=0.0,
+                       metavar="US",
+                       help="p99 latency bound in µs applied to every "
+                            "chain without an explicit --dmax entry "
+                            "(0: unbounded)")
+
     place_cmd = sub.add_parser("place", help="place chains, print result")
     add_spec_args(place_cmd)
     add_topology_args(place_cmd)
@@ -126,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_args(stats_cmd)
     add_topology_args(stats_cmd)
+    add_latency_args(stats_cmd)
     stats_cmd.add_argument("--packets", type=int, default=32)
     stats_cmd.add_argument("--json", action="store_true",
                            help="emit one JSON document instead of text")
@@ -137,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_args(traffic_cmd)
     add_topology_args(traffic_cmd)
+    add_latency_args(traffic_cmd)
     traffic_cmd.add_argument("--packets", type=int, default=2048,
                              help="packets injected per chain")
     traffic_cmd.add_argument("--flows", type=int, default=64,
@@ -170,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_args(chaos_cmd)
     add_topology_args(chaos_cmd)
+    add_latency_args(chaos_cmd)
     chaos_cmd.add_argument("--packets", type=int, default=512,
                            help="packets injected per chain")
     chaos_cmd.add_argument("--flows", type=int, default=32,
@@ -194,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="guard evaluation window (packets per chain)")
     chaos_cmd.add_argument("--threshold", type=float, default=1.0,
                            help="violation threshold as a fraction of t_min")
+    chaos_cmd.add_argument("--latency-quantile", type=float, default=0.99,
+                           help="windowed latency quantile the guard "
+                                "checks against each chain's d_max "
+                                "(0: disable tail-latency violations)")
     chaos_cmd.add_argument("--max-replans", type=int, default=3,
                            help="replan budget before the guard gives up")
     chaos_cmd.add_argument("--no-degrade-first", action="store_true",
@@ -223,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_args(lifecycle_cmd)
     add_topology_args(lifecycle_cmd)
+    add_latency_args(lifecycle_cmd)
     lifecycle_cmd.add_argument("--packets", type=int, default=256,
                                help="packets injected per chain per phase")
     lifecycle_cmd.add_argument("--flows", type=int, default=32,
@@ -276,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_args(serve_cmd)
     add_topology_args(serve_cmd)
+    add_latency_args(serve_cmd)
     serve_cmd.add_argument("--state-dir", required=True, metavar="DIR",
                            help="journal/checkpoint directory; restarting "
                                 "on a populated DIR crash-recovers the "
@@ -346,12 +374,14 @@ def _read_spec(path: str) -> str:
 
 
 def _slos(args, n_chains: int) -> List[SLO]:
+    # --latency-slo is the blanket d_max; explicit --dmax entries win.
+    default_d_max = getattr(args, "latency_slo", 0.0) or float("inf")
     slos = []
     for index in range(n_chains):
         t_min = gbps(args.tmin[index]) if index < len(args.tmin) else 0.0
         t_max = gbps(args.tmax[index]) if index < len(args.tmax) \
             else float("inf")
-        d_max = args.dmax[index] if index < len(args.dmax) else float("inf")
+        d_max = args.dmax[index] if index < len(args.dmax) else default_d_max
         slos.append(SLO(t_min=t_min, t_max=t_max, d_max=d_max))
     return slos
 
@@ -461,7 +491,9 @@ def cmd_stats(args) -> int:
             rate_objective="max_min" if args.fair else "marginal",
         ),
     )
-    report = placer.solve(PlacementRequest(chains=chains))
+    report = placer.solve(PlacementRequest(
+        chains=chains, objective=args.objective,
+    ))
     placement, seconds = report.placement, report.seconds
     if not placement.feasible:
         print(f"infeasible: {placement.infeasible_reason}", file=sys.stderr)
@@ -470,6 +502,9 @@ def cmd_stats(args) -> int:
     artifacts = meta.compile_placement(placement)
     rack = DeployedRack(topology, artifacts, placer.profiles,
                         registry=registry)
+    if args.queueing != "none":
+        from repro.sim.traffic import configure_rack_queueing
+        configure_rack_queueing(rack, placement, args.queueing)
     traces = rack.trace_chains(placement, packets_per_chain=args.packets)
 
     chain_reports = {
@@ -511,6 +546,7 @@ def cmd_stats(args) -> int:
               f"delivered, {report['dropped']} dropped; "
               f"avg latency {report['avg_latency_us']:.2f} us "
               f"(exec {breakdown.get('exec_us', 0.0):.2f} + "
+              f"queue {breakdown.get('queue_us', 0.0):.2f} + "
               f"bounce {breakdown.get('bounce_us', 0.0):.2f} + "
               f"switch {breakdown.get('switch_us', 0.0):.2f})")
         for hop in report["hops"]:
@@ -564,6 +600,8 @@ def cmd_traffic(args) -> int:
         servers=args.servers,
         metron=args.metron,
         pool=args.pool,
+        queueing=args.queueing,
+        objective=args.objective,
     )
     try:
         report = run_traffic(spec)
@@ -637,6 +675,7 @@ def cmd_chaos(args) -> int:
             threshold=args.threshold,
             degrade_first=not args.no_degrade_first,
             max_replans=args.max_replans,
+            latency_quantile=args.latency_quantile,
         ),
         seed=args.seed,
         strategy=args.strategy,
@@ -644,6 +683,8 @@ def cmd_chaos(args) -> int:
         with_openflow=args.openflow,
         servers=args.servers,
         metron=args.metron,
+        queueing=args.queueing,
+        objective=args.objective,
     )
     # a fresh registry so the metrics section covers exactly this run
     registry = set_registry(MetricsRegistry())
@@ -747,6 +788,8 @@ def cmd_lifecycle(args) -> int:
         with_smartnic=args.smartnic,
         with_openflow=args.openflow,
         servers=args.servers,
+        queueing=args.queueing,
+        objective=args.objective,
     )
     # a fresh registry so the metrics section covers exactly this run
     registry = set_registry(MetricsRegistry())
@@ -783,6 +826,8 @@ def cmd_serve(args) -> int:
         with_openflow=args.openflow,
         servers=args.servers,
         pool=args.pool,
+        queueing=args.queueing,
+        objective=args.objective,
     )
 
     def ready(url: str) -> None:

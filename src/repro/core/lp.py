@@ -24,6 +24,8 @@ from scipy.optimize import linprog
 from repro.core.placement import ChainPlacement
 from repro.hw.topology import Topology
 from repro.obs import get_registry
+from repro.profiles.defaults import DEMUX_LB_CYCLES
+from repro.units import DEFAULT_PACKET_BITS
 
 
 def _record_solve(objective: str, result) -> None:
@@ -46,10 +48,62 @@ class RateSolution:
     reason: Optional[str] = None
 
 
+def _utilization_rows(
+    placements: Sequence[ChainPlacement],
+    topology: Topology,
+    utilization_cap: float,
+    packet_bits: int,
+) -> tuple:
+    """Linear rows capping per-device compute utilization (tail latency).
+
+    For each server: Σ_i cycles_{i,S} · r_i ≤ cap · cores_S · f_S ·
+    packet_bits / 1e6 (both sides divided by the pps-per-Mbps constant),
+    where cycles_{i,S} sums chain i's subgroup costs on S (demux penalty
+    included) and cores_S counts the cores those subgroups allocated.
+    For each SmartNIC: Σ_i r_i / cap_i ≤ cap. Bounding ρ at
+    ``utilization_cap`` bounds the M/M/1 wait factor ρ/(1−ρ), which is
+    how the ``tail_latency`` placement objective trades marginal
+    throughput for tail latency.
+    """
+    n = len(placements)
+    server_coeffs: Dict[str, np.ndarray] = {}
+    server_supply: Dict[str, float] = {}
+    nic_coeffs: Dict[str, np.ndarray] = {}
+    for index, cp in enumerate(placements):
+        for sg in cp.subgroups:
+            server = topology.server(sg.server)
+            cycles = sg.cycles
+            if sg.cores > 1 and not topology.metron_steering:
+                cycles += DEMUX_LB_CYCLES
+            coeffs = server_coeffs.setdefault(sg.server, np.zeros(n))
+            coeffs[index] += cycles
+            server_supply[sg.server] = (
+                server_supply.get(sg.server, 0.0)
+                + sg.cores * server.freq_hz
+            )
+        for device, nic_cap in cp.nic_caps.items():
+            if nic_cap > 0:
+                coeffs = nic_coeffs.setdefault(device, np.zeros(n))
+                coeffs[index] += 1.0 / nic_cap
+    rows: List[np.ndarray] = []
+    caps: List[float] = []
+    for name in sorted(server_coeffs):
+        rows.append(server_coeffs[name])
+        caps.append(
+            utilization_cap * server_supply[name] * packet_bits / 1e6
+        )
+    for name in sorted(nic_coeffs):
+        rows.append(nic_coeffs[name])
+        caps.append(utilization_cap)
+    return rows, caps
+
+
 def solve_rates(
     placements: Sequence[ChainPlacement],
     topology: Topology,
     objective: str = "marginal",
+    utilization_cap: Optional[float] = None,
+    packet_bits: int = DEFAULT_PACKET_BITS,
 ) -> RateSolution:
     """Assign per-chain rates.
 
@@ -59,9 +113,18 @@ def solve_rates(
     * ``max_min`` — lexicographic max-min fairness on marginal rates
       (footnote 2 of the paper leaves fair allocation to future work;
       this implements it via iterative LP water-filling).
+
+    ``utilization_cap`` (the ``tail_latency`` placement objective)
+    appends per-device compute-utilization rows so no placed core runs
+    hotter than the cap — bounding the queueing wait at the cost of
+    burst headroom. Chains whose t_min floors alone exceed the cap make
+    the LP infeasible, which admission reports as the binding reason.
     """
     if objective == "max_min":
-        return solve_rates_max_min(placements, topology)
+        return solve_rates_max_min(
+            placements, topology,
+            utilization_cap=utilization_cap, packet_bits=packet_bits,
+        )
     if objective != "marginal":
         raise ValueError(f"unknown rate objective {objective!r}")
     if not placements:
@@ -102,6 +165,13 @@ def solve_rates(
             rows.append(coeffs)
             caps.append(server.primary_nic().rate_mbps)
 
+    if utilization_cap is not None:
+        extra_rows, extra_caps = _utilization_rows(
+            placements, topology, utilization_cap, packet_bits,
+        )
+        rows.extend(extra_rows)
+        caps.extend(extra_caps)
+
     a_ub = np.vstack(rows) if rows else None
     b_ub = np.array(caps) if rows else None
 
@@ -130,6 +200,8 @@ def solve_rates(
 def solve_rates_max_min(
     placements: Sequence[ChainPlacement],
     topology: Topology,
+    utilization_cap: Optional[float] = None,
+    packet_bits: int = DEFAULT_PACKET_BITS,
 ) -> RateSolution:
     """Lexicographic max-min fair marginal-rate assignment.
 
@@ -172,6 +244,13 @@ def solve_rates_max_min(
         if coeffs.any():
             rows.append(coeffs)
             caps.append(server.primary_nic().rate_mbps)
+
+    if utilization_cap is not None:
+        extra_rows, extra_caps = _utilization_rows(
+            placements, topology, utilization_cap, packet_bits,
+        )
+        rows.extend(extra_rows)
+        caps.extend(extra_caps)
 
     # Progressive filling: raise a common marginal floor t over the
     # chains that still have cap headroom; chains whose headroom is

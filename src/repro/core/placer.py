@@ -19,6 +19,7 @@ rate LP is re-solved over the combined chain set.
 from __future__ import annotations
 
 import inspect
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -46,6 +47,10 @@ from repro.obs import get_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 
 
+#: placement objectives a request may select (see :class:`PlacementRequest`).
+PLACEMENT_OBJECTIVES = ("throughput", "tail_latency")
+
+
 @dataclass
 class PlacerConfig:
     """Knobs for the Placer.
@@ -53,11 +58,20 @@ class PlacerConfig:
     ``rate_objective`` selects how the rate LP splits burst headroom:
     ``marginal`` (the paper's revenue objective) or ``max_min``
     (progressive-filling fairness — §2 footnote 2's future-work item).
+    ``objective`` is the default placement objective (overridable per
+    request): ``throughput`` is the paper's maximize-marginal-rate goal;
+    ``tail_latency`` additionally caps per-device compute utilization at
+    ``tail_utilization_cap`` so no placed core runs hot enough for the
+    M/M/1 queueing wait to blow the chain's ``d_max`` tail SLO.
     """
 
     packet_bytes: int = 1500
     strategy: str = "lemur"
     rate_objective: str = "marginal"
+    objective: str = "throughput"
+    #: per-device utilization ceiling under the ``tail_latency`` objective
+    #: (ρ = 0.7 ⇒ M/M/1 wait factor ρ/(1−ρ) ≈ 2.33× service time).
+    tail_utilization_cap: float = 0.7
 
     @property
     def packet_bits(self) -> int:
@@ -92,6 +106,8 @@ class PlacementRequest:
     warm-starts the solve: chains present in the base keep their pattern
     and cores, only the delta is placed, and the rate LP re-runs over the
     combined set (the lifecycle engine's arrival/scale/departure path).
+    ``objective`` overrides the config's placement objective for this
+    request (``throughput`` or ``tail_latency``).
     """
 
     chains: Sequence[NFChain]
@@ -100,6 +116,7 @@ class PlacementRequest:
     failed_devices: Sequence[str] = ()
     use_cache: bool = True
     base_placement: Optional[Placement] = None
+    objective: Optional[str] = None
 
 
 @dataclass
@@ -153,6 +170,16 @@ class Placer:
             raise PlacementError(
                 f"unknown strategy {name!r}; choose from {available_strategies()}"
             )
+        objective = request.objective or self.config.objective
+        if objective not in PLACEMENT_OBJECTIVES:
+            raise PlacementError(
+                f"unknown placement objective {objective!r}; "
+                f"choose from {list(PLACEMENT_OBJECTIVES)}"
+            )
+        utilization_cap = (
+            self.config.tail_utilization_cap
+            if objective == "tail_latency" else None
+        )
         if request.reserve_cores < 0:
             raise PlacementError("reserve_cores must be non-negative")
         base = request.base_placement
@@ -192,6 +219,7 @@ class Placer:
                 # a warm start additionally keys on the base's pattern.
                 extra: Tuple = (
                     "rate_objective", self.config.rate_objective,
+                    "objective", objective,
                 )
                 if base is not None:
                     extra += ("warm_start", warm_start_key(base))
@@ -218,20 +246,32 @@ class Placer:
                                 self.profiles,
                                 packet_bits=self.config.packet_bits,
                             )
-                    if placement.feasible and \
-                            self.config.rate_objective != "marginal":
+                    if placement.feasible and (
+                            self.config.rate_objective != "marginal"
+                            or utilization_cap is not None):
                         # Rate assignment is a policy over the decided
                         # configuration: re-split the burst headroom under
-                        # the configured objective.
+                        # the configured objective (and, for tail_latency,
+                        # the utilization cap).
                         from repro.core.lp import solve_rates
 
                         solution = solve_rates(
                             placement.chains, self.topology,
                             objective=self.config.rate_objective,
+                            utilization_cap=utilization_cap,
+                            packet_bits=self.config.packet_bits,
                         )
                         if solution.feasible:
                             placement.rates = solution.rates
                             placement.objective_mbps = solution.objective_mbps
+                        elif utilization_cap is not None:
+                            # The t_min floors alone exceed the cap — the
+                            # rack cannot hold the tail SLO at any rate
+                            # split; surface the LP's binding reason.
+                            placement.feasible = False
+                            placement.infeasible_reason = solution.reason
+                    if placement.feasible and utilization_cap is not None:
+                        self._enforce_tail_slos(placement)
                 if cache is not None:
                     cache.put(fingerprint, placement)
         finally:
@@ -398,6 +438,45 @@ class Placer:
         placement.objective_mbps = solution.objective_mbps
         placement.feasible = True
         return placement, len(pinned_cps), len(delta_chains)
+
+    def _enforce_tail_slos(self, placement: Placement) -> None:
+        """Reject chains whose queueing-aware tail latency breaks d_max.
+
+        Runs only under the ``tail_latency`` objective, after rates are
+        final: the capped LP rates fix per-device utilization, the M/M/1
+        model turns utilization into per-device wait factors, and each
+        chain's worst-path latency is re-estimated with those factors —
+        the same arithmetic the deployed rack stamps per packet, so a
+        chain admitted here holds its p99 under the modelled queueing.
+        """
+        # Deferred: importing repro.sim at module scope would be circular
+        # (repro.sim.traffic imports this module).
+        from repro.core.rates import chain_tail_latency_us, device_utilization
+        from repro.sim.measurement import QueueingModel
+
+        model = QueueingModel(kind="mm1")
+        utilization = device_utilization(
+            placement.chains, placement.rates, self.topology,
+            self.config.packet_bits,
+        )
+        factors = {
+            device: model.delay_factor(rho)
+            for device, rho in utilization.items()
+        }
+        for cp in placement.chains:
+            d_max = cp.chain.slo.d_max
+            if math.isinf(d_max):
+                continue
+            tail = chain_tail_latency_us(
+                cp, self.topology, self.profiles, factors
+            )
+            if tail > d_max:
+                placement.feasible = False
+                placement.infeasible_reason = (
+                    f"chain {cp.name}: queueing-aware tail latency "
+                    f"{tail:.1f} µs exceeds d_max {d_max:.1f} µs"
+                )
+                return
 
     def precompute_slo_schedule(
         self,

@@ -11,7 +11,7 @@ operator-provided split ratios.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.chain.graph import NFChain
 from repro.core.placement import ChainPlacement, NodeAssignment, Subgroup
@@ -85,6 +85,76 @@ def server_offered_load(
         cp.server_visits.get(server_name, 0.0) * rates.get(cp.name, 0.0)
         for cp in placements
     )
+
+
+def device_utilization(
+    placements: Sequence[ChainPlacement],
+    rates: Dict[str, float],
+    topology: Topology,
+    packet_bits: int = DEFAULT_PACKET_BITS,
+) -> Dict[str, float]:
+    """Per-device compute utilization at the assigned rates.
+
+    For a server, utilization is demanded cycles per second (each chain's
+    packet rate times its subgroups' per-packet cycles, demux penalty
+    included) over the cycles its *allocated* cores supply — a subgroup
+    running alone at its estimated max rate lands at exactly 1.0. For a
+    SmartNIC it is the sum of assigned rate over the per-chain NIC cap.
+    Deterministic: derived purely from the placement and the LP's rates,
+    never from wall clock. This is the ``rho`` the queueing-aware delay
+    model (:class:`repro.sim.measurement.QueueingModel`) turns into a
+    per-device wait factor.
+    """
+    demand: Dict[str, float] = {}
+    supply: Dict[str, float] = {}
+    nic_util: Dict[str, float] = {}
+    for cp in placements:
+        rate = rates.get(cp.name, 0.0)
+        if rate < 0:
+            rate = 0.0
+        pps = rate * 1e6 / packet_bits
+        for sg in cp.subgroups:
+            server = topology.server(sg.server)
+            cycles = sg.cycles
+            if sg.cores > 1 and not topology.metron_steering:
+                cycles += DEMUX_LB_CYCLES
+            demand[sg.server] = demand.get(sg.server, 0.0) + pps * cycles
+            supply[sg.server] = (
+                supply.get(sg.server, 0.0) + sg.cores * server.freq_hz
+            )
+        for device, cap in cp.nic_caps.items():
+            if cap > 0:
+                nic_util[device] = nic_util.get(device, 0.0) + rate / cap
+    utilization = {
+        server: (demand[server] / supply[server]) if supply[server] else 0.0
+        for server in demand
+    }
+    utilization.update(nic_util)
+    return utilization
+
+
+def chain_tail_latency_us(
+    cp: ChainPlacement,
+    topology: Topology,
+    profiles: ProfileDatabase,
+    queue_factors: Dict[str, float],
+) -> float:
+    """Worst-path latency with per-device queueing wait factored in.
+
+    Scales each device-executed component of the fixed-cost model by
+    ``1 + factor`` (factor = rho/(1-rho) under M/M/1), mirroring what the
+    deployed rack stamps per packet — the placer's tail-SLO admission
+    check compares this against ``d_max``.
+    """
+    worst = 0.0
+    for linear in cp.chain.graph.linearize():
+        excursions = _count_excursions(linear.node_ids, cp.assignment)
+        latency = _path_latency_us(
+            cp.chain, linear.node_ids, cp.assignment, cp.subgroups,
+            topology, profiles, excursions, queue_factors=queue_factors,
+        )
+        worst = max(worst, latency)
+    return worst
 
 
 def server_core_usage(
@@ -205,14 +275,18 @@ def _path_latency_us(
     topology: Topology,
     profiles: ProfileDatabase,
     excursions: int,
+    queue_factors: Optional[Dict[str, float]] = None,
 ) -> float:
     """Worst-case one-packet latency along a path (§5.3 latency model).
 
     Propagation/transmission/queueing is charged per bounce; NF execution
     is cycles/f for server and SmartNIC NFs; switch NFs ride the pipeline's
     fixed transit. NSH encap/decap cycles are charged once per subgroup
-    crossed (§5.3 overheads).
+    crossed (§5.3 overheads). ``queue_factors`` (device -> rho/(1-rho))
+    additionally scales every device-executed component by ``1 + factor``,
+    yielding the queueing-aware estimate.
     """
+    factors = queue_factors or {}
     latency = excursions * topology.bounce_rtt_us
     switch_passes = excursions + 1
     latency += switch_passes * SWITCH_TRANSIT_US
@@ -224,16 +298,19 @@ def _path_latency_us(
         if assign.platform is Platform.SERVER:
             server = topology.server(assign.device)
             cycles = profiles.server_cycles(node.nf_class, node.params)
-            latency += cycles / server.freq_hz * 1e6
+            latency += (cycles / server.freq_hz * 1e6
+                        * (1.0 + factors.get(assign.device, 0.0)))
             for sg in subgroups:
                 if nid in sg.node_ids:
                     crossed_subgroups.add(sg.sg_id)
         elif assign.platform is Platform.SMARTNIC:
             nic = topology.smartnic(assign.device)
             nic_cycles = profiles.nic_cycles(node.nf_class) or 0.0
-            latency += nic_cycles / nic.freq_hz * 1e6
+            latency += (nic_cycles / nic.freq_hz * 1e6
+                        * (1.0 + factors.get(assign.device, 0.0)))
     for sg in subgroups:
         if sg.sg_id in crossed_subgroups:
             server = topology.server(sg.server)
-            latency += NSH_ENCAP_DECAP_CYCLES / server.freq_hz * 1e6
+            latency += (NSH_ENCAP_DECAP_CYCLES / server.freq_hz * 1e6
+                        * (1.0 + factors.get(sg.server, 0.0)))
     return latency

@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     NULL_HISTOGRAM,
     NULL_TIMER,
     Timer,
+    quantile,
 )
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "scoped_registry",
     "render_json",
     "render_text",
+    "quantile",
 ]
 
 

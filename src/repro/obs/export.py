@@ -54,6 +54,6 @@ def render_text(registry: MetricsRegistry) -> str:
             f"histogram  {name:<{width}}  n={entry['count']} "
             f"mean={entry['mean']:.6g} min={entry['min']:.6g} "
             f"max={entry['max']:.6g} p50={entry['p50']:.6g} "
-            f"p99={entry['p99']:.6g}"
+            f"p95={entry['p95']:.6g} p99={entry['p99']:.6g}"
         )
     return "\n".join(lines)

@@ -30,6 +30,26 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def quantile(samples, q: float) -> float:
+    """Linearly interpolated q-quantile (0..1) of a sample sequence.
+
+    Implements ``numpy.quantile``'s default "linear" method without
+    requiring the input to be an array: sort, locate the virtual index
+    ``q * (n - 1)``, interpolate between the flanking order statistics.
+    Empty input yields 0.0 (mirrors :meth:`Histogram.percentile`).
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    if not 0 <= q <= 1:
+        raise ValueError(f"quantile out of range: {q}")
+    virtual = q * (len(ordered) - 1)
+    lo = int(virtual)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = virtual - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 class Counter:
     """A monotonically increasing value."""
 
@@ -147,6 +167,20 @@ class Histogram:
         index = min(len(ordered) - 1, int(round(q / 100 * (len(ordered) - 1))))
         return ordered[index]
 
+    def quantile(self, q: float) -> float:
+        """Linearly interpolated q-quantile (0..1) over retained samples.
+
+        Matches ``numpy.quantile``'s default (``method="linear"``):
+        the virtual index is ``q * (n - 1)`` and fractional positions
+        interpolate between the two neighbouring order statistics. The
+        guard's windowed-p99 check uses this, so two samples straddling
+        the SLO bound yield the interpolated value rather than snapping
+        to whichever side ``percentile``'s nearest-rank rounding picks.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile out of range: {q}")
+        return quantile(self._samples, q)
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -155,6 +189,7 @@ class Histogram:
             "max": self.max or 0.0,
             "mean": self.mean,
             "p50": self.percentile(50),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
 
@@ -251,9 +286,12 @@ class _NullHistogram:
     def percentile(self, q: float) -> float:
         return 0.0
 
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def summary(self) -> Dict[str, float]:
         return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                "mean": 0.0, "p50": 0.0, "p99": 0.0}
+                "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 class _NullTimer:

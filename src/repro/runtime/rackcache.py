@@ -161,6 +161,8 @@ class PooledShardTask:
     #: optional shared-memory descriptor carrying the flow-signature
     #: schedule column (key ``"sig"``) every chain replays.
     sig_shm: Optional[object] = None
+    #: queueing-delay model the warm rack stamps (``none`` or ``mm1``).
+    queueing: str = "none"
 
 
 def run_traffic_shard(task: PooledShardTask) -> Tuple[int, list, dict, float]:
@@ -172,7 +174,7 @@ def run_traffic_shard(task: PooledShardTask) -> Tuple[int, list, dict, float]:
     """
     import time
 
-    from repro.sim.traffic import TrafficEngine
+    from repro.sim.traffic import TrafficEngine, configure_rack_queueing
 
     sig_schedule = None
     handle = None
@@ -183,6 +185,9 @@ def run_traffic_shard(task: PooledShardTask) -> Tuple[int, list, dict, float]:
         with scoped_registry() as registry:
             placement = resolve_bundle(task.bundle)[3]
             rack = rack_for("traffic", task.bundle, task.seed, registry)
+            # reset_state cleared any prior queueing; re-derive it from
+            # this dispatch's placement so warm racks match cold ones.
+            configure_rack_queueing(rack, placement, task.queueing)
             engine = TrafficEngine(
                 rack, placement,
                 flows_per_chain=task.flows_per_chain,
@@ -218,6 +223,7 @@ class _Session:
     flows_per_chain: int
     batch_size: int
     engine: object = None
+    queueing: str = "none"
 
 
 @dataclass
@@ -238,6 +244,7 @@ class SessionTask:
     severity: float = 1.0
     cursors: Dict[str, int] = field(default_factory=dict)
     packets_per_chain: int = 0
+    queueing: str = "none"
 
 
 def _session(task: SessionTask) -> "_Session":
@@ -271,26 +278,32 @@ def session_call(task: SessionTask) -> Tuple[object, Optional[dict]]:
     registry whose state the daemon merges back, so pooled serve metrics
     match the in-process mode counter for counter.
     """
+    from repro.sim.traffic import configure_rack_queueing
+
     op = task.op
     if op == "build":
         with scoped_registry() as registry:
             topology, artifacts, profiles = resolve_bundle(task.bundle)
             rack = DeployedRack(topology, artifacts, profiles,
                                 seed=task.seed, registry=registry)
+            configure_rack_queueing(rack, task.placement, task.queueing)
             state = registry.dump_state()
         _sessions[task.session] = _Session(
             rack=rack, placement=task.placement,
             flows_per_chain=task.flows_per_chain,
             batch_size=task.batch_size,
+            queueing=task.queueing,
         )
         _trim(_sessions, _MAX_SESSIONS)
         return rack._next_seq, state
     if op == "restore":
         rack = pickle.loads(task.rack_bytes)
+        configure_rack_queueing(rack, task.placement, task.queueing)
         _sessions[task.session] = _Session(
             rack=rack, placement=task.placement,
             flows_per_chain=task.flows_per_chain,
             batch_size=task.batch_size,
+            queueing=task.queueing,
         )
         _trim(_sessions, _MAX_SESSIONS)
         return rack._next_seq, None
@@ -303,6 +316,10 @@ def session_call(task: SessionTask) -> Tuple[object, Optional[dict]]:
         with scoped_registry() as registry:
             session.rack.rebind_registry(registry)
             delta = session.rack.redeploy(task.artifacts)
+            # rates changed with the placement: re-derive utilization
+            configure_rack_queueing(
+                session.rack, task.placement, session.queueing
+            )
             state = registry.dump_state()
         session.placement = task.placement
         return delta, state
@@ -326,14 +343,16 @@ def session_call(task: SessionTask) -> Tuple[object, Optional[dict]]:
             session.rack.rebind_registry(registry)
             engine = _session_engine(session)
             delivered: Dict[str, int] = {}
+            latencies: Dict[str, List[float]] = {}
             cursors = dict(task.cursors)
             for cp in session.placement.chains:
-                count, cursors[cp.name] = engine.replay_batch(
+                count, cursors[cp.name], samples = engine.replay_batch(
                     cp, cursors.get(cp.name, 0), task.packets_per_chain
                 )
                 delivered[cp.name] = count
+                latencies[cp.name] = samples
             state = registry.dump_state()
-        return (delivered, cursors, session.rack._next_seq), state
+        return (delivered, cursors, session.rack._next_seq, latencies), state
     if op == "fetch":
         return pickle.dumps(session.rack), None
     raise WorkerPoolError(f"unknown session op {op!r}")

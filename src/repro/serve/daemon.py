@@ -102,6 +102,13 @@ class ServeConfig:
     #: keeps it in-process. Part of the recovery contract because the
     #: checkpoint layout differs (pooled cores carry fetched rack bytes).
     pool: str = "keep"
+    #: queueing delay model stamped on every forwarded packet
+    #: (see :class:`repro.sim.measurement.QueueingModel`). Part of the
+    #: recovery contract: replay under a different model would stamp
+    #: different latencies.
+    queueing: str = "none"
+    #: placement objective ("throughput" or "tail_latency").
+    objective: str = "throughput"
 
     def validate(self) -> None:
         if self.packets_per_phase < 1:
@@ -110,6 +117,16 @@ class ServeConfig:
             raise ServeError("checkpoint_every must be >= 0")
         if self.pool not in ("keep", "per-run"):
             raise ServeError("pool must be 'keep' or 'per-run'")
+        from repro.core.placer import PLACEMENT_OBJECTIVES
+        from repro.sim.measurement import QUEUEING_MODELS
+        if self.queueing not in QUEUEING_MODELS:
+            raise ServeError(
+                f"queueing must be one of {sorted(QUEUEING_MODELS)}"
+            )
+        if self.objective not in PLACEMENT_OBJECTIVES:
+            raise ServeError(
+                f"objective must be one of {sorted(PLACEMENT_OBJECTIVES)}"
+            )
 
     def build_topology(self) -> Topology:
         if self.servers and self.servers > 0:
@@ -137,6 +154,8 @@ class ServeConfig:
             "with_openflow": self.with_openflow,
             "servers": self.servers,
             "pool": self.pool,
+            "queueing": self.queueing,
+            "objective": self.objective,
         }
 
     def to_json(self) -> str:
@@ -146,6 +165,7 @@ class ServeConfig:
         "spec_text", "slos", "packets_per_phase", "flows_per_chain",
         "batch_size", "seed", "strategy", "checkpoint_every",
         "with_smartnic", "with_openflow", "servers", "pool",
+        "queueing", "objective",
     })
 
     @classmethod
@@ -177,6 +197,8 @@ class ServeConfig:
                 with_openflow=bool(payload.get("with_openflow", False)),
                 servers=int(payload.get("servers", 0)),
                 pool=str(payload.get("pool", "keep")),
+                queueing=str(payload.get("queueing", "none")),
+                objective=str(payload.get("objective", "throughput")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServeError(f"malformed serve config: {exc}") from exc
@@ -262,6 +284,11 @@ class ServeReport:
                             "t_min_mbps": round(
                                 ph.t_mins.get(row.chain_name, 0.0), 6
                             ),
+                            "latency_p50_us": round(row.latency_p50_us, 6),
+                            "latency_p95_us": round(row.latency_p95_us, 6),
+                            "latency_p99_us": round(row.latency_p99_us, 6),
+                            "latency_slo_us": round(row.latency_slo_us, 6),
+                            "latency_slo_met": row.latency_slo_met,
                             "slo_met": ph.slo_met(row),
                         }
                         for row in ph.chains
@@ -298,20 +325,24 @@ class ServeReport:
         lines.append(
             f"{'phase':<34} {'chain':<12} {'injected':>8} "
             f"{'delivered':>9} {'assigned':>10} {'delivered':>10} "
-            f"{'t_min':>9} {'slo':>9}"
+            f"{'t_min':>9} {'p99':>10} {'d_max':>10} {'slo':>9}"
         )
         lines.append(
             f"{'':<34} {'':<12} {'':>8} {'':>9} "
-            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} {'':>9}"
+            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} "
+            f"{'µs':>10} {'µs':>10} {'':>9}"
         )
         for ph in self.phases:
             label = f"{ph.index}:{ph.label}"
             for row in ph.chains:
+                d_max = (f"{row.latency_slo_us:>10.1f}"
+                         if row.latency_slo_us > 0 else f"{'—':>10}")
                 lines.append(
                     f"{label:<34} {row.chain_name:<12} "
                     f"{row.injected:>8} {row.delivered:>9} "
                     f"{row.assigned_mbps:>10.2f} {row.delivered_mbps:>10.2f} "
                     f"{ph.t_mins.get(row.chain_name, 0.0):>9.2f} "
+                    f"{row.latency_p99_us:>10.1f} {d_max} "
                     f"{'ok' if ph.slo_met(row) else 'VIOLATED':>9}"
                 )
         lines.append(
@@ -392,6 +423,8 @@ class ServeDaemon:
             seed=self.config.seed,
             registry=self.registry,
             pool=self.config.pool,
+            queueing=self.config.queueing,
+            objective=self.config.objective,
         )
         self.core.bootstrap()
         self.phases.append(self.core.run_phase(

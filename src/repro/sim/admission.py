@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import math
 import os
 import pickle
 from dataclasses import dataclass, replace
@@ -54,11 +55,16 @@ from repro.exceptions import (
 )
 from repro.hw.topology import Topology, default_testbed
 from repro.metacompiler.compiler import MetaCompiler
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, get_registry, quantile
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.sim.faults import PhaseReport
+from repro.sim.measurement import QueueingModel
 from repro.sim.runtime import DeployedRack
-from repro.sim.traffic import ChainTrafficReport, TrafficEngine
+from repro.sim.traffic import (
+    ChainTrafficReport,
+    TrafficEngine,
+    configure_rack_queueing,
+)
 
 LIFECYCLE_ACTIONS = ("arrive", "scale", "depart")
 
@@ -238,6 +244,8 @@ class AdmissionCore:
         cache: Optional[PlacementCache] = None,
         full_resolve: bool = False,
         pool: str = "per-run",
+        queueing: str = "none",
+        objective: str = "throughput",
     ):
         if not initial_chains:
             raise LifecycleError(
@@ -250,6 +258,9 @@ class AdmissionCore:
         self.strategy = strategy
         self.flows_per_chain = flows_per_chain
         self.batch_size = batch_size
+        #: validated eagerly so a typo fails at construction, not mid-run.
+        self.queueing = QueueingModel(queueing).kind
+        self.objective = objective
         self.seed = seed
         self.obs = registry if registry is not None else get_registry()
         #: warm-start memo: a repeated (active set, base pattern) admission
@@ -323,6 +334,7 @@ class AdmissionCore:
             seed=self.seed,
             flows_per_chain=self.flows_per_chain,
             batch_size=self.batch_size,
+            queueing=self.queueing,
         )
         self._rack_seq = int(seq)
 
@@ -358,6 +370,7 @@ class AdmissionCore:
             placement=self.placement,
             flows_per_chain=self.flows_per_chain,
             batch_size=self.batch_size,
+            queueing=self.queueing,
         )
         self._rack_seq = int(seq)
 
@@ -374,6 +387,7 @@ class AdmissionCore:
         """Solve and deploy the initial chain set (a full, cold solve)."""
         initial = self.placer.solve(PlacementRequest(
             chains=self.initial_chains, strategy=self.strategy,
+            objective=self.objective,
         ))
         if not initial.placement.feasible:
             raise PlacementError(
@@ -390,6 +404,9 @@ class AdmissionCore:
             self.rack = DeployedRack(
                 self.topology, artifacts, self.profiles,
                 seed=self.seed, registry=self.obs,
+            )
+            configure_rack_queueing(
+                self.rack, initial.placement, self.queueing
             )
             self.traffic = TrafficEngine(
                 self.rack, initial.placement,
@@ -444,6 +461,7 @@ class AdmissionCore:
                 chains=proposed,
                 strategy=self.strategy,
                 base_placement=base,
+                objective=self.objective,
             ))
         except PlacementError as exc:
             return AdmissionDecision(
@@ -470,6 +488,10 @@ class AdmissionCore:
             )
         else:
             delta = self.rack.redeploy(artifacts)
+            # rates changed with the placement: re-derive utilization
+            configure_rack_queueing(
+                self.rack, report.placement, self.queueing
+            )
             self.traffic.placement = report.placement
         self.active = proposed
         self.placement = report.placement
@@ -584,26 +606,29 @@ class AdmissionCore:
             },
         )
         if self.pool == "keep":
-            delivered_map, cursors, rack_seq = self._session_dispatch(
-                op="phase",
-                cursors=dict(self.cursors),
-                packets_per_chain=packets_per_chain,
+            delivered_map, cursors, rack_seq, latency_map = (
+                self._session_dispatch(
+                    op="phase",
+                    cursors=dict(self.cursors),
+                    packets_per_chain=packets_per_chain,
+                )
             )
             self.cursors.update(cursors)
             self._rack_seq = int(rack_seq)
             deliveries = [
-                (cp, delivered_map[cp.name])
+                (cp, delivered_map[cp.name], latency_map[cp.name])
                 for cp in self.placement.chains
             ]
         else:
             deliveries = []
             for cp in self.placement.chains:
-                delivered, self.cursors[cp.name] = \
+                delivered, self.cursors[cp.name], samples = \
                     self.traffic.replay_batch(
                         cp, self.cursors.get(cp.name, 0), packets_per_chain
                     )
-                deliveries.append((cp, delivered))
-        for cp, delivered in deliveries:
+                deliveries.append((cp, delivered, samples))
+        for cp, delivered, samples in deliveries:
+            d_max = cp.chain.slo.d_max
             phase.chains.append(ChainTrafficReport(
                 chain_name=cp.name,
                 flows=self.flows_per_chain,
@@ -612,6 +637,10 @@ class AdmissionCore:
                 dropped=packets_per_chain - delivered,
                 wall_seconds=0.0,
                 assigned_mbps=self.rates.get(cp.name, 0.0),
+                latency_p50_us=quantile(samples, 0.50),
+                latency_p95_us=quantile(samples, 0.95),
+                latency_p99_us=quantile(samples, 0.99),
+                latency_slo_us=0.0 if math.isinf(d_max) else d_max,
             ))
         return phase
 

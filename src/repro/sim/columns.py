@@ -194,6 +194,8 @@ class _FinishedBlock:
 
     columns: PacketColumns
     exec_us: np.ndarray
+    #: utilization-dependent queueing wait (zeros when queueing is off)
+    queue_us: np.ndarray
     latency_us: np.ndarray
     bounce_us: float
     switch_us: float
@@ -250,6 +252,7 @@ class ColumnarRunResult:
                 }
                 fields = dict(meta.fields)
                 fields["exec_us"] = float(block.exec_us[i])
+                fields["queue_us"] = float(block.queue_us[i])
                 fields["bounce_us"] = block.bounce_us
                 fields["switch_us"] = block.switch_us
                 fields["latency_us"] = float(block.latency_us[i])

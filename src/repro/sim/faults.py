@@ -33,6 +33,7 @@ gauges.
 from __future__ import annotations
 
 import json
+import math
 import pickle
 import random
 from concurrent.futures import ProcessPoolExecutor
@@ -43,7 +44,7 @@ from repro.chain.graph import NFChain, chains_with_slos
 from repro.core.cache import PlacementCache
 from repro.core.lp import solve_rates
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
-from repro.core.rates import server_offered_load
+from repro.core.rates import device_utilization, server_offered_load
 from repro.exceptions import FaultInjectionError, PlacementError
 from repro.hw.topology import (
     Topology,
@@ -51,8 +52,9 @@ from repro.hw.topology import (
     multi_server_testbed,
 )
 from repro.metacompiler.compiler import MetaCompiler
-from repro.obs import MetricsRegistry, get_registry
+from repro.obs import MetricsRegistry, get_registry, quantile
 from repro.profiles.defaults import ProfileDatabase, default_profiles
+from repro.sim.measurement import QueueingModel
 from repro.sim.runtime import DeployedRack
 from repro.sim.traffic import ChainTrafficReport, TrafficEngine
 from repro.units import SLO_RTOL
@@ -274,14 +276,22 @@ class GuardConfig:
 
     The guard evaluates a chain once it has injected ``window_packets``
     in the current phase; a violation is a delivered rate below
-    ``threshold`` × t_min. Reactions ladder: graceful degradation first
-    (when ``degrade_first``), then up to ``max_replans`` full replans.
+    ``threshold`` × t_min, **or** a windowed tail latency above the
+    chain's ``d_max`` delay bound (for chains that declare one). The
+    tail is the ``latency_quantile`` of the last ``window_packets``
+    delivered-latency stamps; 0 disables latency guarding. Reactions
+    ladder identically for both violation kinds: graceful degradation
+    first (when ``degrade_first``) — shedding marginal rate lowers
+    utilization and with it the queueing wait — then up to
+    ``max_replans`` full replans.
     """
 
     window_packets: int = 128
     threshold: float = 1.0
     degrade_first: bool = True
     max_replans: int = 3
+    #: quantile of windowed latency compared against d_max (0 = off).
+    latency_quantile: float = 0.99
 
 
 @dataclass(frozen=True)
@@ -307,6 +317,10 @@ class ChaosSpec:
     with_openflow: bool = False
     servers: int = 0
     metron: bool = False
+    #: queueing-delay model the deployed rack stamps (``none`` or ``mm1``).
+    queueing: str = "none"
+    #: placement objective (``throughput`` or ``tail_latency``).
+    objective: str = "throughput"
 
     def build_topology(self) -> Topology:
         if self.servers and self.servers > 0:
@@ -341,6 +355,10 @@ class PhaseReport:
     t_mins: Dict[str, float] = field(default_factory=dict)
 
     def slo_met(self, row: ChainTrafficReport) -> bool:
+        """Rate floor AND tail-latency bound for one chain in this phase."""
+        return self.rate_slo_met(row) and row.latency_slo_met
+
+    def rate_slo_met(self, row: ChainTrafficReport) -> bool:
         t_min = self.t_mins.get(row.chain_name, 0.0)
         if t_min <= 0.0 or row.injected == 0:
             return True
@@ -359,6 +377,9 @@ class ChaosReport:
     phases: List[PhaseReport] = field(default_factory=list)
     events_applied: List[str] = field(default_factory=list)
     violations: int = 0
+    #: subset of ``violations`` triggered by the windowed tail latency
+    #: (a chain can violate on rate, latency, or both in one window).
+    latency_violations: int = 0
     degradations: int = 0
     replans: int = 0
     replan_cache_hits: int = 0
@@ -393,6 +414,7 @@ class ChaosReport:
             "seed": self.seed,
             "events_applied": list(self.events_applied),
             "violations": self.violations,
+            "latency_violations": self.latency_violations,
             "degradations": self.degradations,
             "replans": self.replans,
             "replan_cache_hits": self.replan_cache_hits,
@@ -416,6 +438,11 @@ class ChaosReport:
                             "t_min_mbps": round(
                                 ph.t_mins.get(row.chain_name, 0.0), 6
                             ),
+                            "latency_p50_us": round(row.latency_p50_us, 6),
+                            "latency_p95_us": round(row.latency_p95_us, 6),
+                            "latency_p99_us": round(row.latency_p99_us, 6),
+                            "latency_slo_us": round(row.latency_slo_us, 6),
+                            "latency_slo_met": row.latency_slo_met,
                             "slo_met": ph.slo_met(row),
                         }
                         for row in ph.chains
@@ -440,26 +467,31 @@ class ChaosReport:
         lines.append(
             f"{'phase':<28} {'mode':<10} {'chain':<12} {'injected':>8} "
             f"{'delivered':>9} {'assigned':>10} {'delivered':>10} "
-            f"{'t_min':>9} {'slo':>9}"
+            f"{'t_min':>9} {'p99':>9} {'d_max':>9} {'slo':>9}"
         )
         lines.append(
             f"{'':<28} {'':<10} {'':<12} {'':>8} {'':>9} "
-            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} {'':>9}"
+            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} "
+            f"{'µs':>9} {'µs':>9} {'':>9}"
         )
         for ph in self.phases:
             for row in ph.chains:
                 label = f"{ph.index}:{ph.label}"
+                d_max = (f"{row.latency_slo_us:>9.1f}"
+                         if row.latency_slo_us > 0.0 else f"{'—':>9}")
                 lines.append(
                     f"{label:<28} {ph.mode:<10} {row.chain_name:<12} "
                     f"{row.injected:>8} {row.delivered:>9} "
                     f"{row.assigned_mbps:>10.2f} {row.delivered_mbps:>10.2f} "
                     f"{ph.t_mins.get(row.chain_name, 0.0):>9.2f} "
+                    f"{row.latency_p99_us:>9.1f} {d_max} "
                     f"{'ok' if ph.slo_met(row) else 'VIOLATED':>9}"
                 )
         lines.append(
             f"totals: injected={self.total_injected} "
             f"delivered={self.total_delivered} "
             f"violations={self.violations} "
+            f"(latency {self.latency_violations}) "
             f"degradations={self.degradations} replans={self.replans} "
             f"(cache hits {self.replan_cache_hits}, "
             f"infeasible {self.infeasible_replans})"
@@ -489,6 +521,8 @@ class ChaosEngine:
         seed: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         cache: Optional[PlacementCache] = None,
+        queueing: str = "none",
+        objective: str = "throughput",
     ):
         self.chains = list(chains)
         self.timeline = timeline
@@ -498,6 +532,9 @@ class ChaosEngine:
         self.strategy = strategy
         self.flows_per_chain = flows_per_chain
         self.batch_size = batch_size
+        #: validated eagerly so a typo fails at construction, not mid-run.
+        self.queueing = QueueingModel(queueing).kind
+        self.objective = objective
         self.seed = timeline.seed if seed is None else seed
         self.obs = registry if registry is not None else get_registry()
         #: placement memo shared across replans: identical failure states
@@ -551,6 +588,8 @@ class ChaosEngine:
             seed=spec.seed,
             registry=registry,
             cache=cache,
+            queueing=spec.queueing,
+            objective=spec.objective,
         )
 
     # -- deploy / redeploy ----------------------------------------------------
@@ -576,6 +615,20 @@ class ChaosEngine:
             self.traffic.rack = rack
             self.traffic.placement = placement
         self._refresh_faults()
+        self._refresh_queueing()
+
+    def _refresh_queueing(self) -> None:
+        """Re-derive per-device utilization at the *current* rates and
+        re-install the queueing model — called after every rate change
+        (deploy, shed, replan) so shedding genuinely lowers the stamped
+        queue delay, closing the latency guard's control loop."""
+        model = QueueingModel(self.queueing)
+        utilization = None
+        if model.enabled:
+            utilization = device_utilization(
+                self.placement.chains, self.rates, self.topology
+            )
+        self.rack.configure_queueing(model, utilization)
 
     def _refresh_faults(self) -> None:
         """Project the fault state onto the deployed rack.
@@ -662,6 +715,7 @@ class ChaosEngine:
         self.obs.gauge("guard.degraded_mode").set(1)
         self.obs.gauge("guard.shed_mbps").set(shed)
         self._refresh_faults()
+        self._refresh_queueing()
 
     def _replan(self) -> Tuple[bool, bool]:
         """Full auto-replan: re-solve placement without the failed devices
@@ -689,6 +743,7 @@ class ChaosEngine:
                         chains=self.chains,
                         strategy=self.strategy,
                         failed_devices=tuple(sorted(self.downed)),
+                        objective=self.objective,
                     ))
                 except PlacementError:
                     # no surviving substrate can even host the NFs — the
@@ -718,6 +773,7 @@ class ChaosEngine:
             raise FaultInjectionError("packets_per_chain must be >= 1")
         initial = self.placer.solve(PlacementRequest(
             chains=self.chains, strategy=self.strategy,
+            objective=self.objective,
         ))
         if not initial.placement.feasible:
             raise PlacementError(
@@ -738,6 +794,7 @@ class ChaosEngine:
         mode = "normal"
         seg_injected: Dict[str, int] = {}
         seg_delivered: Dict[str, int] = {}
+        seg_latencies: Dict[str, List[float]] = {}
 
         def open_phase(label: str) -> PhaseReport:
             phase = PhaseReport(
@@ -753,6 +810,7 @@ class ChaosEngine:
             for name in cursors:
                 seg_injected[name] = 0
                 seg_delivered[name] = 0
+                seg_latencies[name] = []
             return phase
 
         def close_phase(phase: PhaseReport) -> None:
@@ -760,6 +818,8 @@ class ChaosEngine:
                 name = cp.name
                 injected = seg_injected[name]
                 delivered = seg_delivered[name]
+                samples = seg_latencies[name]
+                d_max = cp.chain.slo.d_max
                 phase.chains.append(ChainTrafficReport(
                     chain_name=name,
                     flows=self.flows_per_chain,
@@ -768,6 +828,10 @@ class ChaosEngine:
                     dropped=injected - delivered,
                     wall_seconds=0.0,
                     assigned_mbps=self.rates.get(name, 0.0),
+                    latency_p50_us=quantile(samples, 0.50),
+                    latency_p95_us=quantile(samples, 0.95),
+                    latency_p99_us=quantile(samples, 0.99),
+                    latency_slo_us=0.0 if math.isinf(d_max) else d_max,
                 ))
             report.phases.append(phase)
 
@@ -779,11 +843,12 @@ class ChaosEngine:
                 count = min(self.batch_size, remaining[name])
                 if count <= 0:
                     continue
-                delivered, cursors[name] = self.traffic.replay_batch(
-                    cp, cursors[name], count
+                delivered, cursors[name], samples = (
+                    self.traffic.replay_batch(cp, cursors[name], count)
                 )
                 seg_injected[name] += count
                 seg_delivered[name] += delivered
+                seg_latencies[name].extend(samples)
                 remaining[name] -= count
                 global_injected += count
 
@@ -810,15 +875,36 @@ class ChaosEngine:
             violated: List[str] = []
             for cp in self.placement.chains:
                 name = cp.name
-                t_min = cp.chain.slo.t_min
+                slo = cp.chain.slo
                 injected = seg_injected[name]
-                if t_min <= 0.0 or injected < self.guard.window_packets:
+                if injected < self.guard.window_packets:
                     continue
-                fraction = seg_delivered[name] / injected
-                delivered_mbps = self.rates.get(name, 0.0) * fraction
-                if delivered_mbps < (
-                    t_min * self.guard.threshold * (1.0 - _SLO_RTOL)
-                ):
+                rate_bad = False
+                if slo.t_min > 0.0:
+                    fraction = seg_delivered[name] / injected
+                    delivered_mbps = self.rates.get(name, 0.0) * fraction
+                    rate_bad = delivered_mbps < (
+                        slo.t_min * self.guard.threshold * (1.0 - _SLO_RTOL)
+                    )
+                # tail-latency violation: windowed quantile vs d_max —
+                # a rate-compliant chain can still be out of SLO here
+                latency_bad = False
+                if (self.guard.latency_quantile > 0.0
+                        and not math.isinf(slo.d_max)):
+                    window = seg_latencies[name][
+                        -self.guard.window_packets:
+                    ]
+                    if window:
+                        tail = quantile(
+                            window, self.guard.latency_quantile
+                        )
+                        latency_bad = tail > slo.d_max * (1.0 + _SLO_RTOL)
+                if latency_bad:
+                    report.latency_violations += 1
+                    self.obs.counter(
+                        "slo.latency_violations", chain=name
+                    ).inc()
+                if rate_bad or latency_bad:
                     violated.append(name)
             if not violated:
                 continue

@@ -310,6 +310,11 @@ class LifecycleSpec:
     with_smartnic: bool = False
     with_openflow: bool = False
     servers: int = 0
+    #: queueing delay model stamped on every forwarded packet
+    #: (see :class:`repro.sim.measurement.QueueingModel`).
+    queueing: str = "none"
+    #: placement objective ("throughput" or "tail_latency").
+    objective: str = "throughput"
 
     def build_topology(self) -> Topology:
         if self.servers and self.servers > 0:
@@ -388,6 +393,11 @@ class LifecycleReport:
                             "t_min_mbps": round(
                                 ph.t_mins.get(row.chain_name, 0.0), 6
                             ),
+                            "latency_p50_us": round(row.latency_p50_us, 6),
+                            "latency_p95_us": round(row.latency_p95_us, 6),
+                            "latency_p99_us": round(row.latency_p99_us, 6),
+                            "latency_slo_us": round(row.latency_slo_us, 6),
+                            "latency_slo_met": row.latency_slo_met,
                             "slo_met": ph.slo_met(row),
                         }
                         for row in ph.chains
@@ -412,20 +422,24 @@ class LifecycleReport:
         lines.append(
             f"{'phase':<34} {'chain':<12} {'injected':>8} "
             f"{'delivered':>9} {'assigned':>10} {'delivered':>10} "
-            f"{'t_min':>9} {'slo':>9}"
+            f"{'t_min':>9} {'p99':>10} {'d_max':>10} {'slo':>9}"
         )
         lines.append(
             f"{'':<34} {'':<12} {'':>8} {'':>9} "
-            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} {'':>9}"
+            f"{'Mbps':>10} {'Mbps':>10} {'Mbps':>9} "
+            f"{'µs':>10} {'µs':>10} {'':>9}"
         )
         for ph in self.phases:
             label = f"{ph.index}:{ph.label}"
             for row in ph.chains:
+                d_max = (f"{row.latency_slo_us:>10.1f}"
+                         if row.latency_slo_us > 0 else f"{'—':>10}")
                 lines.append(
                     f"{label:<34} {row.chain_name:<12} "
                     f"{row.injected:>8} {row.delivered:>9} "
                     f"{row.assigned_mbps:>10.2f} {row.delivered_mbps:>10.2f} "
                     f"{ph.t_mins.get(row.chain_name, 0.0):>9.2f} "
+                    f"{row.latency_p99_us:>10.1f} {d_max} "
                     f"{'ok' if ph.slo_met(row) else 'VIOLATED':>9}"
                 )
         lines.append(
@@ -465,6 +479,8 @@ class LifecycleEngine:
         registry: Optional[MetricsRegistry] = None,
         cache: Optional[PlacementCache] = None,
         full_resolve: bool = False,
+        queueing: str = "none",
+        objective: str = "throughput",
     ):
         self.timeline = timeline
         timeline.validate()
@@ -479,6 +495,8 @@ class LifecycleEngine:
             registry=registry,
             cache=cache,
             full_resolve=full_resolve,
+            queueing=queueing,
+            objective=objective,
         )
 
     @classmethod
@@ -507,6 +525,8 @@ class LifecycleEngine:
             registry=registry,
             cache=cache,
             full_resolve=spec.full_resolve,
+            queueing=spec.queueing,
+            objective=spec.objective,
         )
 
     # read-only views onto the core's state, kept for callers that

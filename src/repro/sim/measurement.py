@@ -5,6 +5,64 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+#: registered queueing-delay model kinds (see :class:`QueueingModel`).
+QUEUEING_MODELS = ("none", "mm1")
+
+
+@dataclass(frozen=True)
+class QueueingModel:
+    """Utilization-dependent queueing delay at a placed core.
+
+    The fixed-cost latency model charges each hop its service time
+    ``s = cycles / freq``; under load the sojourn time of an M/M/1 queue
+    is ``s / (1 - rho)`` for utilization ``rho``. This model expresses
+    the *extra* wait as a multiplier on the service time::
+
+        queue_us = exec_us * delay_factor(rho)
+        delay_factor(rho) = rho / (1 - rho)        # kind="mm1"
+
+    so total sojourn ``exec_us + queue_us == exec_us / (1 - rho)``. At
+    ``rho == 0`` the factor is 0 and the model degenerates to the
+    fixed-cost baseline. ``rho`` is clamped to ``max_utilization`` so a
+    momentarily saturated device yields a large-but-finite delay instead
+    of a singularity (the "saturation clamp" the unit suite pins).
+
+    ``kind="none"`` is the identity model: every factor is 0.0 and the
+    stamped ``queue_us`` stays 0 in both dataplane paths, preserving
+    historical latency numbers byte-for-byte.
+    """
+
+    kind: str = "none"
+    #: utilization ceiling fed into the delay curve (the clamp).
+    max_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUEUEING_MODELS:
+            raise ValueError(
+                f"unknown queueing model {self.kind!r}; "
+                f"choose from {list(QUEUEING_MODELS)}"
+            )
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError(
+                f"max_utilization must be in (0, 1), "
+                f"got {self.max_utilization}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.kind != "none"
+
+    def delay_factor(self, utilization: float) -> float:
+        """Queue-delay multiplier on service time at ``utilization``.
+
+        Monotone non-decreasing in utilization; 0.0 at or below zero
+        load; capped at ``delay_factor(max_utilization)`` (the clamp).
+        """
+        if self.kind == "none":
+            return 0.0
+        rho = min(max(utilization, 0.0), self.max_utilization)
+        return rho / (1.0 - rho)
+
 
 @dataclass
 class ChainMeasurement:

@@ -46,7 +46,7 @@ from repro.sim.columns import (
     _FinishedBlock,
     vector_fault_mask,
 )
-from repro.sim.measurement import HopStat, PacketTraceResult
+from repro.sim.measurement import HopStat, PacketTraceResult, QueueingModel
 from repro.units import SIM_PACKET_BYTES
 
 _MAX_EVENTS = 1000
@@ -209,6 +209,16 @@ class DeployedRack:
         #: packet's injection sequence, so outcomes are identical across
         #: repeated runs and across the per-packet/batched paths.
         self._fault_loss: Dict[str, float] = {}
+
+        # -- queueing-aware delay model -----------------------------------
+        #: the configured utilization-dependent delay model; the default
+        #: identity model stamps queue_us == 0.0 everywhere, preserving
+        #: the fixed-cost latency numbers bit-for-bit.
+        self.queueing = QueueingModel()
+        #: device name -> precomputed delay factor (only devices with a
+        #: strictly positive factor are present, so the common lookup in
+        #: the stamping hot paths is one dict miss).
+        self._queue_factor: Dict[str, float] = {}
 
         # -- pre-resolved instruments (batch fast path) -------------------
         # Counter objects are resolved once per device here instead of a
@@ -438,6 +448,10 @@ device_fingerprints`) decide what happens to each device:
         self._next_seq = 0
         self._fault_failed.clear()
         self._fault_loss.clear()
+        # queueing factors reset to the cold-deploy identity; engines that
+        # enable queueing re-apply it right after taking the warm rack
+        self.queueing = QueueingModel()
+        self._queue_factor = {}
         self.rebind_registry(registry if registry is not None else self.obs)
 
     # -- fault injection ---------------------------------------------------------
@@ -470,6 +484,29 @@ device_fingerprints`) decide what happens to each device:
     def clear_faults(self) -> None:
         self._fault_failed.clear()
         self._fault_loss.clear()
+
+    # -- queueing-aware delay ----------------------------------------------------
+
+    def configure_queueing(
+        self,
+        model: QueueingModel,
+        utilization: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """Install the delay model plus per-device utilizations.
+
+        ``utilization`` maps device name -> offered-load fraction (from
+        the placement's assigned rates, never wall clock — determinism).
+        Subsequent scalar and columnar stamps charge each device's exec
+        contribution an extra ``contribution * delay_factor(rho)`` as
+        ``queue_us``. Factors are precomputed here so the per-packet cost
+        is one dict lookup.
+        """
+        self.queueing = model
+        self._queue_factor = {}
+        for device, rho in sorted((utilization or {}).items()):
+            factor = model.delay_factor(rho)
+            if factor > 0.0:
+                self._queue_factor[device] = factor
 
     def _fault_reason(self, device: str, seq: int) -> Optional[str]:
         """Why a packet headed for ``device`` is dropped, or None.
@@ -514,6 +551,10 @@ device_fingerprints`) decide what happens to each device:
                 "exec_us": obs.histogram(
                     "rack.latency_component_us", chain=chain,
                     component="exec_us",
+                ),
+                "queue_us": obs.histogram(
+                    "rack.latency_component_us", chain=chain,
+                    component="queue_us",
                 ),
                 "bounce_us": obs.histogram(
                     "rack.latency_component_us", chain=chain,
@@ -1335,28 +1376,38 @@ device_fingerprints`) decide what happens to each device:
         inst = self._chain_instruments(cp.name)
         n = len(cols)
         inst["delivered"].inc(n)
+        queue_factor = self._queue_factor
         exec_us = np.zeros(n, dtype=np.float64)
+        queue_us = np.zeros(n, dtype=np.float64)
         attributed = np.zeros(n, dtype=np.int64)
         for device in cols.device_order:
             arr = cols.device_cycles[device]
-            exec_us = exec_us + arr / self.device_freq(device) * 1e6
+            contribution = arr / self.device_freq(device) * 1e6
+            exec_us = exec_us + contribution
+            factor = queue_factor.get(device)
+            if factor:
+                queue_us = queue_us + contribution * factor
             attributed = attributed + arr
         unattributed = cols.cycles - attributed
         over = unattributed > 0
         if bool(over.any()):
+            # unattributed cycles take the fallback clock and, as in the
+            # scalar stamp, accrue no queueing wait
             exec_us[over] = (
                 exec_us[over]
                 + unattributed[over] / self._fallback_freq * 1e6
             )
         bounce_us = excursions * self.topology.bounce_rtt_us
         switch_us = switch_passes * SWITCH_TRANSIT_US
-        latency_us = exec_us + bounce_us + switch_us
+        latency_us = exec_us + queue_us + bounce_us + switch_us
         inst["latency"].observe_many(latency_us)
         inst["exec_us"].observe_many(exec_us)
+        inst["queue_us"].observe_many(queue_us)
         inst["bounce_us"].observe_many(np.full(n, bounce_us))
         inst["switch_us"].observe_many(np.full(n, switch_us))
         result.blocks.append(_FinishedBlock(
-            columns=cols, exec_us=exec_us, latency_us=latency_us,
+            columns=cols, exec_us=exec_us, queue_us=queue_us,
+            latency_us=latency_us,
             bounce_us=bounce_us, switch_us=switch_us,
         ))
 
@@ -1608,6 +1659,7 @@ device_fingerprints`) decide what happens to each device:
         inst["delivered"].inc(len(packets))
         latency_h = inst["latency"]
         exec_h = inst["exec_us"]
+        queue_h = inst["queue_us"]
         bounce_h = inst["bounce_us"]
         switch_h = inst["switch_us"]
         for packet in packets:
@@ -1618,6 +1670,7 @@ device_fingerprints`) decide what happens to each device:
             fields = packet.metadata.fields
             latency_h.observe(fields["latency_us"])
             exec_h.observe(fields["exec_us"])
+            queue_h.observe(fields["queue_us"])
             bounce_h.observe(fields["bounce_us"])
             switch_h.observe(fields["switch_us"])
 
@@ -1687,22 +1740,30 @@ device_fingerprints`) decide what happens to each device:
         :meth:`inject`) the per-hop ``hops`` records.
         """
         meta = packet.metadata
+        queue_factor = self._queue_factor
         exec_us = 0.0
+        queue_us = 0.0
         attributed = 0
         for device, cycles in meta.cycles_by_device.items():
-            exec_us += cycles / self.device_freq(device) * 1e6
+            contribution = cycles / self.device_freq(device) * 1e6
+            exec_us += contribution
+            factor = queue_factor.get(device)
+            if factor:
+                queue_us += contribution * factor
             attributed += cycles
         # cycles charged outside any rack hop (e.g. a pre-charged packet)
-        # fall back to the reference server clock, as before
+        # fall back to the reference server clock, as before — and never
+        # accrue queueing wait (no owning device means no placed core)
         unattributed = meta.cycles_consumed - attributed
         if unattributed > 0:
             exec_us += unattributed / self._fallback_freq * 1e6
         bounce_us = excursions * self.topology.bounce_rtt_us
         switch_us = switch_passes * SWITCH_TRANSIT_US
         meta.fields["exec_us"] = exec_us
+        meta.fields["queue_us"] = queue_us
         meta.fields["bounce_us"] = bounce_us
         meta.fields["switch_us"] = switch_us
-        meta.fields["latency_us"] = exec_us + bounce_us + switch_us
+        meta.fields["latency_us"] = exec_us + queue_us + bounce_us + switch_us
         if hops is not None:
             meta.fields["hops"] = hops
 
@@ -1739,8 +1800,8 @@ device_fingerprints`) decide what happens to each device:
             trail: List[str] = []
             exit_ports: Dict[int, int] = {}
             latency_sum = 0.0
-            component_sums = {"exec_us": 0.0, "bounce_us": 0.0,
-                              "switch_us": 0.0}
+            component_sums = {"exec_us": 0.0, "queue_us": 0.0,
+                              "bounce_us": 0.0, "switch_us": 0.0}
             hop_agg: Dict[Tuple[int, str], HopStat] = {}
             hop_exec_sums: Dict[Tuple[int, str], float] = {}
             for index in range(packets_per_chain):

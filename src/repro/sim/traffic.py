@@ -21,6 +21,7 @@ than a sum of per-chain walls.
 from __future__ import annotations
 
 import json
+import math
 import os
 import pickle
 import time
@@ -34,6 +35,7 @@ import numpy as np
 from repro.chain.graph import NFChain, chains_with_slos
 from repro.core.placement import ChainPlacement, Placement
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
+from repro.core.rates import device_utilization
 from repro.exceptions import PlacementError, TrafficError, WorkerPoolError
 from repro.hw.topology import (
     Topology,
@@ -42,10 +44,11 @@ from repro.hw.topology import (
 )
 from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
 from repro.net.packet import Packet
-from repro.obs import MetricsRegistry, scoped_registry
+from repro.obs import MetricsRegistry, quantile, scoped_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.runtime.pool import in_worker
 from repro.sim.columns import PacketColumns
+from repro.sim.measurement import QueueingModel
 from repro.sim.runtime import DeployedRack, _chain_packet
 from repro.units import SIM_PACKET_BITS, SLO_RTOL
 
@@ -53,6 +56,25 @@ from repro.units import SIM_PACKET_BITS, SLO_RTOL
 #: of truth in :mod:`repro.units`, which also sizes the synthesized
 #: packets' ``total_bytes`` in :func:`repro.sim.runtime._chain_packet`.
 PACKET_BITS = SIM_PACKET_BITS
+
+
+def configure_rack_queueing(rack: DeployedRack, placement: Placement,
+                            kind: str) -> None:
+    """Install a queueing model on a deployed rack.
+
+    Per-device utilization is derived from the placement's *current* LP
+    rates (:func:`repro.core.rates.device_utilization`) — deterministic,
+    never wall clock — so every engine that changes rates (deploy, shed,
+    replan) re-calls this to keep the stamped queue delay consistent with
+    the load the rack is nominally carrying.
+    """
+    model = QueueingModel(kind)
+    utilization = None
+    if model.enabled:
+        utilization = device_utilization(
+            placement.chains, placement.rates, rack.topology
+        )
+    rack.configure_queueing(model, utilization)
 
 
 @dataclass
@@ -71,17 +93,35 @@ class ChainTrafficReport:
     assigned_mbps: float
     #: the chain's SLO minimum rate (Mbps); 0 means best-effort.
     t_min_mbps: float = 0.0
+    #: delivered-latency quantiles (µs) over this chain's replay.
+    latency_p50_us: float = 0.0
+    latency_p95_us: float = 0.0
+    latency_p99_us: float = 0.0
+    #: the chain's latency SLO (``d_max``, µs); 0 means unbounded.
+    latency_slo_us: float = 0.0
 
     @property
     def delivered_fraction(self) -> float:
         return self.delivered / self.injected if self.injected else 0.0
 
     @property
-    def slo_met(self) -> bool:
+    def rate_slo_met(self) -> bool:
         """Delivered rate at or above the SLO floor (with float slack)."""
         if self.t_min_mbps <= 0.0 or self.injected == 0:
             return True
         return self.delivered_mbps >= self.t_min_mbps * (1.0 - SLO_RTOL)
+
+    @property
+    def latency_slo_met(self) -> bool:
+        """Delivered p99 latency within the chain's delay bound."""
+        if self.latency_slo_us <= 0.0 or self.delivered == 0:
+            return True
+        return self.latency_p99_us <= self.latency_slo_us * (1.0 + SLO_RTOL)
+
+    @property
+    def slo_met(self) -> bool:
+        """Full SLO compliance: rate floor AND tail-latency bound."""
+        return self.rate_slo_met and self.latency_slo_met
 
     @property
     def achieved_pps(self) -> float:
@@ -161,6 +201,11 @@ class TrafficReport:
                     "assigned_mbps": round(c.assigned_mbps, 6),
                     "delivered_mbps": round(c.delivered_mbps, 6),
                     "t_min_mbps": round(c.t_min_mbps, 6),
+                    "latency_p50_us": round(c.latency_p50_us, 6),
+                    "latency_p95_us": round(c.latency_p95_us, 6),
+                    "latency_p99_us": round(c.latency_p99_us, 6),
+                    "latency_slo_us": round(c.latency_slo_us, 6),
+                    "latency_slo_met": c.latency_slo_met,
                     "slo_met": c.slo_met,
                 }
                 for c in self.chains
@@ -178,16 +223,20 @@ class TrafficReport:
         lines = [
             f"{'chain':<12} {'flows':>5} {'injected':>9} {'delivered':>9} "
             f"{'pps':>10} {'assigned':>9} {'delivered':>10} "
-            f"{'t_min':>9} {'slo':>9}",
+            f"{'t_min':>9} {'p99':>9} {'d_max':>9} {'slo':>9}",
             f"{'':<12} {'':>5} {'':>9} {'':>9} "
-            f"{'':>10} {'Mbps':>9} {'Mbps':>10} {'Mbps':>9} {'':>9}",
+            f"{'':>10} {'Mbps':>9} {'Mbps':>10} {'Mbps':>9} "
+            f"{'µs':>9} {'µs':>9} {'':>9}",
         ]
         for c in self.chains:
+            d_max = (f"{c.latency_slo_us:>9.1f}"
+                     if c.latency_slo_us > 0.0 else f"{'—':>9}")
             lines.append(
                 f"{c.chain_name:<12} {c.flows:>5} {c.injected:>9} "
                 f"{c.delivered:>9} {c.achieved_pps:>10.0f} "
                 f"{c.assigned_mbps:>9.0f} {c.delivered_mbps:>10.0f} "
-                f"{c.t_min_mbps:>9.0f} "
+                f"{c.t_min_mbps:>9.0f} {c.latency_p99_us:>9.1f} "
+                f"{d_max} "
                 f"{'ok' if c.slo_met else 'VIOLATED':>9}"
             )
         lines.append(
@@ -195,7 +244,7 @@ class TrafficReport:
             f"{self.achieved_pps:>10.0f} "
             f"{self.aggregate_assigned_mbps:>9.0f} "
             f"{self.aggregate_delivered_mbps:>10.0f} "
-            f"{'':>9} "
+            f"{'':>9} {'':>9} {'':>9} "
             f"{'ok' if self.ok else 'VIOLATED':>9}"
         )
         if self.shard_walls:
@@ -232,6 +281,10 @@ class TrafficSpec:
     with_openflow: bool = False
     servers: int = 0
     metron: bool = False
+    #: queueing-delay model the deployed rack stamps (``none`` or ``mm1``).
+    queueing: str = "none"
+    #: placement objective (``throughput`` or ``tail_latency``).
+    objective: str = "throughput"
     #: worker-pool policy for sharded replay: ``"keep"`` reuses the
     #: process-wide persistent pool (warm racks, shm transport),
     #: ``"per-run"`` spawns a throwaway executor per run.
@@ -266,6 +319,7 @@ class _ShardTask:
     flows_per_chain: int
     batch_size: int
     vectorized: bool
+    queueing: str = "none"
 
 
 def _run_traffic_shard(task: _ShardTask) -> Tuple[int, list, dict, float]:
@@ -282,6 +336,7 @@ def _run_traffic_shard(task: _ShardTask) -> Tuple[int, list, dict, float]:
             task.topology, task.artifacts, task.profiles,
             seed=task.seed, registry=registry,
         )
+        configure_rack_queueing(rack, task.placement, task.queueing)
         engine = TrafficEngine(
             rack, task.placement,
             flows_per_chain=task.flows_per_chain,
@@ -350,7 +405,9 @@ class TrafficEngine:
         chains = spec.build_chains()
         placer = Placer(topology=topology, profiles=default_profiles(),
                         config=PlacerConfig(strategy=spec.strategy))
-        placement = placer.solve(PlacementRequest(chains=chains)).placement
+        placement = placer.solve(PlacementRequest(
+            chains=chains, objective=spec.objective,
+        )).placement
         if not placement.feasible:
             raise PlacementError(
                 "traffic replay needs a feasible placement: "
@@ -361,6 +418,7 @@ class TrafficEngine:
         ).compile_placement(placement)
         rack = DeployedRack(topology, artifacts, placer.profiles,
                             seed=spec.seed, registry=registry)
+        configure_rack_queueing(rack, placement, spec.queueing)
         return cls(rack, placement,
                    flows_per_chain=spec.flows_per_chain,
                    batch_size=spec.batch_size,
@@ -388,36 +446,63 @@ class TrafficEngine:
         self._flows[cp.name] = (cp.chain, flows)
         return flows
 
+    @staticmethod
+    def _columnar_latencies(result) -> List[float]:
+        """Delivered-packet latency stamps (µs) from a columnar result."""
+        samples: List[float] = []
+        for block in result.blocks:
+            samples.extend(block.latency_us.tolist())
+        for packet in result.scalar.values():
+            if packet is not None:
+                samples.append(packet.metadata.fields["latency_us"])
+        return samples
+
+    @staticmethod
+    def _scalar_latencies(result) -> List[float]:
+        """Delivered-packet latency stamps (µs) from a scalar result."""
+        return [
+            packet.metadata.fields["latency_us"]
+            for packet in result.outputs
+            if packet is not None
+        ]
+
     def replay_batch(self, cp: ChainPlacement, cursor: int,
-                     count: int) -> Tuple[int, int]:
+                     count: int) -> Tuple[int, int, List[float]]:
         """Inject ``count`` packets of ``cp``'s flow cycle from ``cursor``.
 
         The chaos engine's segment-by-segment injection primitive: packet
         ``cursor + i`` belongs to flow ``(cursor + i) % flows_per_chain``,
         exactly the cycling :meth:`run` uses, so resuming a replay after a
         redeploy continues the same deterministic flow sequence. Returns
-        ``(delivered, new_cursor)``.
+        ``(delivered, new_cursor, latency_samples)``; the samples are the
+        delivered packets' stamped end-to-end latencies (µs), the guard's
+        windowed-quantile input.
         """
         flows = self.synthesize_flows(cp)
         n_flows = len(flows)
         delivered = 0
         injected = 0
+        latencies: List[float] = []
         while injected < count:
             size = min(self.batch_size, count - injected)
             base = cursor + injected
             if self.vectorized:
                 sig = [(base + offset) % n_flows for offset in range(size)]
-                delivered += self.rack.run_columns(
+                result = self.rack.run_columns(
                     cp, PacketColumns.for_flows(flows, sig)
-                ).delivered
+                )
+                delivered += result.delivered
+                latencies.extend(self._columnar_latencies(result))
             else:
                 batch = [
                     flows[(base + offset) % n_flows].copy()
                     for offset in range(size)
                 ]
-                delivered += self.rack.run(cp, batch).delivered
+                scalar_result = self.rack.run(cp, batch)
+                delivered += scalar_result.delivered
+                latencies.extend(self._scalar_latencies(scalar_result))
             injected += size
-        return delivered, cursor + injected
+        return delivered, cursor + injected, latencies
 
     def run(self, packets_per_chain: int = 1024,
             chain_names: Optional[List[str]] = None) -> TrafficReport:
@@ -460,6 +545,7 @@ class TrafficEngine:
         delivered = 0
         injected = 0
         wall = 0.0
+        latencies: List[float] = []
         while injected < packets_per_chain:
             size = min(self.batch_size, packets_per_chain - injected)
             # cycle the flow set: packet i belongs to flow i % flows
@@ -473,17 +559,23 @@ class TrafficEngine:
                     ]
                 started = time.perf_counter()
                 columns = PacketColumns.for_flows(flows, sig)
-                delivered += run_columns(cp, columns).delivered
+                result = run_columns(cp, columns)
+                delivered += result.delivered
                 wall += time.perf_counter() - started
+                # quantile bookkeeping stays outside the timed region
+                latencies.extend(self._columnar_latencies(result))
             else:
                 batch = [
                     flows[(injected + offset) % n_flows].copy()
                     for offset in range(size)
                 ]
                 started = time.perf_counter()
-                delivered += run(cp, batch).delivered
+                scalar_result = run(cp, batch)
+                delivered += scalar_result.delivered
                 wall += time.perf_counter() - started
+                latencies.extend(self._scalar_latencies(scalar_result))
             injected += size
+        d_max = cp.chain.slo.d_max
         return ChainTrafficReport(
             chain_name=cp.name,
             flows=min(self.flows_per_chain, packets_per_chain),
@@ -493,6 +585,10 @@ class TrafficEngine:
             wall_seconds=wall,
             assigned_mbps=self.placement.rates.get(cp.name, 0.0),
             t_min_mbps=cp.chain.slo.t_min,
+            latency_p50_us=quantile(latencies, 0.50),
+            latency_p95_us=quantile(latencies, 0.95),
+            latency_p99_us=quantile(latencies, 0.99),
+            latency_slo_us=0.0 if math.isinf(d_max) else d_max,
         )
 
     def _pooled_bundle(self) -> Tuple[bytes, str]:
@@ -562,6 +658,7 @@ class TrafficEngine:
                 flows_per_chain=self.flows_per_chain,
                 batch_size=self.batch_size,
                 vectorized=self.vectorized,
+                queueing=rack.queueing.kind,
             )
             for index, names in enumerate(shard_names)
         ]
@@ -637,6 +734,7 @@ class TrafficEngine:
                         batch_size=self.batch_size,
                         vectorized=self.vectorized,
                         sig_shm=shm,
+                        queueing=rack.queueing.kind,
                     ),
                     worker=worker,
                 ))

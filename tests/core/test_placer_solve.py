@@ -211,3 +211,58 @@ class TestIncrementalSolve:
         ))
         assert again.cache_hit
         assert again.fingerprint == warm.fingerprint
+
+
+class TestTailLatencyObjective:
+    def _chain(self, d_max=float("inf")):
+        from repro.chain.graph import chains_from_spec
+        from repro.chain.slo import SLO
+        from repro.units import gbps
+
+        return chains_from_spec(
+            "chain a: Encrypt -> IPv4Fwd",
+            slos=[SLO(t_min=gbps(0.5), t_max=gbps(30), d_max=d_max)],
+        )
+
+    def test_unknown_objective_rejected(self, simple_chains):
+        with pytest.raises(PlacementError, match="objective"):
+            Placer().solve(PlacementRequest(
+                chains=simple_chains, objective="latency",
+            ))
+
+    def test_cap_trades_rate_for_headroom(self):
+        throughput = Placer().solve(
+            PlacementRequest(chains=self._chain()))
+        tail = Placer().solve(PlacementRequest(
+            chains=self._chain(), objective="tail_latency"))
+        assert throughput.placement.feasible
+        assert tail.placement.feasible
+        # the utilization cap binds below the burst cap the throughput
+        # objective saturates, but never below the admitted t_min floor
+        assert tail.placement.rates["a"] < throughput.placement.rates["a"]
+        assert tail.placement.rates["a"] >= self._chain()[0].slo.t_min
+
+    def test_queueing_aware_tail_gates_admission(self):
+        # 20 µs passes the fixed-cost d_max check (~11.5 µs) but not the
+        # capped-utilization queueing-aware tail (~24 µs): only the
+        # tail_latency objective rejects it, with the tail in the reason
+        loose = Placer().solve(PlacementRequest(
+            chains=self._chain(d_max=20.0)))
+        assert loose.placement.feasible
+        tight = Placer().solve(PlacementRequest(
+            chains=self._chain(d_max=20.0), objective="tail_latency"))
+        assert not tight.placement.feasible
+        assert "queueing-aware tail latency" in \
+            tight.placement.infeasible_reason
+
+    def test_objective_partitions_cache_key(self, simple_chains):
+        placer = Placer(cache=PlacementCache())
+        first = placer.solve(PlacementRequest(chains=simple_chains))
+        tail = placer.solve(PlacementRequest(
+            chains=simple_chains, objective="tail_latency"))
+        again = placer.solve(PlacementRequest(chains=simple_chains))
+        assert first.cache_hit is False
+        assert tail.cache_hit is False
+        assert tail.fingerprint != first.fingerprint
+        assert again.cache_hit is True
+        assert again.fingerprint == first.fingerprint

@@ -19,6 +19,7 @@ from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
 from repro.sim.columns import PacketColumns
+from repro.sim.measurement import QueueingModel
 from repro.sim.runtime import DeployedRack, _chain_packet
 from repro.units import gbps
 
@@ -147,8 +148,17 @@ def _target_device(rack):
     return next(iter(rack.servers))
 
 
+def _queueing_utilization(rack):
+    """A deterministic non-uniform utilization map over every device the
+    rack can charge cycles to (servers, NICs, and the ToR)."""
+    devices = sorted(rack.servers) + sorted(rack.nics)
+    devices.append(rack.topology.switch.name)
+    return {name: 0.25 + 0.15 * (i % 4)
+            for i, name in enumerate(devices)}
+
+
 def _scalar_vs_columnar(spec, topo_kwargs, slo, seed, *, n_flows=6, reps=8,
-                        fault=None):
+                        fault=None, queueing=False):
     """Drive identical racks through the scalar batch path and the
     columnar path and assert bit-identity on every observable surface."""
     n_packets = n_flows * reps
@@ -156,6 +166,12 @@ def _scalar_vs_columnar(spec, topo_kwargs, slo, seed, *, n_flows=6, reps=8,
         spec, topo_kwargs, slo, seed)
     vector_rack, vector_cp, vector_registry = _deploy(
         spec, topo_kwargs, slo, seed)
+    if queueing:
+        model = QueueingModel(kind="mm1")
+        scalar_rack.configure_queueing(
+            model, _queueing_utilization(scalar_rack))
+        vector_rack.configure_queueing(
+            model, _queueing_utilization(vector_rack))
     if fault == "loss":
         scalar_rack.set_drop_fraction(_target_device(scalar_rack), 0.35)
         vector_rack.set_drop_fraction(_target_device(vector_rack), 0.35)
@@ -211,6 +227,21 @@ def test_columnar_matches_scalar_under_faults(label, spec, topo_kwargs, slo,
     columnar path through the same seeded per-packet hash as the scalar
     path, so drops land on the same sequence numbers."""
     _scalar_vs_columnar(spec, topo_kwargs, slo, seed=23, fault=fault)
+
+
+@pytest.mark.parametrize("seed", [7, 23, 101])
+@pytest.mark.parametrize(
+    "label,spec,topo_kwargs,slo",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_columnar_matches_scalar_with_queueing(label, spec, topo_kwargs,
+                                               slo, seed):
+    """Latency tier: with the M/M/1 queueing model active on every
+    device, the scalar and columnar paths stamp bit-identical
+    ``queue_us``/``latency_us`` fields and histograms — the per-packet
+    field comparison and the registry dump inside the driver cover both."""
+    _scalar_vs_columnar(spec, topo_kwargs, slo, seed, queueing=True)
 
 
 def test_columnar_interleaves_with_scalar():

@@ -139,14 +139,20 @@ def test_replay_batch_vectorized_matches_scalar():
                            batch_size=16, vectorized=True)
     cursor_s = cursor_v = 0
     delivered_s = delivered_v = 0
+    samples_s = []
+    samples_v = []
     for count in (40, 24, 8):
-        d, cursor_s = scalar.replay_batch(placement_s.chains[0], cursor_s,
-                                          count)
+        d, cursor_s, lat = scalar.replay_batch(placement_s.chains[0],
+                                               cursor_s, count)
         delivered_s += d
-        d, cursor_v = vector.replay_batch(placement_v.chains[0], cursor_v,
-                                          count)
+        samples_s.extend(lat)
+        d, cursor_v, lat = vector.replay_batch(placement_v.chains[0],
+                                               cursor_v, count)
         delivered_v += d
+        samples_v.extend(lat)
     assert (delivered_s, cursor_s) == (delivered_v, cursor_v)
+    assert sorted(samples_s) == sorted(samples_v)
+    assert len(samples_s) == delivered_s
     assert reg_s.dump_state() == reg_v.dump_state()
 
 
