@@ -16,8 +16,8 @@ from repro import (
     PlacementRequest,
     SLO,
     chains_from_spec,
-    default_testbed,
     gbps,
+    topology_for,
 )
 
 SPEC = """
@@ -34,7 +34,7 @@ chain filesync: BPF -> FastEncrypt -> IPv4Fwd
 
 
 def main() -> None:
-    topology = default_testbed(with_smartnic=True)
+    topology = topology_for("paper-smartnic").build()
     placer = Placer(topology=topology)
     chains = chains_from_spec(SPEC, slos=[
         SLO(t_min=gbps(1), t_max=gbps(40)),

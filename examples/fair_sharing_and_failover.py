@@ -22,7 +22,7 @@ from repro import (
     gbps,
 )
 from repro.core.lp import solve_rates
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 
 SPEC = """
 # Two bursty customers share the 40G server link; per-flow stats only.
@@ -62,9 +62,9 @@ def main() -> None:
     from repro.experiments.chains import chains_with_delta
 
     canon = chains_with_delta([1, 2, 3], delta=1.0)
-    plain = Placer(topology=default_testbed()) \
+    plain = Placer(topology=topology_for("paper-testbed").build()) \
         .solve(PlacementRequest(chains=canon)).placement
-    metron = Placer(topology=default_testbed(metron_steering=True)) \
+    metron = Placer(topology=topology_for("metron").build()) \
         .solve(PlacementRequest(chains=canon)).placement
     print(f"  demux-core rack : marginal {plain.objective_mbps / 1000:.2f} G")
     print(f"  metron steering : marginal {metron.objective_mbps / 1000:.2f} G"
@@ -72,7 +72,7 @@ def main() -> None:
     print()
 
     print("== proactive failover reserve (§7) ==")
-    nic_topo = default_testbed(with_smartnic=True)
+    nic_topo = topology_for("paper-smartnic").build()
     nic_placer = Placer(topology=nic_topo)
     crypto = chains_from_spec(
         "chain sync: BPF -> FastEncrypt -> IPv4Fwd",

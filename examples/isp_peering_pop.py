@@ -19,8 +19,8 @@ from repro import (
     Placer,
     PlacementRequest,
     chains_from_spec,
-    default_testbed,
     gbps,
+    topology_for,
 )
 from repro.chain.slo import bulk, elastic_pipe, virtual_pipe
 from repro.net.flows import TrafficAggregate
@@ -55,7 +55,7 @@ def main() -> None:
     for chain, aggregate in zip(chains, AGGREGATES):
         chain.aggregate = aggregate
 
-    topology = default_testbed(with_smartnic=True)
+    topology = topology_for("paper-smartnic").build()
     placer = Placer(topology=topology)
 
     print("== scheme comparison (marginal throughput = ISP revenue) ==")

@@ -17,8 +17,8 @@ from repro import (
     PlacementRequest,
     SLO,
     chains_from_spec,
-    default_testbed,
     gbps,
+    topology_for,
 )
 from repro.sim.runtime import DeployedRack
 
@@ -38,7 +38,7 @@ SLOS = [
 
 def main() -> None:
     chains = chains_from_spec(SPEC, slos=SLOS)
-    topology = default_testbed()
+    topology = topology_for("paper-testbed").build()
     placer = Placer(topology=topology)
 
     report = placer.solve(PlacementRequest(chains=chains))

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI lint check for the topology-spec wire format.
+
+Three invariants, dependency-free (no jsonschema package):
+
+* the published ``TopologySpec.json_schema()`` mirrors the wire fields
+  the parser actually accepts (``_TOP_FIELDS``/``_RACK_FIELDS``/
+  ``_LINK_FIELDS``) — a field added to one side but not the other is a
+  schema drift and fails here before it fails a user;
+* every named preset's wire form validates against the schema and
+  round-trips byte-identically through ``to_json``/``parse_json``;
+* every committed example document under ``examples/topologies/``
+  validates, parses, and builds.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/check_topology_schema.py
+"""
+
+import json
+import pathlib
+import sys
+
+from repro.hw.spec import TopologySpec, available_topologies, topology_for
+
+EXAMPLES = pathlib.Path("examples/topologies")
+
+
+def validate(payload, schema, where):
+    """Minimal JSON-schema walk covering the subset json_schema() emits."""
+    errors = []
+
+    def walk(value, node, path):
+        kind = node.get("type")
+        if kind == "object":
+            if not isinstance(value, dict):
+                errors.append(f"{path}: expected object")
+                return
+            props = node.get("properties", {})
+            if not node.get("additionalProperties", True):
+                for key in set(value) - set(props):
+                    errors.append(f"{path}: unknown field {key!r}")
+            for key in node.get("required", ()):
+                if key not in value:
+                    errors.append(f"{path}: missing required {key!r}")
+            for key, sub in props.items():
+                if key in value:
+                    walk(value[key], sub, f"{path}.{key}")
+        elif kind == "array":
+            if not isinstance(value, list):
+                errors.append(f"{path}: expected array")
+                return
+            if len(value) < node.get("minItems", 0):
+                errors.append(f"{path}: fewer than "
+                              f"{node['minItems']} items")
+            for i, item in enumerate(value):
+                walk(item, node.get("items", {}), f"{path}[{i}]")
+        elif kind == "integer":
+            if not isinstance(value, int) or isinstance(value, bool):
+                errors.append(f"{path}: expected integer")
+            elif value < node.get("minimum", value):
+                errors.append(f"{path}: below minimum {node['minimum']}")
+        elif kind == "number":
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                errors.append(f"{path}: expected number")
+            else:
+                if value < node.get("minimum", value):
+                    errors.append(
+                        f"{path}: below minimum {node['minimum']}")
+                if "exclusiveMinimum" in node \
+                        and value <= node["exclusiveMinimum"]:
+                    errors.append(f"{path}: must exceed "
+                                  f"{node['exclusiveMinimum']}")
+        elif kind == "string":
+            if not isinstance(value, str):
+                errors.append(f"{path}: expected string")
+            elif len(value) < node.get("minLength", 0):
+                errors.append(f"{path}: shorter than minLength")
+        elif kind == "boolean":
+            if not isinstance(value, bool):
+                errors.append(f"{path}: expected boolean")
+        if "enum" in node and value not in node["enum"]:
+            errors.append(f"{path}: {value!r} not in {node['enum']}")
+
+    walk(payload, schema, where)
+    return errors
+
+
+def main() -> int:
+    schema = TopologySpec.json_schema()
+    failures = []
+
+    # 1. schema <-> parser field drift
+    rack_props = schema["properties"]["racks"]["items"]["properties"]
+    link_props = schema["properties"]["links"]["items"]["properties"]
+    for label, got, want in (
+        ("top-level", set(schema["properties"]), TopologySpec._TOP_FIELDS),
+        ("rack", set(rack_props), TopologySpec._RACK_FIELDS),
+        ("link", set(link_props), TopologySpec._LINK_FIELDS),
+    ):
+        if got != set(want):
+            failures.append(
+                f"schema drift at {label}: schema={sorted(got)} "
+                f"parser={sorted(want)}"
+            )
+
+    # 2. every preset validates and round-trips
+    for name in available_topologies():
+        spec = topology_for(name)
+        payload = spec.as_dict()
+        failures.extend(validate(payload, schema, f"preset {name!r}"))
+        if TopologySpec.parse_json(spec.to_json()) != spec:
+            failures.append(f"preset {name!r} does not round-trip")
+
+    # 3. every committed example validates, parses, and builds
+    documents = sorted(EXAMPLES.glob("*.json"))
+    if not documents:
+        failures.append(f"no example topologies under {EXAMPLES}/")
+    for doc in documents:
+        payload = json.loads(doc.read_text())
+        errs = validate(payload, schema, str(doc))
+        failures.extend(errs)
+        if not errs:
+            TopologySpec.parse_json(doc.read_text()).build()
+            print(f"ok: {doc}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: schema in sync, {len(available_topologies())} presets "
+          f"and {len(documents)} example document(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,14 @@ from repro.core.placer import (
     available_strategies,
 )
 from repro.experiments.runner import SweepSpec, run_delta_sweep, run_sweep
+from repro.hw.multirack import InterRackLink, MultiRackTopology
 from repro.hw.platform import Platform
+from repro.hw.spec import (
+    RackSpec,
+    TopologySpec,
+    available_topologies,
+    topology_for,
+)
 from repro.hw.topology import Topology, default_testbed, multi_server_testbed
 from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
 from repro.profiles.defaults import ProfileDatabase, default_profiles
@@ -59,6 +66,12 @@ __all__ = [
     "available_strategies",
     "Platform",
     "Topology",
+    "TopologySpec",
+    "RackSpec",
+    "InterRackLink",
+    "MultiRackTopology",
+    "available_topologies",
+    "topology_for",
     "default_testbed",
     "multi_server_testbed",
     "MetaCompiler",

@@ -47,8 +47,9 @@ from repro.core.placer import (
     PlacementRequest,
     available_strategies,
 )
-from repro.exceptions import ReproError
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.exceptions import ReproError, TopologyError
+from repro.hw.multirack import MultiRackTopology
+from repro.hw.spec import TopologySpec, topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
@@ -80,6 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "paper's one 2x8-core server)")
         p.add_argument("--metron", action="store_true",
                        help="enable Metron-style ToR core steering")
+        p.add_argument("--racks", type=int, default=0, metavar="N",
+                       help="replicate the flag-built rack into an N-rack "
+                            "star fabric (satellites linked to r0 over "
+                            "40G/50µs inter-rack links)")
+        p.add_argument("--topology", default=None, metavar="FILE",
+                       help="declarative TopologySpec JSON file "
+                            "('-' for stdin); wins over every other "
+                            "topology flag")
+        p.add_argument("--preset", default=None, metavar="NAME",
+                       help="named topology preset "
+                            "(see repro.hw.spec.available_topologies(), "
+                            "e.g. 'paper-testbed', 'two-rack')")
 
     def add_spec_args(p):
         p.add_argument("spec", help="chain spec file ('-' for stdin)")
@@ -356,14 +369,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _topology_spec(args) -> Optional[TopologySpec]:
+    """The declarative topology a command selected, or None for the
+    legacy single-rack flag bridge (which the run specs keep carrying)."""
+    if getattr(args, "topology", None) and getattr(args, "preset", None):
+        raise TopologyError(
+            "--topology and --preset both name a topology; pick one"
+        )
+    if getattr(args, "topology", None):
+        return TopologySpec.parse_json(_read_spec(args.topology))
+    if getattr(args, "preset", None):
+        return topology_for(args.preset)
+    if getattr(args, "racks", 0) and args.racks > 1:
+        return TopologySpec.from_flags(
+            with_smartnic=args.smartnic,
+            with_openflow=args.openflow,
+            servers=args.servers,
+            metron=args.metron,
+            racks=args.racks,
+        )
+    return None
+
+
 def _topology(args):
-    if args.servers and args.servers > 0:
-        return multi_server_testbed(args.servers)
-    return default_testbed(
-        with_smartnic=args.smartnic,
-        with_openflow=args.openflow,
-        metron_steering=args.metron,
-    )
+    """Build the selected topology (single- or multi-rack)."""
+    spec = _topology_spec(args)
+    if spec is None:
+        spec = TopologySpec.from_flags(
+            with_smartnic=args.smartnic,
+            with_openflow=args.openflow,
+            servers=args.servers,
+            metron=args.metron,
+        )
+    return spec.build()
+
+
+def _single_rack_topology(args, command: str):
+    """Like :func:`_topology` but for subcommands that drive exactly one
+    rack's compiled artifacts."""
+    topology = _topology(args)
+    if isinstance(topology, MultiRackTopology):
+        raise TopologyError(
+            f"'{command}' drives one rack; use place/traffic/chaos/"
+            "lifecycle/serve for a multi-rack fabric"
+        )
+    return topology
 
 
 def _read_spec(path: str) -> str:
@@ -395,12 +445,23 @@ def _load_chains(args):
 
 def cmd_place(args) -> int:
     chains = _load_chains(args)
+    topology = _topology(args)
+    config = PlacerConfig(
+        strategy=args.strategy,
+        rate_objective="max_min" if args.fair else "marginal",
+    )
+    if isinstance(topology, MultiRackTopology):
+        from repro.core.hierarchy import MultiRackPlacer
+
+        placer = MultiRackPlacer(
+            fabric=topology, profiles=default_profiles(), config=config,
+        )
+        report = placer.solve(PlacementRequest.multi_rack(chains=chains))
+        print(f"placed in {report.seconds * 1000:.1f} ms")
+        print(report.placement.describe())
+        return 0 if report.placement.feasible else 2
     placer = Placer(
-        topology=_topology(args), profiles=default_profiles(),
-        config=PlacerConfig(
-            strategy=args.strategy,
-            rate_objective="max_min" if args.fair else "marginal",
-        ),
+        topology=topology, profiles=default_profiles(), config=config,
     )
     report = placer.solve(PlacementRequest(
         chains=chains, reserve_cores=args.reserve,
@@ -412,7 +473,7 @@ def cmd_place(args) -> int:
 
 def cmd_compile(args) -> int:
     chains = _load_chains(args)
-    topology = _topology(args)
+    topology = _single_rack_topology(args, "compile")
     placer = Placer(
         topology=topology, profiles=default_profiles(),
         config=PlacerConfig(
@@ -456,7 +517,7 @@ def cmd_trace(args) -> int:
     from repro.sim.runtime import DeployedRack
 
     chains = _load_chains(args)
-    topology = _topology(args)
+    topology = _single_rack_topology(args, "trace")
     placer = Placer(topology=topology, profiles=default_profiles(),
                     config=PlacerConfig(strategy=args.strategy))
     placement = placer.solve(PlacementRequest(chains=chains)).placement
@@ -483,7 +544,7 @@ def cmd_stats(args) -> int:
     # a fresh registry so the report covers exactly this run
     registry = set_registry(MetricsRegistry())
     chains = _load_chains(args)
-    topology = _topology(args)
+    topology = _single_rack_topology(args, "stats")
     placer = Placer(
         topology=topology, profiles=default_profiles(),
         config=PlacerConfig(
@@ -588,6 +649,7 @@ def cmd_traffic(args) -> int:
     spec = TrafficSpec(
         spec_text=text,
         slos=slos,
+        topology=_topology_spec(args),
         packets_per_chain=args.packets,
         flows_per_chain=args.flows,
         batch_size=args.batch,
@@ -666,6 +728,7 @@ def cmd_chaos(args) -> int:
     spec = ChaosSpec(
         spec_text=text,
         slos=slos,
+        topology=_topology_spec(args),
         timeline=FaultTimeline(events=tuple(events), seed=args.seed),
         packets_per_chain=args.packets,
         flows_per_chain=args.flows,
@@ -778,6 +841,7 @@ def cmd_lifecycle(args) -> int:
     spec = LifecycleSpec(
         spec_text=text,
         slos=slos,
+        topology=_topology_spec(args),
         timeline=LifecycleTimeline(events=tuple(events), seed=args.seed),
         packets_per_phase=args.packets,
         flows_per_chain=args.flows,
@@ -816,6 +880,7 @@ def cmd_serve(args) -> int:
     config = ServeConfig(
         spec_text=text,
         slos=slos,
+        topology=_topology_spec(args),
         packets_per_phase=args.packets,
         flows_per_chain=args.flows,
         batch_size=args.batch,

@@ -42,7 +42,8 @@ from repro.core.cache import (
 from repro.core.heuristic import heuristic_place
 from repro.core.placement import ChainPlacement, Placement
 from repro.exceptions import PlacementError
-from repro.hw.topology import Topology, default_testbed
+from repro.hw.spec import topology_for
+from repro.hw.topology import Topology
 from repro.obs import get_registry
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 
@@ -95,19 +96,60 @@ def available_strategies() -> List[str]:
     return sorted(_STRATEGIES)
 
 
+@dataclass(frozen=True)
+class MultiRackOptions:
+    """Hierarchical-solve options a multi-rack request carries.
+
+    ``jobs`` fans the per-rack solves over the persistent worker pool
+    (1 = serial; results are byte-identical either way). ``rack_pins``
+    forces chains onto named racks (``(("chain", "rack"), ...)``) — the
+    lifecycle engine pins already-admitted chains to their home rack so
+    a re-solve never silently migrates them. ``ingress`` overrides the
+    fabric's ingress rack for latency budgeting.
+    """
+
+    jobs: int = 1
+    rack_pins: Tuple[Tuple[str, str], ...] = ()
+    ingress: Optional[str] = None
+
+    def pins(self) -> Dict[str, str]:
+        return dict(self.rack_pins)
+
+
 @dataclass
 class PlacementRequest:
     """One placement problem, fully stated.
 
-    ``reserve_cores`` holds back spare per-server capacity for failover
-    (§7); ``failed_devices`` are taken out of service for this solve only
-    (§7 failure replanning); ``use_cache`` consults the Placer's placement
-    cache (when one is attached) before solving. ``base_placement``
-    warm-starts the solve: chains present in the base keep their pattern
-    and cores, only the delta is placed, and the rate LP re-runs over the
-    combined set (the lifecycle engine's arrival/scale/departure path).
-    ``objective`` overrides the config's placement objective for this
-    request (``throughput`` or ``tail_latency``).
+    Flag combinations (validated at construction):
+
+    ==================  =====================================================
+    field               meaning / constraints
+    ==================  =====================================================
+    ``chains``          the chain set to place (with SLOs attached)
+    ``strategy``        overrides the Placer's configured strategy; must
+                        name a registered strategy
+    ``reserve_cores``   per-server failover head-room (§7); ``>= 0``;
+                        **mutually exclusive** with ``base_placement``
+                        (a warm start inherits the base's capacity picture)
+    ``failed_devices``  devices out of service for this solve (§7 failure
+                        replanning); **mutually exclusive** with
+                        ``base_placement`` (replan after failure is a full
+                        re-solve — pinned assignments may sit on the dead
+                        device)
+    ``use_cache``       consult the Placer's placement cache before solving
+    ``base_placement``  warm-start: chains present in the base keep their
+                        pattern and cores, only the delta is placed, and
+                        the rate LP re-runs over the combined set (the
+                        lifecycle arrival/scale/departure path); must be
+                        feasible
+    ``objective``       overrides the config's placement objective
+                        (``throughput`` or ``tail_latency``)
+    ``multi_rack``      hierarchical-solve options; only
+                        :meth:`repro.core.hierarchy.MultiRackPlacer.solve`
+                        accepts such a request (a single-rack
+                        :class:`Placer` rejects it with a typed error).
+                        Build one with :meth:`PlacementRequest.multi_rack`.
+    ==================  =====================================================
     """
 
     chains: Sequence[NFChain]
@@ -117,6 +159,73 @@ class PlacementRequest:
     use_cache: bool = True
     base_placement: Optional[Placement] = None
     objective: Optional[str] = None
+    multi_rack: Optional[MultiRackOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy is not None and self.strategy not in _STRATEGIES:
+            raise PlacementError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {available_strategies()}"
+            )
+        if self.reserve_cores < 0:
+            raise PlacementError("reserve_cores must be non-negative")
+        if self.objective is not None \
+                and self.objective not in PLACEMENT_OBJECTIVES:
+            raise PlacementError(
+                f"unknown placement objective {self.objective!r}; "
+                f"choose from {list(PLACEMENT_OBJECTIVES)}"
+            )
+        if self.base_placement is not None:
+            if self.failed_devices:
+                raise PlacementError(
+                    "base_placement and failed_devices are mutually "
+                    "exclusive: replanning after a failure is a full "
+                    "re-solve (pinned assignments may sit on the dead "
+                    "device)"
+                )
+            if self.reserve_cores:
+                raise PlacementError(
+                    "base_placement and reserve_cores are mutually "
+                    "exclusive: a warm start inherits the base's "
+                    "capacity picture"
+                )
+            if not self.base_placement.feasible:
+                raise PlacementError(
+                    "base_placement must be feasible to warm-start a solve"
+                )
+        if self.multi_rack is not None and self.multi_rack.jobs < 1:
+            raise PlacementError("multi_rack jobs must be >= 1")
+
+
+def _multi_rack_request(
+    cls,
+    chains: Sequence[NFChain],
+    *,
+    jobs: int = 1,
+    rack_pins: Optional[Dict[str, str]] = None,
+    ingress: Optional[str] = None,
+    strategy: Optional[str] = None,
+    objective: Optional[str] = None,
+    use_cache: bool = True,
+) -> "PlacementRequest":
+    """A hierarchical (partition-then-place) request for a
+    :class:`~repro.core.hierarchy.MultiRackPlacer`."""
+    options = MultiRackOptions(
+        jobs=jobs,
+        rack_pins=tuple(sorted((rack_pins or {}).items())),
+        ingress=ingress,
+    )
+    return cls(
+        chains=chains, strategy=strategy, objective=objective,
+        use_cache=use_cache, multi_rack=options,
+    )
+
+
+# Attached after class creation: the dataclass machinery has already
+# captured the ``multi_rack`` *field* default (None) into ``__init__``,
+# so the class attribute is free to carry the alternate constructor of
+# the same name (``PlacementRequest.multi_rack(chains, jobs=4)``).
+PlacementRequest.multi_rack = classmethod(_multi_rack_request)
 
 
 @dataclass
@@ -150,7 +259,9 @@ class Placer:
     return the cached placement with ``cache_hit=True`` in the report.
     """
 
-    topology: Topology = field(default_factory=default_testbed)
+    topology: Topology = field(
+        default_factory=lambda: topology_for("paper-testbed").build()
+    )
     profiles: ProfileDatabase = field(default_factory=default_profiles)
     config: PlacerConfig = field(default_factory=PlacerConfig)
     cache: Optional[PlacementCache] = None
@@ -164,6 +275,12 @@ class Placer:
         selected strategy — incrementally when the request carries a
         ``base_placement`` — and reports wall-clock plus provenance.
         """
+        if request.multi_rack is not None:
+            raise PlacementError(
+                "this request carries multi_rack options; a single-rack "
+                "Placer cannot solve it — use "
+                "repro.core.hierarchy.MultiRackPlacer.solve"
+            )
         name = request.strategy or self.config.strategy
         fn = _STRATEGIES.get(name)
         if fn is None:

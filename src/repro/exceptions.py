@@ -76,6 +76,12 @@ class TopologyError(ReproError):
     """The rack topology description is invalid."""
 
 
+class PartitionError(PlacementError):
+    """The chain-to-rack partitioner could not produce an assignment
+    (capacity-infeasible, latency budget exhausted, or disconnected
+    fabric); carries the binding constraint in its message."""
+
+
 class LifecycleError(ReproError):
     """A chain-lifecycle timeline or run is malformed."""
 

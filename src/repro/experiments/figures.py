@@ -24,11 +24,8 @@ from repro.experiments.runner import (
     run_sweep,
 )
 from repro.experiments.schemes import ABLATIONS, SCHEMES
-from repro.hw.topology import (
-    Topology,
-    default_testbed,
-    multi_server_testbed,
-)
+from repro.hw.spec import topology_for
+from repro.hw.topology import Topology
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.profiles.profiler import Profiler
 from repro.units import DEFAULT_PACKET_BITS, gbps, mbps_to_gbps
@@ -101,7 +98,8 @@ def figure3a_multiserver(
     result = MultiServerResult()
     for num_servers in (1, 2):
         for delta in deltas:
-            topology = multi_server_testbed(num_servers)
+            topology = topology_for("multi-server",
+                                    servers=num_servers).build()
             chains = chains_with_delta(chain_indices, delta,
                                        profiles=profiles)
             placement = heuristic_place(chains, topology, profiles)
@@ -145,7 +143,9 @@ def figure3b_smartnic(
     result = SmartNICResult()
     for with_nic in (False, True):
         for delta in deltas:
-            topology = default_testbed(with_smartnic=with_nic)
+            topology = topology_for(
+                "paper-smartnic" if with_nic else "paper-testbed"
+            ).build()
             chain = canonical_chain(5)
             base = base_rate_mbps(chain, profiles)
             chains = [chain.with_slo(SLO(t_min=delta * base,
@@ -305,7 +305,8 @@ def stage_constraint_experiment(
 
     base = base_rate_mbps(chain11, profiles)
     chains = [chain11.with_slo(SLO(t_min=0.5 * base, t_max=gbps(100)))]
-    placement = heuristic_place(chains, default_testbed(), profiles)
+    placement = heuristic_place(
+        chains, topology_for("paper-testbed").build(), profiles)
     result.lemur_feasible = placement.feasible
     if placement.feasible:
         cp = placement.chains[0]

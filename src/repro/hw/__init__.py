@@ -13,6 +13,15 @@ from repro.hw.server import Server, NIC, CPUSocket
 from repro.hw.smartnic import SmartNIC
 from repro.hw.openflow import OpenFlowSwitchModel, OFTableSpec
 from repro.hw.topology import Topology, Link, default_testbed, multi_server_testbed
+from repro.hw.multirack import InterRackLink, MultiRackTopology
+from repro.hw.spec import (
+    InterRackLinkSpec,
+    RackSpec,
+    TopologySpec,
+    available_topologies,
+    register_topology,
+    topology_for,
+)
 
 __all__ = [
     "Platform",
@@ -29,4 +38,12 @@ __all__ = [
     "Link",
     "default_testbed",
     "multi_server_testbed",
+    "InterRackLink",
+    "MultiRackTopology",
+    "InterRackLinkSpec",
+    "RackSpec",
+    "TopologySpec",
+    "available_topologies",
+    "register_topology",
+    "topology_for",
 ]

@@ -135,39 +135,70 @@ class Topology:
         )
 
 
+# ---------------------------------------------------------------------------
+# deprecated constructors — thin shims over repro.hw.spec.TopologySpec
+# ---------------------------------------------------------------------------
+
+#: shim names that have already warned (each warns exactly once per
+#: process; tests reset via :func:`_reset_topology_deprecations`).
+_WARNED: set = set()
+
+
+def _warn_once(name: str, replacement: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    import warnings
+
+    warnings.warn(
+        f"{name}() is deprecated; build the topology from a declarative "
+        f"spec instead: {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _reset_topology_deprecations() -> None:
+    """Test hook: make every shim warn again."""
+    _WARNED.clear()
+
+
 def default_testbed(
     num_stages: int = 12,
     with_smartnic: bool = False,
     with_openflow: bool = False,
     metron_steering: bool = False,
 ) -> Topology:
-    """The paper's main testbed: Tofino ToR + one 2x8-core BESS server.
+    """Deprecated: the paper's main testbed (Tofino ToR + one 2x8-core
+    BESS server). Use ``topology_for("paper-testbed").build()`` or a
+    :class:`~repro.hw.spec.TopologySpec`; this shim warns once and
+    delegates to the spec builder (device names are unchanged)."""
+    _warn_once(
+        "default_testbed",
+        'repro.hw.spec.topology_for("paper-testbed").build()',
+    )
+    from repro.hw.spec import RackSpec
 
-    ``with_smartnic`` attaches the Netronome 40 G NIC (Chain-5 experiment);
-    ``with_openflow`` swaps the ToR for the Edgecore OF switch (§5.3);
-    ``metron_steering`` enables ToR-driven core steering (no demux core).
-    """
-    server = paper_nf_server("server0")
-    if metron_steering:
-        server.reserved_cores = 0  # the demux core is freed
-    smartnics = []
-    if with_smartnic:
-        smartnics.append(SmartNIC(name="agilio0", host_server="server0"))
-    switch: Device
-    if with_openflow:
-        switch = OpenFlowSwitchModel(name="of0")
-    else:
-        switch = PISASwitch(name="tofino0", num_stages=num_stages)
-    return Topology(switch=switch, servers=[server], smartnics=smartnics,
-                    metron_steering=metron_steering)
+    return RackSpec(
+        switch="openflow" if with_openflow else "pisa",
+        num_stages=num_stages,
+        smartnic=with_smartnic,
+        metron_steering=metron_steering,
+    ).build()
 
 
 def multi_server_testbed(num_servers: int = 2, num_stages: int = 12) -> Topology:
-    """N single-socket 8-core servers behind the Tofino ToR (Fig. 3a)."""
-    if num_servers < 1:
-        raise TopologyError("need at least one server")
-    servers = [eight_core_server(f"server{i}") for i in range(num_servers)]
-    return Topology(
-        switch=PISASwitch(name="tofino0", num_stages=num_stages),
-        servers=servers,
+    """Deprecated: N single-socket 8-core servers behind the Tofino ToR
+    (Fig. 3a). Use ``topology_for("multi-server", servers=N).build()``;
+    this shim warns once and delegates to the spec builder."""
+    _warn_once(
+        "multi_server_testbed",
+        'repro.hw.spec.topology_for("multi-server", servers=N).build()',
     )
+    from repro.hw.spec import RackSpec
+
+    return RackSpec(
+        servers=num_servers,
+        server_model="eight-core",
+        num_stages=num_stages,
+    ).build()

@@ -21,7 +21,8 @@ from repro.core.placement import Placement
 from repro.exceptions import CompileError
 from repro.hw.openflow import OpenFlowSwitchModel
 from repro.hw.platform import Platform
-from repro.hw.topology import Topology, default_testbed
+from repro.hw.spec import topology_for
+from repro.hw.topology import Topology
 from repro.metacompiler.bessgen import BessScriptIR, generate_bess
 from repro.metacompiler.codestats import CodegenStats, count_lines
 from repro.metacompiler.ebpfgen import generate_ebpf
@@ -152,7 +153,7 @@ class MetaCompiler:
         topology: Optional[Topology] = None,
         profiles: Optional[ProfileDatabase] = None,
     ):
-        self.topology = topology or default_testbed()
+        self.topology = topology or topology_for("paper-testbed").build()
         self.profiles = profiles or default_profiles()
 
     def compile_placement(self, placement: Placement) -> CompiledArtifacts:

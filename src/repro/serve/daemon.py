@@ -45,11 +45,7 @@ from repro.exceptions import (
     ServeError,
     TopologyError,
 )
-from repro.hw.topology import (
-    Topology,
-    default_testbed,
-    multi_server_testbed,
-)
+from repro.hw.spec import TopologySpec
 from repro.obs import MetricsRegistry
 from repro.serve.commands import (
     STATUS_APPLIED,
@@ -65,6 +61,7 @@ from repro.serve.commands import (
 from repro.serve.journal import CheckpointStore, Journal
 from repro.sim.admission import AdmissionCore, AdmissionDecision
 from repro.sim.faults import PhaseReport
+from repro.sim.interrack import make_admission_core
 
 _QueueItem = Optional[Tuple[Command, "asyncio.Future[CommandOutcome]"]]
 
@@ -86,6 +83,11 @@ class ServeConfig:
     spec_text: str
     #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per initial chain.
     slos: Tuple[Tuple[float, ...], ...]
+    #: declarative topology; when set it wins over the legacy flags
+    #: below (which remain as the ``TopologySpec.from_flags`` bridge).
+    #: Part of the recovery contract: the spec is persisted verbatim in
+    #: ``config.json`` so a restarted daemon rebuilds the same fabric.
+    topology: Optional[TopologySpec] = None
     packets_per_phase: int = 64
     flows_per_chain: int = 32
     batch_size: int = 32
@@ -128,13 +130,15 @@ class ServeConfig:
                 f"objective must be one of {sorted(PLACEMENT_OBJECTIVES)}"
             )
 
-    def build_topology(self) -> Topology:
-        if self.servers and self.servers > 0:
-            return multi_server_testbed(self.servers)
-        return default_testbed(
-            with_smartnic=self.with_smartnic,
-            with_openflow=self.with_openflow,
-        )
+    def build_topology(self):
+        """Build the (single- or multi-rack) topology this config names."""
+        spec = self.topology if self.topology is not None else \
+            TopologySpec.from_flags(
+                with_smartnic=self.with_smartnic,
+                with_openflow=self.with_openflow,
+                servers=self.servers,
+            )
+        return spec.build()
 
     def build_chains(self) -> List[NFChain]:
         return chains_with_slos(self.spec_text, self.slos,
@@ -144,6 +148,10 @@ class ServeConfig:
         return {
             "spec_text": self.spec_text,
             "slos": [list(bounds) for bounds in self.slos],
+            "topology": (
+                self.topology.as_dict()
+                if self.topology is not None else None
+            ),
             "packets_per_phase": self.packets_per_phase,
             "flows_per_chain": self.flows_per_chain,
             "batch_size": self.batch_size,
@@ -162,10 +170,10 @@ class ServeConfig:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
 
     _FIELDS = frozenset({
-        "spec_text", "slos", "packets_per_phase", "flows_per_chain",
-        "batch_size", "seed", "strategy", "checkpoint_every",
-        "with_smartnic", "with_openflow", "servers", "pool",
-        "queueing", "objective",
+        "spec_text", "slos", "topology", "packets_per_phase",
+        "flows_per_chain", "batch_size", "seed", "strategy",
+        "checkpoint_every", "with_smartnic", "with_openflow", "servers",
+        "pool", "queueing", "objective",
     })
 
     @classmethod
@@ -180,12 +188,17 @@ class ServeConfig:
             raise ServeError(
                 f"serve config carries unknown fields {sorted(unknown)}"
             )
+        topology = payload.get("topology")
         try:
             return cls(
                 spec_text=str(payload["spec_text"]),
                 slos=tuple(
                     tuple(float(x) for x in bounds)
                     for bounds in payload["slos"]
+                ),
+                topology=(
+                    TopologySpec.from_dict(topology)
+                    if topology is not None else None
                 ),
                 packets_per_phase=int(payload.get("packets_per_phase", 64)),
                 flows_per_chain=int(payload.get("flows_per_chain", 32)),
@@ -413,8 +426,10 @@ class ServeDaemon:
         path.write_text(self.config.to_json() + "\n", encoding="utf-8")
 
     def _bootstrap(self) -> None:
-        """Day-0: cold solve + deploy of the configured chain set."""
-        self.core = AdmissionCore(
+        """Day-0: cold solve + deploy of the configured chain set (a
+        fabric topology gets a :class:`FabricAdmissionCore`, same
+        surface)."""
+        self.core = make_admission_core(
             self.config.build_chains(),
             topology=self.config.build_topology(),
             strategy=self.config.strategy,

@@ -53,7 +53,8 @@ from repro.exceptions import (
     LifecycleError,
     PlacementError,
 )
-from repro.hw.topology import Topology, default_testbed
+from repro.hw.spec import topology_for
+from repro.hw.topology import Topology
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry, get_registry, quantile
 from repro.profiles.defaults import ProfileDatabase, default_profiles
@@ -253,7 +254,7 @@ class AdmissionCore:
                 "(an empty rack has nothing to deploy)"
             )
         self.initial_chains = list(initial_chains)
-        self.topology = topology or default_testbed()
+        self.topology = topology or topology_for("paper-testbed").build()
         self.profiles = profiles or default_profiles()
         self.strategy = strategy
         self.flows_per_chain = flows_per_chain

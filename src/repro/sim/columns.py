@@ -199,6 +199,10 @@ class _FinishedBlock:
     latency_us: np.ndarray
     bounce_us: float
     switch_us: float
+    #: inter-rack fabric round trip (None when the chain is rack-local;
+    #: mirrors the scalar stamp, which only writes the field for chains
+    #: with a configured inter-rack hop)
+    interrack_us: Optional[float] = None
 
 
 @dataclass
@@ -255,6 +259,8 @@ class ColumnarRunResult:
                 fields["queue_us"] = float(block.queue_us[i])
                 fields["bounce_us"] = block.bounce_us
                 fields["switch_us"] = block.switch_us
+                if block.interrack_us is not None:
+                    fields["interrack_us"] = block.interrack_us
                 fields["latency_us"] = float(block.latency_us[i])
                 fields["hops"] = [
                     {"device": hop.device, "platform": hop.platform,

@@ -46,11 +46,9 @@ from repro.core.lp import solve_rates
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
 from repro.core.rates import device_utilization, server_offered_load
 from repro.exceptions import FaultInjectionError, PlacementError
-from repro.hw.topology import (
-    Topology,
-    default_testbed,
-    multi_server_testbed,
-)
+from repro.hw.multirack import MultiRackTopology
+from repro.hw.spec import TopologySpec, topology_for
+from repro.hw.topology import Topology
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry, get_registry, quantile
 from repro.profiles.defaults import ProfileDatabase, default_profiles
@@ -306,6 +304,9 @@ class ChaosSpec:
     #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per chain in spec
     #: order; the delay bound defaults to unbounded when omitted.
     slos: Tuple[Tuple[float, ...], ...]
+    #: declarative topology; when set it wins over the legacy flags
+    #: below (which remain as the ``TopologySpec.from_flags`` bridge).
+    topology: Optional[TopologySpec] = None
     timeline: FaultTimeline = field(default_factory=FaultTimeline)
     packets_per_chain: int = 512
     flows_per_chain: int = 32
@@ -322,14 +323,16 @@ class ChaosSpec:
     #: placement objective (``throughput`` or ``tail_latency``).
     objective: str = "throughput"
 
-    def build_topology(self) -> Topology:
-        if self.servers and self.servers > 0:
-            return multi_server_testbed(self.servers)
-        return default_testbed(
-            with_smartnic=self.with_smartnic,
-            with_openflow=self.with_openflow,
-            metron_steering=self.metron,
-        )
+    def build_topology(self):
+        """Build the (single- or multi-rack) topology this spec names."""
+        spec = self.topology if self.topology is not None else \
+            TopologySpec.from_flags(
+                with_smartnic=self.with_smartnic,
+                with_openflow=self.with_openflow,
+                servers=self.servers,
+                metron=self.metron,
+            )
+        return spec.build()
 
     def build_chains(self) -> List[NFChain]:
         return chains_with_slos(self.spec_text, self.slos,
@@ -526,7 +529,13 @@ class ChaosEngine:
     ):
         self.chains = list(chains)
         self.timeline = timeline
-        self.topology = topology or default_testbed()
+        self.topology = topology or topology_for("paper-testbed").build()
+        if isinstance(self.topology, MultiRackTopology):
+            raise FaultInjectionError(
+                "ChaosEngine guards one rack; drive a fabric through "
+                "run_chaos (which stitches racks via "
+                "repro.sim.interrack.run_fabric_chaos)"
+            )
         self.profiles = profiles or default_profiles()
         self.guard = guard or GuardConfig()
         self.strategy = strategy
@@ -974,8 +983,20 @@ def run_chaos(
     spec: ChaosSpec,
     registry: Optional[MetricsRegistry] = None,
     cache: Optional[PlacementCache] = None,
-) -> ChaosReport:
-    """Run one chaos experiment from a fully-stated spec."""
+):
+    """Run one chaos experiment from a fully-stated spec.
+
+    A single-rack spec returns a :class:`ChaosReport`; a multi-rack spec
+    partitions chains over the fabric, runs one guarded engine per rack
+    (the fault timeline split by each target's home rack), and returns a
+    :class:`~repro.sim.interrack.FabricChaosReport` (same ``ok`` /
+    ``render`` / ``as_dict`` surface).
+    """
+    topology = spec.build_topology()
+    if isinstance(topology, MultiRackTopology):
+        from repro.sim.interrack import run_fabric_chaos
+
+        return run_fabric_chaos(spec, topology, registry=registry)
     engine = ChaosEngine.from_spec(spec, registry=registry, cache=cache)
     return engine.run(packets_per_chain=spec.packets_per_chain)
 

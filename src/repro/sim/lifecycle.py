@@ -49,20 +49,17 @@ from repro.chain.graph import NFChain, chains_from_spec, chains_with_slos
 from repro.chain.slo import SLO
 from repro.core.cache import PlacementCache
 from repro.exceptions import LifecycleError, SpecError
-from repro.hw.topology import (
-    Topology,
-    default_testbed,
-    multi_server_testbed,
-)
+from repro.hw.spec import TopologySpec
+from repro.hw.topology import Topology
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import ProfileDatabase
 from repro.sim.admission import (
     LIFECYCLE_ACTIONS,
-    AdmissionCore,
     AdmissionDecision,
     ChainEvent,
 )
 from repro.sim.faults import _SLO_RTOL, PhaseReport
+from repro.sim.interrack import make_admission_core
 from repro.sim.runtime import DeployedRack
 from repro.sim.traffic import TrafficEngine
 
@@ -297,6 +294,9 @@ class LifecycleSpec:
     spec_text: str
     #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per initial chain.
     slos: Tuple[Tuple[float, ...], ...]
+    #: declarative topology; when set it wins over the legacy flags
+    #: below (which remain as the ``TopologySpec.from_flags`` bridge).
+    topology: Optional[TopologySpec] = None
     timeline: LifecycleTimeline = field(default_factory=LifecycleTimeline)
     packets_per_phase: int = 256
     flows_per_chain: int = 32
@@ -316,13 +316,15 @@ class LifecycleSpec:
     #: placement objective ("throughput" or "tail_latency").
     objective: str = "throughput"
 
-    def build_topology(self) -> Topology:
-        if self.servers and self.servers > 0:
-            return multi_server_testbed(self.servers)
-        return default_testbed(
-            with_smartnic=self.with_smartnic,
-            with_openflow=self.with_openflow,
-        )
+    def build_topology(self):
+        """Build the (single- or multi-rack) topology this spec names."""
+        spec = self.topology if self.topology is not None else \
+            TopologySpec.from_flags(
+                with_smartnic=self.with_smartnic,
+                with_openflow=self.with_openflow,
+                servers=self.servers,
+            )
+        return spec.build()
 
     def build_chains(self) -> List[NFChain]:
         return chains_with_slos(self.spec_text, self.slos,
@@ -484,7 +486,9 @@ class LifecycleEngine:
     ):
         self.timeline = timeline
         timeline.validate()
-        self.core = AdmissionCore(
+        #: a fabric topology gets the multi-rack core, anything else the
+        #: single-rack one — the engine drives both identically.
+        self.core = make_admission_core(
             chains,
             topology=topology,
             profiles=profiles,

@@ -16,6 +16,7 @@ aggregates into :class:`~repro.sim.measurement.PacketTraceResult`.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -134,6 +135,29 @@ class _HopProbe:
     of_rules: List[tuple] = field(default_factory=list)
 
 
+@dataclass
+class _InterRackHop:
+    """Per-chain inter-rack ingress hop (geo-distributed fabrics).
+
+    A chain homed away from its ingress rack crosses a fabric link before
+    this rack ever sees its packets: ``crossings`` × ``latency_us`` (the
+    round trip by default) rides on every delivered packet as the
+    ``interrack_us`` latency component, and when the link is saturated a
+    ``drop_fraction`` of packets never arrives. Drops hash the injection
+    sequence against ``link_seed`` (the rack seed salted with the link
+    name) exactly like device faults, so scalar and columnar runs — and
+    repeated runs — agree bit for bit.
+    """
+
+    link: str
+    latency_us: float  # one-way
+    drop_fraction: float = 0.0
+    crossings: int = 2
+    queue_factor: float = 0.0
+    link_seed: int = 0
+    extra_us: float = 0.0
+
+
 def _freeze_template(packet: Packet) -> Packet:
     """Normalize a probe output into a flow template: per-packet charges
     live in the columns, never on the shared template."""
@@ -209,6 +233,9 @@ class DeployedRack:
         #: packet's injection sequence, so outcomes are identical across
         #: repeated runs and across the per-packet/batched paths.
         self._fault_loss: Dict[str, float] = {}
+        #: chain name -> inter-rack ingress hop (remote chains only); see
+        #: :meth:`set_interrack_hop`.
+        self._interrack: Dict[str, _InterRackHop] = {}
 
         # -- queueing-aware delay model -----------------------------------
         #: the configured utilization-dependent delay model; the default
@@ -485,6 +512,105 @@ device_fingerprints`) decide what happens to each device:
         self._fault_failed.clear()
         self._fault_loss.clear()
 
+    # -- inter-rack fabric hop ---------------------------------------------------
+
+    def set_interrack_hop(
+        self,
+        chain: str,
+        link: str,
+        latency_us: float,
+        *,
+        drop_fraction: float = 0.0,
+        crossings: int = 2,
+        queue_factor: float = 0.0,
+    ) -> None:
+        """Route a chain's traffic across an inter-rack link into this rack.
+
+        Every delivered packet of ``chain`` carries an extra
+        ``interrack_us = crossings * latency_us * (1 + queue_factor)``
+        latency component (default ``crossings=2``: out to the home rack
+        and back to the ingress). ``drop_fraction`` models link capacity
+        shortfall: that fraction of the chain's packets is dropped at the
+        fabric ingress (reason ``interrack_capacity``) before any rack
+        device sees them, decided by the same deterministic seq hash as
+        device faults, salted with the link name.
+        """
+        if latency_us < 0:
+            raise DataplaneError("inter-rack latency_us must be >= 0")
+        if not 0.0 <= drop_fraction <= 1.0:
+            raise DataplaneError(
+                f"drop fraction must be within [0, 1], got {drop_fraction}"
+            )
+        if crossings < 1:
+            raise DataplaneError("inter-rack crossings must be >= 1")
+        link_seed = (self.seed + zlib.crc32(link.encode("utf-8"))) & 0x7FFFFFFF
+        self._interrack[chain] = _InterRackHop(
+            link=link,
+            latency_us=latency_us,
+            drop_fraction=drop_fraction,
+            crossings=crossings,
+            queue_factor=queue_factor,
+            link_seed=link_seed,
+            extra_us=crossings * latency_us * (1.0 + queue_factor),
+        )
+
+    def clear_interrack_hops(self) -> None:
+        self._interrack.clear()
+
+    def _link_drop(self, hop: _InterRackHop, seq: int) -> bool:
+        """Same hash as :meth:`_fault_reason`, salted with the link seed
+        (bit-exact twin of ``vector_fault_mask(seq, link_seed, loss)``)."""
+        loss = hop.drop_fraction
+        if not loss:
+            return False
+        x = (seq * 2654435761 + hop.link_seed * 40503 + 0x9E3779B9) & 0xFFFFFFFF
+        x ^= x >> 16
+        x = (x * 0x45D9F3B) & 0xFFFFFFFF
+        x ^= x >> 16
+        return x / 4294967296.0 < loss
+
+    def _interrack_filter_scalar(self, chain: str, hop: _InterRackHop,
+                                 entries: list) -> list:
+        """Apply the fabric-ingress hop to a scalar batch: count every
+        packet onto the link, drop the hash-selected ones (their seqs
+        simply never reach ``results``, so outputs carry ``None``)."""
+        self.obs.counter("interrack.packets", link=hop.link).inc(len(entries))
+        if not hop.drop_fraction:
+            return entries
+        kept = []
+        dropped = 0
+        for packet, path in entries:
+            if self._link_drop(hop, packet.metadata.seq):
+                dropped += 1
+            else:
+                kept.append((packet, path))
+        if dropped:
+            for counter in self._drop_counter_pair(
+                chain, hop.link, "interrack_capacity"
+            ):
+                counter.inc(dropped)
+            self.obs.counter("interrack.drops", link=hop.link).inc(dropped)
+        return kept
+
+    def _interrack_filter_columns(self, chain: str, hop: _InterRackHop,
+                                  columns: PacketColumns) -> PacketColumns:
+        """Columnar twin of :meth:`_interrack_filter_scalar`."""
+        self.obs.counter("interrack.packets", link=hop.link).inc(len(columns))
+        if not hop.drop_fraction:
+            return columns
+        keep = ~vector_fault_mask(
+            columns.seq, hop.link_seed, hop.drop_fraction
+        )
+        dropped = int(len(columns) - keep.sum())
+        if not dropped:
+            return columns
+        for counter in self._drop_counter_pair(
+            chain, hop.link, "interrack_capacity"
+        ):
+            counter.inc(dropped)
+        self.obs.counter("interrack.drops", link=hop.link).inc(dropped)
+        return columns.compress(keep)
+
     # -- queueing-aware delay ----------------------------------------------------
 
     def configure_queueing(
@@ -702,14 +828,18 @@ device_fingerprints`) decide what happens to each device:
         self._chain_instruments(name)["injected"].inc(len(packets))
 
         results: Dict[int, Optional[Packet]] = {}
+        hop = self._interrack.get(name)
+        live_entries = entries
+        if hop is not None:
+            live_entries = self._interrack_filter_scalar(name, hop, entries)
         start = 0
-        total = len(entries)
+        total = len(live_entries)
         while start < total:
-            path = entries[start][1]
+            path = live_entries[start][1]
             end = start + 1
-            while end < total and entries[end][1] is path:
+            while end < total and live_entries[end][1] is path:
                 end += 1
-            block = [packet for packet, _ in entries[start:end]]
+            block = [packet for packet, _ in live_entries[start:end]]
             self._run_block(
                 chain_placement, block, path.spi,
                 path.si_of[path.node_ids[0]], 0, 1, results, _MAX_EVENTS,
@@ -786,6 +916,13 @@ device_fingerprints`) decide what happens to each device:
         columns.seq = np.arange(seq_base, seq_base + n, dtype=np.int64)
         self._next_seq = seq_base + n
         self._chain_instruments(name)["injected"].inc(n)
+
+        hop = self._interrack.get(name)
+        if hop is not None:
+            columns = self._interrack_filter_columns(name, hop, columns)
+            n = len(columns)
+            if n == 0:
+                return result
 
         # partition into maximal consecutive same-service-path runs, as the
         # scalar loop does, so module state/RNG evolve in injection order
@@ -1400,15 +1537,29 @@ device_fingerprints`) decide what happens to each device:
         bounce_us = excursions * self.topology.bounce_rtt_us
         switch_us = switch_passes * SWITCH_TRANSIT_US
         latency_us = exec_us + queue_us + bounce_us + switch_us
+        interrack = self._interrack.get(cp.name)
+        interrack_us: Optional[float] = None
+        if interrack is not None:
+            interrack_us = interrack.extra_us
+            latency_us = latency_us + interrack_us
         inst["latency"].observe_many(latency_us)
         inst["exec_us"].observe_many(exec_us)
         inst["queue_us"].observe_many(queue_us)
         inst["bounce_us"].observe_many(np.full(n, bounce_us))
         inst["switch_us"].observe_many(np.full(n, switch_us))
+        if interrack_us is not None:
+            inst.setdefault(
+                "interrack_us",
+                self.obs.histogram(
+                    "rack.latency_component_us", chain=cp.name,
+                    component="interrack_us",
+                ),
+            ).observe_many(np.full(n, interrack_us))
         result.blocks.append(_FinishedBlock(
             columns=cols, exec_us=exec_us, queue_us=queue_us,
             latency_us=latency_us,
             bounce_us=bounce_us, switch_us=switch_us,
+            interrack_us=interrack_us,
         ))
 
     def _run_block(self, cp: ChainPlacement, packets: List[Packet],
@@ -1662,6 +1813,16 @@ device_fingerprints`) decide what happens to each device:
         queue_h = inst["queue_us"]
         bounce_h = inst["bounce_us"]
         switch_h = inst["switch_us"]
+        interrack = self._interrack.get(cp.name)
+        interrack_h = None
+        if interrack is not None:
+            interrack_h = inst.setdefault(
+                "interrack_us",
+                self.obs.histogram(
+                    "rack.latency_component_us", chain=cp.name,
+                    component="interrack_us",
+                ),
+            )
         for packet in packets:
             self._stamp_latency(
                 packet, excursions, switch_passes,
@@ -1673,6 +1834,8 @@ device_fingerprints`) decide what happens to each device:
             queue_h.observe(fields["queue_us"])
             bounce_h.observe(fields["bounce_us"])
             switch_h.observe(fields["switch_us"])
+            if interrack_h is not None:
+                interrack_h.observe(fields["interrack_us"])
 
     def _hop_index_for(self, path: ServicePath, si: int) -> int:
         hop_index = self._hop_index.get(path.spi, {}).get(si)
@@ -1763,7 +1926,13 @@ device_fingerprints`) decide what happens to each device:
         meta.fields["queue_us"] = queue_us
         meta.fields["bounce_us"] = bounce_us
         meta.fields["switch_us"] = switch_us
-        meta.fields["latency_us"] = exec_us + queue_us + bounce_us + switch_us
+        total = exec_us + queue_us + bounce_us + switch_us
+        interrack = self._interrack.get(meta.chain_id)
+        if interrack is not None:
+            # remote chain: the fabric round trip rides on every packet
+            meta.fields["interrack_us"] = interrack.extra_us
+            total += interrack.extra_us
+        meta.fields["latency_us"] = total
         if hops is not None:
             meta.fields["hops"] = hops
 

@@ -19,7 +19,8 @@ from repro.bess.perfsim import ServerPerfModel, SubgroupLoad, waterfill_nic
 from repro.core.placement import ChainPlacement, Placement
 from repro.exceptions import DataplaneError
 from repro.hw.platform import Platform
-from repro.hw.topology import Topology, default_testbed
+from repro.hw.spec import topology_for
+from repro.hw.topology import Topology
 from repro.profiles.defaults import ProfileDatabase, default_profiles
 from repro.sim.measurement import ChainMeasurement
 from repro.units import DEFAULT_PACKET_BITS
@@ -62,7 +63,7 @@ class TestbedSimulator:
         packet_bits: int = DEFAULT_PACKET_BITS,
         seed: int = 23,
     ):
-        self.topology = topology or default_testbed()
+        self.topology = topology or topology_for("paper-testbed").build()
         self.profiles = profiles or default_profiles()
         self.packet_bits = packet_bits
         self.seed = seed

@@ -37,11 +37,9 @@ from repro.core.placement import ChainPlacement, Placement
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
 from repro.core.rates import device_utilization
 from repro.exceptions import PlacementError, TrafficError, WorkerPoolError
-from repro.hw.topology import (
-    Topology,
-    default_testbed,
-    multi_server_testbed,
-)
+from repro.hw.multirack import MultiRackTopology
+from repro.hw.spec import TopologySpec
+from repro.hw.topology import Topology
 from repro.metacompiler.compiler import CompiledArtifacts, MetaCompiler
 from repro.net.packet import Packet
 from repro.obs import MetricsRegistry, quantile, scoped_registry
@@ -270,6 +268,9 @@ class TrafficSpec:
     #: one (t_min_mbps, t_max_mbps[, d_max_us]) tuple per chain in spec
     #: order; the delay bound defaults to unbounded when omitted.
     slos: Tuple[Tuple[float, ...], ...]
+    #: declarative topology; when set it wins over the legacy flags
+    #: below (which remain as the ``TopologySpec.from_flags`` bridge).
+    topology: Optional[TopologySpec] = None
     packets_per_chain: int = 2048
     flows_per_chain: int = 64
     batch_size: int = 64
@@ -290,14 +291,16 @@ class TrafficSpec:
     #: ``"per-run"`` spawns a throwaway executor per run.
     pool: str = "keep"
 
-    def build_topology(self) -> Topology:
-        if self.servers and self.servers > 0:
-            return multi_server_testbed(self.servers)
-        return default_testbed(
-            with_smartnic=self.with_smartnic,
-            with_openflow=self.with_openflow,
-            metron_steering=self.metron,
-        )
+    def build_topology(self):
+        """Build the (single- or multi-rack) topology this spec names."""
+        spec = self.topology if self.topology is not None else \
+            TopologySpec.from_flags(
+                with_smartnic=self.with_smartnic,
+                with_openflow=self.with_openflow,
+                servers=self.servers,
+                metron=self.metron,
+            )
+        return spec.build()
 
     def build_chains(self) -> List[NFChain]:
         return chains_with_slos(self.spec_text, self.slos,
@@ -402,6 +405,12 @@ class TrafficEngine:
         """Place, compile, and deploy ``spec``'s chains; return a ready
         engine. Raises :class:`PlacementError` when no placement fits."""
         topology = spec.build_topology()
+        if isinstance(topology, MultiRackTopology):
+            raise TrafficError(
+                "TrafficEngine drives one rack; replay a fabric spec "
+                "through run_traffic (which stitches racks via "
+                "repro.sim.interrack.run_fabric_traffic)"
+            )
         chains = spec.build_chains()
         placer = Placer(topology=topology, profiles=default_profiles(),
                         config=PlacerConfig(strategy=spec.strategy))
@@ -779,7 +788,19 @@ class TrafficEngine:
 def run_traffic(
     spec: TrafficSpec,
     registry: Optional[MetricsRegistry] = None,
-) -> TrafficReport:
-    """Run one high-volume replay from a fully-stated spec."""
+):
+    """Run one high-volume replay from a fully-stated spec.
+
+    A single-rack spec returns a :class:`TrafficReport`; a multi-rack
+    spec is placed hierarchically and stitched over the inter-rack
+    links, returning a
+    :class:`~repro.sim.interrack.FabricTrafficReport` (same ``ok`` /
+    ``describe`` / ``as_dict`` surface).
+    """
+    topology = spec.build_topology()
+    if isinstance(topology, MultiRackTopology):
+        from repro.sim.interrack import run_fabric_traffic
+
+        return run_fabric_traffic(spec, topology, registry=registry)
     engine = TrafficEngine.from_spec(spec, registry=registry)
     return engine.run(packets_per_chain=spec.packets_per_chain)

@@ -6,7 +6,7 @@ from repro.bess.pipeline import build_bess_pipeline
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.net.packet import Packet
 from repro.profiles.defaults import default_profiles
@@ -16,7 +16,7 @@ from repro.units import gbps
 @pytest.fixture()
 def built():
     profiles = default_profiles()
-    topology = default_testbed()
+    topology = topology_for("paper-testbed").build()
     chains = chains_from_spec(
         "chain a: ACL -> Encrypt -> IPv4Fwd",
         slos=[SLO(t_min=gbps(5), t_max=gbps(30))],  # forces replication

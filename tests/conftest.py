@@ -4,7 +4,7 @@ import pytest
 
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -16,7 +16,7 @@ def profiles():
 
 @pytest.fixture()
 def testbed():
-    return default_testbed()
+    return topology_for("paper-testbed").build()
 
 
 @pytest.fixture()

@@ -12,7 +12,7 @@ from repro.core.cache import (
 )
 from repro.core.heuristic import heuristic_place
 from repro.experiments.chains import chains_with_delta
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.obs import scoped_registry
 from repro.profiles.defaults import default_profiles
 from repro.units import DEFAULT_PACKET_BITS
@@ -31,7 +31,7 @@ def chains(profiles):
 def fingerprint(chains, profiles, topology=None, strategy="Lemur",
                 packet_bits=DEFAULT_PACKET_BITS):
     return placement_fingerprint(
-        chains, topology or default_testbed(), profiles,
+        chains, topology or topology_for("paper-testbed").build(), profiles,
         strategy, packet_bits,
     )
 
@@ -68,11 +68,11 @@ class TestFingerprintStability:
     def test_topology_state_changes_key(self, profiles, chains):
         base = fingerprint(chains, profiles)
         assert base != fingerprint(chains, profiles,
-                                   topology=multi_server_testbed(2))
-        failed = default_testbed()
+                                   topology=topology_for("multi-server").build())
+        failed = topology_for("paper-testbed").build()
         failed.mark_failed("server0")
         assert base != fingerprint(chains, profiles, topology=failed)
-        reserved = default_testbed()
+        reserved = topology_for("paper-testbed").build()
         reserved.servers[0].reserved_cores += 2
         assert base != fingerprint(chains, profiles, topology=reserved)
 
@@ -96,7 +96,7 @@ class TestCacheSemantics:
         cache = PlacementCache()
         key = fingerprint(chains, profiles)
         assert cache.get(key) is None
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         cache.put(key, placement)
         hit = cache.get(key)
         assert hit is not None
@@ -108,7 +108,7 @@ class TestCacheSemantics:
 
     def test_hit_is_a_copy(self, profiles, chains):
         cache = PlacementCache()
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         cache.put("k", placement)
         first = cache.get("k")
         first.rates["chain2"] = -1.0
@@ -117,7 +117,7 @@ class TestCacheSemantics:
 
     def test_put_stores_a_copy(self, profiles, chains):
         cache = PlacementCache()
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         cache.put("k", placement)
         placement.rates["chain2"] = -1.0
         assert cache.get("k").rates["chain2"] != -1.0
@@ -144,7 +144,7 @@ class TestCacheSemantics:
         cache = PlacementCache()
         with scoped_registry() as registry:
             cache.get("missing")
-            cache.put("k", heuristic_place(chains, default_testbed(),
+            cache.put("k", heuristic_place(chains, topology_for("paper-testbed").build(),
                                            profiles))
             cache.get("k")
             assert registry.counter_value(
@@ -160,7 +160,7 @@ class TestFailureStateIsolation:
     def test_failed_device_never_served_stale(self, profiles, chains):
         from repro.core.placer import Placer, PlacementRequest
 
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         cache = PlacementCache()
         placer = Placer(topology=topology, profiles=profiles, cache=cache)
 

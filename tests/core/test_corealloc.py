@@ -14,7 +14,7 @@ from repro.core.placement import NodeAssignment
 from repro.core.rates import analyze_chain
 from repro.core.subgroups import form_subgroups
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -38,7 +38,7 @@ def build_cp(spec, slo, profiles, topo, server_nfs):
 
 class TestMinimum:
     def test_one_core_each(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: Encrypt -> ACL -> Dedup -> IPv4Fwd",
                       SLO(t_min=100), profiles, topo, {"Encrypt", "Dedup"})
         result = allocate_minimum([cp], topo)
@@ -46,7 +46,7 @@ class TestMinimum:
         assert all(sg.cores == 1 for sg in cp.subgroups)
 
     def test_too_many_subgroups_infeasible(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cps = [
             build_cp(f"chain c{i}: Encrypt -> ACL -> Dedup -> IPv4Fwd",
                      SLO(t_min=10), profiles, topo, {"Encrypt", "Dedup"})
@@ -59,7 +59,7 @@ class TestMinimum:
 
 class TestMeetTmin:
     def test_scales_bottleneck(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
                       SLO(t_min=5000, t_max=gbps(100)),
                       profiles, topo, {"Encrypt"})
@@ -71,7 +71,7 @@ class TestMeetTmin:
         assert sg.cores >= 3
 
     def test_non_replicable_cannot_scale(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Dedup -> Limiter -> IPv4Fwd",
                       SLO(t_min=gbps(2)), profiles, topo,
                       {"Dedup", "Limiter"})
@@ -83,7 +83,7 @@ class TestMeetTmin:
 
 class TestPolicies:
     def test_none_policy_keeps_one_core(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
                       SLO(t_min=100, t_max=gbps(100)),
                       profiles, topo, {"Encrypt"})
@@ -92,14 +92,14 @@ class TestPolicies:
         assert all(sg.cores == 1 for sg in cp.subgroups)
 
     def test_none_policy_fails_on_high_tmin(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
                       SLO(t_min=5000), profiles, topo, {"Encrypt"})
         result = allocate_cores([cp], topo, policy="none")
         assert not result.feasible
 
     def test_lemur_policy_spends_all_useful_cores(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
                       SLO(t_min=1000, t_max=gbps(100)),
                       profiles, topo, {"Encrypt"})
@@ -109,7 +109,7 @@ class TestPolicies:
         assert sg.cores == 15  # only chain: grab everything useful
 
     def test_lemur_prefers_higher_gain(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         fast = build_cp("chain fast: ACL -> Encrypt -> IPv4Fwd",
                         SLO(t_min=100, t_max=gbps(100)),
                         profiles, topo, {"Encrypt"})
@@ -124,7 +124,7 @@ class TestPolicies:
         assert fast_cores > slow_cores
 
     def test_by_index_pumps_first_chain(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         first = build_cp("chain a: ACL -> Encrypt -> IPv4Fwd",
                          SLO(t_min=100, t_max=gbps(100)),
                          profiles, topo, {"Encrypt"})
@@ -135,7 +135,7 @@ class TestPolicies:
         assert first.subgroups[0].cores >= second.subgroups[0].cores
 
     def test_even_policy_balances(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cps = [
             build_cp(f"chain c{i}: ACL -> Encrypt -> IPv4Fwd",
                      SLO(t_min=100, t_max=gbps(100)),
@@ -147,7 +147,7 @@ class TestPolicies:
         assert cores[-1] - cores[0] <= 1
 
     def test_unknown_policy(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         cp = build_cp("chain c: ACL -> Encrypt -> IPv4Fwd",
                       SLO(t_min=100), profiles, topo, {"Encrypt"})
         from repro.exceptions import PlacementError

@@ -10,7 +10,7 @@ from repro.core.heuristic import heuristic_place
 from repro.core.lp import solve_rates
 from repro.core.placer import Placer, PlacerConfig, PlacementRequest
 from repro.exceptions import PlacementError
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -42,7 +42,7 @@ def _contended_placement(profiles, topo):
 
 class TestMaxMinFairness:
     def test_equalizes_marginals_under_contention(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         placement = _contended_placement(profiles, topo)
         fair = solve_rates(placement.chains, topo, objective="max_min")
         assert fair.feasible
@@ -56,7 +56,7 @@ class TestMaxMinFairness:
         """When one chain's capacity cap binds below the fair share, it
         saturates at its cap and the other takes the remaining headroom
         (lexicographic max-min, not naive equalization)."""
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         spec = (
             "chain fat: ACL -> Monitor -> IPv4Fwd\n"
             "chain thin: BPF -> Encrypt -> IPv4Fwd"
@@ -77,7 +77,7 @@ class TestMaxMinFairness:
 
     def test_same_aggregate_when_nic_binds(self, profiles):
         """Fairness re-splits but cannot create capacity."""
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         placement = _contended_placement(profiles, topo)
         marginal = solve_rates(placement.chains, topo, objective="marginal")
         fair = solve_rates(placement.chains, topo, objective="max_min")
@@ -87,7 +87,7 @@ class TestMaxMinFairness:
 
     def test_virtual_pipe_does_not_drag_floor(self, profiles):
         """A zero-headroom chain saturates instead of capping everyone."""
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         spec = (
             "chain a: ACL -> Encrypt -> IPv4Fwd\n"
             "chain pinned: ACL -> Monitor -> IPv4Fwd"
@@ -103,14 +103,14 @@ class TestMaxMinFairness:
         assert fair.rates["a"] > gbps(10)  # floor not dragged to zero
 
     def test_tmin_always_respected(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         placement = _contended_placement(profiles, topo)
         fair = solve_rates(placement.chains, topo, objective="max_min")
         for cp in placement.chains:
             assert fair.rates[cp.name] >= cp.chain.slo.t_min - 1e-6
 
     def test_unknown_objective_rejected(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         placement = _contended_placement(profiles, topo)
         with pytest.raises(ValueError):
             solve_rates(placement.chains, topo, objective="karma")
@@ -128,19 +128,19 @@ class TestMaxMinFairness:
 
 class TestMetronSteering:
     def test_frees_demux_core(self):
-        plain = default_testbed()
-        metron = default_testbed(metron_steering=True)
+        plain = topology_for("paper-testbed").build()
+        metron = topology_for("metron").build()
         assert metron.total_server_cores() == plain.total_server_cores() + 1
 
     def test_no_demux_penalty_on_replication(self, profiles):
         spec = "chain c: ACL -> Encrypt -> IPv4Fwd"
         slos = [SLO(t_min=gbps(6), t_max=gbps(35))]
         plain = heuristic_place(
-            chains_from_spec(spec, slos=slos), default_testbed(), profiles
+            chains_from_spec(spec, slos=slos), topology_for("paper-testbed").build(), profiles
         )
         metron = heuristic_place(
             chains_from_spec(spec, slos=slos),
-            default_testbed(metron_steering=True), profiles,
+            topology_for("metron").build(), profiles,
         )
         assert plain.feasible and metron.feasible
         assert metron.chains[0].estimated_rate > \
@@ -151,9 +151,9 @@ class TestMetronSteering:
         for delta in (0.5, 1.0, 1.5):
             chains = chains_with_delta([1, 2, 3], delta=delta,
                                        profiles=profiles)
-            plain = heuristic_place(chains, default_testbed(), profiles)
+            plain = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
             metron = heuristic_place(
-                chains, default_testbed(metron_steering=True), profiles
+                chains, topology_for("metron").build(), profiles
             )
             if plain.feasible:
                 assert metron.feasible
@@ -195,7 +195,7 @@ class TestFailoverReserve:
     def test_reserve_survives_failover(self, profiles):
         """The point of the reserve: a placement decided with spare cores
         stays feasible when a SmartNIC fails and its NF falls back."""
-        topo = default_testbed(with_smartnic=True)
+        topo = topology_for("paper-smartnic").build()
         placer = Placer(topology=topo, profiles=profiles)
         chains = chains_from_spec(
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",

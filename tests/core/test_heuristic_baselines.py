@@ -14,7 +14,7 @@ from repro.core.heuristic import heuristic_place
 from repro.experiments.chains import chains_with_delta, nat_stress_chain, \
     base_rate_mbps
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -26,7 +26,7 @@ def profiles():
 
 class TestHeuristic:
     def test_simple_chains_feasible(self, profiles, simple_chains):
-        placement = heuristic_place(simple_chains, default_testbed(),
+        placement = heuristic_place(simple_chains, topology_for("paper-testbed").build(),
                                     profiles)
         assert placement.feasible
         assert placement.objective_mbps > 0
@@ -34,7 +34,7 @@ class TestHeuristic:
             assert placement.rates[cp.name] >= cp.chain.slo.t_min
 
     def test_hw_capable_nfs_prefer_switch(self, profiles, simple_chains):
-        placement = heuristic_place(simple_chains, default_testbed(),
+        placement = heuristic_place(simple_chains, topology_for("paper-testbed").build(),
                                     profiles)
         for cp in placement.chains:
             for nid, assign in cp.assignment.items():
@@ -48,7 +48,7 @@ class TestHeuristic:
         chain = nat_stress_chain(11)
         base = base_rate_mbps(chain, profiles)
         chains = [chain.with_slo(SLO(t_min=0.5 * base, t_max=gbps(100)))]
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         cp = placement.chains[0]
         on_switch = sum(
@@ -61,13 +61,13 @@ class TestHeuristic:
 
     def test_infeasible_reports_reason(self, profiles):
         chains = chains_with_delta([1, 2, 3, 4], delta=4.0)
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         assert not placement.feasible
         assert placement.infeasible_reason
 
     def test_placement_respects_core_budget(self, profiles):
         chains = chains_with_delta([1, 2, 3], delta=1.0)
-        placement = heuristic_place(chains, default_testbed(), profiles)
+        placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         assert placement.total_cores()["server0"] <= 15
 
@@ -75,7 +75,7 @@ class TestHeuristic:
 class TestHWPreferred:
     def test_everything_hardware_capable_on_switch(self, profiles,
                                                    simple_chains):
-        placement = hw_preferred_place(simple_chains, default_testbed(),
+        placement = hw_preferred_place(simple_chains, topology_for("paper-testbed").build(),
                                        profiles)
         assert placement.feasible
         for cp in placement.chains:
@@ -89,7 +89,7 @@ class TestHWPreferred:
         rates = []
         for delta in (0.5, 1.0):
             chains = chains_with_delta([1, 2, 3], delta=delta)
-            placement = hw_preferred_place(chains, default_testbed(),
+            placement = hw_preferred_place(chains, topology_for("paper-testbed").build(),
                                            profiles)
             assert placement.feasible
             rates.append(round(placement.aggregate_rate))
@@ -98,7 +98,7 @@ class TestHWPreferred:
 
 class TestSWPreferred:
     def test_software_nfs_on_server(self, profiles, simple_chains):
-        placement = sw_preferred_place(simple_chains, default_testbed(),
+        placement = sw_preferred_place(simple_chains, topology_for("paper-testbed").build(),
                                        profiles)
         for cp in placement.chains:
             for nid, assign in cp.assignment.items():
@@ -112,7 +112,7 @@ class TestSWPreferred:
         """Paper: SW Preferred puts whole chains in one subgroup; with a
         non-replicable member, SLOs fail at modest δ."""
         chains = chains_with_delta([3], delta=1.0)
-        placement = sw_preferred_place(chains, default_testbed(), profiles)
+        placement = sw_preferred_place(chains, topology_for("paper-testbed").build(), profiles)
         assert not placement.feasible
 
 
@@ -122,7 +122,7 @@ class TestMinBounce:
             "chain c: Dedup -> ACL -> Limiter -> IPv4Fwd",
             slos=[SLO(t_min=100.0)],
         )
-        placement = min_bounce_place(chains, default_testbed(), profiles)
+        placement = min_bounce_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         assert placement.chains[0].bounces == 1
         # ACL stays on the server (moving it to P4 would add a bounce)
@@ -135,8 +135,8 @@ class TestMinBounce:
         """The §3.2 narrative: refusing a bounce fuses a non-replicable
         subgroup, so Min Bounce dies at a δ Lemur handles."""
         chains = chains_with_delta([3], delta=1.5)
-        minb = min_bounce_place(chains, default_testbed(), profiles)
-        lemur = heuristic_place(chains, default_testbed(), profiles)
+        minb = min_bounce_place(chains, topology_for("paper-testbed").build(), profiles)
+        lemur = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         assert not minb.feasible
         assert lemur.feasible
 
@@ -144,7 +144,7 @@ class TestMinBounce:
 class TestGreedy:
     def test_feasible_and_slo_aware(self, profiles):
         chains = chains_with_delta([1, 2, 3], delta=1.0)
-        placement = greedy_place(chains, default_testbed(), profiles)
+        placement = greedy_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         for cp in placement.chains:
             assert placement.rates[cp.name] >= cp.chain.slo.t_min
@@ -154,10 +154,10 @@ class TestGreedy:
         least the same marginal throughput."""
         for delta in (0.5, 1.0, 1.5):
             chains = chains_with_delta([1, 2, 3], delta=delta)
-            lemur = heuristic_place(chains, default_testbed(), profiles)
+            lemur = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
             for baseline in (hw_preferred_place, sw_preferred_place,
                              min_bounce_place, greedy_place):
-                other = baseline(chains, default_testbed(), profiles)
+                other = baseline(chains, topology_for("paper-testbed").build(), profiles)
                 if other.feasible:
                     assert lemur.feasible
                     assert lemur.objective_mbps >= \

@@ -1,0 +1,195 @@
+"""Hierarchical multi-rack placement: partition + per-rack solves + links."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.hierarchy import MultiRackPlacer
+from repro.core.placer import (
+    MultiRackOptions,
+    Placer,
+    PlacementRequest,
+)
+from repro.exceptions import PlacementError
+from repro.hw.spec import InterRackLinkSpec, RackSpec, TopologySpec, topology_for
+from repro.profiles.defaults import default_profiles
+
+
+def _chains(n, t_min=4000.0, t_max=9000.0, d_max=400.0):
+    spec = "\n".join(
+        f"chain c{i}: ACL(rules=64) -> Encrypt -> IPv4Fwd" for i in range(n)
+    )
+    slos = [SLO(t_min=t_min, t_max=t_max, d_max=d_max) for _ in range(n)]
+    return chains_from_spec(spec, slos=slos)
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestHierarchicalSolve:
+    def test_infeasible_on_one_rack_admitted_on_two(self, profiles):
+        """The headline scenario: a chain set one rack cannot hold is
+        admitted by the fabric, with the overflow homed remotely."""
+        chains = _chains(8)
+        single = Placer(topology=topology_for("paper-testbed").build(),
+                        profiles=profiles)
+        flat = single.solve(PlacementRequest(chains=chains)).placement
+        assert not flat.feasible
+
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        report = placer.solve(PlacementRequest.multi_rack(chains=chains))
+        placement = report.placement
+        assert placement.feasible, placement.infeasible_reason
+        assert set(placement.partition.assignment.values()) == {"r0", "r1"}
+        assert placement.remote  # at least one chain pays the fabric RTT
+        for chain in placement.remote:
+            assert placement.rtt_of(chain) == 100.0
+            assert placement.rack_of(chain) == "r1"
+        # every chain got a rate meeting its floor
+        for chain in chains:
+            assert placement.rate_of(chain.name) >= chain.slo.t_min - 1e-6
+        assert report.mode == "hierarchical"
+        assert report.rack_solve == "serial"
+        assert report.seconds > 0
+
+    def test_remote_chains_hand_down_shrunk_d_max(self, profiles):
+        """Rack cores must guard d_max minus the fabric RTT, so the
+        end-to-end bound still holds once the RTT is stamped."""
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        placement = placer.solve(
+            PlacementRequest.multi_rack(chains=_chains(6))
+        ).placement
+        assert placement.feasible
+        for cp in placement.placement_for("r1").chains:
+            if cp.name in placement.remote:
+                assert cp.chain.slo.d_max == pytest.approx(400.0 - 100.0)
+
+    def test_partition_error_becomes_infeasible_report(self, profiles):
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        report = placer.solve(
+            PlacementRequest.multi_rack(chains=_chains(12))
+        )
+        assert not report.placement.feasible
+        assert "cores exhausted" in report.placement.infeasible_reason
+
+    def test_warm_start_and_failures_rejected(self, profiles):
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        chains = _chains(2)
+        base = Placer(profiles=profiles).solve(
+            PlacementRequest(chains=chains)
+        ).placement
+        with pytest.raises(PlacementError, match="base_placement"):
+            placer.solve(PlacementRequest(chains=chains,
+                                          base_placement=base))
+        with pytest.raises(PlacementError, match="failed_devices"):
+            placer.solve(PlacementRequest(chains=chains,
+                                          failed_devices=("r0.server0",)))
+
+    def test_rack_pins_keep_homes(self, profiles):
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        placement = placer.solve(PlacementRequest.multi_rack(
+            chains=_chains(2), rack_pins={"c1": "r1"},
+        )).placement
+        assert placement.feasible
+        assert placement.rack_of("c0") == "r0"
+        assert placement.rack_of("c1") == "r1"
+
+
+class TestLinkCapacityPostPass:
+    def test_overloaded_link_sheds_marginal_rate(self, profiles):
+        """A pinned remote chain whose LP rate exceeds the link is shed
+        down to the link capacity — never below its t_min floor."""
+        fabric = TopologySpec(
+            racks=(RackSpec(name="r0"), RackSpec(name="r1")),
+            links=(InterRackLinkSpec(a="r0", b="r1",
+                                     capacity_mbps=5000.0),),
+        ).build()
+        placer = MultiRackPlacer(fabric=fabric, profiles=profiles)
+        placement = placer.solve(PlacementRequest.multi_rack(
+            chains=_chains(1, t_min=4000.0, t_max=9000.0),
+            rack_pins={"c0": "r1"},
+        )).placement
+        assert placement.feasible
+        assert placement.rates["c0"] == pytest.approx(5000.0)
+        assert placement.link_shed_mbps["r0~r1"] > 0
+        # the per-rack placement was patched to agree
+        assert placement.placement_for("r1").rates["c0"] == \
+            pytest.approx(5000.0)
+
+    def test_floors_over_link_capacity_infeasible(self, profiles):
+        fabric = TopologySpec(
+            racks=(RackSpec(name="r0"), RackSpec(name="r1")),
+            links=(InterRackLinkSpec(a="r0", b="r1",
+                                     capacity_mbps=5000.0),),
+        ).build()
+        placer = MultiRackPlacer(fabric=fabric, profiles=profiles)
+        report = placer.solve(PlacementRequest.multi_rack(
+            chains=_chains(2, t_min=4000.0),
+            rack_pins={"c0": "r1", "c1": "r1"},
+        ))
+        assert not report.placement.feasible
+        assert "capacity exhausted" in report.placement.infeasible_reason
+
+
+class TestPoolEquivalence:
+    def test_pool_solves_byte_identical_to_serial(self, profiles):
+        """Acceptance invariant: fanning per-rack solves over the worker
+        pool changes wall clock, never results."""
+        chains = _chains(6)
+        serial = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        ).solve(PlacementRequest.multi_rack(chains=chains, jobs=1))
+        pooled = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        ).solve(PlacementRequest.multi_rack(chains=chains, jobs=4))
+
+        assert serial.rack_solve == "serial"
+        assert pooled.rack_solve == "pool"
+        a, b = serial.placement, pooled.placement
+        assert a.feasible and b.feasible
+        assert a.partition.assignment == b.partition.assignment
+        assert a.rates == b.rates
+        assert a.link_shed_mbps == b.link_shed_mbps
+        assert a.describe() == b.describe()
+        for rack in a.reports:
+            assert a.placement_for(rack).describe() == \
+                b.placement_for(rack).describe()
+
+    def test_repeat_solve_hits_per_rack_cache(self, profiles):
+        placer = MultiRackPlacer(
+            fabric=topology_for("two-rack").build(), profiles=profiles,
+        )
+        chains = _chains(6)
+        first = placer.solve(PlacementRequest.multi_rack(chains=chains))
+        again = placer.solve(PlacementRequest.multi_rack(chains=chains))
+        assert first.placement.describe() == again.placement.describe()
+        assert all(r.cache_hit for r in again.placement.reports.values())
+
+
+class TestRequestSurface:
+    def test_multi_rack_constructor_builds_options(self):
+        request = PlacementRequest.multi_rack(
+            chains=_chains(1), jobs=3, rack_pins={"c0": "r1"},
+            ingress="r0",
+        )
+        assert isinstance(request.multi_rack, MultiRackOptions)
+        assert request.multi_rack.jobs == 3
+        assert request.multi_rack.pins() == {"c0": "r1"}
+        assert request.multi_rack.ingress == "r0"
+
+    def test_single_rack_placer_rejects_fabric_request(self):
+        request = PlacementRequest.multi_rack(chains=_chains(1))
+        with pytest.raises(PlacementError, match="MultiRackPlacer"):
+            Placer().solve(request)

@@ -1,0 +1,194 @@
+"""Chain-to-rack partitioner: routing, eligibility, determinism (§3/§6)."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.core.partition import (
+    chain_core_demand,
+    fabric_routes,
+    partition_chains,
+)
+from repro.exceptions import PartitionError
+from repro.hw.spec import InterRackLinkSpec, RackSpec, TopologySpec, topology_for
+from repro.profiles.defaults import default_profiles
+
+
+def _chains(n, t_min=4000.0, t_max=9000.0, d_max=400.0):
+    """Software-bound Encrypt chains (Encrypt cannot offload, so the core
+    proxy bites): ~3 cores each at 4 Gbps, so six exhaust a paper rack."""
+    spec = "\n".join(
+        f"chain c{i}: ACL(rules=64) -> Encrypt -> IPv4Fwd" for i in range(n)
+    )
+    slos = [SLO(t_min=t_min, t_max=t_max, d_max=d_max) for _ in range(n)]
+    return chains_from_spec(spec, slos=slos)
+
+
+def _two_satellite_fabric(near_latency=10.0, far_latency=80.0,
+                          near_capacity=40000.0):
+    """A star with two satellites at different latencies (and optionally
+    a throttled near link) so rack choice is observable."""
+    return TopologySpec(
+        racks=(RackSpec(name="r0"), RackSpec(name="far"),
+               RackSpec(name="near")),
+        links=(
+            InterRackLinkSpec(a="r0", b="far", latency_us=far_latency),
+            InterRackLinkSpec(a="r0", b="near", latency_us=near_latency,
+                              capacity_mbps=near_capacity),
+        ),
+    ).build()
+
+
+@pytest.fixture()
+def profiles():
+    return default_profiles()
+
+
+class TestRouting:
+    def test_star_routes(self):
+        fabric = topology_for("two-rack").build()
+        routes = fabric_routes(fabric)
+        assert routes["r0"].links == ()
+        assert routes["r0"].latency_us == 0.0
+        assert routes["r1"].links == ("r0~r1",)
+        assert routes["r1"].latency_us == 50.0
+        assert routes["r1"].rtt_us == 100.0
+
+    def test_multi_hop_latency_sums(self):
+        fabric = TopologySpec(
+            racks=(RackSpec(name="r0"), RackSpec(name="r1"),
+                   RackSpec(name="r2")),
+            links=(
+                InterRackLinkSpec(a="r0", b="r1", latency_us=20.0,
+                                  capacity_mbps=30000.0),
+                InterRackLinkSpec(a="r1", b="r2", latency_us=30.0,
+                                  capacity_mbps=20000.0),
+            ),
+        ).build()
+        routes = fabric_routes(fabric)
+        assert routes["r2"].links == ("r0~r1", "r1~r2")
+        assert routes["r2"].latency_us == 50.0
+        # bottleneck is the narrowest link along the path
+        assert routes["r2"].bottleneck_mbps == 20000.0
+
+
+class TestDemandProxy:
+    def test_demand_scales_with_t_min(self, profiles):
+        low, high = _chains(1, t_min=1000.0)[0], _chains(1, t_min=8000.0)[0]
+        freq = 1.7e9
+        assert chain_core_demand(high, freq, profiles) > \
+            chain_core_demand(low, freq, profiles)
+
+    def test_zero_rate_still_needs_one_core(self, profiles):
+        (chain,) = chains_from_spec(
+            "chain idle: ACL -> IPv4Fwd", slos=[SLO(t_min=0.0)]
+        )
+        assert chain_core_demand(chain, 1.7e9, profiles) == 1
+
+
+class TestGreedyPartition:
+    def test_all_fit_on_ingress(self, profiles):
+        fabric = topology_for("two-rack").build()
+        result = partition_chains(_chains(2), fabric, profiles)
+        assert set(result.assignment.values()) == {"r0"}
+        assert result.spills == 0
+        assert result.remote_chains("r0") == {}
+
+    def test_overflow_spills_off_ingress(self, profiles):
+        fabric = topology_for("two-rack").build()
+        result = partition_chains(_chains(6), fabric, profiles)
+        assert set(result.assignment.values()) == {"r0", "r1"}
+        assert result.spills >= 1
+        remote = result.remote_chains("r0")
+        assert remote
+        for route in remote.values():
+            assert route.rtt_us == 100.0
+        # the spill is visible in the description
+        assert "spills" in result.describe()
+
+    def test_latency_driven_rack_choice(self, profiles):
+        """When the ingress overflows, spills land on the lowest-latency
+        satellite, not an arbitrary one."""
+        fabric = _two_satellite_fabric()
+        result = partition_chains(_chains(6), fabric, profiles)
+        spilled = {c for c, r in result.assignment.items() if r != "r0"}
+        assert spilled
+        assert all(result.assignment[c] == "near" for c in spilled)
+
+    def test_link_capacity_steers_around_narrow_link(self, profiles):
+        """A near-but-narrow link loses to a far-but-wide one: the floor
+        rate must fit on every link of the route."""
+        fabric = _two_satellite_fabric(near_capacity=1000.0)  # < t_min
+        result = partition_chains(_chains(6), fabric, profiles)
+        spilled = {c for c, r in result.assignment.items() if r != "r0"}
+        assert spilled
+        assert all(result.assignment[c] == "far" for c in spilled)
+
+    def test_latency_budget_excludes_remote_racks(self, profiles):
+        """d_max below the fabric RTT makes every satellite ineligible;
+        the error names both binding constraints."""
+        fabric = topology_for("two-rack").build()
+        with pytest.raises(PartitionError) as excinfo:
+            partition_chains(_chains(6, d_max=90.0), fabric, profiles)
+        message = str(excinfo.value)
+        assert "cores exhausted" in message
+        assert "latency budget exhausted" in message
+        assert "inter-rack RTT" in message
+
+    def test_capacity_infeasible_names_binding_constraint(self, profiles):
+        """Both racks full: the error carries the per-rack core deficit."""
+        fabric = topology_for("two-rack").build()
+        with pytest.raises(PartitionError) as excinfo:
+            partition_chains(_chains(12), fabric, profiles)
+        message = str(excinfo.value)
+        assert "no rack fits chain" in message
+        assert message.count("cores exhausted") == 2
+        assert "free" in message
+
+
+class TestPins:
+    def test_pin_to_unknown_rack_rejected(self, profiles):
+        fabric = topology_for("two-rack").build()
+        with pytest.raises(PartitionError, match="unknown rack"):
+            partition_chains(_chains(1), fabric, profiles,
+                             rack_pins={"c0": "r9"})
+
+    def test_pin_is_honored(self, profiles):
+        fabric = topology_for("two-rack").build()
+        result = partition_chains(_chains(2), fabric, profiles,
+                                  rack_pins={"c1": "r1"})
+        assert result.assignment == {"c0": "r0", "c1": "r1"}
+        assert result.spills == 1
+
+    def test_infeasible_pin_names_link_constraint(self, profiles):
+        fabric = TopologySpec(
+            racks=(RackSpec(name="r0"), RackSpec(name="r1")),
+            links=(InterRackLinkSpec(a="r0", b="r1",
+                                     capacity_mbps=1000.0),),
+        ).build()
+        with pytest.raises(PartitionError) as excinfo:
+            partition_chains(_chains(1), fabric, profiles,
+                             rack_pins={"c0": "r1"})
+        message = str(excinfo.value)
+        assert "pinned chain" in message
+        assert "capacity exhausted" in message
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("refine", [True, False])
+    def test_repeated_partitions_identical(self, profiles, refine):
+        fabric = topology_for("two-rack").build()
+        first = partition_chains(_chains(6), fabric, profiles, refine=refine)
+        second = partition_chains(_chains(6), fabric, profiles,
+                                  refine=refine)
+        assert first.assignment == second.assignment
+        assert first.method == second.method
+        assert first.core_demand == second.core_demand
+        assert first.spills == second.spills
+
+    def test_assignment_order_follows_chain_order(self, profiles):
+        """The result dict is keyed in input-chain order regardless of
+        the FFD solve order."""
+        fabric = topology_for("two-rack").build()
+        result = partition_chains(_chains(6), fabric, profiles)
+        assert list(result.assignment) == [f"c{i}" for i in range(6)]

@@ -14,7 +14,7 @@ from repro.core.pipeline import (
 )
 from repro.core.heuristic import heuristic_place
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -26,7 +26,7 @@ def profiles():
 
 class TestRebalance:
     def test_single_server_noop(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         chains = chains_from_spec("chain a: ACL -> Encrypt -> IPv4Fwd")
         assignments = [preferred_assignment(chains[0], topo, "hw")]
         before = {nid: str(a) for nid, a in assignments[0].items()}
@@ -35,7 +35,7 @@ class TestRebalance:
         assert before == after
 
     def test_subgroups_spread_across_servers(self, profiles):
-        topo = multi_server_testbed(2)
+        topo = topology_for("multi-server").build()
         spec = ("chain a: ACL -> Encrypt -> IPv4Fwd\n"
                 "chain b: BPF -> Dedup -> IPv4Fwd")
         chains = chains_from_spec(spec)
@@ -48,7 +48,7 @@ class TestRebalance:
         assert servers == {"server0", "server1"}
 
     def test_whole_subgroups_move_together(self, profiles):
-        topo = multi_server_testbed(2)
+        topo = topology_for("multi-server").build()
         chains = chains_from_spec("chain a: ACL -> Dedup -> Monitor "
                                   "-> IPv4Fwd")
         assignments = [preferred_assignment(chains[0], topo, "hw")]
@@ -63,7 +63,7 @@ class TestRebalance:
 
 class TestVerifySwitchFit:
     def test_fit_returns_none(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         chains = chains_from_spec("chain a: ACL -> Encrypt -> IPv4Fwd",
                                   slos=[SLO(t_min=100.0)])
         placement = build_placement(
@@ -74,7 +74,7 @@ class TestVerifySwitchFit:
 
     def test_overflow_reports_stage_count(self, profiles):
         from repro.experiments.chains import nat_stress_chain
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         chain = nat_stress_chain(11).with_slo(SLO(t_min=100.0))
         placement = build_placement(
             [chain], [preferred_assignment(chain, topo, "hw")],
@@ -86,7 +86,7 @@ class TestVerifySwitchFit:
 
 class TestRescore:
     def test_identity_rescore_preserves_objective(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         chains = chains_from_spec(
             "chain a: ACL -> Encrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(1), t_max=gbps(30))],
@@ -99,7 +99,7 @@ class TestRescore:
         )
 
     def test_rescore_keeps_core_decisions(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         chains = chains_from_spec(
             "chain a: ACL -> Encrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(5), t_max=gbps(30))],
@@ -118,7 +118,7 @@ class TestRescore:
         assert decided_cores == rescored_cores
 
     def test_rescore_detects_slo_miss(self, profiles):
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         # Dedup+Limiter fuse into a non-replicable subgroup (~600 Mbps on
         # one core): a 40% cost increase cannot be absorbed by scaling.
         chains = chains_from_spec(

@@ -15,7 +15,7 @@ from repro.core.placer import (
 )
 from repro.exceptions import PlacementError
 from repro.experiments.chains import chains_with_delta
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -62,13 +62,65 @@ class TestPlacerAPI:
         assert "pisa" in text
 
 
+class TestRequestValidation:
+    """PlacementRequest flag combinations are validated at construction."""
+
+    def test_negative_reserve_cores_rejected(self, simple_chains):
+        with pytest.raises(PlacementError, match="non-negative"):
+            PlacementRequest(chains=simple_chains, reserve_cores=-1)
+
+    def test_unknown_objective_rejected(self, simple_chains):
+        with pytest.raises(PlacementError, match="objective"):
+            PlacementRequest(chains=simple_chains, objective="vibes")
+
+    def test_unknown_strategy_rejected_at_construction(self, simple_chains):
+        with pytest.raises(PlacementError, match="unknown strategy"):
+            PlacementRequest(chains=simple_chains, strategy="quantum")
+
+    def test_warm_start_excludes_failed_devices(self, simple_chains):
+        base = Placer().solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
+        with pytest.raises(PlacementError, match="mutually"):
+            PlacementRequest(chains=simple_chains, base_placement=base,
+                             failed_devices=("server0",))
+
+    def test_warm_start_excludes_reserve_cores(self, simple_chains):
+        base = Placer().solve(
+            PlacementRequest(chains=simple_chains)
+        ).placement
+        with pytest.raises(PlacementError, match="mutually"):
+            PlacementRequest(chains=simple_chains, base_placement=base,
+                             reserve_cores=2)
+
+    def test_infeasible_base_rejected(self, simple_chains):
+        from repro.core.placement import Placement
+        dead = Placement(chains=[], feasible=False,
+                         infeasible_reason="nope")
+        with pytest.raises(PlacementError, match="feasible"):
+            PlacementRequest(chains=simple_chains, base_placement=dead)
+
+    def test_multi_rack_jobs_must_be_positive(self, simple_chains):
+        with pytest.raises(PlacementError, match="jobs"):
+            PlacementRequest.multi_rack(chains=simple_chains, jobs=0)
+
+    def test_multi_rack_constructor_sorts_pins(self, simple_chains):
+        request = PlacementRequest.multi_rack(
+            chains=simple_chains, jobs=2,
+            rack_pins={"beta": "r1", "alpha": "r0"},
+        )
+        assert request.multi_rack.rack_pins == \
+            (("alpha", "r0"), ("beta", "r1"))
+        assert request.multi_rack.pins() == {"alpha": "r0", "beta": "r1"}
+
+
 class TestBruteForce:
     def test_never_below_heuristic(self, profiles):
         from repro.core.heuristic import heuristic_place
         for delta in (0.5, 1.5):
             chains = chains_with_delta([2, 3], delta=delta)
-            optimal = brute_force_place(chains, default_testbed(), profiles)
-            lemur = heuristic_place(chains, default_testbed(), profiles)
+            optimal = brute_force_place(chains, topology_for("paper-testbed").build(), profiles)
+            lemur = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
             if lemur.feasible:
                 assert optimal.feasible
                 assert optimal.objective_mbps >= lemur.objective_mbps - 1e-6
@@ -78,7 +130,7 @@ class TestBruteForce:
         chain = nat_stress_chain(11)
         base = base_rate_mbps(chain, profiles)
         chains = [chain.with_slo(SLO(t_min=0.5 * base, t_max=gbps(100)))]
-        placement = brute_force_place(chains, default_testbed(), profiles,
+        placement = brute_force_place(chains, topology_for("paper-testbed").build(), profiles,
                                       per_chain_limit=20)
         assert placement.feasible
 
@@ -89,20 +141,20 @@ class TestMILP:
             "chain a: ACL -> Encrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(1), t_max=gbps(50))],
         )
-        placement = milp_place(chains, default_testbed(), profiles)
+        placement = milp_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         assert placement.rates["a"] >= gbps(1)
 
     def test_branched_chain_rejected(self, profiles, branched_chain):
         with pytest.raises(PlacementError):
-            milp_place([branched_chain], default_testbed(), profiles)
+            milp_place([branched_chain], topology_for("paper-testbed").build(), profiles)
 
     def test_infeasible_tmin(self, profiles):
         chains = chains_from_spec(
             "chain a: Dedup -> Limiter -> IPv4Fwd",
             slos=[SLO(t_min=gbps(30))],
         )
-        placement = milp_place(chains, default_testbed(), profiles)
+        placement = milp_place(chains, topology_for("paper-testbed").build(), profiles)
         assert not placement.feasible
 
     def test_run_to_completion_fusion(self, profiles):
@@ -111,7 +163,7 @@ class TestMILP:
             "chain a: Dedup -> UrlFilter -> IPv4Fwd",
             slos=[SLO(t_min=100.0, t_max=gbps(100))],
         )
-        placement = milp_place(chains, default_testbed(), profiles)
+        placement = milp_place(chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
         (cp,) = placement.chains
         assert len(cp.subgroups) == 1
@@ -121,7 +173,7 @@ class TestMILP:
 class TestAblations:
     def test_no_core_allocation_single_core(self, profiles):
         chains = chains_with_delta([2, 3], delta=0.5)
-        placement = no_core_allocation_place(chains, default_testbed(),
+        placement = no_core_allocation_place(chains, topology_for("paper-testbed").build(),
                                              profiles)
         if placement.feasible:
             for cp in placement.chains:
@@ -131,13 +183,13 @@ class TestAblations:
         """Paper: 'this variant can only satisfy SLOs at δ = 0.5'."""
         from repro.core.heuristic import heuristic_place
         ok = no_core_allocation_place(
-            chains_with_delta([2, 3], delta=0.5), default_testbed(), profiles
+            chains_with_delta([2, 3], delta=0.5), topology_for("paper-testbed").build(), profiles
         )
         dead = no_core_allocation_place(
-            chains_with_delta([2, 3], delta=1.5), default_testbed(), profiles
+            chains_with_delta([2, 3], delta=1.5), topology_for("paper-testbed").build(), profiles
         )
         lemur = heuristic_place(
-            chains_with_delta([2, 3], delta=1.5), default_testbed(), profiles
+            chains_with_delta([2, 3], delta=1.5), topology_for("paper-testbed").build(), profiles
         )
         assert ok.feasible
         assert not dead.feasible
@@ -146,8 +198,8 @@ class TestAblations:
     def test_no_profiling_weaker_than_lemur(self, profiles):
         from repro.core.heuristic import heuristic_place
         chains = chains_with_delta([1, 2, 3], delta=1.0)
-        flat = no_profiling_place(chains, default_testbed(), profiles)
-        lemur = heuristic_place(chains, default_testbed(), profiles)
+        flat = no_profiling_place(chains, topology_for("paper-testbed").build(), profiles)
+        lemur = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
         assert lemur.feasible
         if flat.feasible:
             assert flat.objective_mbps <= lemur.objective_mbps + 1e-6
@@ -155,7 +207,7 @@ class TestAblations:
 
 class TestExtensions:
     def test_failure_replan(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True))
+        placer = Placer(topology=topology_for("paper-smartnic").build())
         placement = placer.solve(PlacementRequest(
             chains=simple_chains, failed_devices=("agilio0",),
         )).placement

@@ -10,7 +10,7 @@ from repro.core.placer import (
     PlacementRequest,
 )
 from repro.exceptions import PlacementError
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 
 
 class TestSolve:
@@ -37,7 +37,7 @@ class TestSolve:
             )
 
     def test_solve_with_failed_devices_restores(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True))
+        placer = Placer(topology=topology_for("paper-smartnic").build())
         report = placer.solve(PlacementRequest(
             chains=simple_chains, failed_devices=("agilio0",),
         ))
@@ -45,7 +45,7 @@ class TestSolve:
         assert "agilio0" not in placer.topology.failed_devices
 
     def test_solve_preexisting_failure_stays(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True))
+        placer = Placer(topology=topology_for("paper-smartnic").build())
         placer.topology.mark_failed("agilio0")
         placer.solve(PlacementRequest(
             chains=simple_chains, failed_devices=("agilio0",),
@@ -98,7 +98,7 @@ class TestSolveCaching:
         assert fresh.fingerprint is None
 
     def test_scenario_knobs_partition_the_key(self, simple_chains):
-        placer = Placer(topology=default_testbed(with_smartnic=True),
+        placer = Placer(topology=topology_for("paper-smartnic").build(),
                         cache=PlacementCache())
         plain = placer.solve(PlacementRequest(chains=simple_chains))
         failed = placer.solve(PlacementRequest(

@@ -13,7 +13,7 @@ from repro.core.placement import NodeAssignment
 from repro.core.rates import analyze_chain, estimate_chain_rate
 from repro.core.subgroups import form_subgroups
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -38,7 +38,7 @@ def linear_chain_spec(draw):
        delta_gbps=st.floats(0.1, 20.0))
 def test_lp_rate_within_bounds(spec, tmin_gbps, delta_gbps):
     """LP rates always honor t_min <= r <= min(t_max, estimate)."""
-    topo = default_testbed()
+    topo = topology_for("paper-testbed").build()
     slo = SLO(t_min=gbps(tmin_gbps), t_max=gbps(tmin_gbps + delta_gbps))
     chains = chains_from_spec(f"chain p: {spec}", slos=[slo])
     placement = heuristic_place(chains, topo, PROFILES)
@@ -55,7 +55,7 @@ def test_lp_rate_within_bounds(spec, tmin_gbps, delta_gbps):
 @given(spec=linear_chain_spec())
 def test_subgroups_partition_server_nodes(spec):
     """Subgroups exactly partition the server-placed NFs."""
-    topo = default_testbed()
+    topo = topology_for("paper-testbed").build()
     chains = chains_from_spec(f"chain p: {spec}")
     chain = chains[0]
     assignment = {}
@@ -81,7 +81,7 @@ def test_subgroups_partition_server_nodes(spec):
 @given(spec=linear_chain_spec(), cores=st.integers(1, 6))
 def test_estimate_monotone_in_cores(spec, cores):
     """Adding cores to a replicable subgroup never lowers the estimate."""
-    topo = default_testbed()
+    topo = topology_for("paper-testbed").build()
     chain = chains_from_spec(f"chain p: {spec}")[0]
     assignment = {
         nid: (NodeAssignment(Platform.SERVER, "server0")
@@ -107,7 +107,7 @@ def test_estimate_monotone_in_cores(spec, cores):
 @given(tmins=st.lists(st.floats(0.1, 3.0), min_size=2, max_size=3))
 def test_lp_objective_equals_sum_of_marginals(tmins):
     """The LP objective is exactly Σ(r_i − t_min_i)."""
-    topo = default_testbed()
+    topo = topology_for("paper-testbed").build()
     spec = "\n".join(
         f"chain c{i}: ACL -> Encrypt -> IPv4Fwd" for i in range(len(tmins))
     )

@@ -15,7 +15,7 @@ from repro.core.rates import (
 )
 from repro.core.subgroups import form_subgroups
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import (
     DEMUX_LB_CYCLES,
     default_profiles,
@@ -30,7 +30,7 @@ def profiles():
 
 @pytest.fixture()
 def topo():
-    return default_testbed()
+    return topology_for("paper-testbed").build()
 
 
 def make_cp(spec, slo, profiles, topo, server_nfs):

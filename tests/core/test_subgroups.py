@@ -13,7 +13,6 @@ from repro.core.subgroups import (
     form_subgroups,
 )
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
 from repro.profiles.defaults import NSH_ENCAP_DECAP_CYCLES, default_profiles
 
 

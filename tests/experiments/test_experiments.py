@@ -12,7 +12,7 @@ from repro.experiments.chains import (
 from repro.experiments.runner import run_delta_sweep
 from repro.experiments.schemes import SCHEMES, run_scheme, scheme_names
 from repro.exceptions import SpecError
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.profiles.defaults import default_profiles
 from repro.units import gbps
 
@@ -126,15 +126,15 @@ class TestSchemeRegistry:
 
     def test_run_scheme_by_name(self, profiles):
         chains = chains_with_delta([2], delta=0.5, profiles=profiles)
-        placement = run_scheme("Lemur", chains, default_testbed(), profiles)
+        placement = run_scheme("Lemur", chains, topology_for("paper-testbed").build(), profiles)
         assert placement.feasible
 
     def test_ablations_accessible(self, profiles):
         chains = chains_with_delta([2], delta=0.5, profiles=profiles)
-        placement = run_scheme("No Core Alloc", chains, default_testbed(),
+        placement = run_scheme("No Core Alloc", chains, topology_for("paper-testbed").build(),
                                profiles)
         assert placement is not None
 
     def test_unknown_scheme(self, profiles):
         with pytest.raises(KeyError):
-            run_scheme("Magic", [], default_testbed(), profiles)
+            run_scheme("Magic", [], topology_for("paper-testbed").build(), profiles)

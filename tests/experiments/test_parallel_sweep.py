@@ -12,7 +12,7 @@ from repro.experiments.runner import (
     run_sweep,
 )
 from repro.experiments.schemes import SCHEMES
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.obs import scoped_registry
 from repro.profiles.defaults import default_profiles
 
@@ -105,7 +105,7 @@ class TestParallelEquivalence:
 
 class TestTopologyIsolation:
     def test_caller_topology_never_mutated(self, profiles):
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         before_reserved = [s.reserved_cores for s in topology.servers]
         run_delta_sweep((2, 3), deltas=(0.5, 1.0), schemes=FAST,
                         topology=topology, profiles=profiles,
@@ -127,7 +127,7 @@ class TestTopologyIsolation:
             warnings.simplefilter("ignore")  # unpicklable-scheme fallback
             run_delta_sweep((2,), deltas=(0.5, 1.0, 1.5),
                             schemes={"Vandal": vandal},
-                            topology=multi_server_testbed(2),
+                            topology=topology_for("multi-server").build(),
                             profiles=profiles,
                             measure=False, cache=False, jobs=1)
         # every cell started from a pristine copy: no failures carried over

@@ -12,8 +12,8 @@ from repro import (
     PlacementRequest,
     SLO,
     chains_from_spec,
-    default_testbed,
     gbps,
+    topology_for,
 )
 from repro.experiments.chains import chains_with_delta
 from repro.hw.platform import Platform
@@ -29,7 +29,7 @@ def profiles():
 
 class TestFigureOneFlow:
     def test_spec_to_packets(self, profiles):
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         meta = MetaCompiler(topology=topology, profiles=profiles)
         placement, artifacts = meta.compile_spec(
             "chain web: ACL -> UrlFilter -> Encrypt -> IPv4Fwd\n"
@@ -45,7 +45,7 @@ class TestFigureOneFlow:
     def test_nf_execution_order_matches_chain(self, profiles):
         """The packet's NF trail must equal a topological path of the
         chain DAG — the meta-compiler's core routing guarantee."""
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         meta = MetaCompiler(topology=topology, profiles=profiles)
         placement, artifacts = meta.compile_spec(
             "chain t: BPF -> Dedup -> ACL -> Monitor -> IPv4Fwd",
@@ -68,7 +68,7 @@ class TestFigureOneFlow:
         assert trail_classes == ["BPF", "Dedup", "ACL", "Monitor", "IPv4Fwd"]
 
     def test_nsh_stripped_at_egress(self, profiles):
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         meta = MetaCompiler(topology=topology, profiles=profiles)
         placement, artifacts = meta.compile_spec(
             "chain t: ACL -> Encrypt -> IPv4Fwd",
@@ -114,7 +114,7 @@ class TestCrossComponentInvariants:
 
     def test_stateful_flows_not_split_across_instances(self, profiles):
         """A replicated subgroup must keep each flow on one instance."""
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         meta = MetaCompiler(topology=topology, profiles=profiles)
         placement, artifacts = meta.compile_spec(
             "chain t: ACL -> Encrypt -> IPv4Fwd",

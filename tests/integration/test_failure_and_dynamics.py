@@ -6,7 +6,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.placer import Placer, PlacementRequest
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.profiles.defaults import default_profiles
 from repro.sim.runtime import DeployedRack
@@ -21,7 +21,7 @@ def profiles():
 class TestSmartNICFailure:
     def test_fallback_moves_nf_to_server(self, profiles):
         """§7: "Lemur can always fall back to using server-based NFs"."""
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
@@ -46,7 +46,7 @@ class TestSmartNICFailure:
 
     def test_fallback_placement_executes(self, profiles):
         """The re-placed chain must actually run on the degraded rack."""
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
@@ -66,7 +66,7 @@ class TestReplanFailedSetRestoration:
     def test_replan_restores_prior_failure_membership(self, profiles):
         """Regression: replanning around device B must not un-fail device
         A that was already down before the call."""
-        topology = multi_server_testbed(3)
+        topology = topology_for("multi-server", servers=3).build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain a: ACL -> Encrypt -> IPv4Fwd",
@@ -82,7 +82,7 @@ class TestReplanFailedSetRestoration:
         assert "server2" in topology.failed_devices
 
     def test_replan_of_already_failed_device_keeps_it_failed(self, profiles):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain c: BPF -> FastEncrypt -> IPv4Fwd",
@@ -98,7 +98,7 @@ class TestReplanFailedSetRestoration:
 
 class TestServerFailure:
     def test_one_of_two_servers_fails(self, profiles):
-        topology = multi_server_testbed(2)
+        topology = topology_for("multi-server").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain a: ACL -> Encrypt -> IPv4Fwd\n"
@@ -120,7 +120,7 @@ class TestServerFailure:
         """A load that needs both servers goes infeasible when one dies —
         the Placer must say so rather than overcommit."""
         from repro.experiments.chains import chains_with_delta
-        topology = multi_server_testbed(2)
+        topology = topology_for("multi-server").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_with_delta([1, 2, 3], delta=1.0, profiles=profiles)
         healthy = placer.solve(PlacementRequest(chains=chains)).placement
@@ -135,7 +135,7 @@ class TestSLOSchedule:
     def test_day_night_schedule_end_to_end(self, profiles):
         """§7 dynamics: precomputed placements for a 2-slot SLO schedule,
         both executable."""
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         placer = Placer(topology=topology, profiles=profiles)
         chains = chains_from_spec(
             "chain biz: ACL -> Encrypt -> IPv4Fwd",

@@ -5,7 +5,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.metacompiler.p4pre import parse_standalone_nf
 from repro.profiles.defaults import default_profiles
@@ -15,7 +15,7 @@ from repro.units import gbps
 @pytest.fixture()
 def artifacts_and_dir(tmp_path):
     profiles = default_profiles()
-    topology = default_testbed(with_smartnic=True)
+    topology = topology_for("paper-smartnic").build()
     chains = chains_from_spec(
         "chain a: ACL -> Encrypt -> IPv4Fwd\n"
         "chain b: BPF -> FastEncrypt -> IPv4Fwd",

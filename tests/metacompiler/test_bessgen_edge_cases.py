@@ -7,7 +7,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
 from repro.exceptions import CompileError
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.bessgen import generate_bess
 from repro.metacompiler.compiler import MetaCompiler
 from repro.metacompiler.nsh import assign_service_paths
@@ -22,7 +22,7 @@ def profiles():
 
 
 def compiled(spec, profiles, topology=None, slos=None):
-    topology = topology or default_testbed()
+    topology = topology or topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(30))]
     )
@@ -64,7 +64,7 @@ class TestSharedPrefixSubgroups:
 
 class TestMultiServerScripts:
     def test_one_script_per_loaded_server(self, profiles):
-        topology = multi_server_testbed(2)
+        topology = topology_for("multi-server").build()
         spec = ("chain a: ACL -> Encrypt -> IPv4Fwd\n"
                 "chain b: BPF -> Dedup -> IPv4Fwd")
         slos = [SLO(t_min=gbps(1), t_max=gbps(30)),
@@ -85,7 +85,7 @@ class TestMultiServerScripts:
     def test_routing_mismatch_detected(self, profiles):
         """generate_bess must fail loudly when routing entries are out of
         sync with the placement's subgroups."""
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         chains = chains_from_spec(
             "chain a: ACL -> Encrypt -> IPv4Fwd",
             slos=[SLO(t_min=gbps(0.5), t_max=gbps(30))],
@@ -100,7 +100,7 @@ class TestMultiServerScripts:
 
 class TestSmartNICChains:
     def test_server_and_nic_hops_coexist(self, profiles):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         placement, artifacts = compiled(
             "chain c: UrlFilter -> FastEncrypt -> IPv4Fwd", profiles,
             topology=topology,
@@ -121,7 +121,7 @@ class TestSmartNICChains:
         from repro.hw.platform import Platform
         from repro.metacompiler.ebpfgen import generate_ebpf
 
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         chain = chains_from_spec("chain c: Monitor -> IPv4Fwd")[0]
         assignment = {}
         for nid, node in chain.graph.nodes.items():

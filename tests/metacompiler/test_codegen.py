@@ -5,7 +5,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.codestats import CodegenStats, count_lines
 from repro.metacompiler.compiler import MetaCompiler
 from repro.metacompiler.p4pre import parse_standalone_nf
@@ -20,7 +20,7 @@ def profiles():
 
 
 def compile_spec(spec, profiles, topology=None, slos=None):
-    topology = topology or default_testbed()
+    topology = topology or topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(50))]
     )
@@ -137,7 +137,7 @@ class TestBessGen:
 
 class TestEbpfGen:
     def test_smartnic_program_generated_and_verified(self, profiles):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         _p, artifacts = compile_spec(
             "chain a: BPF -> FastEncrypt -> IPv4Fwd", profiles,
             topology=topology,
@@ -154,7 +154,7 @@ class TestEbpfGen:
 class TestOpenFlowGen:
     def test_rules_generated_for_of_topology(self, profiles):
         from repro.chain.vocabulary import default_vocabulary
-        topology = default_testbed(with_openflow=True)
+        topology = topology_for("paper-openflow").build()
         # Detunnel (vlan table) precedes ACL in the fixed pipeline order
         chains = chains_from_spec(
             "chain a: Detunnel -> Encrypt -> ACL",
@@ -194,7 +194,7 @@ class TestCodegenStats:
         with most of the auto-generated code providing packet steering'."""
         from repro.experiments.chains import chains_with_delta
         chains = chains_with_delta([1, 2, 3, 4], delta=0.5)
-        topology = default_testbed()
+        topology = topology_for("paper-testbed").build()
         placement = heuristic_place(chains, topology, profiles)
         meta = MetaCompiler(topology=topology, profiles=profiles)
         artifacts = meta.compile_placement(placement)

@@ -10,7 +10,7 @@ from repro.core.rates import analyze_chain
 from repro.core.subgroups import form_subgroups
 from repro.exceptions import CompileError
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.nsh import INITIAL_SI, assign_service_paths
 from repro.metacompiler.routing import synthesize_routing
 from repro.profiles.defaults import default_profiles
@@ -26,7 +26,7 @@ def place(spec, profiles, slos=None):
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(50))]
     )
-    placement = heuristic_place(chains, default_testbed(), profiles)
+    placement = heuristic_place(chains, topology_for("paper-testbed").build(), profiles)
     assert placement.feasible
     return placement
 
@@ -75,7 +75,7 @@ class TestServicePaths:
             nid: NodeAssignment(Platform.SERVER, "server0")
             for nid in chain.graph.nodes
         }
-        topo = default_testbed()
+        topo = topology_for("paper-testbed").build()
         subgroups = form_subgroups(chain, assignment, profiles)
         cp = analyze_chain(chain, assignment, subgroups, topo, profiles)
         paths = assign_service_paths([cp])
@@ -117,7 +117,7 @@ class TestRoutingPlan:
         )[0]
         placement = heuristic_place(
             [chain.with_slo(SLO(t_min=100.0, t_max=gbps(50)))],
-            default_testbed(), profiles,
+            topology_for("paper-testbed").build(), profiles,
         )
         paths = assign_service_paths(placement.chains)
         plan = synthesize_routing(placement.chains, paths, "tofino0")

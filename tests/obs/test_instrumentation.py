@@ -5,7 +5,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.placer import Placer, PlacementRequest
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import scoped_registry
 from repro.profiles.defaults import default_profiles
@@ -58,7 +58,7 @@ class TestPlacerInstrumentation:
 class TestMetaCompilerInstrumentation:
     def test_codegen_timings_and_line_counts(self, chains):
         with scoped_registry() as registry:
-            topology = default_testbed()
+            topology = topology_for("paper-testbed").build()
             profiles = default_profiles()
             placer = Placer(topology=topology, profiles=profiles)
             placement = placer.solve(

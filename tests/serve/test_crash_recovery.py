@@ -9,7 +9,8 @@ acknowledged command prefix through the same deterministic core.
 
 import pytest
 
-from repro.serve import Arrive, Depart, InjectFault, Scale
+from repro.hw.spec import topology_for
+from repro.serve import Arrive, Depart, InjectFault, Scale, ServeConfig
 
 COMMANDS = [
     Arrive(chain="dyn0", spec="chain dyn0: ACL -> IPv4Fwd",
@@ -82,3 +83,66 @@ def test_recovery_is_invisible_midstream(make_config, drive, tmp_path):
 def test_fresh_state_dir_is_not_recovered(config, drive, tmp_path):
     daemon, _ = drive(config, tmp_path / "state", [])
     assert daemon.recovered is False
+
+
+# -- multi-rack fabric ------------------------------------------------------
+
+FABRIC_SPEC = "\n".join(
+    f"chain c{i}: ACL(rules=64) -> Encrypt -> IPv4Fwd" for i in range(6)
+)
+FABRIC_COMMANDS = [
+    Arrive(chain="c6", spec="chain c6: ACL(rules=64) -> Encrypt -> IPv4Fwd",
+           t_min_mbps=4000.0, t_max_mbps=9000.0, d_max_us=400.0),
+    Scale(chain="c0", t_min_mbps=6000.0, t_max_mbps=9000.0),
+    Depart(chain="c6"),
+]
+
+
+def _fabric_config(make_config):
+    return make_config(
+        spec_text=FABRIC_SPEC,
+        slos=tuple((4000.0, 9000.0, 400.0) for _ in range(6)),
+        topology=topology_for("two-rack"),
+    )
+
+
+def test_topology_spec_survives_the_config_round_trip(make_config):
+    """The persistence contract: a fabric config rebuilds byte-identical
+    from its own config.json payload."""
+    config = _fabric_config(make_config)
+    assert config.topology is not None
+    assert ServeConfig.parse_json(config.to_json()) == config
+
+
+def test_persisted_config_carries_the_topology(make_config, drive, tmp_path):
+    import json
+
+    config = _fabric_config(make_config)
+    drive(config, tmp_path / "state", [])
+    payload = json.loads((tmp_path / "state" / "config.json").read_text())
+    assert payload["topology"] == config.topology.as_dict()
+
+
+@pytest.mark.parametrize("kill_after", [1, 2])
+def test_fabric_recovery_is_byte_identical(make_config, drive, tmp_path,
+                                           kill_after):
+    """Crash recovery over a two-rack fabric: the recovered daemon holds
+    the same chain→rack assignment and rack digests as an uninterrupted
+    run (the fabric core's whole state feeds the digest)."""
+    config = _fabric_config(make_config)
+
+    reference, ref_outcomes = drive(
+        config, tmp_path / "reference", FABRIC_COMMANDS
+    )
+    drive(config, tmp_path / "crashed", FABRIC_COMMANDS[:kill_after],
+          crash=True)
+    recovered, remaining = drive(
+        config, tmp_path / "crashed", FABRIC_COMMANDS[kill_after:]
+    )
+    assert recovered.recovered is True
+    for ref, got in zip(ref_outcomes[kill_after:], remaining):
+        assert got.seq == ref.seq
+        assert got.status == ref.status
+        assert got.digest == ref.digest
+    assert recovered.core.state_digest() == reference.core.state_digest()
+    assert recovered.report().to_json() == reference.report().to_json()

@@ -14,7 +14,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import TopologySpec
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
@@ -55,7 +55,7 @@ SCENARIOS = [
 
 def _deploy(spec, topo_kwargs, slo, seed):
     profiles = default_profiles()
-    topology = default_testbed(**topo_kwargs)
+    topology = TopologySpec.from_flags(**topo_kwargs).build()
     chains = chains_from_spec(spec, slos=[slo])
     placement = heuristic_place(chains, topology, profiles)
     assert placement.feasible, placement.infeasible_reason
@@ -158,7 +158,7 @@ def _queueing_utilization(rack):
 
 
 def _scalar_vs_columnar(spec, topo_kwargs, slo, seed, *, n_flows=6, reps=8,
-                        fault=None, queueing=False):
+                        fault=None, queueing=False, interrack=False):
     """Drive identical racks through the scalar batch path and the
     columnar path and assert bit-identity on every observable surface."""
     n_packets = n_flows * reps
@@ -166,6 +166,14 @@ def _scalar_vs_columnar(spec, topo_kwargs, slo, seed, *, n_flows=6, reps=8,
         spec, topo_kwargs, slo, seed)
     vector_rack, vector_cp, vector_registry = _deploy(
         spec, topo_kwargs, slo, seed)
+    if interrack:
+        # the chain is homed off the fabric ingress: every packet crosses
+        # an inter-rack link (stamped RTT) and a quarter are shed at the
+        # fabric ingress for link-capacity shortfall
+        for rack, cp in ((scalar_rack, scalar_cp),
+                         (vector_rack, vector_cp)):
+            rack.set_interrack_hop(cp.name, "r0~r1", 50.0,
+                                   drop_fraction=0.25)
     if queueing:
         model = QueueingModel(kind="mm1")
         scalar_rack.configure_queueing(
@@ -242,6 +250,32 @@ def test_columnar_matches_scalar_with_queueing(label, spec, topo_kwargs,
     ``queue_us``/``latency_us`` fields and histograms — the per-packet
     field comparison and the registry dump inside the driver cover both."""
     _scalar_vs_columnar(spec, topo_kwargs, slo, seed, queueing=True)
+
+
+@pytest.mark.parametrize("seed", [7, 23])
+@pytest.mark.parametrize(
+    "label,spec,topo_kwargs,slo",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_columnar_matches_scalar_across_interrack_hop(label, spec,
+                                                      topo_kwargs, slo,
+                                                      seed):
+    """Multi-rack tier: with an inter-rack hop installed (stamped link
+    RTT + capacity-shortfall drops at the fabric ingress), the columnar
+    path sheds the same sequence numbers and stamps the same
+    ``interrack_us`` component as the scalar path — packet fields, the
+    ``interrack.packets``/``interrack.drops`` counters, and the latency
+    histograms are all compared bit for bit."""
+    _scalar_vs_columnar(spec, topo_kwargs, slo, seed, interrack=True)
+
+
+def test_columnar_matches_scalar_interrack_with_queueing():
+    """The stamped inter-rack RTT composes with the M/M/1 queueing model
+    identically on both paths."""
+    _label, spec, topo_kwargs, slo = SCENARIOS[1]
+    _scalar_vs_columnar(spec, topo_kwargs, slo, seed=7,
+                        interrack=True, queueing=True)
 
 
 def test_columnar_interleaves_with_scalar():

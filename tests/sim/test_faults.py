@@ -9,7 +9,7 @@ from repro.chain.slo import SLO
 from repro.core.cache import PlacementCache
 from repro.core.heuristic import heuristic_place
 from repro.exceptions import DataplaneError, FaultInjectionError
-from repro.hw.topology import default_testbed
+from repro.hw.spec import TopologySpec, topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
@@ -27,7 +27,7 @@ from repro.units import gbps
 
 def _deploy(spec, slos, seed=23, **topo_kwargs):
     profiles = default_profiles()
-    topology = default_testbed(**topo_kwargs)
+    topology = TopologySpec.from_flags(**topo_kwargs).build()
     chains = chains_from_spec(spec, slos=slos)
     placement = heuristic_place(chains, topology, profiles)
     assert placement.feasible, placement.infeasible_reason
@@ -74,7 +74,7 @@ class TestFaultTimeline:
             FaultTimeline.parse_json("[1, 2]")
 
     def test_validate_rejects_bad_events(self):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
 
         def check(event):
             with pytest.raises(FaultInjectionError):
@@ -97,10 +97,10 @@ class TestFaultTimeline:
             FaultEvent(at_packet=1, action="fail", target="nosuch"),
         ))
         with pytest.raises(TopologyError):
-            timeline.validate(default_testbed())
+            timeline.validate(topology_for("paper-testbed").build())
 
     def test_random_is_seed_deterministic(self):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         a = FaultTimeline.random(seed=5, topology=topology, n_events=3)
         b = FaultTimeline.random(seed=5, topology=topology, n_events=3)
         c = FaultTimeline.random(seed=6, topology=topology, n_events=3)
@@ -334,7 +334,7 @@ class TestChaosEngine:
         ))
         with pytest.raises(Exception):
             # no SmartNIC in the default testbed
-            ChaosEngine(chains, timeline, topology=default_testbed())
+            ChaosEngine(chains, timeline, topology=topology_for("paper-testbed").build())
 
     def test_chaos_uses_placement_cache_across_engines(self):
         cache = PlacementCache()

@@ -1,0 +1,308 @@
+"""Fabric runtime: stitched traffic replay, chaos, and chain lifecycle."""
+
+import pytest
+
+from repro.chain.graph import chains_from_spec
+from repro.chain.slo import SLO
+from repro.exceptions import (
+    FaultInjectionError,
+    LifecycleError,
+    TopologyError,
+)
+from repro.hw.multirack import MultiRackTopology
+from repro.hw.spec import topology_for
+from repro.obs import MetricsRegistry
+from repro.sim.admission import AdmissionCore, ChainEvent
+from repro.sim.faults import ChaosSpec, FaultEvent, FaultTimeline
+from repro.sim.interrack import (
+    FabricAdmissionCore,
+    make_admission_core,
+    run_fabric_chaos,
+    run_fabric_traffic,
+)
+from repro.sim.traffic import TrafficSpec
+
+SPEC6 = "\n".join(
+    f"chain c{i}: ACL(rules=64) -> Encrypt -> IPv4Fwd" for i in range(6)
+)
+SLOS6 = tuple((4000.0, 9000.0, 400.0) for _ in range(6))
+
+
+def _chains(n, t_min=4000.0):
+    spec = "\n".join(
+        f"chain c{i}: ACL(rules=64) -> Encrypt -> IPv4Fwd" for i in range(n)
+    )
+    return chains_from_spec(
+        spec, slos=[SLO(t_min=t_min, t_max=9000.0, d_max=400.0)
+                    for _ in range(n)]
+    )
+
+
+def _traffic_spec(**overrides):
+    defaults = dict(
+        spec_text=SPEC6, slos=SLOS6,
+        topology=topology_for("two-rack"),
+        packets_per_chain=96, flows_per_chain=8, batch_size=16, seed=7,
+    )
+    defaults.update(overrides)
+    return TrafficSpec(**defaults)
+
+
+class TestFabricTraffic:
+    def test_remote_chain_carries_link_latency(self):
+        fabric = topology_for("two-rack").build()
+        report = run_fabric_traffic(
+            _traffic_spec(), fabric, registry=MetricsRegistry()
+        )
+        assert report.ok
+        remote = set(report.solve.placement.remote)
+        assert remote  # the rack overflows, someone pays the RTT
+        rows = {row.chain_name: row for row in report.report.chains}
+        assert set(rows) == {f"c{i}" for i in range(6)}
+        for name, row in rows.items():
+            # rows restore the END-TO-END budget, not the shrunk one
+            assert row.latency_slo_us == 400.0
+            if name in remote:
+                assert report.assignment[name] == "r1"
+                # the stamped RTT (2 x 50 µs) dominates the local path
+                assert row.latency_p99_us >= 100.0
+            else:
+                assert report.assignment[name] == "r0"
+                assert row.latency_p99_us < 100.0
+
+    def test_replay_is_deterministic(self):
+        first = run_fabric_traffic(
+            _traffic_spec(), topology_for("two-rack").build(),
+            registry=MetricsRegistry(),
+        )
+        second = run_fabric_traffic(
+            _traffic_spec(), topology_for("two-rack").build(),
+            registry=MetricsRegistry(),
+        )
+        a, b = first.as_dict(), second.as_dict()
+        a.pop("run_wall_seconds", None), b.pop("run_wall_seconds", None)
+        assert a == b
+
+    def test_report_surfaces_route_and_mode(self):
+        report = run_fabric_traffic(
+            _traffic_spec(), topology_for("two-rack").build(),
+            registry=MetricsRegistry(),
+        )
+        payload = report.as_dict()
+        assert payload["mode"] == "hierarchical"
+        assert payload["racks"] == report.assignment
+        text = report.render()
+        assert "r0~r1" in text and "µs RTT" in text
+
+
+class TestFabricChaos:
+    def _chaos_spec(self, events):
+        return ChaosSpec(
+            spec_text=SPEC6, slos=SLOS6,
+            topology=topology_for("two-rack"),
+            timeline=FaultTimeline(events=tuple(events), seed=7),
+            packets_per_chain=128, flows_per_chain=8, batch_size=16, seed=7,
+        )
+
+    def test_events_split_by_home_rack(self):
+        spec = self._chaos_spec([
+            FaultEvent(at_packet=32, action="degrade_link",
+                       target="r0.server0", severity=0.3),
+            FaultEvent(at_packet=48, action="degrade_link",
+                       target="r1.server0", severity=0.3),
+            FaultEvent(at_packet=96, action="restore_link",
+                       target="r0.server0"),
+        ])
+        report = run_fabric_chaos(
+            spec, topology_for("two-rack").build(),
+            registry=MetricsRegistry(),
+        )
+        assert set(report.racks) == {"r0", "r1"}
+        assert not report.dropped_events
+        assert report.total_injected > 0
+        assert report.assignment["c5"] == "r1"
+        text = report.render()
+        assert "-- rack r0 --" in text and "-- rack r1 --" in text
+        assert "fabric totals" in text
+
+    def test_unknown_target_rejected(self):
+        spec = self._chaos_spec([
+            FaultEvent(at_packet=32, action="degrade_link",
+                       target="r9.server0", severity=0.3),
+        ])
+        with pytest.raises(FaultInjectionError):
+            run_fabric_chaos(spec, topology_for("two-rack").build(),
+                             registry=MetricsRegistry())
+
+    def test_chaos_is_deterministic(self):
+        events = [
+            FaultEvent(at_packet=32, action="degrade_link",
+                       target="r0.server0", severity=0.4),
+            FaultEvent(at_packet=96, action="restore_link",
+                       target="r0.server0"),
+        ]
+        runs = [
+            run_fabric_chaos(
+                self._chaos_spec(events),
+                topology_for("two-rack").build(),
+                registry=MetricsRegistry(),
+            ).to_json()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestAdmissionFactory:
+    def test_fabric_topology_gets_fabric_core(self):
+        core = make_admission_core(
+            _chains(2), topology=topology_for("two-rack").build(), seed=7,
+        )
+        assert isinstance(core, FabricAdmissionCore)
+
+    def test_plain_topology_gets_single_rack_core(self):
+        core = make_admission_core(
+            _chains(1), topology=topology_for("paper-testbed").build(),
+            seed=7,
+        )
+        assert isinstance(core, AdmissionCore)
+
+    def test_one_rack_fabric_degenerates(self):
+        rack = topology_for("paper-testbed").build()
+        fabric = MultiRackTopology(racks={"r0": rack}, links=[],
+                                   ingress="r0")
+        core = make_admission_core(_chains(1), topology=fabric, seed=7)
+        assert isinstance(core, AdmissionCore)
+        assert not isinstance(core, FabricAdmissionCore)
+
+    def test_fabric_core_requires_fabric(self):
+        with pytest.raises(LifecycleError, match="MultiRackTopology"):
+            FabricAdmissionCore(
+                _chains(1),
+                topology=topology_for("paper-testbed").build(),
+            )
+
+
+class TestFabricLifecycle:
+    def _core(self, n=6, **kwargs):
+        defaults = dict(
+            topology=topology_for("two-rack").build(),
+            flows_per_chain=8, batch_size=16, seed=7,
+            registry=MetricsRegistry(),
+        )
+        defaults.update(kwargs)
+        core = FabricAdmissionCore(_chains(n), **defaults)
+        core.bootstrap()
+        return core
+
+    def _arrive(self, name, t_min=4000.0, at=1):
+        return ChainEvent(
+            at=at, action="arrive", chain=name,
+            spec=f"chain {name}: ACL(rules=64) -> Encrypt -> IPv4Fwd",
+            t_min_mbps=t_min, t_max_mbps=9000.0, d_max_us=400.0,
+        )
+
+    def _saturate_ingress(self, core):
+        """Fill r0 to its true capacity (the partition proxy spills at 6
+        chains, the real rack solve at 8): after c6/c7 land on r0 it
+        holds 7 chains and the next 4 Gbps arrival must go elsewhere."""
+        for name in ("c6", "c7"):
+            decision = core.process(self._arrive(name))
+            assert decision.accepted and core.assignment[name] == "r0"
+
+    def test_bootstrap_spills_overflow(self):
+        core = self._core()
+        assert set(core.assignment.values()) == {"r0", "r1"}
+        assert set(core.cores) == {"r0", "r1"}
+        placement = core.placement
+        assert placement.aggregate_rate > 0
+        assert "r1" in placement.describe()
+
+    def test_arrival_spills_when_ingress_is_full(self):
+        core = self._core()
+        self._saturate_ingress(core)
+        decision = core.process(self._arrive("c8", at=3))
+        assert decision.accepted, decision.reason
+        assert core.assignment["c8"] == "r1"
+        assert core.obs.counter_value("lifecycle.spills") >= 1
+
+    def test_latency_budget_bounds_arrivals(self):
+        """An arrival whose d_max is inside the fabric RTT can only land
+        on the ingress; once that is full it is rejected with the RTT in
+        the reason."""
+        core = self._core()
+        self._saturate_ingress(core)
+        tight = ChainEvent(
+            at=3, action="arrive", chain="tight",
+            spec="chain tight: ACL(rules=64) -> Encrypt -> IPv4Fwd",
+            t_min_mbps=4000.0, t_max_mbps=9000.0, d_max_us=90.0,
+        )
+        decision = core.process(tight)
+        assert not decision.accepted
+        assert "inter-rack RTT" in decision.reason
+
+    def test_scale_migrates_off_saturated_rack(self):
+        """The proven recipe: saturate the ingress, then scale one of its
+        chains past what it can absorb — the chain moves to r1."""
+        core = self._core()
+        self._saturate_ingress(core)
+        assert core.assignment["c1"] == "r0"
+        decision = core.process(ChainEvent(
+            at=3, action="scale", chain="c1", t_min_mbps=12000.0,
+        ))
+        assert decision.accepted, decision.reason
+        assert decision.mode == "migrate:r0->r1"
+        assert core.assignment["c1"] == "r1"
+        assert core.obs.counter_value("lifecycle.migrations") == 1
+
+    def test_last_depart_tears_down_rack(self):
+        core = self._core(2)  # both chains fit the ingress
+        decision = core.process(self._arrive("c6"))
+        rack = core.assignment["c6"]
+        departed = core.process(ChainEvent(
+            at=2, action="depart", chain="c6",
+        ))
+        assert departed.accepted
+        if rack != "r0":
+            assert departed.mode == "teardown"
+            assert rack not in core.cores
+        assert "c6" not in core.assignment
+
+    def test_phase_rows_restore_end_to_end_budget(self):
+        core = self._core()
+        phase = core.run_phase("steady", 64, index=0)
+        rows = {row.chain_name: row for row in phase.chains}
+        assert set(rows) == {f"c{i}" for i in range(6)}
+        for name, row in rows.items():
+            assert row.latency_slo_us == 400.0
+            if core.assignment[name] == "r1":
+                assert row.latency_p99_us >= 100.0
+
+    def test_fault_routed_to_hosting_rack(self):
+        core = self._core()
+        core.apply_fault("degrade_link", "r1.server0", 0.4)
+        assert core.fault_state  # surfaced on the fabric view
+        with pytest.raises(TopologyError):
+            core.apply_fault("degrade_link", "r9.server0", 0.4)
+
+    def test_fault_on_empty_rack_rejected(self):
+        core = self._core(2)  # both chains fit the ingress; r1 is empty
+        assert set(core.cores) == {"r0"}
+        with pytest.raises(FaultInjectionError, match="hosts no chains"):
+            core.apply_fault("degrade_link", "r1.server0", 0.4)
+
+    def test_state_digest_replays_identically(self):
+        def scripted():
+            core = self._core()
+            core.process(self._arrive("c6"))
+            core.process(ChainEvent(at=2, action="scale", chain="c1",
+                                    t_min_mbps=6000.0))
+            core.process(ChainEvent(at=3, action="depart", chain="c6"))
+            return core
+
+        assert scripted().state_digest() == scripted().state_digest()
+
+    def test_duplicate_arrival_rejected(self):
+        core = self._core()
+        decision = core.process(self._arrive("c0"))
+        assert not decision.accepted
+        assert "already active" in decision.reason

@@ -5,7 +5,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.profiles.defaults import default_profiles
 from repro.sim.runtime import DeployedRack, _chain_packet
@@ -18,7 +18,7 @@ def profiles():
 
 
 def deploy(spec, profiles, slos=None):
-    topology = default_testbed()
+    topology = topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(40))]
     )

@@ -7,7 +7,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.placer import Placer, PlacementRequest
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
@@ -21,7 +21,7 @@ def profiles():
 
 
 def deploy(spec, profiles, topology=None, slos=None):
-    topology = topology or default_testbed()
+    topology = topology or topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(1), t_max=gbps(20))]
     )
@@ -38,7 +38,7 @@ def deploy(spec, profiles, topology=None, slos=None):
 def heterogeneous_nic_testbed(server_freq_hz=2.0e9):
     """SmartNIC testbed with the server clocked unlike both the paper's
     1.7 GHz reference and the NIC's 1.2 GHz."""
-    topology = default_testbed(with_smartnic=True)
+    topology = topology_for("paper-smartnic").build()
     for socket in topology.servers[0].sockets:
         socket.freq_hz = server_freq_hz
     return topology
@@ -168,7 +168,7 @@ class TestRackCounters:
         assert delivered + dropped == injected
 
     def test_device_cycle_counter_matches_nic_bookkeeping(self, profiles):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         rack, placement, registry = deploy(
             "chain c: BPF -> FastEncrypt -> IPv4Fwd", profiles,
             topology=topology, slos=[SLO(t_min=gbps(1), t_max=gbps(39))],

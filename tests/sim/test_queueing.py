@@ -12,7 +12,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
@@ -77,7 +77,7 @@ def test_model_validation():
 
 def _deploy(spec, slo, seed=23):
     profiles = default_profiles()
-    topology = default_testbed()
+    topology = topology_for("paper-testbed").build()
     chains = chains_from_spec(spec, slos=[slo])
     placement = heuristic_place(chains, topology, profiles)
     assert placement.feasible, placement.infeasible_reason

@@ -7,7 +7,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
 from repro.hw.platform import Platform
-from repro.hw.topology import default_testbed, multi_server_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.profiles.defaults import default_profiles
 from repro.sim.runtime import DeployedRack, _chain_packet
@@ -20,7 +20,7 @@ def profiles():
 
 
 def deploy(spec, profiles, topology=None, slos=None):
-    topology = topology or default_testbed()
+    topology = topology or topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(0.5), t_max=gbps(30))]
     )
@@ -33,7 +33,7 @@ def deploy(spec, profiles, topology=None, slos=None):
 
 class TestMultiServerTracing:
     def test_chains_split_across_servers_deliver(self, profiles):
-        topology = multi_server_testbed(2)
+        topology = topology_for("multi-server").build()
         spec = (
             "chain a: ACL -> Encrypt -> IPv4Fwd\n"
             "chain b: BPF -> Dedup -> IPv4Fwd\n"

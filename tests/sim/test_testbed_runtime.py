@@ -6,7 +6,7 @@ from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
 from repro.exceptions import DataplaneError
-from repro.hw.topology import default_testbed
+from repro.hw.spec import topology_for
 from repro.metacompiler.compiler import MetaCompiler
 from repro.profiles.defaults import default_profiles
 from repro.sim.runtime import DeployedRack
@@ -20,7 +20,7 @@ def profiles():
 
 
 def place(spec, profiles, topology=None, slos=None):
-    topology = topology or default_testbed()
+    topology = topology or topology_for("paper-testbed").build()
     chains = chains_from_spec(
         spec, slos=slos or [SLO(t_min=gbps(1), t_max=gbps(40))]
     )
@@ -144,7 +144,7 @@ class TestDeployedRack:
         assert traces["a"].dropped == 10  # generator targets 10.0.0.0/8
 
     def test_smartnic_in_path(self, profiles):
-        topology = default_testbed(with_smartnic=True)
+        topology = topology_for("paper-smartnic").build()
         rack, placement = self._rack(
             "chain a: BPF -> FastEncrypt -> IPv4Fwd", profiles,
             topology=topology,
@@ -159,7 +159,7 @@ class TestDeployedRack:
         assert rack.nics["agilio0"].tx == 8
 
     def test_openflow_rack(self, profiles):
-        topology = default_testbed(with_openflow=True)
+        topology = topology_for("paper-openflow").build()
         rack, placement = self._rack(
             "chain a: Detunnel -> Encrypt -> ACL", profiles,
             topology=topology,

@@ -5,7 +5,7 @@ import pytest
 from repro.chain.graph import chains_from_spec
 from repro.chain.slo import SLO
 from repro.core.heuristic import heuristic_place
-from repro.hw.topology import default_testbed
+from repro.hw.spec import TopologySpec
 from repro.metacompiler.compiler import MetaCompiler
 from repro.obs import MetricsRegistry
 from repro.profiles.defaults import default_profiles
@@ -16,7 +16,7 @@ from repro.units import gbps
 
 def _deploy(spec, slos, **topo_kwargs):
     profiles = default_profiles()
-    topology = default_testbed(**topo_kwargs)
+    topology = TopologySpec.from_flags(**topo_kwargs).build()
     chains = chains_from_spec(spec, slos=slos)
     placement = heuristic_place(chains, topology, profiles)
     assert placement.feasible, placement.infeasible_reason
